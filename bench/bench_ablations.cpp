@@ -1,0 +1,176 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//   1. attribute interning (the BIRD-style attribute cache): table memory
+//      with the shared AttrPool vs. one private PathAttributes per route —
+//      the difference is why per-route cost stays in the hundreds of bytes
+//      (Figure 6a's premise);
+//   2. ADD-PATH fan-out: per-update processing cost as the number of
+//      all-paths experiment sessions grows (the multiplexing overhead vBGP
+//      pays for parallel experiments);
+//   3. MRAI batching: updates emitted downstream for a flapping prefix at
+//      different minimum route advertisement intervals (why vBGP's
+//      re-export does not amplify churn).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bgp/rib.h"
+#include "vbgp/vrouter.h"
+
+using namespace peering;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ablation 1: attribute interning.
+// ---------------------------------------------------------------------------
+void ablate_attr_interning() {
+  constexpr std::size_t kRoutes = 500'000;
+  inet::RouteFeedConfig config;
+  config.route_count = kRoutes;
+  config.seed = 5;
+  auto feed = inet::generate_feed(config);
+
+  // Shared: intern through the pool.
+  bgp::AttrPool pool;
+  {
+    std::vector<bgp::AttrsPtr> keep;
+    keep.reserve(feed.size());
+    for (const auto& route : feed) keep.push_back(pool.intern(route.attrs));
+    std::printf("  with interning:    %7.1f MB for %zu routes (%zu distinct "
+                "attribute sets)\n",
+                pool.memory_bytes() / 1e6, kRoutes, pool.size());
+  }
+
+  // Private: every route pays its own attribute footprint. Reuse the
+  // pool's accounting by interning each with a unique discriminator.
+  bgp::AttrPool private_pool;
+  {
+    std::vector<bgp::AttrsPtr> keep;
+    keep.reserve(feed.size());
+    std::uint32_t i = 0;
+    for (const auto& route : feed) {
+      bgp::PathAttributes attrs = route.attrs;
+      attrs.med = i++;  // defeat sharing
+      keep.push_back(private_pool.intern(attrs));
+    }
+    std::printf("  without interning: %7.1f MB for %zu routes\n",
+                private_pool.memory_bytes() / 1e6, kRoutes);
+  }
+  std::printf("  -> interning saves %.1fx\n",
+              static_cast<double>(private_pool.memory_bytes()) /
+                  static_cast<double>(pool.memory_bytes()));
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2: ADD-PATH fan-out.
+// ---------------------------------------------------------------------------
+double per_update_cost_with_experiments(int experiment_count) {
+  sim::EventLoop loop;
+  vbgp::VRouterConfig config;
+  config.name = "ablate";
+  config.pop_id = "ablate01";
+  config.asn = 47065;
+  config.router_id = Ipv4Address(10, 255, 9, 1);
+  config.router_seed = 9;
+  vbgp::VRouter router(&loop, config);
+
+  bgp::PeerId neighbor = router.add_neighbor(
+      {.name = "n1", .asn = 65001, .local_address = Ipv4Address(10, 9, 1, 1),
+       .remote_address = Ipv4Address(10, 9, 1, 2), .interface = 0,
+       .global_id = 1});
+
+  std::vector<std::unique_ptr<benchutil::WirePeer>> experiments;
+  for (int i = 0; i < experiment_count; ++i) {
+    auto peer = router.add_experiment(
+        {.experiment_id = "x" + std::to_string(i),
+         .asn = 61574u + static_cast<bgp::Asn>(i),
+         .local_address = Ipv4Address(100, 70, static_cast<std::uint8_t>(i), 1),
+         .remote_address = Ipv4Address(100, 70, static_cast<std::uint8_t>(i), 2),
+         .interface = 10 + i});
+    auto streams = sim::StreamChannel::make(&loop, Duration::micros(10));
+    router.speaker().connect_peer(peer, streams.a);
+    experiments.push_back(std::make_unique<benchutil::WirePeer>(
+        &loop, streams.b, 61574u + static_cast<bgp::Asn>(i),
+        Ipv4Address(9, 9, 9, static_cast<std::uint8_t>(i)), true));
+  }
+
+  auto streams = sim::StreamChannel::make(&loop, Duration::micros(10));
+  router.speaker().connect_peer(neighbor, streams.a);
+  benchutil::WirePeer source(&loop, streams.b, 65001, Ipv4Address(2, 2, 2, 2),
+                             false);
+  loop.run_for(Duration::seconds(2));
+
+  constexpr std::size_t kUpdates = 20'000;
+  inet::RouteFeedConfig feed_config;
+  feed_config.route_count = kUpdates;
+  feed_config.seed = 6;
+  auto feed = inet::generate_feed(feed_config);
+  auto wires = benchutil::encode_feed(feed, source.tx_options());
+
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& wire : wires) source.send_raw(wire);
+  loop.run();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return elapsed / kUpdates;
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 3: MRAI batching.
+// ---------------------------------------------------------------------------
+std::uint64_t updates_sent_with_mrai(Duration mrai) {
+  sim::EventLoop loop;
+  bgp::BgpSpeaker a(&loop, "a", 65001, Ipv4Address(1, 1, 1, 1));
+  bgp::BgpSpeaker b(&loop, "b", 65002, Ipv4Address(2, 2, 2, 2));
+  bgp::PeerConfig a_cfg{.name = "to-b", .peer_asn = 65002};
+  a_cfg.mrai = mrai;
+  bgp::PeerId ap = a.add_peer(a_cfg);
+  bgp::PeerId bp = b.add_peer({.name = "to-a", .peer_asn = 65001});
+  auto streams = sim::StreamChannel::make(&loop, Duration::millis(1));
+  a.connect_peer(ap, streams.a);
+  b.connect_peer(bp, streams.b);
+  loop.run_for(Duration::seconds(5));
+
+  // A prefix flapping every 2 seconds for 10 minutes.
+  auto prefix = *Ipv4Prefix::parse("184.164.224.0/24");
+  for (int i = 0; i < 300; ++i) {
+    bgp::PathAttributes attrs;
+    attrs.med = static_cast<std::uint32_t>(i);
+    a.originate(prefix, attrs);
+    loop.run_for(Duration::seconds(2));
+  }
+  loop.run_for(Duration::seconds(60));
+  return a.peer_stats(ap).updates_sent;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 1: attribute interning (500k-route table) ===\n");
+  ablate_attr_interning();
+
+  std::printf("\n=== Ablation 2: ADD-PATH fan-out (cost per inbound update) ===\n");
+  std::printf("%16s %20s\n", "experiments", "us per update");
+  double base = 0;
+  for (int n : {0, 1, 2, 4, 8}) {
+    double cost = per_update_cost_with_experiments(n);
+    if (n == 0) base = cost;
+    std::printf("%16d %20.1f%s\n", n, cost * 1e6,
+                n == 0 ? "  (no fan-out baseline)" : "");
+  }
+  std::printf("  -> marginal cost per additional all-paths session stays "
+              "modest (baseline %.1f us)\n", base * 1e6);
+
+  std::printf("\n=== Ablation 3: MRAI batching (300 flaps over 10 min) ===\n");
+  std::printf("%16s %20s\n", "MRAI", "updates emitted");
+  for (int seconds : {0, 5, 30, 120}) {
+    std::uint64_t sent = updates_sent_with_mrai(Duration::seconds(seconds));
+    std::printf("%15ds %20llu\n", seconds,
+                static_cast<unsigned long long>(sent));
+  }
+  std::printf("  -> the platform's per-prefix budget (144/day) plus MRAI keep"
+              " re-export churn bounded\n");
+  return 0;
+}

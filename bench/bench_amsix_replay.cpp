@@ -1,0 +1,92 @@
+// Reproduces the §6 in-text AMS-IX operating point: PEERING's vBGP router
+// there exchanges routes with 4 route servers, 2 transit providers, and 235
+// bilateral routers across 104 member networks — 2.7M routes from 854 ASes
+// — and over an 18h window processed 21.8 updates/s on average with a p99
+// of ~400 updates/s. This bench loads an AMS-IX-scale table into the vBGP
+// RIB/FIB structures, then replays churn at the observed mean and p99
+// rates, reporting memory and CPU headroom.
+#include <chrono>
+#include <cstdio>
+
+#include "bgp/rib.h"
+#include "inet/route_feed.h"
+#include "ip/routing_table.h"
+
+using namespace peering;
+
+namespace {
+constexpr std::size_t kRoutes = 2'700'000;
+constexpr std::size_t kFeeds = 6;  // 4 route servers + 2 transits
+constexpr std::size_t kChurnUpdates = 100'000;
+}  // namespace
+
+int main() {
+  std::printf("=== AMS-IX scale replay (2.7M routes, 854 peer ASes) ===\n\n");
+
+  inet::RouteFeedConfig config;
+  config.route_count = kRoutes;
+  config.seed = 2019;
+  auto feed = inet::generate_feed(config);
+
+  bgp::AttrPool pool;
+  std::vector<bgp::AdjRibIn> adj_in(kFeeds);
+  bgp::LocRib loc_rib([](bgp::PeerId) { return bgp::PeerDecisionInfo{}; });
+  std::vector<ip::RoutingTable> fibs(kFeeds);
+
+  auto load_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < feed.size(); ++i) {
+    bgp::PeerId peer = static_cast<bgp::PeerId>(1 + i % kFeeds);
+    bgp::RibRoute route;
+    route.prefix = feed[i].prefix;
+    route.peer = peer;
+    route.attrs = pool.intern(feed[i].attrs);
+    adj_in[peer - 1].update(route);
+    loc_rib.update(route);
+    fibs[peer - 1].insert(ip::Route{feed[i].prefix, feed[i].attrs.next_hop,
+                                    static_cast<int>(peer), 0});
+  }
+  double load_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - load_start)
+                      .count();
+
+  std::size_t rib_bytes = pool.memory_bytes() + loc_rib.memory_bytes();
+  for (const auto& rib : adj_in) rib_bytes += rib.memory_bytes();
+  std::size_t fib_bytes = 0;
+  for (const auto& fib : fibs) fib_bytes += fib.memory_bytes();
+
+  std::printf("initial convergence: %.1f s for %zu routes (%.0f routes/s)\n",
+              load_s, kRoutes, kRoutes / load_s);
+  std::printf("memory: RIB %.0f MB + per-neighbor FIBs %.0f MB = %.0f MB\n",
+              rib_bytes / 1e6, fib_bytes / 1e6, (rib_bytes + fib_bytes) / 1e6);
+  std::printf("attribute pool: %zu distinct attribute sets (%.1fx sharing)\n\n",
+              pool.size(), static_cast<double>(kRoutes) / pool.size());
+
+  // Churn replay: re-announcements with perturbed attributes.
+  auto churn = inet::generate_churn(feed, kChurnUpdates, 7);
+  auto churn_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    bgp::PeerId peer = static_cast<bgp::PeerId>(1 + i % kFeeds);
+    bgp::RibRoute route;
+    route.prefix = churn[i].prefix;
+    route.peer = peer;
+    route.attrs = pool.intern(churn[i].attrs);
+    adj_in[peer - 1].update(route);
+    loc_rib.update(route);
+    fibs[peer - 1].insert(ip::Route{churn[i].prefix, churn[i].attrs.next_hop,
+                                    static_cast<int>(peer), 0});
+  }
+  double churn_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - churn_start)
+                       .count();
+  double per_update = churn_s / kChurnUpdates;
+  double capacity = 1.0 / per_update;
+
+  std::printf("churn processing: %.1f us/update -> capacity %.0f updates/s\n",
+              per_update * 1e6, capacity);
+  std::printf("observed AMS-IX mean 21.8 upd/s -> %.3f%% utilization\n",
+              21.8 * per_update * 100);
+  std::printf("observed AMS-IX p99  400 upd/s -> %.2f%% utilization\n",
+              400 * per_update * 100);
+  std::printf("headroom over p99: %.0fx\n", capacity / 400.0);
+  return 0;
+}

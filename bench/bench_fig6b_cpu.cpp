@@ -1,0 +1,157 @@
+// Reproduces Figure 6b: CPU utilization vs rate of BGP updates for three
+// configurations, worst case (all filters run to completion, nothing
+// rejected), as in the paper:
+//
+//   accept             — a bare speaker that accepts every route with no
+//                        checks (lower bound);
+//   single-router vBGP — a vBGP router with enforcement engines and two
+//                        ADD-PATH experiment sessions: next-hop rewriting,
+//                        per-neighbor FIB maintenance, re-export fan-out;
+//   multi-router vBGP  — the backbone-mesh configuration: updates arrive
+//                        over iBGP with global-pool next-hops requiring the
+//                        more complex §4.3 handling, plus experiment fan-out.
+//
+// We measure wall-clock seconds of processing per update by draining a
+// pre-encoded burst through the full wire pipeline (decode, RIB, decision,
+// hooks, export encode), then report utilization = rate x per-update cost,
+// exactly the quantity the paper plots. The paper's reference point: at
+// AMS-IX vBGP processed 21.8 updates/s on average (p99 ~400/s) with CPU to
+// spare at 4000 updates/s.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "enforce/control_policy.h"
+#include "enforce/data_enforcer.h"
+#include "vbgp/vrouter.h"
+
+using namespace peering;
+
+namespace {
+
+constexpr std::size_t kUpdates = 50'000;
+
+/// Measures seconds of processing per update for one configuration.
+/// `multi_router` switches the update source to a backbone iBGP session.
+double measure_per_update_seconds(bool vbgp_mode, bool multi_router) {
+  sim::EventLoop loop;
+
+  vbgp::VRouterConfig config;
+  config.name = "bench";
+  config.pop_id = "bench01";
+  config.asn = 47065;
+  config.router_id = Ipv4Address(10, 255, 0, 1);
+  config.router_seed = 1;
+  vbgp::VRouter router(&loop, config);
+
+  enforce::ControlPlaneEnforcer control;
+  control.install_default_rules({47065, 47064});
+  enforce::DataPlaneEnforcer data;
+  if (vbgp_mode) {
+    router.set_control_enforcer(&control);
+    router.set_data_enforcer(&data);
+  } else {
+    router.set_control_enforcer(nullptr);
+    router.set_data_enforcer(nullptr);
+  }
+
+  // Update source: a real neighbor (single-router) or a backbone iBGP
+  // session carrying global-pool next-hops (multi-router).
+  bgp::PeerId source_peer;
+  bool source_addpath = false;
+  if (multi_router) {
+    source_peer = router.add_backbone_peer(
+        {.name = "bb", .local_address = Ipv4Address(10, 100, 1, 1),
+         .remote_address = Ipv4Address(10, 100, 1, 2), .interface = 0});
+    source_addpath = true;
+  } else {
+    source_peer = router.add_neighbor(
+        {.name = "n1", .asn = 65001,
+         .local_address = Ipv4Address(10, 0, 1, 1),
+         .remote_address = Ipv4Address(10, 0, 1, 2), .interface = 0,
+         .global_id = 1});
+  }
+
+  // Two experiment ADD-PATH sessions (the fan-out vBGP must perform).
+  std::vector<std::unique_ptr<benchutil::WirePeer>> experiment_peers;
+  if (vbgp_mode) {
+    for (int i = 0; i < 2; ++i) {
+      auto exp_peer = router.add_experiment(
+          {.experiment_id = "x" + std::to_string(i), .asn = 61574u + i,
+           .local_address = Ipv4Address(100, 64, static_cast<std::uint8_t>(i), 1),
+           .remote_address =
+               Ipv4Address(100, 64, static_cast<std::uint8_t>(i), 2),
+           .interface = 10 + i});
+      auto streams = sim::StreamChannel::make(&loop, Duration::micros(10));
+      router.speaker().connect_peer(exp_peer, streams.a);
+      experiment_peers.push_back(std::make_unique<benchutil::WirePeer>(
+          &loop, streams.b, 61574u + i,
+          Ipv4Address(9, 9, 9, static_cast<std::uint8_t>(i)), true));
+    }
+  }
+
+  auto streams = sim::StreamChannel::make(&loop, Duration::micros(10));
+  router.speaker().connect_peer(source_peer, streams.a);
+  benchutil::WirePeer source(&loop, streams.b,
+                             multi_router ? 47065 : 65001,
+                             Ipv4Address(2, 2, 2, 2), source_addpath);
+  loop.run_for(Duration::seconds(2));
+  if (!source.established()) {
+    std::fprintf(stderr, "session failed to establish\n");
+    return -1;
+  }
+
+  // Pre-encode the feed. In multi-router mode the routes carry global-pool
+  // next-hops, as they would arriving over the mesh.
+  inet::RouteFeedConfig feed_config;
+  feed_config.route_count = kUpdates;
+  feed_config.neighbor_asn = 65001;
+  feed_config.seed = 7;
+  auto feed = inet::generate_feed(feed_config);
+  if (multi_router) {
+    for (std::size_t i = 0; i < feed.size(); ++i) {
+      feed[i].attrs.next_hop =
+          vbgp::global_pool_ip(2 + static_cast<std::uint32_t>(i % 16));
+      feed[i].attrs.local_pref = 100;
+    }
+  }
+  auto wires = benchutil::encode_feed(feed, source.tx_options());
+
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& wire : wires) source.send_raw(wire);
+  loop.run();  // drain everything: decode, RIBs, hooks, FIBs, re-export
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return elapsed / static_cast<double>(kUpdates);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6b: CPU utilization vs update rate ===\n");
+  std::printf("(worst case: all filters run to completion; %zu updates per "
+              "measurement)\n\n", kUpdates);
+
+  double accept = measure_per_update_seconds(false, false);
+  double single = measure_per_update_seconds(true, false);
+  double multi = measure_per_update_seconds(true, true);
+
+  std::printf("per-update processing cost: accept %.1f us, single-router "
+              "vBGP %.1f us, multi-router vBGP %.1f us\n\n",
+              accept * 1e6, single * 1e6, multi * 1e6);
+
+  std::printf("%12s %10s %22s %21s\n", "updates/sec", "accept(%)",
+              "single-router vBGP(%)", "multi-router vBGP(%)");
+  for (int rate : {250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000}) {
+    std::printf("%12d %10.1f %22.1f %21.1f\n", rate, rate * accept * 100,
+                rate * single * 100, rate * multi * 100);
+  }
+
+  std::printf("\nAMS-IX observed load (paper, 18h in March 2018): mean 21.8 "
+              "upd/s -> %.2f%% CPU; p99 400 upd/s -> %.1f%% CPU\n",
+              21.8 * single * 100, 400 * single * 100);
+  std::printf("headroom at 4000 upd/s: %s\n",
+              4000 * multi < 1.0 ? "yes (under 100%)" : "NO");
+  return 0;
+}

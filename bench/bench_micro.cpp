@@ -1,0 +1,136 @@
+// Core microbenchmarks (google-benchmark): BGP wire codec, LPM routing
+// table, decision process, attribute pool — the primitives whose costs
+// determine the Figure 6 curves.
+#include <benchmark/benchmark.h>
+
+#include "bgp/message.h"
+#include "bgp/rib.h"
+#include "inet/route_feed.h"
+#include "ip/routing_table.h"
+
+using namespace peering;
+
+namespace {
+
+bgp::UpdateMessage sample_update() {
+  bgp::UpdateMessage update;
+  bgp::PathAttributes attrs;
+  attrs.as_path = bgp::AsPath({65001, 3356, 1299, 64512});
+  attrs.next_hop = Ipv4Address(10, 0, 0, 1);
+  attrs.med = 50;
+  attrs.communities = {bgp::Community(3356, 70), bgp::Community(65001, 1)};
+  update.attributes = attrs;
+  update.nlri.push_back({0, *Ipv4Prefix::parse("184.164.224.0/24")});
+  return update;
+}
+
+void BM_UpdateEncode(benchmark::State& state) {
+  auto update = sample_update();
+  bgp::UpdateCodecOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(update.encode_body(options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateEncode);
+
+void BM_UpdateDecode(benchmark::State& state) {
+  bgp::UpdateCodecOptions options;
+  Bytes body = sample_update().encode_body(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::UpdateMessage::decode_body(body, options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateDecode);
+
+void BM_MessageDecoderStream(benchmark::State& state) {
+  bgp::UpdateCodecOptions options;
+  Bytes wire = bgp::encode_message(sample_update(), options);
+  bgp::MessageDecoder decoder;
+  for (auto _ : state) {
+    decoder.feed(wire);
+    benchmark::DoNotOptimize(decoder.poll());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_MessageDecoderStream);
+
+void BM_LpmInsert(benchmark::State& state) {
+  inet::RouteFeedConfig config;
+  config.route_count = static_cast<std::size_t>(state.range(0));
+  auto feed = inet::generate_feed(config);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ip::RoutingTable table;
+    state.ResumeTiming();
+    for (const auto& route : feed)
+      table.insert(ip::Route{route.prefix, route.attrs.next_hop, 0, 0});
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LpmInsert)->Arg(10'000)->Arg(100'000);
+
+void BM_LpmLookup(benchmark::State& state) {
+  inet::RouteFeedConfig config;
+  config.route_count = static_cast<std::size_t>(state.range(0));
+  auto feed = inet::generate_feed(config);
+  ip::RoutingTable table;
+  for (const auto& route : feed)
+    table.insert(ip::Route{route.prefix, route.attrs.next_hop, 0, 0});
+  Rng rng(3);
+  std::vector<Ipv4Address> probes;
+  for (int i = 0; i < 1024; ++i)
+    probes.push_back(feed[rng.below(feed.size())].prefix.address());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LpmLookup)->Arg(100'000)->Arg(1'000'000);
+
+void BM_BestPathSelection(benchmark::State& state) {
+  bgp::AttrPool pool;
+  std::vector<bgp::RibRoute> candidates;
+  for (int i = 0; i < state.range(0); ++i) {
+    bgp::PathAttributes attrs;
+    attrs.as_path = bgp::AsPath({static_cast<bgp::Asn>(65000 + i), 3356});
+    attrs.next_hop = Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i));
+    attrs.local_pref = 100;
+    candidates.push_back({*Ipv4Prefix::parse("184.164.224.0/24"),
+                          static_cast<std::uint32_t>(i),
+                          static_cast<bgp::PeerId>(i + 1),
+                          pool.intern(attrs)});
+  }
+  auto info = [](bgp::PeerId p) {
+    bgp::PeerDecisionInfo i;
+    i.router_id = Ipv4Address(p);
+    return i;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::select_best_path(candidates, info));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BestPathSelection)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_AttrPoolIntern(benchmark::State& state) {
+  inet::RouteFeedConfig config;
+  config.route_count = 4096;
+  auto feed = inet::generate_feed(config);
+  bgp::AttrPool pool;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.intern(feed[i++ & 4095].attrs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttrPoolIntern);
+
+}  // namespace
+
+BENCHMARK_MAIN();

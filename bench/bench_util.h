@@ -1,0 +1,79 @@
+// Shared helpers for the benchmark harness: a raw-wire BGP driver that
+// impersonates a neighbor (or backbone router) at the byte level so the
+// measured cost is the system-under-test's processing only, plus feed
+// pre-encoding utilities.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/message.h"
+#include "inet/route_feed.h"
+#include "sim/event_loop.h"
+#include "sim/stream.h"
+
+namespace peering::benchutil {
+
+/// Speaks just enough BGP on a raw stream to bring a session with the
+/// system-under-test to Established, then lets the caller inject
+/// pre-encoded UPDATE bytes.
+class WirePeer {
+ public:
+  WirePeer(sim::EventLoop* loop, std::shared_ptr<sim::StreamEndpoint> stream,
+           bgp::Asn asn, Ipv4Address router_id, bool addpath)
+      : loop_(loop), stream_(std::move(stream)) {
+    stream_->on_data([this, asn, router_id, addpath](const Bytes& data) {
+      decoder_.feed(data);
+      while (true) {
+        auto result = decoder_.poll();
+        if (!result.ok() || !result->has_value()) return;
+        if (std::holds_alternative<bgp::OpenMessage>(**result)) {
+          const auto& remote = std::get<bgp::OpenMessage>(**result);
+          bgp::OpenMessage open;
+          open.asn = asn;
+          open.router_id = router_id;
+          open.add_four_byte_asn(asn);
+          if (addpath) open.add_addpath_ipv4(bgp::AddPathMode::kBoth);
+          bgp::UpdateCodecOptions options;
+          stream_->send(bgp::encode_message(open, options));
+          stream_->send(bgp::encode_message(bgp::KeepaliveMessage{}, options));
+          // Updates we send carry path ids iff both sides negotiated.
+          tx_options_.add_path =
+              addpath && remote.addpath_ipv4() != bgp::AddPathMode::kNone;
+        } else if (std::holds_alternative<bgp::KeepaliveMessage>(**result)) {
+          established_ = true;
+        }
+      }
+    });
+  }
+
+  bool established() const { return established_; }
+  const bgp::UpdateCodecOptions& tx_options() const { return tx_options_; }
+
+  void send_raw(const Bytes& wire) { stream_->send(wire); }
+
+ private:
+  sim::EventLoop* loop_;
+  std::shared_ptr<sim::StreamEndpoint> stream_;
+  bgp::MessageDecoder decoder_;
+  bgp::UpdateCodecOptions tx_options_;
+  bool established_ = false;
+};
+
+/// Pre-encodes one UPDATE per feed route (so encoding cost is excluded
+/// from the measurement window).
+inline std::vector<Bytes> encode_feed(const std::vector<inet::FeedRoute>& feed,
+                                      const bgp::UpdateCodecOptions& options) {
+  std::vector<Bytes> wires;
+  wires.reserve(feed.size());
+  std::uint32_t path_id = 1;
+  for (const auto& route : feed) {
+    bgp::UpdateMessage update;
+    update.attributes = route.attrs;
+    update.nlri.push_back({options.add_path ? path_id++ : 0, route.prefix});
+    wires.push_back(bgp::encode_message(update, options));
+  }
+  return wires;
+}
+
+}  // namespace peering::benchutil

@@ -1,0 +1,206 @@
+// The X1 scenario from Figure 1 (after Anwar et al., IMC'15 — one of the
+// studies the paper highlights): uncovering routes and routing policies
+// that are invisible to passive measurement, by actively manipulating
+// announcements.
+//
+// A synthetic Internet (Gao-Rexford policies) is attached behind the PoP's
+// neighbors. The experiment then:
+//   1. observes the default route choice of a remote AS toward its prefix;
+//   2. uses selective announcements (whitelist communities) to reveal,
+//      one neighbor at a time, which paths each neighbor's customers
+//      would use — "hidden" backup routes;
+//   3. uses AS-path poisoning to force a remote AS off its preferred path
+//      and observe its next choice, inferring preference order.
+//
+// Run: ./build/examples/backup_routes
+#include <cstdio>
+
+#include "inet/topology.h"
+#include "platform/peering.h"
+#include "toolkit/client.h"
+
+using namespace peering;
+
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+platform::PlatformModel two_transit_model() {
+  platform::PlatformModel model;
+  model.resources = platform::NumberedResources::peering_defaults();
+  platform::PopModel pop;
+  pop.id = "probe01";
+  pop.location = "Probe PoP";
+  pop.type = platform::PopType::kIxp;
+  pop.interconnects.push_back(
+      {"transit-t1", 65001, platform::InterconnectType::kTransit, 1});
+  pop.interconnects.push_back(
+      {"transit-t2", 65002, platform::InterconnectType::kTransit, 2});
+  model.pops[pop.id] = pop;
+  return model;
+}
+
+/// What route does `observer` pick toward the experiment prefix, given the
+/// set of PEERING transits currently receiving the announcement? We model
+/// the remote decision with the Gao-Rexford graph: the observer prefers
+/// customer > peer > provider routes, then shortest path — through
+/// whichever of t1/t2 has the announcement.
+struct RemoteView {
+  bool reachable = false;
+  std::vector<bgp::Asn> path;  // from observer to the PEERING transit
+};
+
+RemoteView observe(const inet::AsGraph& graph, bgp::Asn observer,
+                   const std::vector<bgp::Asn>& announced_transits,
+                   const std::vector<bgp::Asn>& poisoned = {}) {
+  RemoteView best;
+  for (bgp::Asn transit : announced_transits) {
+    auto routes = graph.routes_to(transit);
+    auto it = routes.find(observer);
+    if (it == routes.end()) continue;
+    // Poisoning: if any poisoned AS appears on the path (or is the
+    // observer), loop detection discards the route.
+    bool dropped = false;
+    for (bgp::Asn p : poisoned) {
+      if (observer == p) dropped = true;
+      for (bgp::Asn hop : it->second.path)
+        if (hop == p) dropped = true;
+    }
+    if (dropped) continue;
+    std::vector<bgp::Asn> path = it->second.path;
+    if (path.empty() || path.back() != transit) path.push_back(transit);
+    if (!best.reachable || path.size() < best.path.size()) {
+      best.reachable = true;
+      best.path = path;
+    }
+  }
+  return best;
+}
+
+std::string path_str(const std::vector<bgp::Asn>& path) {
+  std::string out;
+  for (bgp::Asn asn : path) {
+    if (!out.empty()) out += " ";
+    out += std::to_string(asn);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Uncovering hidden routes with controlled announcements ==\n\n");
+
+  // A synthetic Internet whose tier-2 ASes 65001/65002 are PEERING's
+  // transits.
+  inet::AsGraph graph;
+  constexpr bgp::Asn kT1 = 65001, kT2 = 65002;
+  constexpr bgp::Asn kTier1A = 100, kTier1B = 101;
+  constexpr bgp::Asn kObserver = 64999;  // a remote stub AS we reason about
+  graph.add_provider(kT1, kTier1A);
+  graph.add_provider(kT2, kTier1B);
+  graph.add_peering(kTier1A, kTier1B);
+  graph.add_provider(kObserver, kTier1A);
+  // The observer is also a customer of a regional AS that buys from T2:
+  graph.add_provider(64998, kT2);
+  graph.add_provider(kObserver, 64998);
+
+  // The live platform: attach, announce, and verify the data path works.
+  sim::EventLoop loop;
+  platform::ConfigDatabase db(two_transit_model());
+  platform::Peering peering(&loop, &db);
+  peering.build();
+  peering.settle();
+
+  platform::ExperimentProposal proposal;
+  proposal.id = "backup-routes";
+  proposal.description = "reverse-engineering routing policies";
+  proposal.requested_prefixes = 1;
+  proposal.requested_capabilities = {enforce::Capability::kAsPathPoisoning};
+  proposal.requested_poisoned_asns = 2;
+  db.propose_experiment(proposal);
+  db.approve_experiment("backup-routes");
+
+  toolkit::ExperimentClient client(&loop, "backup-routes");
+  client.open_tunnel(peering, "probe01");
+  client.start_bgp("probe01");
+  peering.settle();
+  Ipv4Prefix allocation = db.experiment("backup-routes")->allocated_prefixes[0];
+
+  std::uint16_t t1_id = 0, t2_id = 0;
+  for (const auto& nb : client.neighbors("probe01")) {
+    if (nb.name == "transit-t1") t1_id = nb.local_id;
+    if (nb.name == "transit-t2") t2_id = nb.local_id;
+  }
+
+  // --- Step 1: announce everywhere (baseline). ---
+  client.announce(allocation).send();
+  peering.settle();
+  auto baseline = observe(graph, kObserver, {kT1, kT2});
+  std::printf("[1] baseline (announced via both transits):\n");
+  std::printf("    AS%u routes via [%s] <- its visible 'best' path\n",
+              kObserver, path_str(baseline.path).c_str());
+
+  // --- Step 2: selective announcements reveal per-transit paths. ---
+  std::printf("\n[2] selective announcements (whitelist communities):\n");
+  client.announce(allocation).announce_to(t1_id).send();
+  peering.settle();
+  auto* pop = peering.pop("probe01");
+  bool t1_has = pop->neighbors[0]->speaker->loc_rib().best(allocation).has_value();
+  bool t2_has = pop->neighbors[1]->speaker->loc_rib().best(allocation).has_value();
+  std::printf("    announce-to(t1): t1 sees it: %s, t2 sees it: %s\n",
+              t1_has ? "yes" : "no", t2_has ? "yes" : "no");
+  auto via_t1 = observe(graph, kObserver, {kT1});
+  std::printf("    AS%u's path when only t1 carries the prefix: [%s]\n",
+              kObserver, path_str(via_t1.path).c_str());
+
+  client.announce(allocation).announce_to(t2_id).send();
+  peering.settle();
+  auto via_t2 = observe(graph, kObserver, {kT2});
+  std::printf("    AS%u's HIDDEN backup path via t2: [%s]\n", kObserver,
+              path_str(via_t2.path).c_str());
+  std::printf("    (invisible to route collectors while the t1 path is "
+              "preferred)\n");
+
+  // --- Step 3: poisoning forces the remote AS off a path. ---
+  std::printf("\n[3] AS-path poisoning (capability granted: 2 ASNs):\n");
+  client.announce(allocation).poison(kTier1A).send();
+  peering.settle();
+  bool announced = pop->neighbors[0]
+                       ->speaker->loc_rib()
+                       .best(allocation)
+                       .has_value();
+  std::printf("    poisoned announcement accepted by the platform: %s\n",
+              announced ? "yes" : "no");
+  auto poisoned_view = observe(graph, kObserver, {kT1, kT2}, {kTier1A});
+  std::printf("    with AS%u poisoned, AS%u falls back to [%s]\n", kTier1A,
+              kObserver, path_str(poisoned_view.path).c_str());
+  std::printf("    -> preference order inferred: [%s] then [%s]\n",
+              path_str(baseline.path).c_str(),
+              path_str(poisoned_view.path).c_str());
+
+  // --- Step 4: the same poison without the capability is blocked. ---
+  std::printf("\n[4] safety: a second experiment without the poisoning "
+              "capability tries the same:\n");
+  platform::ExperimentProposal p2;
+  p2.id = "no-poison";
+  p2.requested_prefixes = 1;
+  db.propose_experiment(p2);
+  db.approve_experiment("no-poison");
+  toolkit::ExperimentClient other(&loop, "no-poison");
+  other.open_tunnel(peering, "probe01");
+  other.start_bgp("probe01");
+  peering.settle();
+  Ipv4Prefix other_alloc = db.experiment("no-poison")->allocated_prefixes[0];
+  other.announce(other_alloc).poison(kTier1A).send();
+  peering.settle();
+  bool blocked = !pop->neighbors[0]
+                      ->speaker->loc_rib()
+                      .best(other_alloc)
+                      .has_value();
+  std::printf("    poisoned announcement blocked by enforcement: %s\n",
+              blocked ? "yes" : "NO (bug!)");
+
+  std::printf("\ndone.\n");
+  return 0;
+}

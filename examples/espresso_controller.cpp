@@ -1,0 +1,187 @@
+// The X2 scenario from Figure 1: a sophisticated routing-control system
+// (in the spirit of Google's Espresso / Facebook's Edge Fabric, §7.2)
+// running as a PEERING experiment. The controller:
+//
+//   * learns every available egress for its destination via ADD-PATH;
+//   * actively probes path quality through each egress neighbor, steering
+//     probes per-packet with the virtual next-hop mechanism;
+//   * programs the best egress into its forwarding table and re-optimizes
+//     when the path degrades — all with standard BGP + ARP, no
+//     configuration changes at the PoP router (the point of vBGP).
+//
+// Run: ./build/examples/espresso_controller
+#include <cstdio>
+#include <optional>
+
+#include "platform/peering.h"
+#include "toolkit/client.h"
+
+using namespace peering;
+
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+platform::PlatformModel model_with_three_neighbors() {
+  platform::PlatformModel model;
+  model.resources = platform::NumberedResources::peering_defaults();
+  platform::PopModel pop;
+  pop.id = "edge01";
+  pop.location = "Edge PoP";
+  pop.type = platform::PopType::kIxp;
+  pop.interconnects.push_back(
+      {"transit-a", 65001, platform::InterconnectType::kTransit, 1});
+  pop.interconnects.push_back(
+      {"peer-b", 65002, platform::InterconnectType::kBilateralPeer, 2});
+  pop.interconnects.push_back(
+      {"peer-c", 65003, platform::InterconnectType::kBilateralPeer, 3});
+  model.pops[pop.id] = pop;
+  return model;
+}
+
+/// The destination network as reachable behind one neighbor: an extra hop
+/// over a link whose latency models that neighbor's path quality.
+struct DestinationSite {
+  std::unique_ptr<sim::Link> link;
+  std::unique_ptr<ip::Host> host;
+};
+
+DestinationSite attach_destination(sim::EventLoop* loop,
+                                   platform::NeighborRuntime& nb, int index,
+                                   Duration path_latency) {
+  DestinationSite site;
+  sim::LinkConfig config;
+  config.latency = path_latency;
+  site.link = std::make_unique<sim::Link>(loop, config);
+
+  Ipv4Address nb_side(10, 200, static_cast<std::uint8_t>(index), 1);
+  Ipv4Address dest_side(10, 200, static_cast<std::uint8_t>(index), 2);
+  nb.host->add_attached_interface("down",
+                                  MacAddress::from_id(0x810000u + index),
+                                  {nb_side, 24}, *site.link, true);
+  nb.host->set_forwarding(true);
+  nb.host->routes().insert(
+      ip::Route{pfx("203.0.113.0/24"), dest_side,
+                nb.host->interface_count() - 1, 0});
+
+  site.host = std::make_unique<ip::Host>(loop, "dest" + std::to_string(index));
+  auto& nif = site.host->add_interface(
+      "eth0", MacAddress::from_id(0x820000u + index));
+  nif.add_address({Ipv4Address(203, 0, 113, 1), 24});
+  nif.add_address({dest_side, 24});
+  nif.attach(*site.link, false);
+  site.host->routes().insert(ip::Route{pfx("10.200.0.0/16"), Ipv4Address(), 0, 0});
+  site.host->routes().insert(
+      ip::Route{Ipv4Prefix(Ipv4Address(), 0), nb_side, 0, 0});
+  return site;
+}
+
+/// A minimal egress controller: probes each candidate egress and installs
+/// the fastest.
+class EgressController {
+ public:
+  EgressController(toolkit::ExperimentClient* client,
+                   platform::Peering* platform)
+      : client_(client), platform_(platform) {}
+
+  void optimize(const Ipv4Prefix& dest, Ipv4Address probe_target) {
+    auto views = client_->routes(dest);
+    std::printf("  %zu candidate egresses for %s\n", views.size(),
+                dest.str().c_str());
+
+    std::string best_neighbor = "(none)";
+    Ipv4Address best_nh;
+    Duration best_rtt = Duration::hours(1);
+    for (const auto& view : views) {
+      Duration rtt = probe_via(dest, view, probe_target);
+      std::printf("    via %-10s rtt %6.1f ms\n", view.neighbor_name.c_str(),
+                  rtt.to_seconds() * 1000);
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        best_neighbor = view.neighbor_name;
+        best_nh = view.virtual_next_hop;
+      }
+    }
+    client_->select_egress(dest, "edge01", best_nh);
+    std::printf("  -> programmed egress via %s (%.1f ms)\n",
+                best_neighbor.c_str(), best_rtt.to_seconds() * 1000);
+  }
+
+ private:
+  Duration probe_via(const Ipv4Prefix& dest, const toolkit::RouteView& view,
+                     Ipv4Address target) {
+    client_->select_egress(dest, "edge01", view.virtual_next_hop);
+    SimTime sent = platform_->loop()->now();
+    std::optional<Duration> rtt;
+    client_->host().on_packet([&](const ip::Ipv4Packet& packet, int,
+                                  const ether::EthernetFrame&) {
+      auto msg = ip::IcmpMessage::decode(packet.payload);
+      if (msg && msg->type == ip::IcmpType::kEchoReply && !rtt)
+        rtt = platform_->loop()->now() - sent;
+    });
+    client_->host().ping(target, 1, seq_++);
+    platform_->settle(Duration::seconds(2));
+    client_->host().on_packet(nullptr);
+    return rtt.value_or(Duration::hours(1));
+  }
+
+  toolkit::ExperimentClient* client_;
+  platform::Peering* platform_;
+  std::uint16_t seq_ = 1;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Espresso-style egress controller on PEERING ==\n\n");
+
+  sim::EventLoop loop;
+  platform::ConfigDatabase db(model_with_three_neighbors());
+  platform::PeeringOptions options;
+  options.max_live_neighbors_per_pop = 3;
+  platform::Peering peering(&loop, &db, options);
+  peering.build();
+  peering.settle();
+
+  // All three neighbors announce the destination; the path quality behind
+  // each differs (peer-b fastest, transit-a mid, peer-c congested).
+  auto* pop = peering.pop("edge01");
+  Duration path_latency[3] = {Duration::millis(12), Duration::millis(3),
+                              Duration::millis(45)};
+  std::vector<DestinationSite> sites;
+  for (int i = 0; i < 3; ++i) {
+    auto& nb = *pop->neighbors[static_cast<std::size_t>(i)];
+    inet::FeedRoute route;
+    route.prefix = pfx("203.0.113.0/24");
+    route.attrs.as_path = bgp::AsPath({nb.model.asn, 64999});
+    peering.feed_routes("edge01", static_cast<std::size_t>(i), {route});
+    sites.push_back(attach_destination(&loop, nb, i, path_latency[i]));
+  }
+  peering.settle();
+
+  platform::ExperimentProposal proposal;
+  proposal.id = "espresso";
+  proposal.description = "egress engineering controller";
+  proposal.requested_prefixes = 1;
+  db.propose_experiment(proposal);
+  db.approve_experiment("espresso");
+
+  toolkit::ExperimentClient client(&loop, "espresso");
+  client.open_tunnel(peering, "edge01");
+  client.start_bgp("edge01");
+  peering.settle();
+  std::printf("[controller] connected: %s", client.bgp_status().c_str());
+
+  EgressController controller(&client, &peering);
+  std::printf("\n[controller] optimizing egress for 203.0.113.0/24\n");
+  controller.optimize(pfx("203.0.113.0/24"), Ipv4Address(203, 0, 113, 1));
+
+  std::printf("\n[event] peer-b (current best) withdraws the route\n");
+  pop->neighbors[1]->speaker->withdraw_originated(pfx("203.0.113.0/24"));
+  peering.settle();
+  std::printf("[controller] re-optimizing\n");
+  controller.optimize(pfx("203.0.113.0/24"), Ipv4Address(203, 0, 113, 1));
+
+  std::printf("\ndone: per-packet egress control with standard BGP+ARP only.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Prints the PEERING deployment report (§4.2): thirteen PoPs, numbered
+// resources, per-IXP peer counts, peer-type mix, and the size of the
+// generated per-PoP configuration — the platform's "state of the testbed"
+// summary.
+//
+// Run: ./build/examples/footprint_report
+#include <cstdio>
+
+#include "platform/footprint.h"
+#include "platform/templating.h"
+
+using namespace peering;
+
+int main() {
+  platform::PlatformModel model = platform::build_footprint();
+  platform::FootprintSummary summary = platform::summarize(model);
+
+  std::printf("== PEERING footprint (as of the CoNEXT'19 paper) ==\n\n");
+
+  std::printf("numbered resources: %zu ASNs, %zu IPv4 /24s, IPv6 %s\n",
+              model.resources.asns.size(), model.resources.prefix_pool.size(),
+              model.resources.v6_allocation.str().c_str());
+  std::printf("PoPs: %zu (%zu IXP, %zu university)\n", summary.pop_count,
+              summary.ixp_pops, summary.university_pops);
+  std::printf("transit interconnections: %zu\n", summary.transit_interconnects);
+  std::printf("unique peers: %zu (%zu bilateral, %zu route-server only)\n\n",
+              summary.unique_peers, summary.bilateral_peers,
+              summary.route_server_peers);
+
+  std::printf("%-14s %-28s %-11s %9s %10s %8s %9s\n", "pop", "location",
+              "type", "transits", "bilateral", "rs", "backbone");
+  for (const auto& [id, pop] : model.pops) {
+    std::size_t bilateral = 0, rs = 0;
+    for (const auto& ic : pop.interconnects) {
+      if (ic.type == platform::InterconnectType::kBilateralPeer) ++bilateral;
+      if (ic.type == platform::InterconnectType::kRouteServer) ++rs;
+    }
+    std::printf("%-14s %-28s %-11s %9zu %10zu %8zu %9s\n", id.c_str(),
+                pop.location.c_str(), platform::pop_type_name(pop.type),
+                pop.transit_count(), bilateral, rs,
+                pop.on_backbone ? "yes" : "no");
+  }
+
+  platform::PeerTypeMix mix;
+  std::printf("\npeer types (PeeringDB, §4.2): %.0f%% transit providers, "
+              "%.0f%% cable/DSL/ISP, %.0f%% content, %.0f%% unclassified, "
+              "%.0f%% other\n",
+              mix.transit_provider * 100, mix.access_isp * 100,
+              mix.content * 100, mix.unclassified * 100, mix.other * 100);
+
+  std::printf("\ngenerated configuration sizes (intent -> services, §5):\n");
+  for (const auto& [id, pop] : model.pops) {
+    auto configs = platform::generate_pop_configs(model, id);
+    std::printf("  %-14s bird.conf %6zu lines, %4zu routing rules/tables\n",
+                id.c_str(), configs.bird_line_count(),
+                configs.network.rules.size());
+  }
+  return 0;
+}

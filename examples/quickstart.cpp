@@ -1,0 +1,146 @@
+// Quickstart: the full PEERING experience in one file.
+//
+//   1. stand up a two-PoP deployment (one IXP PoP with two neighbors, one
+//      university PoP, a backbone circuit between them);
+//   2. file and approve an experiment through the management database;
+//   3. open the VPN tunnel and BGP session with the experiment toolkit;
+//   4. observe *all* routes for a destination with virtual next-hops
+//      (Figure 2a), pick an egress neighbor per packet (Figure 2b);
+//   5. announce the experiment prefix to the Internet and withdraw it.
+//
+// Run: ./build/examples/quickstart
+#include <cstdio>
+
+#include "platform/peering.h"
+#include "toolkit/client.h"
+
+using namespace peering;
+
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+platform::PlatformModel quickstart_model() {
+  platform::PlatformModel model;
+  model.resources = platform::NumberedResources::peering_defaults();
+
+  platform::PopModel ixp;
+  ixp.id = "demo-ixp01";
+  ixp.location = "Demo-IX";
+  ixp.type = platform::PopType::kIxp;
+  ixp.on_backbone = true;
+  ixp.interconnects.push_back(
+      {"transit-alpha", 65001, platform::InterconnectType::kTransit, 1});
+  ixp.interconnects.push_back(
+      {"peer-beta", 65002, platform::InterconnectType::kBilateralPeer, 2});
+  model.pops[ixp.id] = ixp;
+
+  platform::PopModel uni;
+  uni.id = "demo-uni01";
+  uni.location = "Demo University";
+  uni.type = platform::PopType::kUniversity;
+  uni.on_backbone = true;
+  uni.interconnects.push_back(
+      {"campus-transit", 65003, platform::InterconnectType::kTransit, 3});
+  model.pops[uni.id] = uni;
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== PEERING quickstart ==\n\n");
+
+  sim::EventLoop loop;
+  platform::ConfigDatabase db(quickstart_model());
+  platform::Peering peering(&loop, &db);
+  peering.build();
+  peering.settle();
+  std::printf("[platform] built %zu PoPs, %zu backbone circuits\n",
+              peering.pop_ids().size(), peering.fabric().circuits().size());
+
+  // Both IXP neighbors announce the same destination (the Figure 1 setup).
+  inet::FeedRoute dest;
+  dest.prefix = pfx("192.168.0.0/24");
+  dest.attrs.as_path = bgp::AsPath({65001, 64999});
+  peering.feed_routes("demo-ixp01", 0, {dest});
+  dest.attrs.as_path = bgp::AsPath({65002, 64999});
+  peering.feed_routes("demo-ixp01", 1, {dest});
+  // Give each neighbor a host at the destination so pings terminate.
+  auto* ixp = peering.pop("demo-ixp01");
+  for (int i = 0; i < 2; ++i) {
+    ixp->neighbors[static_cast<std::size_t>(i)]
+        ->host->add_interface("stub", MacAddress::from_id(0x700000u + i))
+        .add_address({Ipv4Address(192, 168, 0, 1), 24});
+  }
+  peering.settle();
+
+  // --- experiment lifecycle (§4.6) ---
+  platform::ExperimentProposal proposal;
+  proposal.id = "quickstart";
+  proposal.description = "hello, interdomain routing";
+  proposal.contact = "you@university.edu";
+  proposal.requested_prefixes = 1;
+  db.propose_experiment(proposal);
+  auto creds = db.approve_experiment("quickstart");
+  if (!creds) {
+    std::printf("approval failed: %s\n", creds.error().message.c_str());
+    return 1;
+  }
+  std::printf("[db] experiment approved: ASN %u, allocation %s\n",
+              creds->bgp_asn,
+              db.experiment("quickstart")->allocated_prefixes[0].str().c_str());
+
+  // --- toolkit: connect (Table 1) ---
+  toolkit::ExperimentClient client(&loop, "quickstart");
+  client.open_tunnel(peering, "demo-ixp01");
+  client.start_bgp("demo-ixp01");
+  peering.settle();
+  std::printf("[toolkit] %s", client.bgp_status().c_str());
+
+  // --- visibility: every path, with virtual next-hops (Figure 2a) ---
+  std::printf("\nroutes for 192.168.0.0/24 as the experiment sees them:\n");
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  for (const auto& view : views) {
+    std::printf("  via %-12s next-hop %-12s as-path [%s]\n",
+                view.neighbor_name.c_str(), view.virtual_next_hop.str().c_str(),
+                view.as_path.str().c_str());
+  }
+
+  // --- per-packet egress control (Figure 2b) ---
+  const toolkit::RouteView* via_beta = nullptr;
+  for (const auto& view : views)
+    if (view.neighbor_name == "peer-beta") via_beta = &view;
+  int beta_count = 0, alpha_count = 0;
+  ixp->neighbors[0]->host->on_packet(
+      [&](const ip::Ipv4Packet&, int, const ether::EthernetFrame&) {
+        ++alpha_count;
+      });
+  ixp->neighbors[1]->host->on_packet(
+      [&](const ip::Ipv4Packet&, int, const ether::EthernetFrame&) {
+        ++beta_count;
+      });
+  client.select_egress(pfx("192.168.0.0/24"), "demo-ixp01",
+                       via_beta->virtual_next_hop);
+  client.host().ping(Ipv4Address(192, 168, 0, 1), 1, 1);
+  peering.settle(Duration::seconds(2));
+  std::printf("\n[data plane] ping via peer-beta: alpha saw %d, beta saw %d\n",
+              alpha_count, beta_count);
+
+  // --- announce and withdraw ---
+  Ipv4Prefix allocation = db.experiment("quickstart")->allocated_prefixes[0];
+  client.announce(allocation).prepend(1).send();
+  peering.settle();
+  auto at_alpha = ixp->neighbors[0]->speaker->loc_rib().best(allocation);
+  std::printf("\n[control plane] transit-alpha sees %s with as-path [%s]\n",
+              allocation.str().c_str(),
+              at_alpha ? at_alpha->attrs->as_path.str().c_str() : "nothing!");
+  client.withdraw(allocation);
+  peering.settle();
+  at_alpha = ixp->neighbors[0]->speaker->loc_rib().best(allocation);
+  std::printf("[control plane] after withdraw, transit-alpha sees: %s\n",
+              at_alpha ? "still there?!" : "nothing (withdrawn)");
+
+  std::printf("\nquickstart complete.\n");
+  return 0;
+}

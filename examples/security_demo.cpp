@@ -1,0 +1,158 @@
+// Security walkthrough (§4.7): everything a misbehaving (or compromised)
+// experiment might try, and what the platform does about it:
+//
+//   * prefix hijack (announcing someone else's space)     -> rejected
+//   * unauthorized origin ASN                             -> rejected
+//   * exceeding the 144 updates/day budget                -> rejected
+//   * source-address spoofing on the data plane           -> dropped
+//   * communities without the capability                  -> stripped
+//   * enforcement-engine overload                         -> fails closed
+//
+// Run: ./build/examples/security_demo
+#include <cstdio>
+
+#include "platform/peering.h"
+#include "toolkit/client.h"
+
+using namespace peering;
+
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+platform::PlatformModel demo_model() {
+  platform::PlatformModel model;
+  model.resources = platform::NumberedResources::peering_defaults();
+  platform::PopModel pop;
+  pop.id = "sec01";
+  pop.location = "Security Demo PoP";
+  pop.type = platform::PopType::kIxp;
+  pop.interconnects.push_back(
+      {"transit-a", 65001, platform::InterconnectType::kTransit, 1});
+  model.pops[pop.id] = pop;
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== PEERING security policies in action ==\n\n");
+
+  sim::EventLoop loop;
+  platform::ConfigDatabase db(demo_model());
+  platform::Peering peering(&loop, &db);
+  peering.build();
+  peering.settle();
+
+  platform::ExperimentProposal proposal;
+  proposal.id = "mallory";
+  proposal.description = "totally legitimate research";
+  proposal.requested_prefixes = 1;
+  db.propose_experiment(proposal);
+  db.approve_experiment("mallory");
+
+  toolkit::ExperimentClient client(&loop, "mallory");
+  client.open_tunnel(peering, "sec01");
+  client.start_bgp("sec01");
+  peering.settle();
+
+  auto* pop = peering.pop("sec01");
+  auto* transit = pop->neighbors[0].get();
+  auto seen_at_transit = [&](const Ipv4Prefix& prefix) {
+    return transit->speaker->loc_rib().best(prefix).has_value();
+  };
+  Ipv4Prefix allocation = db.experiment("mallory")->allocated_prefixes[0];
+
+  // 1. Hijack.
+  std::printf("[1] announcing 8.8.8.0/24 (not mallory's space)...\n");
+  client.announce(pfx("8.8.8.0/24")).send();
+  peering.settle();
+  std::printf("    transit sees it: %s\n",
+              seen_at_transit(pfx("8.8.8.0/24")) ? "YES (hijack!)"
+                                                 : "no (rejected)");
+
+  // 2. Legit announcement for contrast.
+  std::printf("[2] announcing the legitimate allocation %s...\n",
+              allocation.str().c_str());
+  client.announce(allocation).send();
+  peering.settle();
+  std::printf("    transit sees it: %s\n",
+              seen_at_transit(allocation) ? "yes (as intended)" : "NO (bug)");
+
+  // 3. Communities without the capability: stripped, not rejected.
+  std::printf("[3] attaching community 3356:70 without the communities "
+              "capability...\n");
+  client.announce(allocation).community(bgp::Community(3356, 70)).send();
+  peering.settle();
+  auto at_transit = transit->speaker->loc_rib().best(allocation);
+  bool leaked = at_transit && at_transit->attrs->has_community(
+                                  bgp::Community(3356, 70));
+  std::printf("    community visible at transit: %s\n",
+              leaked ? "YES (leak!)" : "no (stripped)");
+
+  // 4. Update-rate budget: 144 per prefix per PoP per day.
+  std::printf("[4] flapping the prefix past the daily budget...\n");
+  int accepted_before = 0;
+  for (int i = 0; i < 200; ++i) {
+    client.announce(allocation).med(static_cast<std::uint32_t>(i)).send();
+    peering.settle(Duration::seconds(1));
+  }
+  const auto& enforcer = *pop->control;
+  std::printf("    enforcement log: %llu accepted, %llu rejected, %llu "
+              "transformed\n",
+              static_cast<unsigned long long>(enforcer.accepted()),
+              static_cast<unsigned long long>(enforcer.rejected()),
+              static_cast<unsigned long long>(enforcer.transformed()));
+  std::printf("    rate-limit verdicts present: %s\n",
+              enforcer.rejected() > 0 ? "yes" : "NO");
+  (void)accepted_before;
+
+  // 5. Data-plane spoofing.
+  std::printf("[5] sourcing traffic from space outside the allocation...\n");
+  auto views = client.routes(pfx("0.0.0.0/0"));
+  // Steer anything toward the transit and spoof.
+  for (const auto& nb : client.neighbors("sec01")) {
+    client.select_egress(pfx("198.51.100.0/24"), "sec01", nb.virtual_ip);
+    break;
+  }
+  ip::Ipv4Packet spoof;
+  spoof.src = Ipv4Address(1, 2, 3, 4);
+  spoof.dst = Ipv4Address(198, 51, 100, 1);
+  client.host().send_packet(std::move(spoof));
+  peering.settle(Duration::seconds(2));
+  std::printf("    spoofed packets dropped at the data plane: %llu\n",
+              static_cast<unsigned long long>(
+                  pop->router->stats().packets_enforcement_drop));
+
+  // 6. Fail-closed under overload.
+  std::printf("[6] simulating enforcement-engine overload...\n");
+  pop->control->set_overloaded(true);
+  client.announce(allocation).med(999).send();
+  peering.settle();
+  at_transit = transit->speaker->loc_rib().best(allocation);
+  bool updated = at_transit && at_transit->attrs->med == 999u;
+  std::printf("    announcement propagated during overload: %s\n",
+              updated ? "YES (should fail closed!)" : "no (failed closed)");
+  pop->control->set_overloaded(false);
+
+  std::printf("\nattribution log tail:\n");
+  std::size_t shown = 0;
+  const auto& log = pop->control->log();
+  for (std::size_t i = log.size() >= 3 ? log.size() - 3 : 0; i < log.size();
+       ++i) {
+    const auto& entry = log[i];
+    const char* action = entry.action == enforce::Verdict::Action::kAccept
+                             ? "ACCEPT"
+                             : entry.action == enforce::Verdict::Action::kReject
+                                   ? "REJECT"
+                                   : "TRANSFORM";
+    std::printf("  t=%.1fs %s %s %s [%s] %s\n", entry.at.to_seconds(),
+                entry.experiment_id.c_str(), entry.prefix.c_str(), action,
+                entry.rule.c_str(), entry.reason.c_str());
+    ++shown;
+  }
+  (void)shown;
+  (void)views;
+  std::printf("\ndone.\n");
+  return 0;
+}

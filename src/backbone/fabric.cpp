@@ -1,0 +1,79 @@
+#include "backbone/fabric.h"
+
+#include "sim/stream.h"
+
+namespace peering::backbone {
+
+Circuit& BackboneFabric::provision(vbgp::VRouter& a, vbgp::VRouter& b,
+                                   std::uint64_t capacity_bps,
+                                   Duration latency) {
+  auto circuit = std::make_unique<Circuit>();
+  circuit->pop_a = a.config().name;
+  circuit->pop_b = b.config().name;
+  circuit->vlan_id = next_vlan_++;
+  circuit->capacity_bps = capacity_bps;
+  circuit->latency = latency;
+
+  sim::LinkConfig link_config;
+  link_config.latency = latency;
+  link_config.bandwidth_bps = capacity_bps;
+  link_config.name = circuit->pop_a + "<->" + circuit->pop_b;
+  circuit->link = std::make_unique<sim::Link>(loop_, link_config);
+
+  circuit->addr_a = Ipv4Address(10, 100, next_subnet_, 1);
+  circuit->addr_b = Ipv4Address(10, 100, next_subnet_, 2);
+  ++next_subnet_;
+
+  // Attach promiscuous interfaces: backbone frames may carry virtual
+  // next-hop MACs (§4.4).
+  MacAddress mac_a = MacAddress::from_id(0xBB000000u | (circuit->vlan_id << 1));
+  MacAddress mac_b =
+      MacAddress::from_id(0xBB000000u | (circuit->vlan_id << 1) | 1u);
+  circuit->if_a = a.add_attached_interface(
+      "bb-" + circuit->pop_b, mac_a, {circuit->addr_a, 30}, *circuit->link,
+      /*side_a=*/true, /*promiscuous=*/true);
+  circuit->if_b = b.add_attached_interface(
+      "bb-" + circuit->pop_a, mac_b, {circuit->addr_b, 30}, *circuit->link,
+      /*side_a=*/false, /*promiscuous=*/true);
+
+  // iBGP mesh session over the circuit.
+  circuit->peer_at_a = a.add_backbone_peer({.name = "bb-" + circuit->pop_b,
+                                            .local_address = circuit->addr_a,
+                                            .remote_address = circuit->addr_b,
+                                            .interface = circuit->if_a});
+  circuit->peer_at_b = b.add_backbone_peer({.name = "bb-" + circuit->pop_a,
+                                            .local_address = circuit->addr_b,
+                                            .remote_address = circuit->addr_a,
+                                            .interface = circuit->if_b});
+  auto streams = sim::StreamChannel::make(loop_, latency);
+  a.speaker().connect_peer(circuit->peer_at_a, streams.a);
+  b.speaker().connect_peer(circuit->peer_at_b, streams.b);
+
+  circuits_.push_back(std::move(circuit));
+  return *circuits_.back();
+}
+
+const Circuit* BackboneFabric::circuit_between(const std::string& pop_a,
+                                               const std::string& pop_b) const {
+  for (const auto& c : circuits_) {
+    if ((c->pop_a == pop_a && c->pop_b == pop_b) ||
+        (c->pop_a == pop_b && c->pop_b == pop_a))
+      return c.get();
+  }
+  return nullptr;
+}
+
+TcpRunResult BackboneFabric::measure_tcp(const std::string& pop_a,
+                                         const std::string& pop_b,
+                                         Duration duration, double loss,
+                                         std::uint64_t seed) const {
+  const Circuit* c = circuit_between(pop_a, pop_b);
+  if (!c) return TcpRunResult{};
+  TcpPathConfig path;
+  path.bottleneck_bps = c->capacity_bps;
+  path.rtt = c->latency * 2;
+  path.random_loss = loss;
+  return run_tcp_flow(path, duration, seed);
+}
+
+}  // namespace peering::backbone

@@ -1,0 +1,68 @@
+#include "backbone/tcp_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace peering::backbone {
+
+TcpRunResult run_tcp_flow(const TcpPathConfig& path, Duration duration,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  TcpRunResult result;
+
+  const double rtt_s = path.rtt.to_seconds();
+  const double capacity_Bps = static_cast<double>(path.bottleneck_bps) / 8.0;
+  // Bandwidth-delay product plus buffer, in segments: the largest window
+  // that fits without drops.
+  const double bdp_segments = capacity_Bps * rtt_s / path.mss_bytes;
+  const double max_window =
+      bdp_segments + static_cast<double>(path.buffer_bytes) / path.mss_bytes;
+
+  double cwnd = 10;  // RFC 6928 initial window
+  double ssthresh = 1e9;
+  double total_rounds = duration.to_seconds() / rtt_s;
+  double cwnd_sum = 0;
+  std::uint64_t rounds = 0;
+
+  for (double round = 0; round < total_rounds; round += 1.0) {
+    // Deliverable this RTT: limited by cwnd and by the bottleneck.
+    double window = std::min(cwnd, max_window);
+    double delivered_segments = std::min(window, bdp_segments);
+    result.bytes_delivered +=
+        static_cast<std::uint64_t>(delivered_segments * path.mss_bytes);
+    cwnd_sum += cwnd;
+    ++rounds;
+
+    bool loss = cwnd > max_window;  // drop-tail overflow
+    if (!loss && path.random_loss > 0) {
+      // Per-segment random loss aggregated per round.
+      double p_round = 1.0 - std::pow(1.0 - path.random_loss, delivered_segments);
+      loss = rng.chance(p_round);
+    }
+
+    if (loss) {
+      ++result.losses;
+      ssthresh = std::max(2.0, cwnd / 2.0);
+      cwnd = ssthresh;  // fast recovery (Reno halving)
+    } else if (cwnd < ssthresh) {
+      cwnd *= 2;  // slow start
+    } else {
+      cwnd += 1;  // congestion avoidance
+    }
+  }
+
+  if (duration.to_seconds() > 0)
+    result.goodput_bps =
+        static_cast<double>(result.bytes_delivered) * 8.0 / duration.to_seconds();
+  if (rounds > 0) result.mean_cwnd_segments = cwnd_sum / static_cast<double>(rounds);
+  return result;
+}
+
+double mathis_throughput_bps(const TcpPathConfig& path) {
+  if (path.random_loss <= 0) return static_cast<double>(path.bottleneck_bps);
+  double bps = static_cast<double>(path.mss_bytes) * 8.0 /
+               path.rtt.to_seconds() * 1.22 / std::sqrt(path.random_loss);
+  return std::min(bps, static_cast<double>(path.bottleneck_bps));
+}
+
+}  // namespace peering::backbone

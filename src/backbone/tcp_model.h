@@ -1,0 +1,45 @@
+// Flow-level TCP (Reno) throughput model used to reproduce the paper's
+// backbone iperf3 measurements (§6: min 60 / avg ≈400 / max 750 Mbps
+// between PoP pairs). The model runs AIMD congestion control in discrete
+// RTT rounds against a bottleneck with a drop-tail buffer plus optional
+// random loss — the dynamics that determine iperf-style steady-state
+// goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/rand.h"
+#include "netbase/time.h"
+
+namespace peering::backbone {
+
+struct TcpPathConfig {
+  /// Bottleneck capacity in bits per second.
+  std::uint64_t bottleneck_bps = 1'000'000'000;
+  /// Round-trip time.
+  Duration rtt = Duration::millis(50);
+  /// Bottleneck buffer in bytes (drop-tail when the in-flight window
+  /// exceeds BDP + buffer).
+  std::uint64_t buffer_bytes = 256 * 1024;
+  /// Random (non-congestion) segment loss probability per RTT round.
+  double random_loss = 0.0;
+  std::uint32_t mss_bytes = 1460;
+};
+
+struct TcpRunResult {
+  double goodput_bps = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t losses = 0;
+  double mean_cwnd_segments = 0;
+};
+
+/// Simulates one long-lived flow for `duration` and reports steady-state
+/// goodput. Deterministic for a given seed.
+TcpRunResult run_tcp_flow(const TcpPathConfig& path, Duration duration,
+                          std::uint64_t seed = 1);
+
+/// The Mathis et al. steady-state upper bound (MSS/RTT * C/sqrt(p)); used
+/// as a cross-check oracle in tests.
+double mathis_throughput_bps(const TcpPathConfig& path);
+
+}  // namespace peering::backbone

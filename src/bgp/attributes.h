@@ -1,0 +1,99 @@
+// BGP path attributes: typed representation plus the RFC 4271/6793/1997/8092
+// wire codec. Unknown optional-transitive attributes are preserved verbatim
+// (with the Partial bit set when propagated), which is what PEERING's
+// capability framework polices (§4.7: "optional BGP transitive attributes").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/types.h"
+#include "netbase/bytes.h"
+#include "netbase/ip.h"
+#include "netbase/result.h"
+
+namespace peering::bgp {
+
+/// Attribute type codes used by the codec.
+enum class AttrType : std::uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMed = 4,
+  kLocalPref = 5,
+  kAtomicAggregate = 6,
+  kAggregator = 7,
+  kCommunities = 8,
+  kAs4Path = 17,
+  kAs4Aggregator = 18,
+  kLargeCommunities = 32,
+};
+
+/// Attribute flag bits.
+enum AttrFlags : std::uint8_t {
+  kFlagOptional = 0x80,
+  kFlagTransitive = 0x40,
+  kFlagPartial = 0x20,
+  kFlagExtendedLength = 0x10,
+};
+
+/// An attribute the codec does not model, carried opaquely.
+struct RawAttribute {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  Bytes value;
+
+  bool optional() const { return flags & kFlagOptional; }
+  bool transitive() const { return flags & kFlagTransitive; }
+
+  bool operator==(const RawAttribute&) const = default;
+};
+
+struct Aggregator {
+  Asn asn = 0;
+  Ipv4Address address;
+  bool operator==(const Aggregator&) const = default;
+};
+
+/// The parsed attribute set of a route.
+struct PathAttributes {
+  Origin origin = Origin::kIgp;
+  AsPath as_path;
+  Ipv4Address next_hop;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<Aggregator> aggregator;
+  std::vector<Community> communities;
+  std::vector<LargeCommunity> large_communities;
+  /// Unrecognized attributes, preserved for propagation if transitive.
+  std::vector<RawAttribute> unknown;
+
+  bool has_community(Community c) const {
+    for (auto x : communities)
+      if (x == c) return true;
+    return false;
+  }
+
+  bool operator==(const PathAttributes&) const = default;
+};
+
+/// Codec options negotiated per session.
+struct AttrCodecOptions {
+  /// Whether the session negotiated 4-octet-AS (RFC 6793). When false the
+  /// AS_PATH carries 2-byte ASNs with AS_TRANS placeholders and a shadow
+  /// AS4_PATH attribute carries the real path.
+  bool four_byte_asn = true;
+};
+
+/// Serializes `attrs` into the path-attributes portion of an UPDATE body.
+Bytes encode_attributes(const PathAttributes& attrs,
+                        const AttrCodecOptions& options);
+
+/// Parses the path-attributes portion of an UPDATE body. Reconstructs
+/// 4-byte paths from AS4_PATH when the session is 2-byte.
+Result<PathAttributes> decode_attributes(std::span<const std::uint8_t> data,
+                                         const AttrCodecOptions& options);
+
+}  // namespace peering::bgp

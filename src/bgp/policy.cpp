@@ -1,0 +1,62 @@
+#include "bgp/policy.h"
+
+#include <algorithm>
+
+namespace peering::bgp {
+
+bool MatchSpec::matches(const Ipv4Prefix& route_prefix,
+                        const PathAttributes& attrs) const {
+  if (prefix) {
+    if (or_longer) {
+      if (!prefix->covers(route_prefix)) return false;
+    } else {
+      if (*prefix != route_prefix) return false;
+    }
+  }
+  if (!any_community.empty()) {
+    bool found = false;
+    for (Community want : any_community) {
+      if (attrs.has_community(want)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  if (as_path_contains && !attrs.as_path.contains(*as_path_contains))
+    return false;
+  if (origin_asn && attrs.as_path.origin_asn() != *origin_asn) return false;
+  return true;
+}
+
+void PolicyActions::apply(PathAttributes& attrs) const {
+  if (set_local_pref) attrs.local_pref = *set_local_pref;
+  if (set_med) attrs.med = *set_med;
+  if (set_next_hop) attrs.next_hop = *set_next_hop;
+  if (strip_all_communities) attrs.communities.clear();
+  for (Community c : remove_communities) {
+    attrs.communities.erase(
+        std::remove(attrs.communities.begin(), attrs.communities.end(), c),
+        attrs.communities.end());
+  }
+  for (Community c : add_communities) {
+    if (!attrs.has_community(c)) attrs.communities.push_back(c);
+  }
+  if (prepend_count > 0)
+    attrs.as_path = attrs.as_path.prepended(prepend_asn, prepend_count);
+}
+
+std::optional<PathAttributes> RoutePolicy::apply(
+    const Ipv4Prefix& prefix, const PathAttributes& attrs) const {
+  PathAttributes out = attrs;
+  for (const auto& term : terms_) {
+    if (!term.match.matches(prefix, out)) continue;
+    if (term.actions.deny) return std::nullopt;
+    term.actions.apply(out);
+    if (term.final_term) return out;
+  }
+  if (!default_accept_) return std::nullopt;
+  return out;
+}
+
+}  // namespace peering::bgp

@@ -1,0 +1,97 @@
+// Route policies: ordered match/action terms, the BIRD-filter-style
+// mechanism PEERING uses for import/export processing at vBGP routers
+// (§4.7: "we implement security policies in BIRD whenever possible").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "netbase/prefix.h"
+
+namespace peering::bgp {
+
+/// Conditions a term matches on. All present conditions must hold.
+struct MatchSpec {
+  /// Prefix filter: match if the route's prefix equals `prefix` or, when
+  /// `or_longer`, is covered by it.
+  std::optional<Ipv4Prefix> prefix;
+  bool or_longer = true;
+
+  /// Match if the route carries any of these communities.
+  std::vector<Community> any_community;
+
+  /// Match if the AS path contains this ASN.
+  std::optional<Asn> as_path_contains;
+
+  /// Match if the route's origin AS equals this ASN.
+  std::optional<Asn> origin_asn;
+
+  bool matches(const Ipv4Prefix& route_prefix,
+               const PathAttributes& attrs) const;
+};
+
+/// Transformations applied when a term matches.
+struct PolicyActions {
+  bool deny = false;
+  std::optional<std::uint32_t> set_local_pref;
+  std::optional<std::uint32_t> set_med;
+  std::optional<Ipv4Address> set_next_hop;
+  std::vector<Community> add_communities;
+  std::vector<Community> remove_communities;
+  bool strip_all_communities = false;
+  /// Prepend `prepend_asn` this many times.
+  std::size_t prepend_count = 0;
+  Asn prepend_asn = 0;
+
+  void apply(PathAttributes& attrs) const;
+};
+
+struct PolicyTerm {
+  std::string name;
+  MatchSpec match;
+  PolicyActions actions;
+  /// When false, evaluation continues with the next term after applying
+  /// this term's actions (accumulating transforms).
+  bool final_term = true;
+};
+
+/// An ordered policy. A route is evaluated against terms in order; the
+/// first matching final term decides. If no term matches, `default_accept`
+/// decides.
+class RoutePolicy {
+ public:
+  RoutePolicy() = default;
+
+  /// A policy that accepts everything unchanged.
+  static RoutePolicy accept_all() { return RoutePolicy(); }
+
+  /// A policy that rejects everything.
+  static RoutePolicy deny_all() {
+    RoutePolicy p;
+    p.default_accept_ = false;
+    return p;
+  }
+
+  RoutePolicy& add_term(PolicyTerm term) {
+    terms_.push_back(std::move(term));
+    return *this;
+  }
+
+  void set_default_accept(bool accept) { default_accept_ = accept; }
+
+  /// Evaluates the policy. Returns the (possibly transformed) attributes,
+  /// or nullopt if the route is denied.
+  std::optional<PathAttributes> apply(const Ipv4Prefix& prefix,
+                                      const PathAttributes& attrs) const;
+
+  std::size_t term_count() const { return terms_.size(); }
+
+ private:
+  std::vector<PolicyTerm> terms_;
+  bool default_accept_ = true;
+};
+
+}  // namespace peering::bgp

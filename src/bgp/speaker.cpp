@@ -1,0 +1,657 @@
+#include "bgp/speaker.h"
+
+#include <algorithm>
+
+#include "netbase/log.h"
+
+namespace peering::bgp {
+
+const char* session_state_name(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle:
+      return "Idle";
+    case SessionState::kOpenSent:
+      return "OpenSent";
+    case SessionState::kOpenConfirm:
+      return "OpenConfirm";
+    case SessionState::kEstablished:
+      return "Established";
+  }
+  return "?";
+}
+
+/// An advertisement currently installed in the Adj-RIB-Out toward a peer.
+struct OutRoute {
+  PeerId origin_peer = 0;
+  std::uint32_t origin_path_id = 0;
+  AttrsPtr attrs;
+};
+
+struct BgpSpeaker::Session {
+  PeerConfig config;
+  PeerStats stats;
+  SessionState state = SessionState::kIdle;
+  std::shared_ptr<sim::StreamEndpoint> stream;
+  MessageDecoder decoder;
+  UpdateCodecOptions tx_options;
+  bool addpath_tx = false;
+  bool addpath_rx = false;
+  bool open_received = false;
+  Ipv4Address peer_router_id;
+  std::uint16_t negotiated_hold = 90;
+  AdjRibIn adj_in;
+
+  /// Adj-RIB-Out: prefix -> local path id -> what we advertised.
+  std::map<Ipv4Prefix, std::map<std::uint32_t, OutRoute>> adj_out;
+  /// Local path-id allocation per prefix, keyed by origin (peer, path id).
+  std::map<Ipv4Prefix, std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t>>
+      out_ids;
+  std::uint32_t next_out_id = 1;
+
+  /// MRAI batching state.
+  std::set<Ipv4Prefix> pending_export;
+  bool flush_scheduled = false;
+  SimTime next_flush_allowed;
+
+  /// Timer generations: a scheduled callback fires only if its generation
+  /// still matches (reset/restart invalidates stale timers).
+  std::uint64_t hold_gen = 0;
+  std::uint64_t keepalive_gen = 0;
+};
+
+BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
+                       Ipv4Address router_id)
+    : loop_(loop),
+      name_(std::move(name)),
+      asn_(asn),
+      router_id_(router_id),
+      loc_rib_([this](PeerId p) { return peer_decision_info(p); }) {}
+
+BgpSpeaker::~BgpSpeaker() = default;
+
+PeerId BgpSpeaker::add_peer(PeerConfig config) {
+  PeerId id = next_peer_id_++;
+  auto session = std::make_unique<Session>();
+  session->config = std::move(config);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+PeerConfig& BgpSpeaker::peer_config(PeerId peer) {
+  return sessions_.at(peer)->config;
+}
+
+const PeerStats& BgpSpeaker::peer_stats(PeerId peer) const {
+  return sessions_.at(peer)->stats;
+}
+
+SessionState BgpSpeaker::session_state(PeerId peer) const {
+  return sessions_.at(peer)->state;
+}
+
+bool BgpSpeaker::is_ibgp(PeerId peer) const {
+  return sessions_.at(peer)->config.peer_asn == asn_;
+}
+
+const AdjRibIn& BgpSpeaker::adj_rib_in(PeerId peer) const {
+  return sessions_.at(peer)->adj_in;
+}
+
+PeerDecisionInfo BgpSpeaker::peer_decision_info(PeerId peer) const {
+  PeerDecisionInfo info;
+  if (peer == kLocalRoutes) {
+    info.ibgp = false;
+    info.peer_asn = asn_;
+    info.router_id = router_id_;
+    return info;
+  }
+  auto it = sessions_.find(peer);
+  if (it == sessions_.end()) return info;
+  info.ibgp = it->second->config.peer_asn == asn_;
+  info.peer_asn = it->second->config.peer_asn;
+  info.peer_address = it->second->config.peer_address;
+  info.router_id = it->second->peer_router_id;
+  return info;
+}
+
+void BgpSpeaker::connect_peer(PeerId peer,
+                              std::shared_ptr<sim::StreamEndpoint> stream) {
+  Session& s = *sessions_.at(peer);
+  s.stream = std::move(stream);
+  s.decoder = MessageDecoder();
+  s.open_received = false;
+  s.stream->on_data([this, peer](const Bytes& data) {
+    handle_bytes(peer, data);
+  });
+  s.stream->on_close([this, peer]() { session_down(peer, "stream closed"); });
+
+  OpenMessage open;
+  open.asn = asn_;
+  open.hold_time = s.config.hold_time;
+  open.router_id = router_id_;
+  open.add_four_byte_asn(asn_);
+  if (s.config.addpath != AddPathMode::kNone)
+    open.add_addpath_ipv4(s.config.addpath);
+  send_message(peer, open);
+  s.state = SessionState::kOpenSent;
+  arm_hold_timer(peer);
+}
+
+void BgpSpeaker::disconnect_peer(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  if (s.state == SessionState::kIdle) return;
+  send_notification(peer, NotificationCode::kCease, 2, "admin shutdown");
+  session_down(peer, "admin shutdown");
+}
+
+void BgpSpeaker::handle_bytes(PeerId peer, const Bytes& data) {
+  Session& s = *sessions_.at(peer);
+  s.decoder.feed(data);
+  while (true) {
+    auto result = s.decoder.poll();
+    if (!result) {
+      LOG_WARN("bgp", name_ << ": decode error from " << s.config.name << ": "
+                            << result.error().message);
+      send_notification(peer, NotificationCode::kMessageHeaderError,
+                        static_cast<std::uint8_t>(result.error().code),
+                        result.error().message);
+      session_down(peer, "decode error");
+      return;
+    }
+    if (!result->has_value()) return;
+    handle_message(peer, std::move(**result));
+    // The session may have gone down while handling the message.
+    if (sessions_.at(peer)->state == SessionState::kIdle) return;
+  }
+}
+
+void BgpSpeaker::handle_message(PeerId peer, BgpMessage message) {
+  arm_hold_timer(peer);
+  if (auto* open = std::get_if<OpenMessage>(&message)) {
+    handle_open(peer, *open);
+  } else if (auto* update = std::get_if<UpdateMessage>(&message)) {
+    handle_update(peer, *update);
+  } else if (auto* notification = std::get_if<NotificationMessage>(&message)) {
+    handle_notification(peer, *notification);
+  } else if (std::get_if<RouteRefreshMessage>(&message)) {
+    // RFC 2918: the peer asks for our full Adj-RIB-Out again (typically
+    // after changing its import policy). Force a complete resend: the
+    // peer re-applies policy to routes that are unchanged on our side.
+    Session& s = *sessions_.at(peer);
+    if (s.state == SessionState::kEstablished) {
+      for (auto& [prefix, by_id] : s.adj_out)
+        for (auto& [id, out] : by_id) out.attrs.reset();
+      reevaluate_exports(peer);
+    }
+  } else {
+    handle_keepalive(peer);
+  }
+}
+
+void BgpSpeaker::request_refresh(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  if (s.state != SessionState::kEstablished) return;
+  send_message(peer, RouteRefreshMessage{});
+}
+
+void BgpSpeaker::reevaluate_exports(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  if (s.state != SessionState::kEstablished) return;
+  // Re-run export computation for every prefix we know about; flush_exports
+  // diffs against the Adj-RIB-Out, so only real changes hit the wire.
+  loc_rib_.visit_all(
+      [&](const RibRoute& route) { s.pending_export.insert(route.prefix); });
+  for (const auto& [prefix, out] : s.adj_out) s.pending_export.insert(prefix);
+  if (!s.pending_export.empty() && !s.flush_scheduled) {
+    s.flush_scheduled = true;
+    loop_->schedule_after(Duration::nanos(0), [this, peer]() {
+      auto it = sessions_.find(peer);
+      if (it == sessions_.end()) return;
+      it->second->flush_scheduled = false;
+      if (it->second->state != SessionState::kEstablished) return;
+      flush_exports(peer);
+    });
+  }
+}
+
+void BgpSpeaker::handle_open(PeerId peer, const OpenMessage& open) {
+  Session& s = *sessions_.at(peer);
+  if (s.state != SessionState::kOpenSent) {
+    send_notification(peer, NotificationCode::kFsmError, 0,
+                      "OPEN in unexpected state");
+    session_down(peer, "unexpected OPEN");
+    return;
+  }
+
+  Asn remote_asn = open.four_byte_asn().value_or(open.asn);
+  if (s.config.peer_asn != 0 && remote_asn != s.config.peer_asn) {
+    send_notification(peer, NotificationCode::kOpenMessageError, 2,
+                      "bad peer AS");
+    session_down(peer, "bad peer AS");
+    return;
+  }
+  if (s.config.peer_asn == 0) s.config.peer_asn = remote_asn;
+  s.peer_router_id = open.router_id;
+  s.negotiated_hold = std::min(s.config.hold_time, open.hold_time);
+
+  // ADD-PATH negotiation (RFC 7911 §4): we send path ids iff we advertised
+  // send and the peer advertised receive, and vice versa.
+  AddPathMode local = s.config.addpath;
+  AddPathMode remote = open.addpath_ipv4();
+  auto has_send = [](AddPathMode m) {
+    return m == AddPathMode::kSend || m == AddPathMode::kBoth;
+  };
+  auto has_recv = [](AddPathMode m) {
+    return m == AddPathMode::kReceive || m == AddPathMode::kBoth;
+  };
+  s.addpath_tx = has_send(local) && has_recv(remote);
+  s.addpath_rx = has_recv(local) && has_send(remote);
+
+  // Both ends of this implementation always advertise 4-byte ASN support;
+  // fall back to 2-byte encoding when the remote does not.
+  bool four_byte = open.four_byte_asn().has_value();
+  s.tx_options.attrs.four_byte_asn = four_byte;
+  s.tx_options.add_path = s.addpath_tx;
+  UpdateCodecOptions rx_options;
+  rx_options.attrs.four_byte_asn = four_byte;
+  rx_options.add_path = s.addpath_rx;
+  s.decoder.set_options(rx_options);
+
+  s.open_received = true;
+  send_message(peer, KeepaliveMessage{});
+  s.state = SessionState::kOpenConfirm;
+  if (session_event_) session_event_(peer, s.state);
+}
+
+void BgpSpeaker::handle_keepalive(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  ++s.stats.keepalives_received;
+  if (s.state == SessionState::kOpenConfirm) {
+    session_established(peer);
+  }
+}
+
+void BgpSpeaker::session_established(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  s.state = SessionState::kEstablished;
+  arm_keepalive_timer(peer);
+  LOG_INFO("bgp", name_ << ": session with " << s.config.name
+                        << " established (addpath tx=" << s.addpath_tx
+                        << " rx=" << s.addpath_rx << ")");
+  if (session_event_) session_event_(peer, s.state);
+  send_initial_table(peer);
+}
+
+void BgpSpeaker::handle_notification(PeerId peer,
+                                     const NotificationMessage& msg) {
+  Session& s = *sessions_.at(peer);
+  ++s.stats.notifications_received;
+  LOG_WARN("bgp", name_ << ": NOTIFICATION from " << s.config.name << ": "
+                        << msg.str());
+  session_down(peer, "notification received: " + msg.str());
+}
+
+void BgpSpeaker::handle_update(PeerId peer, const UpdateMessage& update) {
+  Session& s = *sessions_.at(peer);
+  if (s.state != SessionState::kEstablished) {
+    send_notification(peer, NotificationCode::kFsmError, 0,
+                      "UPDATE before Established");
+    session_down(peer, "early UPDATE");
+    return;
+  }
+  ++s.stats.updates_received;
+  ++total_updates_rx_;
+
+  for (const auto& entry : update.withdrawn) withdraw_route(peer, entry);
+  if (update.attributes) {
+    for (const auto& entry : update.nlri)
+      import_route(peer, entry, *update.attributes);
+  }
+}
+
+void BgpSpeaker::import_route(PeerId from, const NlriEntry& entry,
+                              const PathAttributes& attrs) {
+  Session& s = *sessions_.at(from);
+  const bool ibgp = s.config.peer_asn == asn_;
+
+  // eBGP loop detection: drop routes carrying our own ASN.
+  if (!ibgp && !s.config.allow_own_asn_in && attrs.as_path.contains(asn_)) {
+    ++s.stats.routes_rejected_import;
+    return;
+  }
+
+  PathAttributes working = attrs;
+  auto accepted = s.config.import_policy.apply(entry.prefix, working);
+  if (!accepted) {
+    ++s.stats.routes_rejected_import;
+    // An implicit withdraw may be needed if a previous version was accepted.
+    withdraw_route(from, entry);
+    return;
+  }
+  working = std::move(*accepted);
+  if (import_hook_) {
+    auto hooked = import_hook_(from, entry, working);
+    if (!hooked) {
+      ++s.stats.routes_rejected_import;
+      withdraw_route(from, entry);
+      return;
+    }
+    working = std::move(*hooked);
+  }
+
+  RibRoute route;
+  route.prefix = entry.prefix;
+  route.path_id = entry.path_id;
+  route.peer = from;
+  route.attrs = attr_pool_.intern(working);
+
+  if (!s.adj_in.update(route)) return;  // no change
+  loc_rib_.update(route);
+  if (route_event_) route_event_(route, /*withdrawn=*/false);
+
+  for (auto& [to, session] : sessions_) {
+    if (to == from) continue;
+    schedule_export(to, entry.prefix);
+  }
+}
+
+void BgpSpeaker::withdraw_route(PeerId from, const NlriEntry& entry) {
+  Session& s = *sessions_.at(from);
+  auto removed = s.adj_in.withdraw(entry.prefix, entry.path_id);
+  if (!removed) return;
+  loc_rib_.withdraw(entry.prefix, from, entry.path_id);
+  if (route_event_) route_event_(*removed, /*withdrawn=*/true);
+
+  for (auto& [to, session] : sessions_) {
+    if (to == from) continue;
+    schedule_export(to, entry.prefix);
+  }
+}
+
+void BgpSpeaker::originate(const Ipv4Prefix& prefix, PathAttributes attrs) {
+  RibRoute route;
+  route.prefix = prefix;
+  route.path_id = 0;
+  route.peer = kLocalRoutes;
+  route.attrs = attr_pool_.intern(attrs);
+  originated_[prefix] = route.attrs;
+  loc_rib_.update(route);
+  if (route_event_) route_event_(route, /*withdrawn=*/false);
+  for (auto& [to, session] : sessions_) schedule_export(to, prefix);
+}
+
+void BgpSpeaker::withdraw_originated(const Ipv4Prefix& prefix) {
+  auto it = originated_.find(prefix);
+  if (it == originated_.end()) return;
+  RibRoute route;
+  route.prefix = prefix;
+  route.path_id = 0;
+  route.peer = kLocalRoutes;
+  route.attrs = it->second;
+  originated_.erase(it);
+  loc_rib_.withdraw(prefix, kLocalRoutes, 0);
+  if (route_event_) route_event_(route, /*withdrawn=*/true);
+  for (auto& [to, session] : sessions_) schedule_export(to, prefix);
+}
+
+std::optional<PathAttributes> BgpSpeaker::standard_export_transform(
+    PeerId to, const RibRoute& route) const {
+  const Session& s = *sessions_.at(to);
+  const bool to_ibgp = s.config.peer_asn == asn_;
+  const bool from_ibgp =
+      route.peer != kLocalRoutes && sessions_.count(route.peer) &&
+      sessions_.at(route.peer)->config.peer_asn == asn_;
+
+  // Standard iBGP rule (no route reflection): iBGP-learned routes are not
+  // re-advertised to iBGP peers.
+  if (to_ibgp && from_ibgp) return std::nullopt;
+
+  PathAttributes attrs = *route.attrs;
+
+  // RFC 1997 well-known communities.
+  if (attrs.has_community(kNoAdvertise)) return std::nullopt;
+  if (!to_ibgp && attrs.has_community(kNoExport)) return std::nullopt;
+
+  if (to_ibgp) {
+    if (!attrs.local_pref) attrs.local_pref = 100;
+  } else if (s.config.transparent) {
+    // Route-server transparency (RFC 7947 §2.2): no local-AS prepend, the
+    // next-hop of the advertising client is preserved.
+    attrs.local_pref.reset();
+  } else {
+    attrs.as_path = attrs.as_path.prepended(asn_);
+    attrs.local_pref.reset();
+    // MED is non-transitive across ASes: drop it when re-advertising a
+    // route learned via eBGP, keep it for routes this AS originates.
+    if (route.peer != kLocalRoutes && !from_ibgp) attrs.med.reset();
+    attrs.next_hop = s.config.local_address;
+  }
+  return attrs;
+}
+
+std::vector<std::pair<std::uint32_t, PathAttributes>>
+BgpSpeaker::desired_adverts(PeerId to, const Ipv4Prefix& prefix) {
+  Session& s = *sessions_.at(to);
+  std::vector<RibRoute> sources;
+  if (s.config.export_all_paths && s.addpath_tx) {
+    sources = loc_rib_.candidates(prefix);
+  } else {
+    auto best = loc_rib_.best(prefix);
+    if (best) sources.push_back(*best);
+  }
+
+  std::vector<std::pair<std::uint32_t, PathAttributes>> out;
+  auto& ids = s.out_ids[prefix];
+  for (const RibRoute& route : sources) {
+    if (route.peer == to) continue;  // split horizon
+    auto transformed = standard_export_transform(to, route);
+    if (!transformed) continue;
+    auto policed = s.config.export_policy.apply(prefix, *transformed);
+    if (!policed) continue;
+    if (export_hook_) {
+      auto hooked = export_hook_(to, route, *policed);
+      if (!hooked) continue;
+      policed = std::move(hooked);
+    }
+    std::uint32_t local_id = 0;
+    if (s.addpath_tx) {
+      auto key = std::make_pair(route.peer, route.path_id);
+      auto it = ids.find(key);
+      if (it == ids.end()) it = ids.emplace(key, s.next_out_id++).first;
+      local_id = it->second;
+    }
+    out.emplace_back(local_id, std::move(*policed));
+  }
+  if (out.empty()) s.out_ids.erase(prefix);
+
+  if (!s.addpath_tx && out.size() > 1) out.resize(1);
+  return out;
+}
+
+void BgpSpeaker::schedule_export(PeerId to, const Ipv4Prefix& prefix) {
+  Session& s = *sessions_.at(to);
+  if (s.state != SessionState::kEstablished) return;
+  s.pending_export.insert(prefix);
+  if (s.flush_scheduled) return;
+  s.flush_scheduled = true;
+
+  SimTime earliest = s.next_flush_allowed;
+  SimTime now = loop_->now();
+  SimTime at = earliest > now ? earliest : now;
+  loop_->schedule_at(at, [this, to]() {
+    auto it = sessions_.find(to);
+    if (it == sessions_.end()) return;
+    it->second->flush_scheduled = false;
+    if (it->second->state != SessionState::kEstablished) return;
+    flush_exports(to);
+  });
+}
+
+void BgpSpeaker::flush_exports(PeerId to) {
+  Session& s = *sessions_.at(to);
+  auto prefixes = std::move(s.pending_export);
+  s.pending_export.clear();
+  if (s.config.mrai > Duration::nanos(0))
+    s.next_flush_allowed = loop_->now() + s.config.mrai;
+
+  std::vector<NlriEntry> withdrawals;
+
+  for (const Ipv4Prefix& prefix : prefixes) {
+    auto desired = desired_adverts(to, prefix);
+    auto& current = s.adj_out[prefix];
+
+    // Withdraw adverts that are no longer desired.
+    for (auto it = current.begin(); it != current.end();) {
+      bool still = false;
+      for (const auto& [id, attrs] : desired) {
+        if (id == it->first) {
+          still = true;
+          break;
+        }
+      }
+      if (!still) {
+        withdrawals.push_back({it->first, prefix});
+        it = current.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Advertise new/changed paths (one UPDATE per path; production
+    // implementations batch by shared attributes).
+    for (const auto& [id, attrs] : desired) {
+      auto it = current.find(id);
+      AttrsPtr interned = attr_pool_.intern(attrs);
+      if (it != current.end() && it->second.attrs == interned) continue;
+      current[id] = OutRoute{0, 0, interned};
+      UpdateMessage update;
+      update.attributes = attrs;
+      update.nlri.push_back({id, prefix});
+      send_message(to, update);
+      ++s.stats.updates_sent;
+      ++total_updates_tx_;
+    }
+    if (current.empty()) s.adj_out.erase(prefix);
+  }
+
+  if (!withdrawals.empty()) {
+    UpdateMessage update;
+    update.withdrawn = std::move(withdrawals);
+    send_message(to, update);
+    ++s.stats.updates_sent;
+    ++total_updates_tx_;
+  }
+}
+
+void BgpSpeaker::send_initial_table(PeerId to) {
+  Session& s = *sessions_.at(to);
+  std::set<Ipv4Prefix> prefixes;
+  loc_rib_.visit_all(
+      [&](const RibRoute& route) { prefixes.insert(route.prefix); });
+  for (const auto& prefix : prefixes) s.pending_export.insert(prefix);
+  if (!s.pending_export.empty() && !s.flush_scheduled) {
+    s.flush_scheduled = true;
+    loop_->schedule_after(Duration::nanos(0), [this, to]() {
+      auto it = sessions_.find(to);
+      if (it == sessions_.end()) return;
+      it->second->flush_scheduled = false;
+      if (it->second->state != SessionState::kEstablished) return;
+      flush_exports(to);
+    });
+  }
+}
+
+void BgpSpeaker::send_message(PeerId peer, const BgpMessage& message) {
+  Session& s = *sessions_.at(peer);
+  if (!s.stream || !s.stream->open()) return;
+  s.stream->send(encode_message(message, s.tx_options));
+}
+
+void BgpSpeaker::send_notification(PeerId peer, NotificationCode code,
+                                   std::uint8_t subcode,
+                                   const std::string& reason) {
+  Session& s = *sessions_.at(peer);
+  NotificationMessage msg;
+  msg.code = code;
+  msg.subcode = subcode;
+  msg.data.assign(reason.begin(), reason.end());
+  send_message(peer, msg);
+  ++s.stats.notifications_sent;
+}
+
+void BgpSpeaker::arm_hold_timer(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  std::uint64_t gen = ++s.hold_gen;
+  if (s.negotiated_hold == 0) return;  // hold timer disabled
+  loop_->schedule_after(Duration::seconds(s.negotiated_hold), [this, peer, gen]() {
+    auto it = sessions_.find(peer);
+    if (it == sessions_.end()) return;
+    Session& session = *it->second;
+    if (session.hold_gen != gen || session.state == SessionState::kIdle)
+      return;
+    send_notification(peer, NotificationCode::kHoldTimerExpired, 0,
+                      "hold timer expired");
+    session_down(peer, "hold timer expired");
+  });
+}
+
+void BgpSpeaker::arm_keepalive_timer(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  std::uint64_t gen = ++s.keepalive_gen;
+  Duration interval = Duration::seconds(std::max<int>(1, s.negotiated_hold / 3));
+  loop_->schedule_after(interval, [this, peer, gen]() {
+    auto it = sessions_.find(peer);
+    if (it == sessions_.end()) return;
+    Session& session = *it->second;
+    if (session.keepalive_gen != gen ||
+        session.state != SessionState::kEstablished)
+      return;
+    send_message(peer, KeepaliveMessage{});
+    arm_keepalive_timer(peer);
+  });
+}
+
+void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
+  Session& s = *sessions_.at(peer);
+  if (s.state == SessionState::kIdle) return;
+  LOG_INFO("bgp", name_ << ": session with " << s.config.name << " down: "
+                        << reason);
+  s.state = SessionState::kIdle;
+  ++s.hold_gen;
+  ++s.keepalive_gen;
+  if (s.stream) {
+    s.stream->close();
+    s.stream.reset();
+  }
+  s.adj_out.clear();
+  s.out_ids.clear();
+  s.pending_export.clear();
+  s.flush_scheduled = false;
+
+  // Withdraw everything learned from this peer.
+  auto removed = s.adj_in.clear();
+  std::set<Ipv4Prefix> affected;
+  for (const RibRoute& route : removed) {
+    loc_rib_.withdraw(route.prefix, peer, route.path_id);
+    affected.insert(route.prefix);
+    if (route_event_) route_event_(route, /*withdrawn=*/true);
+  }
+  for (const auto& prefix : affected) {
+    for (auto& [to, session] : sessions_) {
+      if (to == peer) continue;
+      schedule_export(to, prefix);
+    }
+  }
+  if (session_event_) session_event_(peer, SessionState::kIdle);
+}
+
+std::size_t BgpSpeaker::memory_bytes() const {
+  std::size_t bytes = attr_pool_.memory_bytes() + loc_rib_.memory_bytes();
+  for (const auto& [id, session] : sessions_)
+    bytes += session->adj_in.memory_bytes();
+  bytes += originated_.size() * (sizeof(Ipv4Prefix) + sizeof(AttrsPtr) +
+                                 4 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace peering::bgp

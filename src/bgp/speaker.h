@@ -1,0 +1,230 @@
+// BgpSpeaker: a complete single-threaded BGP-4 speaker — session FSMs over
+// simulated TCP streams, OPEN capability negotiation (4-byte ASN, ADD-PATH),
+// per-peer Adj-RIB-In, Loc-RIB with the standard decision process,
+// policy-driven export with MRAI batching, and hook points at import/export
+// where vBGP interposes (next-hop rewriting, security enforcement).
+//
+// This is the role BIRD plays in the authors' deployment; like BIRD, the
+// speaker is single-threaded and event-driven (§6 evaluates exactly that).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/message.h"
+#include "bgp/policy.h"
+#include "bgp/rib.h"
+#include "sim/event_loop.h"
+#include "sim/stream.h"
+
+namespace peering::bgp {
+
+/// Session FSM states. Connect/Active are collapsed into Idle because
+/// transport establishment is instantaneous in the simulator: the platform
+/// hands the speaker an already-connected stream.
+enum class SessionState : std::uint8_t {
+  kIdle = 0,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+const char* session_state_name(SessionState state);
+
+/// Pseudo peer id for locally originated routes.
+constexpr PeerId kLocalRoutes = 0;
+
+struct PeerConfig {
+  std::string name;
+  Asn peer_asn = 0;
+  Ipv4Address local_address;
+  Ipv4Address peer_address;
+  std::uint16_t hold_time = 90;
+  /// ADD-PATH mode this side advertises in its OPEN.
+  AddPathMode addpath = AddPathMode::kNone;
+  /// Minimum Route Advertisement Interval: exports to this peer are batched
+  /// and flushed at most once per interval (0 = immediate).
+  Duration mrai = Duration::seconds(0);
+  RoutePolicy import_policy = RoutePolicy::accept_all();
+  RoutePolicy export_policy = RoutePolicy::accept_all();
+  /// vBGP mode: export every Loc-RIB candidate to this peer (requires
+  /// ADD-PATH send to be negotiated), not just the best path.
+  bool export_all_paths = false;
+  /// Suppress standard eBGP loop detection on import (used by test
+  /// harnesses exercising poisoned announcements).
+  bool allow_own_asn_in = false;
+  /// RFC 7947 transparent route-server mode for the *local* speaker on
+  /// this session: exports do not prepend the local ASN and leave the
+  /// next-hop untouched, so clients see each other's routes as if they
+  /// peered directly. This is how IXP route servers deliver most of
+  /// PEERING's 900+ peers.
+  bool transparent = false;
+};
+
+/// Per-session statistics.
+struct PeerStats {
+  std::uint64_t updates_received = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint64_t routes_rejected_import = 0;
+  std::uint64_t notifications_sent = 0;
+  std::uint64_t notifications_received = 0;
+  std::uint64_t keepalives_received = 0;
+};
+
+class BgpSpeaker {
+ public:
+  /// Import hook: runs after the peer's import policy, before RIB insertion.
+  /// Return nullopt to reject the route. vBGP rewrites next-hops here (and
+  /// records the original next-hop per (peer, prefix, path-id) for its
+  /// per-neighbor FIBs).
+  using ImportHook = std::function<std::optional<PathAttributes>(
+      PeerId from, const NlriEntry& entry, const PathAttributes& attrs)>;
+
+  /// Export hook: runs after the peer's export policy, before transmission.
+  /// Return nullopt to suppress. vBGP enforces announcement controls here.
+  using ExportHook = std::function<std::optional<PathAttributes>(
+      PeerId to, const RibRoute& route, const PathAttributes& attrs)>;
+
+  /// Route event: fired when the post-import route set changes (install or
+  /// withdraw). vBGP synchronizes per-neighbor FIBs from this.
+  using RouteEventHandler =
+      std::function<void(const RibRoute& route, bool withdrawn)>;
+
+  /// Session event: fired on state transitions.
+  using SessionEventHandler =
+      std::function<void(PeerId peer, SessionState state)>;
+
+  BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
+             Ipv4Address router_id);
+  ~BgpSpeaker();
+
+  BgpSpeaker(const BgpSpeaker&) = delete;
+  BgpSpeaker& operator=(const BgpSpeaker&) = delete;
+
+  const std::string& name() const { return name_; }
+  Asn asn() const { return asn_; }
+  Ipv4Address router_id() const { return router_id_; }
+
+  /// Registers a peer; returns its id (>= 1).
+  PeerId add_peer(PeerConfig config);
+
+  PeerConfig& peer_config(PeerId peer);
+  const PeerStats& peer_stats(PeerId peer) const;
+  SessionState session_state(PeerId peer) const;
+  bool is_ibgp(PeerId peer) const;
+
+  /// Binds an established transport to the peer and starts the FSM (sends
+  /// OPEN immediately).
+  void connect_peer(PeerId peer, std::shared_ptr<sim::StreamEndpoint> stream);
+
+  /// Administratively closes the session (sends CEASE).
+  void disconnect_peer(PeerId peer);
+
+  /// Sends a ROUTE-REFRESH to the peer: ask it to resend everything (used
+  /// after changing our import policy so it can be re-applied).
+  void request_refresh(PeerId peer);
+
+  /// Recomputes and re-sends this peer's Adj-RIB-Out (invoked on receiving
+  /// a ROUTE-REFRESH from the peer, or locally after an export-policy
+  /// change). Only deltas relative to what was already advertised are
+  /// transmitted, so unchanged routes cause no churn.
+  void reevaluate_exports(PeerId peer);
+
+  /// Originates a local route, announced to peers per export policy.
+  void originate(const Ipv4Prefix& prefix, PathAttributes attrs);
+
+  /// Withdraws a locally originated route.
+  void withdraw_originated(const Ipv4Prefix& prefix);
+
+  void set_import_hook(ImportHook hook) { import_hook_ = std::move(hook); }
+  void set_export_hook(ExportHook hook) { export_hook_ = std::move(hook); }
+  void on_route_event(RouteEventHandler handler) {
+    route_event_ = std::move(handler);
+  }
+  void on_session_event(SessionEventHandler handler) {
+    session_event_ = std::move(handler);
+  }
+
+  const LocRib& loc_rib() const { return loc_rib_; }
+  const AdjRibIn& adj_rib_in(PeerId peer) const;
+  AttrPool& attr_pool() { return attr_pool_; }
+
+  /// Total bytes across RIBs and the attribute pool (Figure 6a's
+  /// "control plane" quantity).
+  std::size_t memory_bytes() const;
+
+  std::uint64_t total_updates_received() const { return total_updates_rx_; }
+  std::uint64_t total_updates_sent() const { return total_updates_tx_; }
+
+ private:
+  struct Session;
+
+  void handle_bytes(PeerId peer, const Bytes& data);
+  void handle_message(PeerId peer, BgpMessage message);
+  void handle_open(PeerId peer, const OpenMessage& open);
+  void handle_update(PeerId peer, const UpdateMessage& update);
+  void handle_notification(PeerId peer, const NotificationMessage& msg);
+  void handle_keepalive(PeerId peer);
+  void session_established(PeerId peer);
+  void session_down(PeerId peer, const std::string& reason);
+  void send_message(PeerId peer, const BgpMessage& message);
+  void send_notification(PeerId peer, NotificationCode code,
+                         std::uint8_t subcode, const std::string& reason);
+  void arm_hold_timer(PeerId peer);
+  void arm_keepalive_timer(PeerId peer);
+
+  /// Applies import processing for one received route; updates RIBs and
+  /// schedules exports.
+  void import_route(PeerId from, const NlriEntry& entry,
+                    const PathAttributes& attrs);
+  void withdraw_route(PeerId from, const NlriEntry& entry);
+
+  /// Recomputes what `to` should be told about `prefix` and queues the
+  /// delta through the peer's MRAI batcher.
+  void schedule_export(PeerId to, const Ipv4Prefix& prefix);
+  void flush_exports(PeerId to);
+  /// Sends the full table to a newly established peer.
+  void send_initial_table(PeerId to);
+
+  /// Computes the desired advertisement set for (to, prefix): zero, one
+  /// (best path), or many (export_all_paths) routes after policy/hooks.
+  std::vector<std::pair<std::uint32_t, PathAttributes>> desired_adverts(
+      PeerId to, const Ipv4Prefix& prefix);
+
+  /// Default per-session transforms applied on export before policy: AS
+  /// prepend + next-hop handling for eBGP, LOCAL_PREF for iBGP.
+  std::optional<PathAttributes> standard_export_transform(
+      PeerId to, const RibRoute& route) const;
+
+  PeerDecisionInfo peer_decision_info(PeerId peer) const;
+
+  sim::EventLoop* loop_;
+  std::string name_;
+  Asn asn_;
+  Ipv4Address router_id_;
+
+  std::map<PeerId, std::unique_ptr<Session>> sessions_;
+  PeerId next_peer_id_ = 1;
+
+  AttrPool attr_pool_;
+  LocRib loc_rib_;
+  std::map<Ipv4Prefix, AttrsPtr> originated_;
+
+  ImportHook import_hook_;
+  ExportHook export_hook_;
+  RouteEventHandler route_event_;
+  SessionEventHandler session_event_;
+
+  std::uint64_t total_updates_rx_ = 0;
+  std::uint64_t total_updates_tx_ = 0;
+};
+
+}  // namespace peering::bgp

@@ -1,0 +1,76 @@
+#include "bgp/types.h"
+
+namespace peering::bgp {
+
+std::size_t AsPath::decision_length() const {
+  std::size_t len = 0;
+  for (const auto& seg : segments_) {
+    if (seg.type == AsPathSegmentType::kSequence)
+      len += seg.asns.size();
+    else
+      len += 1;
+  }
+  return len;
+}
+
+std::vector<Asn> AsPath::flatten() const {
+  std::vector<Asn> out;
+  for (const auto& seg : segments_)
+    out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  return out;
+}
+
+bool AsPath::contains(Asn asn) const {
+  for (const auto& seg : segments_)
+    for (Asn a : seg.asns)
+      if (a == asn) return true;
+  return false;
+}
+
+Asn AsPath::first() const {
+  for (const auto& seg : segments_)
+    if (!seg.asns.empty()) return seg.asns.front();
+  return 0;
+}
+
+Asn AsPath::origin_asn() const {
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it)
+    if (!it->asns.empty()) return it->asns.back();
+  return 0;
+}
+
+AsPath AsPath::prepended(Asn asn, std::size_t count) const {
+  AsPath out = *this;
+  if (count == 0) return out;
+  if (out.segments_.empty() ||
+      out.segments_.front().type != AsPathSegmentType::kSequence) {
+    out.segments_.insert(out.segments_.begin(),
+                         {AsPathSegmentType::kSequence, {}});
+  }
+  auto& front = out.segments_.front().asns;
+  front.insert(front.begin(), count, asn);
+  return out;
+}
+
+std::string AsPath::str() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (!out.empty()) out += ' ';
+    if (seg.type == AsPathSegmentType::kSet) {
+      out += '{';
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(seg.asns[i]);
+      }
+      out += '}';
+    } else {
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i) out += ' ';
+        out += std::to_string(seg.asns[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace peering::bgp

@@ -1,0 +1,114 @@
+// Core BGP value types: AS numbers, origins, communities, AS paths.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace peering::bgp {
+
+/// Autonomous System number. 4-byte ASNs (RFC 6793) are first-class; the
+/// codec negotiates the capability and falls back to AS_TRANS when talking
+/// to a 2-byte-only speaker.
+using Asn = std::uint32_t;
+
+/// AS_TRANS (RFC 6793): placeholder in 2-byte fields for a 4-byte ASN.
+constexpr Asn kAsTrans = 23456;
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// Classic RFC 1997 community: 32 bits, conventionally ASN:value.
+struct Community {
+  std::uint32_t raw = 0;
+
+  constexpr Community() = default;
+  constexpr explicit Community(std::uint32_t r) : raw(r) {}
+  constexpr Community(std::uint16_t asn, std::uint16_t value)
+      : raw((static_cast<std::uint32_t>(asn) << 16) | value) {}
+
+  constexpr std::uint16_t asn() const {
+    return static_cast<std::uint16_t>(raw >> 16);
+  }
+  constexpr std::uint16_t value() const {
+    return static_cast<std::uint16_t>(raw);
+  }
+
+  std::string str() const {
+    return std::to_string(asn()) + ":" + std::to_string(value());
+  }
+
+  constexpr auto operator<=>(const Community&) const = default;
+};
+
+/// Well-known communities (RFC 1997).
+constexpr Community kNoExport{0xFFFFFF01};
+constexpr Community kNoAdvertise{0xFFFFFF02};
+
+/// RFC 8092 large community: three 32-bit words.
+struct LargeCommunity {
+  std::uint32_t global = 0;
+  std::uint32_t local1 = 0;
+  std::uint32_t local2 = 0;
+
+  std::string str() const {
+    return std::to_string(global) + ":" + std::to_string(local1) + ":" +
+           std::to_string(local2);
+  }
+
+  constexpr auto operator<=>(const LargeCommunity&) const = default;
+};
+
+enum class AsPathSegmentType : std::uint8_t { kSet = 1, kSequence = 2 };
+
+struct AsPathSegment {
+  AsPathSegmentType type = AsPathSegmentType::kSequence;
+  std::vector<Asn> asns;
+
+  bool operator==(const AsPathSegment&) const = default;
+};
+
+/// An AS_PATH attribute: ordered segments. Most paths are one SEQUENCE.
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> sequence) {
+    if (!sequence.empty())
+      segments_.push_back({AsPathSegmentType::kSequence, std::move(sequence)});
+  }
+
+  const std::vector<AsPathSegment>& segments() const { return segments_; }
+  std::vector<AsPathSegment>& segments() { return segments_; }
+
+  bool empty() const { return segments_.empty(); }
+
+  /// Path length for the decision process: SEQUENCE ASNs count 1 each, a
+  /// SET counts 1 total (RFC 4271 §9.1.2.2).
+  std::size_t decision_length() const;
+
+  /// All ASNs in order of appearance (flattened; used for loop detection
+  /// and poisoning checks).
+  std::vector<Asn> flatten() const;
+
+  /// True if `asn` appears anywhere in the path.
+  bool contains(Asn asn) const;
+
+  /// First (leftmost) ASN — the advertising neighbor.
+  Asn first() const;
+
+  /// Last (rightmost) ASN — the origin AS.
+  Asn origin_asn() const;
+
+  /// Returns a copy with `asn` prepended `count` times.
+  AsPath prepended(Asn asn, std::size_t count = 1) const;
+
+  /// Human-readable rendering, e.g. "64500 64501 {64502,64503}".
+  std::string str() const;
+
+  bool operator==(const AsPath&) const = default;
+
+ private:
+  std::vector<AsPathSegment> segments_;
+};
+
+}  // namespace peering::bgp

@@ -1,0 +1,75 @@
+// The capability framework (§4.7): experiments default to "basic"
+// announcements only; richer behaviours (AS-path poisoning, communities,
+// transitive attributes, providing transit) are granted per experiment
+// following the principle of least privilege.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/types.h"
+#include "netbase/prefix.h"
+
+namespace peering::enforce {
+
+enum class Capability : std::uint8_t {
+  /// Announce AS paths containing ASNs the experiment does not own
+  /// (poisoning, limited count).
+  kAsPathPoisoning,
+  /// Attach BGP communities / large communities (limited count).
+  kCommunities,
+  /// Attach unknown optional transitive attributes.
+  kTransitiveAttrs,
+  /// Re-announce routes learned from one neighbor to another (providing
+  /// transit for an experimental prefix).
+  kTransit,
+  /// Announce 6to4-mapped address space (the recently added capability the
+  /// paper mentions).
+  k6to4,
+};
+
+const char* capability_name(Capability cap);
+
+/// Everything the enforcement engines need to know about one approved
+/// experiment: its allocation and its granted capabilities with limits.
+struct ExperimentGrant {
+  std::string experiment_id;
+  /// Prefixes the experiment may originate and source traffic from.
+  std::vector<Ipv4Prefix> allocated_prefixes;
+  /// ASNs the experiment may use as origin.
+  std::vector<bgp::Asn> allowed_origin_asns;
+  std::set<Capability> capabilities;
+  /// Poisoned-ASN budget per announcement (only with kAsPathPoisoning).
+  int max_poisoned_asns = 0;
+  /// Community budget per announcement (only with kCommunities).
+  int max_communities = 0;
+  /// BGP update budget per prefix per PoP per day (the platform default is
+  /// 144, one per 10 minutes, §4.7).
+  int max_updates_per_day = 144;
+  /// Data-plane rate limit in bits/s (0 = site default / unlimited).
+  std::uint64_t traffic_rate_bps = 0;
+
+  bool has(Capability cap) const { return capabilities.count(cap) > 0; }
+
+  bool owns_prefix(const Ipv4Prefix& prefix) const {
+    for (const auto& alloc : allocated_prefixes)
+      if (alloc.covers(prefix)) return true;
+    return false;
+  }
+
+  bool owns_address(Ipv4Address addr) const {
+    for (const auto& alloc : allocated_prefixes)
+      if (alloc.contains(addr)) return true;
+    return false;
+  }
+
+  bool allowed_origin(bgp::Asn asn) const {
+    for (bgp::Asn allowed : allowed_origin_asns)
+      if (allowed == asn) return true;
+    return false;
+  }
+};
+
+}  // namespace peering::enforce

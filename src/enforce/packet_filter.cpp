@@ -1,0 +1,222 @@
+#include "enforce/packet_filter.h"
+
+#include <algorithm>
+
+namespace peering::enforce {
+
+namespace {
+constexpr std::size_t kMaxProgramLength = 4096;
+}
+
+FilterState::FilterState(std::vector<TokenBucketConfig> buckets) {
+  buckets_.reserve(buckets.size());
+  for (const auto& config : buckets) {
+    Bucket b;
+    b.config = config;
+    b.tokens = config.burst;
+    buckets_.push_back(b);
+  }
+}
+
+bool FilterState::consume(std::size_t index, double amount, SimTime now) {
+  if (index >= buckets_.size()) return false;
+  Bucket& b = buckets_[index];
+  double elapsed = (now - b.last_refill).to_seconds();
+  if (elapsed > 0) {
+    b.tokens = std::min(b.config.burst, b.tokens + elapsed * b.config.rate_per_sec);
+    b.last_refill = now;
+  }
+  if (b.tokens < amount) return false;
+  b.tokens -= amount;
+  return true;
+}
+
+Result<PacketFilter> PacketFilter::load(std::vector<FilterInsn> program) {
+  if (program.empty()) return Error("filter: empty program");
+  if (program.size() > kMaxProgramLength)
+    return Error("filter: program too long");
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const FilterInsn& insn = program[pc];
+    switch (insn.op) {
+      case FilterOp::kJmpEq:
+      case FilterOp::kJmpGt:
+      case FilterOp::kJmpSet:
+      case FilterOp::kTokenBucket: {
+        // Jumps are relative to pc+1 and must land on an instruction.
+        // Forward-only (jt/jf are unsigned) guarantees termination.
+        if (pc + 1 + insn.jt >= program.size() ||
+            pc + 1 + insn.jf >= program.size())
+          return Error("filter: jump out of range at pc " + std::to_string(pc));
+        break;
+      }
+      case FilterOp::kRetPass:
+      case FilterOp::kRetDrop:
+      case FilterOp::kLoadWord:
+      case FilterOp::kLoadByte:
+      case FilterOp::kLoadLen:
+      case FilterOp::kLoadImm:
+      case FilterOp::kAnd:
+      case FilterOp::kRshift:
+        break;
+    }
+  }
+  // The program must not be able to fall off the end: the last instruction
+  // must be a return (jumps are already bounded to in-range targets).
+  FilterOp last = program.back().op;
+  if (last != FilterOp::kRetPass && last != FilterOp::kRetDrop)
+    return Error("filter: program may fall through past the end");
+  return PacketFilter(std::move(program));
+}
+
+FilterAction PacketFilter::run(std::span<const std::uint8_t> packet,
+                               SimTime now, FilterState& state) const {
+  std::uint32_t acc = 0;
+  std::size_t pc = 0;
+  while (pc < program_.size()) {
+    const FilterInsn& insn = program_[pc];
+    switch (insn.op) {
+      case FilterOp::kLoadWord: {
+        acc = 0;
+        for (int i = 0; i < 4; ++i) {
+          std::size_t off = insn.k + static_cast<std::size_t>(i);
+          acc = (acc << 8) | (off < packet.size() ? packet[off] : 0);
+        }
+        ++pc;
+        break;
+      }
+      case FilterOp::kLoadByte:
+        acc = insn.k < packet.size() ? packet[insn.k] : 0;
+        ++pc;
+        break;
+      case FilterOp::kLoadLen:
+        acc = static_cast<std::uint32_t>(packet.size());
+        ++pc;
+        break;
+      case FilterOp::kLoadImm:
+        acc = insn.k;
+        ++pc;
+        break;
+      case FilterOp::kAnd:
+        acc &= insn.k;
+        ++pc;
+        break;
+      case FilterOp::kRshift:
+        acc >>= insn.k;
+        ++pc;
+        break;
+      case FilterOp::kJmpEq:
+        pc += 1 + (acc == insn.k ? insn.jt : insn.jf);
+        break;
+      case FilterOp::kJmpGt:
+        pc += 1 + (acc > insn.k ? insn.jt : insn.jf);
+        break;
+      case FilterOp::kJmpSet:
+        pc += 1 + ((acc & insn.k) != 0 ? insn.jt : insn.jf);
+        break;
+      case FilterOp::kTokenBucket: {
+        double cost = insn.k == 0 ? static_cast<double>(packet.size())
+                                  : static_cast<double>(insn.k);
+        bool ok = state.consume(insn.aux, cost, now);
+        pc += 1 + (ok ? insn.jt : insn.jf);
+        break;
+      }
+      case FilterOp::kRetPass:
+        ++passed_;
+        return FilterAction::kPass;
+      case FilterOp::kRetDrop:
+        ++dropped_;
+        return FilterAction::kDrop;
+    }
+  }
+  // Unreachable for validated programs; fail closed regardless.
+  ++dropped_;
+  return FilterAction::kDrop;
+}
+
+FilterBuilder& FilterBuilder::load_word(std::uint32_t offset) {
+  program_.push_back({FilterOp::kLoadWord, offset, 0, 0, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::load_byte(std::uint32_t offset) {
+  program_.push_back({FilterOp::kLoadByte, offset, 0, 0, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::load_len() {
+  program_.push_back({FilterOp::kLoadLen, 0, 0, 0, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::and_(std::uint32_t mask) {
+  program_.push_back({FilterOp::kAnd, mask, 0, 0, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::rshift(std::uint32_t bits) {
+  program_.push_back({FilterOp::kRshift, bits, 0, 0, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::jmp_eq(std::uint32_t k, std::uint8_t jt,
+                                     std::uint8_t jf) {
+  program_.push_back({FilterOp::kJmpEq, k, jt, jf, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::jmp_gt(std::uint32_t k, std::uint8_t jt,
+                                     std::uint8_t jf) {
+  program_.push_back({FilterOp::kJmpGt, k, jt, jf, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::token_bucket(std::uint16_t bucket,
+                                           std::uint32_t cost, std::uint8_t jt,
+                                           std::uint8_t jf) {
+  program_.push_back({FilterOp::kTokenBucket, cost, jt, jf, bucket});
+  return *this;
+}
+FilterBuilder& FilterBuilder::ret_pass() {
+  program_.push_back({FilterOp::kRetPass, 0, 0, 0, 0});
+  return *this;
+}
+FilterBuilder& FilterBuilder::ret_drop() {
+  program_.push_back({FilterOp::kRetDrop, 0, 0, 0, 0});
+  return *this;
+}
+
+namespace {
+
+/// Emits, for each allocation, a masked-compare of the source address. Each
+/// test carries its own local epilogue so every jump is short (fits the
+/// 8-bit offset regardless of allocation count):
+///   LD src; AND mask; JEQ value, 0(hit), 1|3(miss -> next test)
+///   hit: [TBF 0, 0(pass), 1(drop)]; RET_PASS; [RET_DROP]
+///   ... next test ...
+///   RET_DROP  (no allocation matched)
+std::vector<FilterInsn> source_check_program(
+    const std::vector<Ipv4Prefix>& allocations, bool with_rate) {
+  FilterBuilder b;
+  const std::uint8_t epilogue_len = with_rate ? 3 : 1;
+  for (const auto& prefix : allocations) {
+    b.load_src_ip();
+    b.and_(prefix.mask());
+    b.jmp_eq(prefix.address().value(), 0, epilogue_len);
+    if (with_rate) {
+      b.token_bucket(0, 0, 0, 1);  // tokens -> PASS; empty -> DROP
+      b.ret_pass();
+      b.ret_drop();
+    } else {
+      b.ret_pass();
+    }
+  }
+  b.ret_drop();
+  return b.take();
+}
+
+}  // namespace
+
+Result<PacketFilter> build_source_check_filter(
+    const std::vector<Ipv4Prefix>& allocations) {
+  return PacketFilter::load(source_check_program(allocations, false));
+}
+
+Result<PacketFilter> build_source_check_and_rate_filter(
+    const std::vector<Ipv4Prefix>& allocations) {
+  return PacketFilter::load(source_check_program(allocations, true));
+}
+
+}  // namespace peering::enforce

@@ -1,0 +1,26 @@
+#include "enforce/state_store.h"
+
+#include <algorithm>
+
+namespace peering::enforce {
+
+void StateStore::erase_prefix(const std::string& key_prefix) {
+  auto it = counters_.lower_bound(key_prefix);
+  while (it != counters_.end() &&
+         it->first.compare(0, key_prefix.size(), key_prefix) == 0) {
+    it = counters_.erase(it);
+  }
+}
+
+void StateStore::merge_max(const StateStore& other) {
+  for (const auto& [key, value] : other.counters_) {
+    auto it = counters_.find(key);
+    if (it == counters_.end()) {
+      counters_[key] = value;
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+}
+
+}  // namespace peering::enforce

@@ -1,0 +1,48 @@
+// Non-volatile state for the enforcement engines (§3.3: "the engines have
+// non-volatile storage to maintain state"). Counters persist across engine
+// restarts and can be synchronized between PoPs to enforce AS-wide policies
+// such as the per-prefix daily update budget.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace peering::enforce {
+
+class StateStore {
+ public:
+  /// Returns the counter value (0 if absent).
+  std::int64_t get(const std::string& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Adds `delta` and returns the new value.
+  std::int64_t add(const std::string& key, std::int64_t delta) {
+    return counters_[key] += delta;
+  }
+
+  void set(const std::string& key, std::int64_t value) {
+    counters_[key] = value;
+  }
+
+  void erase_prefix(const std::string& key_prefix);
+
+  /// AS-wide policy support: folds another PoP's counters into this store
+  /// (sum semantics — both PoPs then see the global total).
+  void merge_max(const StateStore& other);
+
+  /// Snapshot/restore emulate the non-volatile medium.
+  std::map<std::string, std::int64_t> snapshot() const { return counters_; }
+  void restore(std::map<std::string, std::int64_t> snapshot) {
+    counters_ = std::move(snapshot);
+  }
+
+  std::size_t size() const { return counters_.size(); }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace peering::enforce

@@ -1,0 +1,79 @@
+#include "ether/arp.h"
+
+#include <algorithm>
+
+namespace peering::ether {
+
+namespace {
+constexpr std::uint16_t kHwEthernet = 1;
+constexpr std::uint16_t kProtoIpv4 = 0x0800;
+}  // namespace
+
+Bytes ArpMessage::encode() const {
+  ByteWriter w(28);
+  w.u16(kHwEthernet);
+  w.u16(kProtoIpv4);
+  w.u8(6);  // hardware address length
+  w.u8(4);  // protocol address length
+  w.u16(static_cast<std::uint16_t>(op));
+  w.raw(std::span<const std::uint8_t>(sender_mac.bytes()));
+  w.u32(sender_ip.value());
+  w.raw(std::span<const std::uint8_t>(target_mac.bytes()));
+  w.u32(target_ip.value());
+  return w.take();
+}
+
+Result<ArpMessage> ArpMessage::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  auto hw = r.u16();
+  auto proto = r.u16();
+  auto hlen = r.u8();
+  auto plen = r.u8();
+  auto op = r.u16();
+  if (!hw || !proto || !hlen || !plen || !op)
+    return Error("arp: truncated header");
+  if (*hw != kHwEthernet || *proto != kProtoIpv4 || *hlen != 6 || *plen != 4)
+    return Error("arp: unsupported hardware/protocol");
+  if (*op != 1 && *op != 2) return Error("arp: unknown op");
+
+  ArpMessage msg;
+  msg.op = static_cast<ArpOp>(*op);
+  auto smac = r.bytes(6);
+  auto sip = r.u32();
+  if (!smac || !sip) return Error("arp: truncated sender");
+  std::array<std::uint8_t, 6> mac{};
+  std::copy(smac->begin(), smac->end(), mac.begin());
+  msg.sender_mac = MacAddress(mac);
+  msg.sender_ip = Ipv4Address(*sip);
+  auto tmac = r.bytes(6);
+  auto tip = r.u32();
+  if (!tmac || !tip) return Error("arp: truncated target");
+  std::copy(tmac->begin(), tmac->end(), mac.begin());
+  msg.target_mac = MacAddress(mac);
+  msg.target_ip = Ipv4Address(*tip);
+  return msg;
+}
+
+ArpMessage make_arp_request(MacAddress sender_mac, Ipv4Address sender_ip,
+                            Ipv4Address target_ip) {
+  ArpMessage msg;
+  msg.op = ArpOp::kRequest;
+  msg.sender_mac = sender_mac;
+  msg.sender_ip = sender_ip;
+  msg.target_mac = MacAddress();  // unknown
+  msg.target_ip = target_ip;
+  return msg;
+}
+
+ArpMessage make_arp_reply(const ArpMessage& request, MacAddress our_mac,
+                          Ipv4Address our_ip) {
+  ArpMessage msg;
+  msg.op = ArpOp::kReply;
+  msg.sender_mac = our_mac;
+  msg.sender_ip = our_ip;
+  msg.target_mac = request.sender_mac;
+  msg.target_ip = request.sender_ip;
+  return msg;
+}
+
+}  // namespace peering::ether

@@ -1,0 +1,67 @@
+// ARP (RFC 826) over IPv4. vBGP answers ARP queries for the virtual
+// next-hop IPs it assigns to BGP neighbors; the MAC in the reply is the
+// per-neighbor virtual MAC that later selects the egress routing table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "netbase/bytes.h"
+#include "netbase/ip.h"
+#include "netbase/mac.h"
+#include "netbase/result.h"
+#include "netbase/time.h"
+
+namespace peering::ether {
+
+enum class ArpOp : std::uint16_t { kRequest = 1, kReply = 2 };
+
+struct ArpMessage {
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+
+  Bytes encode() const;
+  static Result<ArpMessage> decode(std::span<const std::uint8_t> data);
+};
+
+/// Builds a who-has request for `target_ip`.
+ArpMessage make_arp_request(MacAddress sender_mac, Ipv4Address sender_ip,
+                            Ipv4Address target_ip);
+
+/// Builds a reply to `request` claiming `our_mac` owns `our_ip`.
+ArpMessage make_arp_reply(const ArpMessage& request, MacAddress our_mac,
+                          Ipv4Address our_ip);
+
+/// IP -> MAC neighbor cache with per-entry expiry.
+class ArpCache {
+ public:
+  explicit ArpCache(Duration ttl = Duration::minutes(5)) : ttl_(ttl) {}
+
+  void learn(Ipv4Address ip, MacAddress mac, SimTime now) {
+    entries_[ip] = Entry{mac, now + ttl_};
+  }
+
+  /// Returns the cached MAC if present and not expired.
+  std::optional<MacAddress> lookup(Ipv4Address ip, SimTime now) const {
+    auto it = entries_.find(ip);
+    if (it == entries_.end() || it->second.expires < now) return std::nullopt;
+    return it->second.mac;
+  }
+
+  void flush() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    MacAddress mac;
+    SimTime expires;
+  };
+  Duration ttl_;
+  std::unordered_map<Ipv4Address, Entry> entries_;
+};
+
+}  // namespace peering::ether

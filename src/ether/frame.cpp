@@ -1,0 +1,62 @@
+#include "ether/frame.h"
+
+#include <algorithm>
+#include <array>
+
+namespace peering::ether {
+
+Bytes EthernetFrame::encode() const {
+  ByteWriter w(18 + payload.size());
+  w.raw(std::span<const std::uint8_t>(dst.bytes()));
+  w.raw(std::span<const std::uint8_t>(src.bytes()));
+  if (has_vlan) {
+    w.u16(static_cast<std::uint16_t>(EtherType::kVlan));
+    w.u16(vlan_id & 0x0fff);
+  }
+  w.u16(ethertype);
+  w.raw(payload);
+  return w.take();
+}
+
+Result<EthernetFrame> EthernetFrame::decode(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  EthernetFrame frame;
+  auto dst = r.bytes(6);
+  if (!dst) return Error("ether: truncated dst");
+  auto src = r.bytes(6);
+  if (!src) return Error("ether: truncated src");
+  std::array<std::uint8_t, 6> mac{};
+  std::copy(dst->begin(), dst->end(), mac.begin());
+  frame.dst = MacAddress(mac);
+  std::copy(src->begin(), src->end(), mac.begin());
+  frame.src = MacAddress(mac);
+  auto type = r.u16();
+  if (!type) return Error("ether: truncated ethertype");
+  std::uint16_t ethertype = *type;
+  if (ethertype == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    auto tci = r.u16();
+    if (!tci) return Error("ether: truncated vlan tag");
+    frame.has_vlan = true;
+    frame.vlan_id = *tci & 0x0fff;
+    auto inner = r.u16();
+    if (!inner) return Error("ether: truncated inner ethertype");
+    ethertype = *inner;
+  }
+  frame.ethertype = ethertype;
+  auto payload = r.bytes(r.remaining());
+  frame.payload = std::move(*payload);
+  return frame;
+}
+
+EthernetFrame make_frame(MacAddress dst, MacAddress src, EtherType type,
+                         Bytes payload) {
+  EthernetFrame frame;
+  frame.dst = dst;
+  frame.src = src;
+  frame.ethertype = static_cast<std::uint16_t>(type);
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace peering::ether

@@ -1,0 +1,43 @@
+// Ethernet II frame representation and wire codec. vBGP's per-packet
+// delegation is encoded entirely in these headers: the destination MAC of a
+// frame from an experiment selects the egress neighbor, and the source MAC
+// of a frame delivered to an experiment identifies the ingress neighbor.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/bytes.h"
+#include "netbase/mac.h"
+#include "netbase/result.h"
+
+namespace peering::ether {
+
+/// EtherType values used by the simulation.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+};
+
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;
+  /// Present iff the frame carries an 802.1Q tag (used by the backbone's
+  /// provisioned VLANs, §4.3.1). Only the 12-bit VLAN ID is modeled.
+  bool has_vlan = false;
+  std::uint16_t vlan_id = 0;
+  Bytes payload;
+
+  /// Serializes to wire bytes (no FCS; links are reliable).
+  Bytes encode() const;
+
+  /// Parses wire bytes, including an optional single 802.1Q tag.
+  static Result<EthernetFrame> decode(std::span<const std::uint8_t> data);
+};
+
+/// Convenience constructor for an untagged frame.
+EthernetFrame make_frame(MacAddress dst, MacAddress src, EtherType type,
+                         Bytes payload);
+
+}  // namespace peering::ether

@@ -1,0 +1,165 @@
+#include "inet/debugging.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace peering::inet {
+
+namespace {
+
+bool edge_blocked(const std::set<FilteredEdge>& blocked, bgp::Asn exporter,
+                  bgp::Asn importer) {
+  return blocked.count({exporter, importer}) > 0;
+}
+
+bool better(const AsRoute& cand, const AsRoute& cur) {
+  if (!cur.valid()) return true;
+  if (static_cast<int>(cand.type) != static_cast<int>(cur.type))
+    return static_cast<int>(cand.type) > static_cast<int>(cur.type);
+  return cand.path.size() < cur.path.size();
+}
+
+AsRoute extend(const AsRoute& base, bgp::Asn via, RouteType type) {
+  AsRoute out;
+  out.type = type;
+  out.path.push_back(via);
+  out.path.insert(out.path.end(), base.path.begin(), base.path.end());
+  return out;
+}
+
+}  // namespace
+
+std::map<bgp::Asn, AsRoute> routes_to_filtered(
+    const AsGraph& graph, bgp::Asn origin,
+    const std::set<FilteredEdge>& blocked) {
+  std::map<bgp::Asn, AsRoute> routes;
+  routes[origin] = AsRoute{RouteType::kCustomer, {}};
+
+  // Phase 1: customer routes ripple up provider edges.
+  std::deque<bgp::Asn> frontier{origin};
+  while (!frontier.empty()) {
+    bgp::Asn cur = frontier.front();
+    frontier.pop_front();
+    const AsRoute cur_route = routes[cur];
+    for (bgp::Asn p : graph.providers(cur)) {
+      if (edge_blocked(blocked, cur, p)) continue;
+      AsRoute cand = extend(cur_route, cur, RouteType::kCustomer);
+      if (better(cand, routes[p])) {
+        routes[p] = std::move(cand);
+        frontier.push_back(p);
+      }
+    }
+  }
+
+  // Phase 2: customer routes are exported to peers (one hop).
+  std::map<bgp::Asn, AsRoute> peer_updates;
+  for (const auto& [asn, route] : routes) {
+    if (route.type != RouteType::kCustomer) continue;
+    for (bgp::Asn peer : graph.peers(asn)) {
+      if (edge_blocked(blocked, asn, peer)) continue;
+      AsRoute cand = extend(route, asn, RouteType::kPeer);
+      auto it = peer_updates.find(peer);
+      if (better(cand, routes[peer]) &&
+          (it == peer_updates.end() || better(cand, it->second)))
+        peer_updates[peer] = std::move(cand);
+    }
+  }
+  for (auto& [asn, route] : peer_updates) {
+    if (better(route, routes[asn])) routes[asn] = std::move(route);
+  }
+
+  // Phase 3: everything propagates down customer edges.
+  std::vector<bgp::Asn> order;
+  for (const auto& [asn, route] : routes)
+    if (route.valid()) order.push_back(asn);
+  std::sort(order.begin(), order.end(), [&](bgp::Asn a, bgp::Asn b) {
+    return routes[a].path.size() < routes[b].path.size();
+  });
+  frontier.assign(order.begin(), order.end());
+  while (!frontier.empty()) {
+    bgp::Asn cur = frontier.front();
+    frontier.pop_front();
+    const AsRoute cur_route = routes[cur];
+    if (!cur_route.valid()) continue;
+    for (bgp::Asn c : graph.customers(cur)) {
+      if (edge_blocked(blocked, cur, c)) continue;
+      AsRoute cand = extend(cur_route, cur, RouteType::kProvider);
+      if (better(cand, routes[c])) {
+        routes[c] = std::move(cand);
+        frontier.push_back(c);
+      }
+    }
+  }
+
+  for (auto it = routes.begin(); it != routes.end();) {
+    if (!it->second.valid())
+      it = routes.erase(it);
+    else
+      ++it;
+  }
+  return routes;
+}
+
+FilterDiagnosis locate_filters(const AsGraph& graph, bgp::Asn origin,
+                               const LookingGlassSet& glasses) {
+  FilterDiagnosis diagnosis;
+
+  // Gao-Rexford export rule: exporter e passes its route r to importer i
+  // iff i is e's customer, or r is a customer route and i is e's provider
+  // or peer.
+  auto should_export = [&](bgp::Asn e, bgp::Asn i, const AsRoute& r) {
+    const auto& customers = graph.customers(e);
+    if (std::find(customers.begin(), customers.end(), i) != customers.end())
+      return true;
+    if (r.type != RouteType::kCustomer) return false;
+    const auto& providers = graph.providers(e);
+    if (std::find(providers.begin(), providers.end(), i) != providers.end())
+      return true;
+    const auto& peers = graph.peers(e);
+    return std::find(peers.begin(), peers.end(), i) != peers.end();
+  };
+
+  auto neighbors_of = [&](bgp::Asn asn) {
+    std::vector<bgp::Asn> out;
+    for (bgp::Asn x : graph.providers(asn)) out.push_back(x);
+    for (bgp::Asn x : graph.customers(asn)) out.push_back(x);
+    for (bgp::Asn x : graph.peers(asn)) out.push_back(x);
+    return out;
+  };
+
+  // The route each AS *would* select absent any filtering tells us who its
+  // expected feeder is.
+  auto expected = routes_to_filtered(graph, origin, {});
+
+  for (bgp::Asn asn : glasses.available()) {
+    auto view = glasses.query(asn);
+    if (!view || view->valid()) continue;  // has a route: nothing to explain
+    if (asn == origin) continue;
+
+    bool found_suspect = false;
+    for (bgp::Asn nb : neighbors_of(asn)) {
+      auto nb_view = glasses.query(nb);
+      if (!nb_view || !nb_view->valid()) continue;
+      if (should_export(nb, asn, *nb_view)) {
+        // nb demonstrably has the route and should have exported it here:
+        // the (nb -> asn) adjacency hides a filter — on one side or the
+        // other, which looking glasses cannot tell apart (Appendix A).
+        diagnosis.suspects.push_back({nb, asn});
+        found_suspect = true;
+      }
+    }
+    if (found_suspect) continue;
+
+    // No observable neighbor holds the route. If the AS's expected feeder
+    // is observable and routeless, the gap is explained (the feeder's own
+    // problem); if the feeder is dark, we hit the appendix's dead end.
+    auto exp_it = expected.find(asn);
+    if (exp_it == expected.end() || exp_it->second.path.empty()) continue;
+    bgp::Asn feeder = exp_it->second.path.front();
+    auto feeder_view = glasses.query(feeder);
+    if (!feeder_view) diagnosis.unexplained.push_back(asn);
+  }
+  return diagnosis;
+}
+
+}  // namespace peering::inet

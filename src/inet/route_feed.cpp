@@ -1,0 +1,91 @@
+#include "inet/route_feed.h"
+
+#include <algorithm>
+
+namespace peering::inet {
+
+std::vector<FeedRoute> generate_feed(const RouteFeedConfig& config) {
+  Rng rng(config.seed);
+  std::vector<FeedRoute> feed;
+  feed.reserve(config.route_count);
+
+  // Real routing tables share attribute sets across many prefixes (one AS
+  // path serves every prefix that AS originates); generate a pool of
+  // attribute templates and draw routes from it.
+  std::size_t template_count = config.attribute_templates;
+  if (template_count == 0)
+    template_count = std::max<std::size_t>(1, config.route_count / 20);
+  std::vector<bgp::PathAttributes> templates;
+  templates.reserve(template_count);
+  for (std::size_t t = 0; t < template_count; ++t) {
+    bgp::PathAttributes attrs;
+    std::vector<bgp::Asn> path{config.neighbor_asn};
+    // Geometric-ish tail length around the configured mean.
+    std::size_t tail = 1;
+    while (rng.uniform() < (config.mean_path_tail - 1) / config.mean_path_tail &&
+           tail < 12)
+      ++tail;
+    for (std::size_t h = 0; h < tail; ++h)
+      path.push_back(static_cast<bgp::Asn>(rng.range(1000, 400000)));
+    attrs.as_path = bgp::AsPath(std::move(path));
+    attrs.origin =
+        rng.chance(0.9) ? bgp::Origin::kIgp : bgp::Origin::kIncomplete;
+    attrs.next_hop = Ipv4Address(
+        static_cast<std::uint32_t>(rng.range(0x0A000001, 0x0AFFFFFE)));
+    if (rng.chance(0.3))
+      attrs.med = static_cast<std::uint32_t>(rng.below(200));
+    if (rng.chance(config.community_prob)) {
+      std::size_t n = 1 + rng.below(4);
+      for (std::size_t c = 0; c < n; ++c)
+        attrs.communities.push_back(
+            bgp::Community(static_cast<std::uint16_t>(rng.range(1000, 65000)),
+                           static_cast<std::uint16_t>(rng.below(1000))));
+    }
+    templates.push_back(std::move(attrs));
+  }
+
+  std::uint32_t base = (1u << 24);  // start at 1.0.0.0
+  for (std::size_t i = 0; i < config.route_count; ++i) {
+    FeedRoute route;
+    std::uint8_t length = 24;
+    double r = rng.uniform();
+    if (r < 0.15)
+      length = 22;
+    else if (r < 0.25)
+      length = 20;
+    // Allocate non-overlapping blocks: align up to the prefix's own size
+    // and advance past it, so prefixes stay unique for the full Figure 6a
+    // x-axis (4M routes) without wrapping the 32-bit space.
+    std::uint32_t block = 1u << (32 - length);
+    base = (base + block - 1) & ~(block - 1);
+    route.prefix = Ipv4Prefix(Ipv4Address(base), length);
+    base += block;
+
+    route.attrs = templates[rng.below(templates.size())];
+    feed.push_back(std::move(route));
+  }
+  return feed;
+}
+
+std::vector<FeedRoute> generate_churn(const std::vector<FeedRoute>& feed,
+                                      std::size_t update_count,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeedRoute> updates;
+  updates.reserve(update_count);
+  for (std::size_t i = 0; i < update_count; ++i) {
+    FeedRoute update = feed[rng.below(feed.size())];
+    // Churn flips a route between a small number of alternative attribute
+    // versions (MED steps), preserving attribute sharing.
+    update.attrs.med = static_cast<std::uint32_t>(rng.below(4) * 10);
+    if (rng.chance(0.2)) {
+      // Path change: re-prepend the first AS once.
+      update.attrs.as_path =
+          update.attrs.as_path.prepended(update.attrs.as_path.first());
+    }
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+}  // namespace peering::inet

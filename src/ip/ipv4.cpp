@@ -1,0 +1,62 @@
+#include "ip/ipv4.h"
+
+namespace peering::ip {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes Ipv4Packet::encode() const {
+  ByteWriter w(20 + payload.size());
+  w.u8((4u << 4) | 5u);  // version 4, IHL 5 (no options)
+  w.u8(dscp << 2);
+  w.u16(static_cast<std::uint16_t>(total_length()));
+  w.u16(identification);
+  w.u16(0x4000);  // flags: DF set, no fragmentation modeled
+  w.u8(ttl);
+  w.u8(protocol);
+  std::size_t checksum_pos = w.reserve_u16();
+  w.u32(src.value());
+  w.u32(dst.value());
+  Bytes header = w.take();
+  std::uint16_t checksum = internet_checksum(header);
+  header[checksum_pos] = static_cast<std::uint8_t>(checksum >> 8);
+  header[checksum_pos + 1] = static_cast<std::uint8_t>(checksum);
+  header.insert(header.end(), payload.begin(), payload.end());
+  return header;
+}
+
+Result<Ipv4Packet> Ipv4Packet::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < 20) return Error("ipv4: truncated header");
+  if (internet_checksum(data.subspan(0, 20)) != 0)
+    return Error("ipv4: bad header checksum");
+  ByteReader r(data);
+  auto ver_ihl = r.u8();
+  if ((*ver_ihl >> 4) != 4) return Error("ipv4: not version 4");
+  if ((*ver_ihl & 0xf) != 5) return Error("ipv4: options unsupported");
+  Ipv4Packet pkt;
+  pkt.dscp = *r.u8() >> 2;
+  auto total = r.u16();
+  if (*total < 20 || *total > data.size())
+    return Error("ipv4: bad total length");
+  pkt.identification = *r.u16();
+  (void)r.u16();  // flags/fragment offset ignored (DF-only model)
+  pkt.ttl = *r.u8();
+  pkt.protocol = *r.u8();
+  (void)r.u16();  // checksum already validated
+  pkt.src = Ipv4Address(*r.u32());
+  pkt.dst = Ipv4Address(*r.u32());
+  auto body = r.bytes(*total - 20);
+  if (!body) return Error("ipv4: truncated payload");
+  pkt.payload = std::move(*body);
+  return pkt;
+}
+
+}  // namespace peering::ip

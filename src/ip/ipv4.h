@@ -1,0 +1,41 @@
+// IPv4 header representation and wire codec (RFC 791, no options, no
+// fragmentation — the simulated links carry whole datagrams).
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/bytes.h"
+#include "netbase/ip.h"
+#include "netbase/result.h"
+
+namespace peering::ip {
+
+/// IP protocol numbers used in the simulation.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Packet {
+  std::uint8_t dscp = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  Ipv4Address src;
+  Ipv4Address dst;
+  Bytes payload;
+
+  /// Serializes with a freshly computed header checksum.
+  Bytes encode() const;
+
+  /// Parses and validates the header checksum.
+  static Result<Ipv4Packet> decode(std::span<const std::uint8_t> data);
+
+  std::size_t total_length() const { return 20 + payload.size(); }
+};
+
+/// RFC 1071 ones-complement checksum over `data`.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace peering::ip

@@ -1,0 +1,87 @@
+// Longest-prefix-match routing table (binary trie). This is the FIB
+// structure whose per-route memory cost Figure 6a measures: vBGP maintains
+// one of these tables per BGP neighbor so experiments can select any
+// neighbor's route per packet, and optionally one more "default" table kept
+// in sync with the best-path decision (the per-interconnection-with-default
+// configuration in the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "netbase/ip.h"
+#include "netbase/prefix.h"
+
+namespace peering::ip {
+
+/// A route installed in a routing table. `next_hop` of 0.0.0.0 means the
+/// destination is directly connected (resolve the destination itself via
+/// ARP); `interface` is the egress interface index on the owning node.
+struct Route {
+  Ipv4Prefix prefix;
+  Ipv4Address next_hop;
+  int interface = -1;
+  std::uint32_t metric = 0;
+
+  bool operator==(const Route&) const = default;
+};
+
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+
+  // The trie holds raw owning pointers through unique_ptr nodes; moving is
+  // fine, copying is not meaningful.
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+  RoutingTable(RoutingTable&&) = default;
+  RoutingTable& operator=(RoutingTable&&) = default;
+
+  /// Inserts or replaces the route for `route.prefix`. Returns true if a
+  /// route for that exact prefix already existed (and was replaced).
+  bool insert(const Route& route);
+
+  /// Removes the route for exactly `prefix`. Returns true if one existed.
+  bool remove(const Ipv4Prefix& prefix);
+
+  /// Longest-prefix-match lookup.
+  std::optional<Route> lookup(Ipv4Address addr) const;
+
+  /// Exact-match lookup.
+  std::optional<Route> exact(const Ipv4Prefix& prefix) const;
+
+  /// Visits every installed route (ordering: trie preorder).
+  void visit(const std::function<void(const Route&)>& fn) const;
+
+  /// Removes all routes.
+  void clear();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bytes consumed by trie nodes + route entries. This is the quantity the
+  /// Figure 6a reproduction sums across tables.
+  std::size_t memory_bytes() const;
+
+  std::size_t node_count() const { return nodes_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<Route> route;
+  };
+
+  void visit_node(const Node* node, const std::function<void(const Route&)>& fn) const;
+  /// Prunes childless, routeless nodes along the path to `prefix`.
+  bool remove_recursive(Node* node, const Ipv4Prefix& prefix, int depth,
+                        bool* removed);
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace peering::ip

@@ -1,0 +1,50 @@
+#include "ip/traceroute.h"
+
+#include "ip/udp.h"
+
+namespace peering::ip {
+
+std::vector<TracerouteHop> traceroute(Host& source, Ipv4Address dst,
+                                      int max_hops, Duration deadline) {
+  std::vector<TracerouteHop> hops(static_cast<std::size_t>(max_hops));
+  for (int i = 0; i < max_hops; ++i) hops[static_cast<std::size_t>(i)].ttl = i + 1;
+
+  constexpr std::uint16_t kBasePort = 33434;
+
+  source.on_packet([&](const Ipv4Packet& packet, int, const ether::EthernetFrame&) {
+    if (packet.protocol != static_cast<std::uint8_t>(IpProto::kIcmp)) return;
+    auto msg = IcmpMessage::decode(packet.payload);
+    if (!msg) return;
+    if (msg->type == IcmpType::kTimeExceeded ||
+        msg->type == IcmpType::kDestUnreachable) {
+      // The quoted offending packet identifies the probe via its UDP dst port.
+      auto offending = Ipv4Packet::decode(msg->body);
+      if (!offending) return;
+      auto udp = UdpDatagram::decode(offending->payload);
+      if (!udp) return;
+      int index = udp->dst_port - kBasePort;
+      if (index < 0 || index >= max_hops) return;
+      auto& hop = hops[static_cast<std::size_t>(index)];
+      hop.responder = packet.src;
+      if (msg->type == IcmpType::kDestUnreachable) hop.reached_destination = true;
+    }
+  });
+
+  for (int ttl = 1; ttl <= max_hops; ++ttl) {
+    Ipv4Packet probe;
+    probe.dst = dst;
+    probe.ttl = static_cast<std::uint8_t>(ttl);
+    probe.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+    UdpDatagram udp;
+    udp.src_port = 54321;
+    udp.dst_port = static_cast<std::uint16_t>(kBasePort + ttl - 1);
+    probe.payload = udp.encode();
+    source.send_packet(std::move(probe));
+  }
+
+  source.loop()->run_for(deadline);
+  source.on_packet(nullptr);
+  return hops;
+}
+
+}  // namespace peering::ip

@@ -1,0 +1,26 @@
+// Traceroute over the simulated network: UDP probes with increasing TTL,
+// hop addresses harvested from ICMP time-exceeded errors. Exercises the
+// primary-address sourcing property the PEERING controller maintains.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ip/host.h"
+
+namespace peering::ip {
+
+struct TracerouteHop {
+  int ttl = 0;
+  std::optional<Ipv4Address> responder;
+  bool reached_destination = false;
+};
+
+/// Runs a traceroute from `source` to `dst`. Sends one probe per TTL from 1
+/// to `max_hops`, then runs the event loop until `deadline` has elapsed.
+/// Temporarily replaces the host's packet handler.
+std::vector<TracerouteHop> traceroute(Host& source, Ipv4Address dst,
+                                      int max_hops = 16,
+                                      Duration deadline = Duration::seconds(2));
+
+}  // namespace peering::ip

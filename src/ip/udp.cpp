@@ -1,0 +1,32 @@
+#include "ip/udp.h"
+
+namespace peering::ip {
+
+Bytes UdpDatagram::encode() const {
+  ByteWriter w(8 + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(8 + payload.size()));
+  w.u16(0);  // checksum 0 = not computed (legal for IPv4 UDP)
+  w.raw(payload);
+  return w.take();
+}
+
+Result<UdpDatagram> UdpDatagram::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  auto src = r.u16();
+  auto dst = r.u16();
+  auto len = r.u16();
+  auto checksum = r.u16();
+  if (!src || !dst || !len || !checksum) return Error("udp: truncated header");
+  if (*len < 8 || *len > data.size()) return Error("udp: bad length");
+  UdpDatagram d;
+  d.src_port = *src;
+  d.dst_port = *dst;
+  auto body = r.bytes(*len - 8);
+  if (!body) return Error("udp: truncated payload");
+  d.payload = std::move(*body);
+  return d;
+}
+
+}  // namespace peering::ip

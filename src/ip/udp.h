@@ -1,0 +1,20 @@
+// Minimal UDP codec for test traffic and traceroute probes.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/bytes.h"
+#include "netbase/result.h"
+
+namespace peering::ip {
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Bytes payload;
+
+  Bytes encode() const;
+  static Result<UdpDatagram> decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace peering::ip

@@ -1,0 +1,110 @@
+#include "netbase/ip.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace peering {
+
+std::string Ipv4Address::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_ >> 24) & 0xff,
+                (addr_ >> 16) & 0xff, (addr_ >> 8) & 0xff, addr_ & 0xff);
+  return buf;
+}
+
+Result<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+  std::uint32_t parts[4];
+  std::size_t part = 0;
+  bool have_digit = false;
+  std::uint32_t cur = 0;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      if (cur > 255) return Error("ipv4: octet out of range: " + text);
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || part >= 3) return Error("ipv4: malformed: " + text);
+      parts[part++] = cur;
+      cur = 0;
+      have_digit = false;
+    } else {
+      return Error("ipv4: invalid character: " + text);
+    }
+  }
+  if (!have_digit || part != 3) return Error("ipv4: malformed: " + text);
+  parts[3] = cur;
+  return Ipv4Address((parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) |
+                     parts[3]);
+}
+
+std::string Ipv6Address::str() const {
+  std::ostringstream out;
+  out << std::hex;
+  for (int g = 0; g < 8; ++g) {
+    if (g) out << ':';
+    unsigned v = (static_cast<unsigned>(bytes_[g * 2]) << 8) | bytes_[g * 2 + 1];
+    out << v;
+  }
+  return out.str();
+}
+
+Result<Ipv6Address> Ipv6Address::parse(const std::string& text) {
+  // Split on "::" first (at most one occurrence).
+  auto parse_groups = [](const std::string& s,
+                         std::vector<std::uint16_t>& out) -> Status {
+    if (s.empty()) return Status::Ok();
+    std::size_t start = 0;
+    while (start <= s.size()) {
+      std::size_t end = s.find(':', start);
+      if (end == std::string::npos) end = s.size();
+      std::string group = s.substr(start, end - start);
+      if (group.empty() || group.size() > 4)
+        return Error("ipv6: malformed group: " + s);
+      unsigned v = 0;
+      for (char c : group) {
+        v <<= 4;
+        if (c >= '0' && c <= '9') {
+          v |= static_cast<unsigned>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          v |= static_cast<unsigned>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          v |= static_cast<unsigned>(c - 'A' + 10);
+        } else {
+          return Error("ipv6: invalid character");
+        }
+      }
+      out.push_back(static_cast<std::uint16_t>(v));
+      if (end == s.size()) break;
+      start = end + 1;
+    }
+    return Status::Ok();
+  };
+
+  std::vector<std::uint16_t> head, tail;
+  std::size_t gap = text.find("::");
+  if (gap != std::string::npos) {
+    if (auto st = parse_groups(text.substr(0, gap), head); !st)
+      return st.error();
+    if (auto st = parse_groups(text.substr(gap + 2), tail); !st)
+      return st.error();
+    if (head.size() + tail.size() > 7) return Error("ipv6: too many groups");
+  } else {
+    if (auto st = parse_groups(text, head); !st) return st.error();
+    if (head.size() != 8) return Error("ipv6: expected 8 groups");
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    bytes[i * 2] = static_cast<std::uint8_t>(head[i] >> 8);
+    bytes[i * 2 + 1] = static_cast<std::uint8_t>(head[i]);
+  }
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    std::size_t g = 8 - tail.size() + i;
+    bytes[g * 2] = static_cast<std::uint8_t>(tail[i] >> 8);
+    bytes[g * 2 + 1] = static_cast<std::uint8_t>(tail[i]);
+  }
+  return Ipv6Address(bytes);
+}
+
+}  // namespace peering

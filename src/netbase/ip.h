@@ -1,0 +1,72 @@
+// IPv4 / IPv6 address value types. IPv4 is the routed protocol throughout the
+// library (matching the paper's evaluation); IPv6 addresses exist for the
+// platform's allocation registry (PEERING holds one /32 IPv6 allocation).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netbase/result.h"
+
+namespace peering {
+
+/// An IPv4 address stored host-ordered for arithmetic; serialization through
+/// ByteWriter/ByteReader converts to network order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return addr_; }
+  constexpr bool is_zero() const { return addr_ == 0; }
+
+  /// Dotted-quad rendering, e.g. "192.168.0.1".
+  std::string str() const;
+
+  /// Parses dotted-quad notation; rejects out-of-range octets and garbage.
+  static Result<Ipv4Address> parse(const std::string& text);
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// An IPv6 address as 16 raw bytes. Only used by the numbered-resource
+/// registry; the simulated data plane is IPv4.
+class Ipv6Address {
+ public:
+  Ipv6Address() { bytes_.fill(0); }
+  explicit Ipv6Address(const std::array<std::uint8_t, 16>& bytes)
+      : bytes_(bytes) {}
+
+  const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+
+  /// Canonical (RFC 5952-ish, without longest-run compression beyond the
+  /// first) textual rendering.
+  std::string str() const;
+
+  /// Parses full or "::"-compressed hexadecimal notation.
+  static Result<Ipv6Address> parse(const std::string& text);
+
+  auto operator<=>(const Ipv6Address&) const = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_;
+};
+
+}  // namespace peering
+
+template <>
+struct std::hash<peering::Ipv4Address> {
+  std::size_t operator()(const peering::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

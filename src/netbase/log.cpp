@@ -1,0 +1,43 @@
+#include "netbase/log.h"
+
+#include <cstdio>
+
+namespace peering {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  Sink prev = std::move(sink_);
+  sink_ = std::move(sink);
+  return prev;
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(threshold_)) return;
+  if (sink_) {
+    sink_(level, "[" + component + "] " + message);
+    return;
+  }
+  std::fprintf(stderr, "%-5s [%s] %s\n", log_level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace peering

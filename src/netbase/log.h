@@ -1,0 +1,59 @@
+// Small leveled logger. Components log through a shared Logger whose sink and
+// threshold are configurable; tests capture log lines to assert on
+// attribution records (the paper requires logging for attribution, §3.3).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace peering {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Process-wide logger instance.
+  static Logger& global();
+
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+
+  /// Replaces the output sink (default: stderr). Returns the previous sink so
+  /// tests can restore it.
+  Sink set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& component,
+           const std::string& message);
+
+ private:
+  LogLevel threshold_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Convenience macros; evaluate the stream expression only when enabled.
+#define PEERING_LOG(level, component, expr)                                   \
+  do {                                                                        \
+    if (static_cast<int>(level) >=                                            \
+        static_cast<int>(::peering::Logger::global().threshold())) {          \
+      std::ostringstream peering_log_stream_;                                 \
+      peering_log_stream_ << expr;                                            \
+      ::peering::Logger::global().log(level, component,                       \
+                                      peering_log_stream_.str());             \
+    }                                                                         \
+  } while (0)
+
+#define LOG_DEBUG(component, expr) \
+  PEERING_LOG(::peering::LogLevel::kDebug, component, expr)
+#define LOG_INFO(component, expr) \
+  PEERING_LOG(::peering::LogLevel::kInfo, component, expr)
+#define LOG_WARN(component, expr) \
+  PEERING_LOG(::peering::LogLevel::kWarn, component, expr)
+#define LOG_ERROR(component, expr) \
+  PEERING_LOG(::peering::LogLevel::kError, component, expr)
+
+}  // namespace peering

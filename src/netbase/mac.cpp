@@ -1,0 +1,43 @@
+#include "netbase/mac.h"
+
+#include <cstdio>
+
+namespace peering {
+
+std::string MacAddress::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+Result<MacAddress> MacAddress::parse(const std::string& text) {
+  std::array<std::uint8_t, 6> bytes{};
+  std::size_t octet = 0;
+  unsigned cur = 0;
+  int digits = 0;
+  auto hexval = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (char c : text) {
+    if (c == ':') {
+      if (digits == 0 || octet >= 5) return Error("mac: malformed: " + text);
+      bytes[octet++] = static_cast<std::uint8_t>(cur);
+      cur = 0;
+      digits = 0;
+    } else {
+      int v = hexval(c);
+      if (v < 0 || digits >= 2) return Error("mac: malformed: " + text);
+      cur = (cur << 4) | static_cast<unsigned>(v);
+      ++digits;
+    }
+  }
+  if (digits == 0 || octet != 5) return Error("mac: malformed: " + text);
+  bytes[5] = static_cast<std::uint8_t>(cur);
+  return MacAddress(bytes);
+}
+
+}  // namespace peering

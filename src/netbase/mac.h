@@ -1,0 +1,75 @@
+// Ethernet MAC addresses. vBGP's data-plane delegation is built on MAC
+// manipulation: each BGP neighbor is assigned a virtual MAC, and the
+// destination MAC of a frame arriving from an experiment selects the
+// per-neighbor routing table used to forward the inner packet.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netbase/result.h"
+
+namespace peering {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(const std::array<std::uint8_t, 6>& bytes)
+      : bytes_(bytes) {}
+  constexpr MacAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                       std::uint8_t d, std::uint8_t e, std::uint8_t f)
+      : bytes_{a, b, c, d, e, f} {}
+
+  /// Broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() {
+    return MacAddress(0xff, 0xff, 0xff, 0xff, 0xff, 0xff);
+  }
+
+  /// Deterministically derives a locally-administered unicast MAC from a
+  /// 32-bit identifier (used by the virtual-neighbor registry so MAC
+  /// assignment is reproducible across runs).
+  static constexpr MacAddress from_id(std::uint32_t id) {
+    // 0x02 in the first octet = locally administered, unicast.
+    return MacAddress(0x02, 0x50, static_cast<std::uint8_t>(id >> 24),
+                      static_cast<std::uint8_t>(id >> 16),
+                      static_cast<std::uint8_t>(id >> 8),
+                      static_cast<std::uint8_t>(id));
+  }
+
+  const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  constexpr bool is_broadcast() const {
+    for (auto b : bytes_)
+      if (b != 0xff) return false;
+    return true;
+  }
+  constexpr bool is_zero() const {
+    for (auto b : bytes_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Colon-separated lowercase hex, e.g. "02:50:00:00:00:01".
+  std::string str() const;
+
+  /// Parses colon-separated hex notation.
+  static Result<MacAddress> parse(const std::string& text);
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace peering
+
+template <>
+struct std::hash<peering::MacAddress> {
+  std::size_t operator()(const peering::MacAddress& m) const noexcept {
+    std::uint64_t v = 0;
+    for (auto b : m.bytes()) v = (v << 8) | b;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};

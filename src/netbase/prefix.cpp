@@ -1,0 +1,27 @@
+#include "netbase/prefix.h"
+
+namespace peering {
+
+std::string Ipv4Prefix::str() const {
+  return addr_.str() + "/" + std::to_string(length_);
+}
+
+Result<Ipv4Prefix> Ipv4Prefix::parse(const std::string& text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string::npos)
+    return Error("prefix: missing '/': " + text);
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return addr.error();
+  const std::string len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2)
+    return Error("prefix: bad length: " + text);
+  unsigned len = 0;
+  for (char c : len_text) {
+    if (c < '0' || c > '9') return Error("prefix: bad length: " + text);
+    len = len * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (len > 32) return Error("prefix: length > 32: " + text);
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+}  // namespace peering

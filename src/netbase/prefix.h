@@ -1,0 +1,79 @@
+// IPv4 prefixes (address + mask length) — the unit of BGP reachability and
+// of the platform's address allocations.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netbase/ip.h"
+#include "netbase/result.h"
+
+namespace peering {
+
+/// An IPv4 prefix in canonical form: host bits below the mask are zeroed at
+/// construction, so two prefixes compare equal iff they denote the same set
+/// of addresses.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  constexpr Ipv4Prefix(Ipv4Address addr, std::uint8_t length)
+      : addr_(Ipv4Address(mask_off(addr.value(), length))),
+        length_(length > 32 ? 32 : length) {}
+
+  constexpr Ipv4Address address() const { return addr_; }
+  constexpr std::uint8_t length() const { return length_; }
+
+  /// Network mask as a host-ordered 32-bit value (e.g. /24 -> 0xffffff00).
+  constexpr std::uint32_t mask() const { return mask_bits(length_); }
+
+  /// True iff `addr` falls inside this prefix.
+  constexpr bool contains(Ipv4Address addr) const {
+    return (addr.value() & mask()) == addr_.value();
+  }
+
+  /// True iff `other` is fully covered by this prefix (this is equal or
+  /// less specific).
+  constexpr bool covers(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// "a.b.c.d/len" rendering.
+  std::string str() const;
+
+  /// Parses "a.b.c.d/len"; the address is canonicalized (host bits zeroed).
+  static Result<Ipv4Prefix> parse(const std::string& text);
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask_bits(std::uint8_t length) {
+    return length == 0 ? 0u : (~0u << (32 - length));
+  }
+  static constexpr std::uint32_t mask_off(std::uint32_t v, std::uint8_t length) {
+    return v & mask_bits(length > 32 ? 32 : length);
+  }
+
+  Ipv4Address addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// IPv6 prefix for the allocation registry only (not routed in the sim).
+struct Ipv6Prefix {
+  Ipv6Address address;
+  std::uint8_t length = 0;
+
+  std::string str() const { return address.str() + "/" + std::to_string(length); }
+  auto operator<=>(const Ipv6Prefix&) const = default;
+};
+
+}  // namespace peering
+
+template <>
+struct std::hash<peering::Ipv4Prefix> {
+  std::size_t operator()(const peering::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.address().value()) << 8) | p.length());
+  }
+};

@@ -1,0 +1,85 @@
+// Minimal expected-style result type used across the library for fallible
+// operations (wire-format decoding, configuration transactions, policy
+// evaluation). We avoid exceptions on hot paths: decode errors in BGP map to
+// NOTIFICATION messages, not stack unwinding.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace peering {
+
+/// Error payload carried by Result<T>. Holds a human-readable message and an
+/// optional numeric code (used e.g. for BGP NOTIFICATION error subcodes).
+struct Error {
+  std::string message;
+  int code = 0;
+
+  Error() = default;
+  explicit Error(std::string msg, int c = 0) : message(std::move(msg)), code(c) {}
+};
+
+/// Result<T>: either a value of type T or an Error. A deliberately small
+/// subset of std::expected (not available in our toolchain's libstdc++).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : storage_(std::move(error)) {}
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Access the value. Precondition: ok().
+  T& value() {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Access the error. Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  /// Returns the value or a fallback if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue: success or an Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace peering

@@ -1,0 +1,25 @@
+#include "netbase/time.h"
+
+#include <cstdio>
+
+namespace peering {
+
+std::string Duration::str() const {
+  char buf[32];
+  if (ns_ % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(ns_ / 1'000'000'000));
+  } else if (ns_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(ns_ / 1'000'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string SimTime::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+  return buf;
+}
+
+}  // namespace peering

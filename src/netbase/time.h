@@ -1,0 +1,63 @@
+// Simulated-time value types. All timers in the library (BGP hold/keepalive/
+// MRAI, enforcement rate windows, link transmission delays) run on simulated
+// nanoseconds so every experiment is deterministic and reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace peering {
+
+/// A span of simulated time in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration nanos(std::int64_t v) { return Duration(v); }
+  static constexpr Duration micros(std::int64_t v) { return Duration(v * 1000); }
+  static constexpr Duration millis(std::int64_t v) {
+    return Duration(v * 1'000'000);
+  }
+  static constexpr Duration seconds(std::int64_t v) {
+    return Duration(v * 1'000'000'000);
+  }
+  static constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+  static constexpr Duration hours(std::int64_t v) { return seconds(v * 3600); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string str() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on the simulation clock (nanoseconds since sim start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr Duration operator-(SimTime o) const { return Duration(ns_ - o.ns_); }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string str() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace peering

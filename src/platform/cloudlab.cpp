@@ -1,0 +1,55 @@
+#include "platform/cloudlab.h"
+
+namespace peering::platform {
+
+Result<std::unique_ptr<CloudLabSite>> CloudLabSite::create(
+    Peering& peering, const std::string& pop_id, const std::string& site_id,
+    Duration site_latency) {
+  if (!peering.pop(pop_id))
+    return Error("cloudlab: no such pop: " + pop_id);
+  auto site = std::unique_ptr<CloudLabSite>(new CloudLabSite());
+  site->peering_ = &peering;
+  site->site_id_ = site_id;
+  site->pop_id_ = pop_id;
+  site->site_latency_ = site_latency;
+  return site;
+}
+
+CloudLabNode& CloudLabSite::allocate_node(const std::string& node_id) {
+  auto node = std::make_unique<CloudLabNode>();
+  node->id = node_id;
+  node->host = std::make_unique<ip::Host>(peering_->loop(),
+                                          site_id_ + "/" + node_id);
+  node->address = Ipv4Address(10, 240, next_node_, 2);
+  ++next_node_;
+  nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+Result<ExperimentAttachment> CloudLabSite::attach_experiment(
+    const std::string& exp_id, CloudLabNode& node) {
+  auto attachment =
+      peering_->attach_experiment(exp_id, pop_id_, site_latency_);
+  if (!attachment) return attachment;
+
+  // Wire the node's NIC straight onto the attachment link: no VPN client,
+  // the site LAN is the transport. The allocation address comes first
+  // (primary) so experiment traffic is sourced from announced space.
+  const auto* exp = peering_->db().experiment(exp_id);
+  auto& nif = node.host->add_interface(
+      "site0", MacAddress::from_id(0xCF000000u |
+                                   static_cast<std::uint32_t>(nodes_.size())));
+  if (exp && !exp->allocated_prefixes.empty()) {
+    const Ipv4Prefix& alloc = exp->allocated_prefixes.front();
+    nif.add_address({Ipv4Address(alloc.address().value() + 1), alloc.length()});
+  }
+  nif.add_address({attachment->client_tunnel_address, 24});
+  nif.attach(*attachment->tunnel, /*side_a=*/false);
+  int if_index = node.host->interface_count() - 1;
+  for (const auto& addr : nif.addresses())
+    node.host->routes().insert(
+        ip::Route{addr.subnet(), Ipv4Address(), if_index, 0});
+  return attachment;
+}
+
+}  // namespace peering::platform

@@ -1,0 +1,64 @@
+// CloudLab federation (§4.3.2): bare-metal compute sites colocated with
+// PEERING PoPs. "Combined, Peering and CloudLab provide experiments with
+// edge PoPs, a backbone, and compute resources" — and, per §7.4,
+// "experiments desiring low latency can deploy on (and tunnel from)
+// CloudLab": the site link to the colocated PoP is orders of magnitude
+// faster than an OpenVPN tunnel across the Internet.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ip/host.h"
+#include "platform/peering.h"
+
+namespace peering::platform {
+
+/// One bare-metal node allocated to an experiment.
+struct CloudLabNode {
+  std::string id;
+  std::unique_ptr<ip::Host> host;
+  std::unique_ptr<sim::Link> link;  // node <-> site switch
+  Ipv4Address address;
+};
+
+/// A CloudLab site colocated with a PoP: a node LAN bridged to the PoP's
+/// vBGP router over a short local link.
+class CloudLabSite {
+ public:
+  /// Builds the site and wires it to `pop_id`'s router. `site_latency` is
+  /// the LAN hop to the colocated PoP (microseconds, not the tens of
+  /// milliseconds an Internet VPN tunnel costs).
+  static Result<std::unique_ptr<CloudLabSite>> create(
+      Peering& peering, const std::string& pop_id, const std::string& site_id,
+      Duration site_latency = Duration::micros(100));
+
+  const std::string& site_id() const { return site_id_; }
+  const std::string& pop_id() const { return pop_id_; }
+
+  /// Allocates a bare-metal node for an experiment. The node's host stack
+  /// is the experiment's to use directly.
+  CloudLabNode& allocate_node(const std::string& node_id);
+
+  /// Attaches an approved experiment from a node at this site: like
+  /// Peering::attach_experiment but over the site link instead of a VPN
+  /// tunnel. The node's host gains the allocation address and the
+  /// BGP transport; the caller wires its speaker to the returned stream.
+  Result<ExperimentAttachment> attach_experiment(const std::string& exp_id,
+                                                 CloudLabNode& node);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  CloudLabSite() = default;
+
+  Peering* peering_ = nullptr;
+  std::string site_id_;
+  std::string pop_id_;
+  Duration site_latency_;
+  std::vector<std::unique_ptr<CloudLabNode>> nodes_;
+  std::uint8_t next_node_ = 1;
+};
+
+}  // namespace peering::platform

@@ -1,0 +1,50 @@
+#include "platform/collector.h"
+
+namespace peering::platform {
+
+RouteCollector::RouteCollector(sim::EventLoop* loop, std::string name,
+                               bgp::Asn asn, Ipv4Address router_id)
+    : loop_(loop),
+      speaker_(std::make_unique<bgp::BgpSpeaker>(loop, std::move(name), asn,
+                                                 router_id)) {
+  speaker_->on_route_event([this](const bgp::RibRoute& route, bool withdrawn) {
+    ArchiveRecord record;
+    record.at = loop_->now();
+    auto it = feed_names_.find(route.peer);
+    record.feed = it == feed_names_.end() ? "?" : it->second;
+    record.prefix = route.prefix;
+    record.withdrawn = withdrawn;
+    record.as_path = route.attrs->as_path;
+    record.communities = route.attrs->communities;
+    archive_.push_back(std::move(record));
+  });
+}
+
+bgp::PeerId RouteCollector::add_feed(const std::string& feed_name,
+                                     bgp::Asn feed_asn) {
+  bgp::PeerConfig config;
+  config.name = feed_name;
+  config.peer_asn = feed_asn;
+  config.export_policy = bgp::RoutePolicy::deny_all();  // strictly passive
+  bgp::PeerId peer = speaker_->add_peer(config);
+  feed_names_[peer] = feed_name;
+  return peer;
+}
+
+std::vector<bgp::AsPath> RouteCollector::visible_paths(
+    const Ipv4Prefix& prefix) const {
+  std::vector<bgp::AsPath> out;
+  for (const auto& route : speaker_->loc_rib().candidates(prefix))
+    out.push_back(route.attrs->as_path);
+  return out;
+}
+
+std::vector<ArchiveRecord> RouteCollector::history(
+    const Ipv4Prefix& prefix) const {
+  std::vector<ArchiveRecord> out;
+  for (const auto& record : archive_)
+    if (record.prefix == prefix) out.push_back(record);
+  return out;
+}
+
+}  // namespace peering::platform

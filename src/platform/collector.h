@@ -1,0 +1,57 @@
+// A passive BGP route collector in the style of RouteViews / RIPE RIS
+// (§8: the measurement tools PEERING complements). Experiments use
+// collectors to *observe* how their announcements propagate — which is
+// exactly how studies on the real platform validate visibility. The
+// collector accepts every route, never exports anything, and archives a
+// timestamped record of every update and withdrawal.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/speaker.h"
+
+namespace peering::platform {
+
+struct ArchiveRecord {
+  SimTime at;
+  std::string feed;  // which peer delivered it
+  Ipv4Prefix prefix;
+  bool withdrawn = false;
+  bgp::AsPath as_path;
+  std::vector<bgp::Community> communities;
+};
+
+class RouteCollector {
+ public:
+  RouteCollector(sim::EventLoop* loop, std::string name, bgp::Asn asn,
+                 Ipv4Address router_id);
+
+  bgp::BgpSpeaker& speaker() { return *speaker_; }
+
+  /// Registers a feed session (the collector never announces back).
+  bgp::PeerId add_feed(const std::string& feed_name, bgp::Asn feed_asn);
+
+  void connect(bgp::PeerId feed, std::shared_ptr<sim::StreamEndpoint> stream) {
+    speaker_->connect_peer(feed, stream);
+  }
+
+  /// The full archive, in arrival order (an MRT dump, morally).
+  const std::vector<ArchiveRecord>& archive() const { return archive_; }
+
+  /// Current visibility of a prefix: the AS paths present across feeds.
+  std::vector<bgp::AsPath> visible_paths(const Ipv4Prefix& prefix) const;
+
+  /// Archive records touching `prefix`, oldest first (a BGPlay-style
+  /// event timeline).
+  std::vector<ArchiveRecord> history(const Ipv4Prefix& prefix) const;
+
+ private:
+  sim::EventLoop* loop_;
+  std::unique_ptr<bgp::BgpSpeaker> speaker_;
+  std::map<bgp::PeerId, std::string> feed_names_;
+  std::vector<ArchiveRecord> archive_;
+};
+
+}  // namespace peering::platform

@@ -1,0 +1,178 @@
+#include "platform/configdb.h"
+
+#include <algorithm>
+
+namespace peering::platform {
+
+ConfigDatabase::ConfigDatabase(PlatformModel initial)
+    : model_(std::move(initial)) {
+  if (model_.version == 0) model_.version = 1;
+}
+
+void ConfigDatabase::record(const std::string& summary) {
+  ++model_.version;
+  history_.push_back({model_.version, summary});
+}
+
+Status ConfigDatabase::propose_experiment(const ExperimentProposal& proposal) {
+  if (proposal.id.empty()) return Error("configdb: empty experiment id");
+  if (model_.experiments.count(proposal.id))
+    return Error("configdb: experiment exists: " + proposal.id);
+  if (proposal.requested_prefixes < 1)
+    return Error("configdb: must request at least one prefix");
+
+  ExperimentModel exp;
+  exp.id = proposal.id;
+  exp.description = proposal.description;
+  exp.contact = proposal.contact;
+  exp.status = ExperimentStatus::kProposed;
+  exp.capabilities = proposal.requested_capabilities;  // pending review
+  exp.max_poisoned_asns = proposal.requested_poisoned_asns;
+  exp.max_communities = proposal.requested_communities;
+  // Stash the prefix request in a side channel: allocation happens at
+  // approval so rejected proposals never consume address space.
+  pending_prefix_requests_[proposal.id] = proposal.requested_prefixes;
+  model_.experiments[exp.id] = std::move(exp);
+  record("propose " + proposal.id);
+  return Status::Ok();
+}
+
+std::vector<Ipv4Prefix> ConfigDatabase::free_prefixes() const {
+  std::vector<Ipv4Prefix> free = model_.resources.prefix_pool;
+  for (const auto& [id, exp] : model_.experiments) {
+    if (exp.status == ExperimentStatus::kRejected ||
+        exp.status == ExperimentStatus::kRetired)
+      continue;
+    for (const auto& allocated : exp.allocated_prefixes) {
+      free.erase(std::remove(free.begin(), free.end(), allocated), free.end());
+    }
+  }
+  return free;
+}
+
+Result<Credentials> ConfigDatabase::approve_experiment(
+    const std::string& id,
+    std::optional<std::set<enforce::Capability>> granted_capabilities) {
+  auto it = model_.experiments.find(id);
+  if (it == model_.experiments.end())
+    return Error("configdb: no such experiment: " + id);
+  ExperimentModel& exp = it->second;
+  if (exp.status != ExperimentStatus::kProposed)
+    return Error("configdb: experiment not in proposed state: " + id);
+
+  int want = 1;
+  auto req = pending_prefix_requests_.find(id);
+  if (req != pending_prefix_requests_.end()) want = req->second;
+  auto free = free_prefixes();
+  if (static_cast<int>(free.size()) < want)
+    return Error("configdb: insufficient free IPv4 prefixes (" +
+                 std::to_string(free.size()) + " free, " +
+                 std::to_string(want) + " requested)");
+  exp.allocated_prefixes.assign(free.begin(), free.begin() + want);
+  exp.allocated_v6 = model_.resources.v6_allocation;  // v6 is plentiful
+
+  if (granted_capabilities) exp.capabilities = *granted_capabilities;
+  if (next_asn_index_ >= model_.resources.asns.size())
+    next_asn_index_ = 1;  // ASNs are shared across experiments if exhausted
+  exp.asn = model_.resources.asns[next_asn_index_++];
+  exp.status = ExperimentStatus::kApproved;
+
+  Credentials creds;
+  creds.experiment_id = id;
+  creds.vpn_username = id;
+  // A deterministic stand-in for a generated secret.
+  creds.vpn_password_hash =
+      "sha256:" + std::to_string(std::hash<std::string>{}(id + "-secret"));
+  creds.bgp_asn = exp.asn;
+  record("approve " + id);
+  return creds;
+}
+
+Status ConfigDatabase::reject_experiment(const std::string& id,
+                                         const std::string& reason) {
+  auto it = model_.experiments.find(id);
+  if (it == model_.experiments.end())
+    return Error("configdb: no such experiment: " + id);
+  if (it->second.status != ExperimentStatus::kProposed)
+    return Error("configdb: experiment not in proposed state: " + id);
+  it->second.status = ExperimentStatus::kRejected;
+  rejection_reasons_[id] = reason;
+  record("reject " + id + ": " + reason);
+  return Status::Ok();
+}
+
+Status ConfigDatabase::activate_experiment(const std::string& id,
+                                           const std::string& pop_id) {
+  auto it = model_.experiments.find(id);
+  if (it == model_.experiments.end())
+    return Error("configdb: no such experiment: " + id);
+  ExperimentModel& exp = it->second;
+  if (exp.status != ExperimentStatus::kApproved &&
+      exp.status != ExperimentStatus::kActive)
+    return Error("configdb: experiment not approved: " + id);
+  if (!model_.pops.count(pop_id))
+    return Error("configdb: no such pop: " + pop_id);
+  if (std::find(exp.pops.begin(), exp.pops.end(), pop_id) == exp.pops.end())
+    exp.pops.push_back(pop_id);
+  exp.status = ExperimentStatus::kActive;
+  record("activate " + id + " at " + pop_id);
+  return Status::Ok();
+}
+
+Status ConfigDatabase::assign_prefixes(const std::string& id,
+                                       std::vector<Ipv4Prefix> prefixes) {
+  auto it = model_.experiments.find(id);
+  if (it == model_.experiments.end())
+    return Error("configdb: no such experiment: " + id);
+  ExperimentModel& exp = it->second;
+  if (exp.status != ExperimentStatus::kApproved &&
+      exp.status != ExperimentStatus::kActive)
+    return Error("configdb: experiment not live: " + id);
+  // Only the platform's own space may be assigned — controlled hijacks
+  // never touch third-party prefixes.
+  for (const auto& prefix : prefixes) {
+    bool owned = false;
+    for (const auto& pool : model_.resources.prefix_pool)
+      if (pool.covers(prefix) || prefix.covers(pool)) owned = true;
+    if (!owned)
+      return Error("configdb: " + prefix.str() +
+                   " is not PEERING address space");
+  }
+  exp.allocated_prefixes = std::move(prefixes);
+  record("assign-prefixes " + id);
+  return Status::Ok();
+}
+
+Status ConfigDatabase::update_capabilities(
+    const std::string& id, std::set<enforce::Capability> capabilities,
+    int max_poisoned_asns, int max_communities) {
+  auto it = model_.experiments.find(id);
+  if (it == model_.experiments.end())
+    return Error("configdb: no such experiment: " + id);
+  ExperimentModel& exp = it->second;
+  if (exp.status != ExperimentStatus::kApproved &&
+      exp.status != ExperimentStatus::kActive)
+    return Error("configdb: experiment not live: " + id);
+  exp.capabilities = std::move(capabilities);
+  exp.max_poisoned_asns = max_poisoned_asns;
+  exp.max_communities = max_communities;
+  record("update-capabilities " + id);
+  return Status::Ok();
+}
+
+Status ConfigDatabase::retire_experiment(const std::string& id) {
+  auto it = model_.experiments.find(id);
+  if (it == model_.experiments.end())
+    return Error("configdb: no such experiment: " + id);
+  it->second.status = ExperimentStatus::kRetired;
+  it->second.pops.clear();
+  record("retire " + id);
+  return Status::Ok();
+}
+
+const ExperimentModel* ConfigDatabase::experiment(const std::string& id) const {
+  auto it = model_.experiments.find(id);
+  return it == model_.experiments.end() ? nullptr : &it->second;
+}
+
+}  // namespace peering::platform

@@ -1,0 +1,106 @@
+// The centralized configuration database and management web service
+// (§§4.6, 5): holds the desired-state model, versions every change, and
+// implements the experiment lifecycle — proposal via the web form, manual
+// review/approval (with capability grants), credential generation, and
+// retirement. Configuration artifacts are derived from the model by the
+// templating engine and recorded in a version-control-style history that
+// supports inspection and rollback.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/result.h"
+#include "platform/model.h"
+
+namespace peering::platform {
+
+/// A proposal as submitted through the experiment web form (§4.6).
+struct ExperimentProposal {
+  std::string id;
+  std::string description;
+  std::string contact;
+  std::string execution_plan;
+  int requested_prefixes = 1;
+  std::set<enforce::Capability> requested_capabilities;
+  int requested_poisoned_asns = 0;
+  int requested_communities = 0;
+};
+
+struct ChangeRecord {
+  std::uint64_t version;
+  std::string summary;
+};
+
+/// VPN/BGP credentials generated at approval (§4.6).
+struct Credentials {
+  std::string experiment_id;
+  std::string vpn_username;
+  std::string vpn_password_hash;
+  bgp::Asn bgp_asn = 0;
+};
+
+class ConfigDatabase {
+ public:
+  explicit ConfigDatabase(PlatformModel initial);
+
+  const PlatformModel& model() const { return model_; }
+  std::uint64_t version() const { return model_.version; }
+  const std::vector<ChangeRecord>& history() const { return history_; }
+
+  // ------------------------ experiment lifecycle ------------------------
+
+  /// Files a proposal (status kProposed). Fails on duplicate ids.
+  Status propose_experiment(const ExperimentProposal& proposal);
+
+  /// Approves a proposal: allocates prefixes and an origin ASN, grants the
+  /// requested capabilities (the reviewer may trim them), generates
+  /// credentials. Returns the credentials.
+  Result<Credentials> approve_experiment(
+      const std::string& id,
+      std::optional<std::set<enforce::Capability>> granted_capabilities =
+          std::nullopt);
+
+  /// Rejects a proposal with a reason (e.g. "requires a large number of AS
+  /// poisonings", §7.1).
+  Status reject_experiment(const std::string& id, const std::string& reason);
+
+  /// Marks an experiment active at a PoP (called when it connects).
+  Status activate_experiment(const std::string& id, const std::string& pop_id);
+
+  /// Retires an experiment and returns its prefixes to the pool.
+  Status retire_experiment(const std::string& id);
+
+  /// Admin override: assigns explicit prefixes to an approved experiment,
+  /// even overlapping another experiment's allocation. Used for controlled
+  /// hijack studies of PEERING's own address space (§7.1: "controlled
+  /// hijacks (of Peering's own address space)").
+  Status assign_prefixes(const std::string& id,
+                         std::vector<Ipv4Prefix> prefixes);
+
+  /// Amends a live experiment's capability grants (the "admins can simply
+  /// add the capability on the approval web form" flow, §4.7). Takes
+  /// effect on the platform via Peering::refresh_experiment.
+  Status update_capabilities(const std::string& id,
+                             std::set<enforce::Capability> capabilities,
+                             int max_poisoned_asns, int max_communities);
+
+  const ExperimentModel* experiment(const std::string& id) const;
+
+  /// Prefixes not currently allocated to any live experiment.
+  std::vector<Ipv4Prefix> free_prefixes() const;
+
+ private:
+  void record(const std::string& summary);
+
+  PlatformModel model_;
+  std::vector<ChangeRecord> history_;
+  std::map<std::string, std::string> rejection_reasons_;
+  std::map<std::string, int> pending_prefix_requests_;
+  std::size_t next_asn_index_ = 1;  // resources.asns[0] is the platform ASN
+};
+
+}  // namespace peering::platform

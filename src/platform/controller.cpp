@@ -1,0 +1,232 @@
+#include "platform/controller.h"
+
+#include <algorithm>
+#include <set>
+
+#include "netbase/log.h"
+
+namespace peering::platform {
+
+namespace {
+
+bool addresses_equal_in_order(const std::vector<NlAddress>& a,
+                              const std::vector<NlAddress>& b) {
+  return a == b;
+}
+
+}  // namespace
+
+bool NetworkController::in_sync(const DesiredNetworkState& desired) const {
+  // Interfaces: same set, same up state, same ordered addresses.
+  auto live = netlink_->interfaces();
+  if (live.size() != desired.interfaces.size()) return false;
+  for (const auto& want : desired.interfaces) {
+    auto have = netlink_->interface(want.name);
+    if (!have || have->up != want.up ||
+        !addresses_equal_in_order(have->addresses, want.addresses))
+      return false;
+  }
+  auto live_routes = netlink_->routes();
+  std::set<NlRoute> live_route_set(live_routes.begin(), live_routes.end());
+  std::set<NlRoute> want_routes(desired.routes.begin(), desired.routes.end());
+  if (live_route_set != want_routes) return false;
+  auto live_rules = netlink_->rules();
+  std::set<NlRule> live_rule_set(live_rules.begin(), live_rules.end());
+  std::set<NlRule> want_rules(desired.rules.begin(), desired.rules.end());
+  return live_rule_set == want_rules;
+}
+
+std::vector<NetworkController::Op> NetworkController::plan(
+    const DesiredNetworkState& desired) const {
+  std::vector<Op> ops;
+  NetlinkSim* nl = netlink_;
+
+  std::map<std::string, NlInterface> want_ifs;
+  for (const auto& nif : desired.interfaces) want_ifs[nif.name] = nif;
+
+  // --- Step 1: remove configuration incompatible with the intent. ---
+
+  // Routes first (they depend on interfaces).
+  std::set<NlRoute> want_routes(desired.routes.begin(), desired.routes.end());
+  for (const NlRoute& route : netlink_->routes()) {
+    bool keep = want_routes.count(route) > 0 &&
+                want_ifs.count(route.interface) > 0;
+    if (keep) continue;
+    ops.push_back({[nl, route]() { return nl->remove_route(route); },
+                   [nl, route]() { return nl->add_route(route); },
+                   "remove route " + route.prefix.str()});
+  }
+
+  std::set<NlRule> want_rules(desired.rules.begin(), desired.rules.end());
+  for (const NlRule& rule : netlink_->rules()) {
+    if (want_rules.count(rule)) continue;
+    ops.push_back({[nl, rule]() { return nl->remove_rule(rule); },
+                   [nl, rule]() { return nl->add_rule(rule); },
+                   "remove rule " + rule.selector});
+  }
+
+  // Interfaces not wanted at all.
+  for (const NlInterface& live : netlink_->interfaces()) {
+    if (want_ifs.count(live.name)) continue;
+    NlInterface snapshot = live;
+    ops.push_back({[nl, snapshot]() { return nl->delete_interface(snapshot.name); },
+                   [nl, snapshot]() {
+                     if (auto st = nl->create_interface(snapshot.name); !st)
+                       return st;
+                     if (auto st = nl->set_link_up(snapshot.name, snapshot.up);
+                         !st)
+                       return st;
+                     for (const auto& addr : snapshot.addresses)
+                       if (auto st = nl->add_address(snapshot.name, addr); !st)
+                         return st;
+                     return Status::Ok();
+                   },
+                   "delete interface " + snapshot.name});
+  }
+
+  // --- Step 2: reconcile wanted interfaces. ---
+  for (const auto& [name, want] : want_ifs) {
+    auto have = netlink_->interface(name);
+    if (!have) {
+      NlInterface target = want;
+      ops.push_back({[nl, target]() {
+                       if (auto st = nl->create_interface(target.name); !st)
+                         return st;
+                       if (auto st = nl->set_link_up(target.name, target.up);
+                           !st)
+                         return st;
+                       for (const auto& addr : target.addresses)
+                         if (auto st = nl->add_address(target.name, addr); !st)
+                           return st;
+                       return Status::Ok();
+                     },
+                     [nl, target]() { return nl->delete_interface(target.name); },
+                     "create interface " + target.name});
+      continue;
+    }
+
+    if (have->up != want.up) {
+      bool up = want.up;
+      std::string ifname = name;
+      ops.push_back({[nl, ifname, up]() { return nl->set_link_up(ifname, up); },
+                     [nl, ifname, up]() { return nl->set_link_up(ifname, !up); },
+                     (up ? "up " : "down ") + ifname});
+    }
+
+    if (!addresses_equal_in_order(have->addresses, want.addresses)) {
+      bool primary_wrong =
+          !want.addresses.empty() &&
+          (have->addresses.empty() ||
+           have->addresses.front() != want.addresses.front());
+      if (primary_wrong) {
+        // Linux cannot re-prioritize addresses in place: remove everything
+        // and re-add in the intended order (§5).
+        NlInterface before = *have;
+        NlInterface target = want;
+        ops.push_back(
+            {[nl, before, target]() {
+               for (const auto& addr : before.addresses)
+                 if (auto st = nl->remove_address(before.name, addr.address);
+                     !st)
+                   return st;
+               for (const auto& addr : target.addresses)
+                 if (auto st = nl->add_address(target.name, addr); !st)
+                   return st;
+               return Status::Ok();
+             },
+             [nl, before, target]() {
+               for (const auto& addr : target.addresses)
+                 if (auto st = nl->remove_address(target.name, addr.address);
+                     !st)
+                   return st;
+               for (const auto& addr : before.addresses)
+                 if (auto st = nl->add_address(before.name, addr); !st)
+                   return st;
+               return Status::Ok();
+             },
+             "reorder addresses on " + name});
+      } else {
+        // Primary is right: add/remove the deltas only.
+        std::set<std::pair<std::uint32_t, std::uint8_t>> want_set, have_set;
+        for (const auto& a : want.addresses)
+          want_set.insert({a.address.value(), a.prefix_length});
+        for (const auto& a : have->addresses)
+          have_set.insert({a.address.value(), a.prefix_length});
+        std::string ifname = name;
+        for (const auto& a : have->addresses) {
+          if (want_set.count({a.address.value(), a.prefix_length})) continue;
+          NlAddress addr = a;
+          ops.push_back(
+              {[nl, ifname, addr]() {
+                 return nl->remove_address(ifname, addr.address);
+               },
+               [nl, ifname, addr]() { return nl->add_address(ifname, addr); },
+               "remove addr " + addr.address.str()});
+        }
+        for (const auto& a : want.addresses) {
+          if (have_set.count({a.address.value(), a.prefix_length})) continue;
+          NlAddress addr = a;
+          ops.push_back(
+              {[nl, ifname, addr]() { return nl->add_address(ifname, addr); },
+               [nl, ifname, addr]() {
+                 return nl->remove_address(ifname, addr.address);
+               },
+               "add addr " + addr.address.str()});
+        }
+      }
+    }
+  }
+
+  // --- Step 3: add missing rules and routes. ---
+  std::set<NlRule> live_rules;
+  for (const auto& r : netlink_->rules()) live_rules.insert(r);
+  for (const NlRule& rule : desired.rules) {
+    if (live_rules.count(rule)) continue;
+    ops.push_back({[nl, rule]() { return nl->add_rule(rule); },
+                   [nl, rule]() { return nl->remove_rule(rule); },
+                   "add rule " + rule.selector});
+  }
+
+  std::set<NlRoute> live_routes;
+  for (const auto& r : netlink_->routes()) live_routes.insert(r);
+  for (const NlRoute& route : desired.routes) {
+    if (live_routes.count(route)) continue;
+    ops.push_back({[nl, route]() { return nl->add_route(route); },
+                   [nl, route]() { return nl->remove_route(route); },
+                   "add route " + route.prefix.str()});
+  }
+
+  return ops;
+}
+
+ApplyResult NetworkController::apply(const DesiredNetworkState& desired) {
+  ApplyResult result;
+  std::vector<Op> ops = plan(desired);
+
+  std::vector<const Op*> applied;
+  for (const Op& op : ops) {
+    Status st = op.run();
+    if (!st) {
+      // Transactional semantics: unwind everything applied so far, in
+      // reverse order.
+      result.error = op.description + ": " + st.error().message;
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        Status undo = (*it)->undo();
+        if (!undo) {
+          LOG_ERROR("controller",
+                    "rollback failed for '" << (*it)->description
+                                            << "': " << undo.error().message);
+        }
+      }
+      result.rolled_back = true;
+      result.success = false;
+      return result;
+    }
+    applied.push_back(&op);
+    ++result.changes_applied;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace peering::platform

@@ -1,0 +1,66 @@
+// The vBGP network controller (§5): reconciles the server's live network
+// configuration with the intent model under two hard requirements the
+// paper spells out:
+//
+//  1. Minimal diff — "resetting the network configuration and applying the
+//     new configuration from scratch would reset BGP sessions"; instead the
+//     controller (i) removes configuration incompatible with the intended
+//     state, (ii) keeps compatible configuration, (iii) adds what is
+//     missing.
+//  2. Transactional semantics — either all changes apply or none do
+//     (partially complete changes are rolled back), so a server is never
+//     left inconsistent.
+//
+// It also repairs primary addresses: Linux cannot change an interface's
+// primary address directly, so when the primary is wrong the controller
+// removes and re-adds the interface's addresses in the intended order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "platform/netlink.h"
+
+namespace peering::platform {
+
+/// The desired network state of one server.
+struct DesiredNetworkState {
+  std::vector<NlInterface> interfaces;
+  std::vector<NlRoute> routes;
+  std::vector<NlRule> rules;
+};
+
+struct ApplyResult {
+  bool success = false;
+  /// Mutations issued (excluding rollback operations).
+  int changes_applied = 0;
+  bool rolled_back = false;
+  std::string error;
+};
+
+class NetworkController {
+ public:
+  explicit NetworkController(NetlinkSim* netlink) : netlink_(netlink) {}
+
+  /// Reconciles live state with `desired` transactionally.
+  ApplyResult apply(const DesiredNetworkState& desired);
+
+  /// True if live state already matches `desired` (apply would be a no-op).
+  bool in_sync(const DesiredNetworkState& desired) const;
+
+ private:
+  /// One reversible step of the transaction.
+  struct Op {
+    std::function<Status()> run;
+    std::function<Status()> undo;
+    std::string description;
+  };
+
+  /// Plans the minimal-diff operation list.
+  std::vector<Op> plan(const DesiredNetworkState& desired) const;
+
+  NetlinkSim* netlink_;
+};
+
+}  // namespace peering::platform

@@ -1,0 +1,88 @@
+#include "platform/deploy.h"
+
+namespace peering::platform {
+
+void DeploymentOrchestrator::register_server(const std::string& server_id) {
+  servers_.emplace(server_id, ServerState{server_id, {}, 0, true});
+}
+
+const ServerState* DeploymentOrchestrator::server(
+    const std::string& server_id) const {
+  auto it = servers_.find(server_id);
+  return it == servers_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DeploymentOrchestrator::servers() const {
+  std::vector<std::string> out;
+  for (const auto& [id, state] : servers_) out.push_back(id);
+  return out;
+}
+
+template <typename Apply>
+RolloutReport DeploymentOrchestrator::rollout(Apply apply,
+                                              std::size_t canary_count) {
+  RolloutReport report;
+  std::vector<ServerState*> order;
+  for (auto& [id, state] : servers_) order.push_back(&state);
+
+  std::size_t index = 0;
+  for (ServerState* state : order) {
+    bool is_canary = index < canary_count;
+    ServerState backup = *state;
+    apply(*state);
+    bool healthy = !health_check_ || health_check_(*state);
+    state->healthy = healthy;
+    if (!healthy) {
+      *state = backup;  // roll the server back
+      state->healthy = false;
+      report.error = "health check failed on " + state->server_id;
+      report.aborted_at_canary = is_canary;
+      report.success = false;
+      return report;
+    }
+    if (is_canary)
+      report.canaried.push_back(state->server_id);
+    else
+      report.updated.push_back(state->server_id);
+    ++index;
+  }
+  report.success = true;
+  return report;
+}
+
+RolloutReport DeploymentOrchestrator::deploy_container(
+    const ContainerSpec& spec, std::size_t canary_count) {
+  return rollout(
+      [&spec](ServerState& state) { state.running[spec.service] = spec.version; },
+      canary_count);
+}
+
+RolloutReport DeploymentOrchestrator::deploy_config(
+    std::uint64_t config_version, std::size_t canary_count) {
+  return rollout(
+      [config_version](ServerState& state) {
+        state.config_version = config_version;
+      },
+      canary_count);
+}
+
+std::vector<std::string> DeploymentOrchestrator::drifted(
+    std::uint64_t want) const {
+  std::vector<std::string> out;
+  for (const auto& [id, state] : servers_)
+    if (state.config_version != want) out.push_back(id);
+  return out;
+}
+
+std::size_t DeploymentOrchestrator::reconcile(std::uint64_t want) {
+  std::size_t fixed = 0;
+  for (auto& [id, state] : servers_) {
+    if (state.config_version != want) {
+      state.config_version = want;
+      ++fixed;
+    }
+  }
+  return fixed;
+}
+
+}  // namespace peering::platform

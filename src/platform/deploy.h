@@ -1,0 +1,82 @@
+// Standardized deployment (§5): containerized services pushed to every PoP
+// server by an Ansible-like orchestrator — reset to a known state, canary a
+// configuration change on a subset of the fleet, verify health, then roll
+// out fleet-wide; periodic runs detect and repair drift. Configuration
+// versions come from the ConfigDatabase; rollbacks re-deploy a prior
+// version from the history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netbase/result.h"
+
+namespace peering::platform {
+
+/// One containerized service at one version ("bird:2.0.7", "enforcer:1.4").
+struct ContainerSpec {
+  std::string service;
+  std::string version;
+  bool operator==(const ContainerSpec&) const = default;
+};
+
+/// The state the orchestrator tracks per server.
+struct ServerState {
+  std::string server_id;  // usually the PoP id
+  std::map<std::string, std::string> running;  // service -> version
+  std::uint64_t config_version = 0;
+  bool healthy = true;
+};
+
+struct RolloutReport {
+  bool success = false;
+  std::vector<std::string> canaried;
+  std::vector<std::string> updated;
+  std::string error;
+  /// True when the canary failed health checks and the rollout stopped
+  /// before touching the rest of the fleet.
+  bool aborted_at_canary = false;
+};
+
+class DeploymentOrchestrator {
+ public:
+  /// Health check invoked after each server update; returning false fails
+  /// the rollout (and stops it if still in the canary phase).
+  using HealthCheck = std::function<bool(const ServerState&)>;
+
+  void register_server(const std::string& server_id);
+  const ServerState* server(const std::string& server_id) const;
+  std::vector<std::string> servers() const;
+
+  void set_health_check(HealthCheck check) { health_check_ = std::move(check); }
+
+  /// Deploys a container to the fleet: canary first (`canary_count`
+  /// servers), health-check, then the rest. No server beyond the canaries
+  /// is touched if a canary fails (§5: "we canary the new configuration on
+  /// a subset of our production fleet as a safeguard").
+  RolloutReport deploy_container(const ContainerSpec& spec,
+                                 std::size_t canary_count = 1);
+
+  /// Pushes a configuration version the same way.
+  RolloutReport deploy_config(std::uint64_t config_version,
+                              std::size_t canary_count = 1);
+
+  /// Drift detection: servers whose config version differs from `want`.
+  std::vector<std::string> drifted(std::uint64_t want) const;
+
+  /// Reconciliation pass: re-applies `want` to drifted servers only
+  /// (the periodic Ansible run).
+  std::size_t reconcile(std::uint64_t want);
+
+ private:
+  template <typename Apply>
+  RolloutReport rollout(Apply apply, std::size_t canary_count);
+
+  std::map<std::string, ServerState> servers_;
+  HealthCheck health_check_;
+};
+
+}  // namespace peering::platform

@@ -1,0 +1,139 @@
+#include "platform/footprint.h"
+
+#include <algorithm>
+#include <set>
+
+namespace peering::platform {
+
+const std::vector<FootprintPopSpec>& footprint_pops() {
+  // Thirteen PoPs (§4.2): four IXPs + nine universities. Peer counts follow
+  // the paper: "We peer with 854 ASes at AMS-IX (106 bilaterally), 306 (63)
+  // at Seattle-IX, 140 (10) at Phoenix-IX, and 129 (6) at IX.br/MG."
+  static const std::vector<FootprintPopSpec> pops = {
+      {"amsterdam01", "AMS-IX, Amsterdam", PopType::kIxp, 106, 748, 2, true, 0},
+      {"seattle01", "Seattle-IX, Seattle", PopType::kIxp, 63, 243, 1, true, 0},
+      {"phoenix01", "Phoenix-IX, Phoenix", PopType::kIxp, 10, 130, 0, false, 0},
+      {"ixbr-mg01", "IX.br/MG, Belo Horizonte", PopType::kIxp, 6, 123, 0, true, 0},
+      {"gatech01", "Georgia Tech, Atlanta", PopType::kUniversity, 0, 0, 1, true, 0},
+      {"clemson01", "Clemson University", PopType::kUniversity, 0, 0, 1, true, 0},
+      {"wisc01", "UW-Madison", PopType::kUniversity, 0, 0, 1, true, 0},
+      {"utah01", "University of Utah", PopType::kUniversity, 0, 0, 1, true, 0},
+      {"ufmg01", "UFMG, Belo Horizonte", PopType::kUniversity, 0, 0, 1, true,
+       100'000'000},
+      {"isi01", "USC/ISI, Los Angeles", PopType::kUniversity, 0, 0, 1, false, 0},
+      {"cornell01", "Cornell University", PopType::kUniversity, 0, 0, 1, false,
+       50'000'000},
+      {"neu01", "Northeastern University", PopType::kUniversity, 0, 0, 1, false, 0},
+      {"columbia01", "Columbia University", PopType::kUniversity, 0, 0, 1, true, 0},
+  };
+  return pops;
+}
+
+PlatformModel build_footprint(std::uint64_t seed) {
+  (void)seed;  // the footprint is fully deterministic
+  PlatformModel model;
+  model.resources = NumberedResources::peering_defaults();
+
+  // 923 unique peer ASes across the four IXPs (§4.2). Identity is by
+  // index into a shared pool so per-IXP memberships overlap realistically.
+  constexpr bgp::Asn kPeerAsnBase = 20000;
+  auto peer_asn = [](int index) {
+    return kPeerAsnBase + static_cast<bgp::Asn>(index);
+  };
+
+  // Per-IXP membership as index ranges into the pool, arranged so that the
+  // union is exactly 923 unique peers of which exactly 129 are bilateral
+  // somewhere, while each IXP shows the §4.2 per-site counts:
+  //   AMS-IX:  854 members (106 bilateral)
+  //   Seattle: 306 members (63 bilateral: 40 shared with AMS + 23 new)
+  //   Phoenix: 140 members (10 bilateral, all shared with AMS)
+  //   IX.br:   129 members (6 bilateral, all shared with AMS)
+  struct IxpRange {
+    int begin;
+    int end;  // exclusive
+    bool bilateral;
+  };
+  struct IxpPlan {
+    const char* pop;
+    std::vector<IxpRange> ranges;
+  };
+  const std::vector<IxpPlan> plans = {
+      {"amsterdam01", {{0, 106, true}, {106, 854, false}}},
+      {"seattle01",
+       {{66, 106, true}, {854, 877, true}, {877, 923, false}, {300, 497, false}}},
+      {"phoenix01", {{0, 10, true}, {10, 140, false}}},
+      {"ixbr-mg01", {{100, 106, true}, {106, 229, false}}},
+  };
+
+  std::uint32_t next_global_id = 1;
+  bgp::Asn next_transit_asn = 3000;
+
+  for (const auto& spec : footprint_pops()) {
+    PopModel pop;
+    pop.id = spec.id;
+    pop.location = spec.location;
+    pop.type = spec.type;
+    pop.on_backbone = spec.on_backbone;
+    pop.bandwidth_limit_bps = spec.bandwidth_limit_bps;
+
+    for (int t = 0; t < spec.transits; ++t) {
+      InterconnectModel ic;
+      ic.name = std::string(spec.id) + "-transit" + std::to_string(t);
+      ic.asn = next_transit_asn++;
+      ic.type = InterconnectType::kTransit;
+      ic.global_id = next_global_id++;
+      pop.interconnects.push_back(ic);
+    }
+
+    for (const auto& plan : plans) {
+      if (pop.id != plan.pop) continue;
+      for (const auto& range : plan.ranges) {
+        for (int i = range.begin; i < range.end; ++i) {
+          InterconnectModel ic;
+          ic.asn = peer_asn(i);
+          ic.name = "peer-as" + std::to_string(ic.asn);
+          ic.type = range.bilateral ? InterconnectType::kBilateralPeer
+                                    : InterconnectType::kRouteServer;
+          ic.global_id = next_global_id++;
+          pop.interconnects.push_back(ic);
+        }
+      }
+    }
+    model.pops[pop.id] = std::move(pop);
+  }
+  model.version = 1;
+  return model;
+}
+
+FootprintSummary summarize(const PlatformModel& model) {
+  FootprintSummary summary;
+  std::set<bgp::Asn> unique_peers;
+  std::set<bgp::Asn> bilateral;
+  for (const auto& [id, pop] : model.pops) {
+    ++summary.pop_count;
+    if (pop.type == PopType::kIxp)
+      ++summary.ixp_pops;
+    else
+      ++summary.university_pops;
+    for (const auto& ic : pop.interconnects) {
+      switch (ic.type) {
+        case InterconnectType::kTransit:
+          ++summary.transit_interconnects;
+          break;
+        case InterconnectType::kBilateralPeer:
+          unique_peers.insert(ic.asn);
+          bilateral.insert(ic.asn);
+          break;
+        case InterconnectType::kRouteServer:
+          unique_peers.insert(ic.asn);
+          break;
+      }
+    }
+  }
+  summary.unique_peers = unique_peers.size();
+  summary.bilateral_peers = bilateral.size();
+  summary.route_server_peers = unique_peers.size() - bilateral.size();
+  return summary;
+}
+
+}  // namespace peering::platform

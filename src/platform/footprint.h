@@ -1,0 +1,58 @@
+// PEERING's deployed footprint as of the paper (§4.2): thirteen PoPs on
+// three continents — four at IXPs, nine at universities — 12 transit
+// providers, 923 unique peers (129 bilateral, the rest via route servers),
+// and the PeeringDB peer-type mix. build_footprint() materializes this as a
+// PlatformModel with synthetic neighbor ASNs.
+#pragma once
+
+#include "netbase/rand.h"
+#include "platform/model.h"
+
+namespace peering::platform {
+
+struct FootprintPopSpec {
+  const char* id;
+  const char* location;
+  PopType type;
+  /// Bilateral peers at this PoP (§4.2: 106 at AMS-IX, 63 at Seattle-IX,
+  /// 10 at Phoenix-IX, 6 at IX.br/MG).
+  int bilateral_peers;
+  /// Peers reachable via the IXP route servers (854 total at AMS-IX, etc.).
+  int route_server_peers;
+  int transits;
+  bool on_backbone;
+  std::uint64_t bandwidth_limit_bps;
+};
+
+/// The thirteen-PoP deployment. Counts follow §4.2; university PoPs have a
+/// single transit interconnection with the host institution.
+const std::vector<FootprintPopSpec>& footprint_pops();
+
+/// Peer-type shares reported from PeeringDB (§4.2).
+struct PeerTypeMix {
+  double transit_provider = 0.33;
+  double access_isp = 0.28;
+  double content = 0.23;
+  double unclassified = 0.08;
+  double other = 0.08;  // education/research, enterprise, non-profit, RS
+};
+
+/// Builds the full PlatformModel for the deployment: every PoP with its
+/// interconnects (synthetic neighbor ASNs, globally unique ids), numbered
+/// resources, and no experiments.
+PlatformModel build_footprint(std::uint64_t seed = 1);
+
+/// Summary statistics used by the footprint report example and tests.
+struct FootprintSummary {
+  std::size_t pop_count = 0;
+  std::size_t ixp_pops = 0;
+  std::size_t university_pops = 0;
+  std::size_t transit_interconnects = 0;
+  std::size_t bilateral_peers = 0;
+  std::size_t route_server_peers = 0;
+  std::size_t unique_peers = 0;
+};
+
+FootprintSummary summarize(const PlatformModel& model);
+
+}  // namespace peering::platform

@@ -1,0 +1,42 @@
+#include "platform/internet_feed.h"
+
+namespace peering::platform {
+
+Result<InternetFeedStats> feed_from_internet(Peering& peering,
+                                             const std::string& pop_id,
+                                             const inet::Internet& internet) {
+  PopRuntime* pop = peering.pop(pop_id);
+  if (!pop) return Error("internet_feed: no such pop: " + pop_id);
+
+  InternetFeedStats stats;
+  for (std::size_t i = 0; i < pop->neighbors.size(); ++i) {
+    auto& nb = pop->neighbors[i];
+    if (!internet.graph.has_as(nb->model.asn)) continue;
+    const bool is_transit =
+        nb->model.type == InterconnectType::kTransit;
+
+    std::vector<inet::FeedRoute> feed;
+    for (const auto& [origin, prefix] : internet.prefixes) {
+      auto routes = internet.graph.routes_to(origin);
+      auto it = routes.find(nb->model.asn);
+      if (it == routes.end()) continue;
+      // Export policy: a transit (PEERING is its customer) exports every
+      // route; a peer exports only customer routes (its cone).
+      if (!is_transit && it->second.type != inet::RouteType::kCustomer)
+        continue;
+      inet::FeedRoute route;
+      route.prefix = prefix;
+      std::vector<bgp::Asn> path = it->second.path;
+      if (path.empty() || path.back() != origin) path.push_back(origin);
+      route.attrs.as_path = bgp::AsPath(path);
+      feed.push_back(std::move(route));
+    }
+    if (feed.empty()) continue;
+    if (auto st = peering.feed_routes(pop_id, i, feed); !st) return st.error();
+    ++stats.neighbors_fed;
+    stats.routes_fed += feed.size();
+  }
+  return stats;
+}
+
+}  // namespace peering::platform

@@ -1,0 +1,28 @@
+// Feeds the platform's live neighbors from a synthetic Internet: each
+// neighbor advertises, with correct Gao-Rexford export policy, the routes
+// it would really offer — a transit provider exports its full table, a
+// settlement-free peer only its customer cone (§4.2: "ASes in the customer
+// cones of our peers receive announcements made by experiments to peers").
+#pragma once
+
+#include <map>
+
+#include "inet/topology.h"
+#include "platform/peering.h"
+
+namespace peering::platform {
+
+struct InternetFeedStats {
+  std::size_t neighbors_fed = 0;
+  std::size_t routes_fed = 0;
+};
+
+/// For every live neighbor at `pop_id` whose ASN exists in `internet`'s
+/// graph, originates one route per stub prefix the neighbor would export
+/// to PEERING (full table for transits; customer-cone routes for peers),
+/// with the AS path the graph computes.
+Result<InternetFeedStats> feed_from_internet(Peering& peering,
+                                             const std::string& pop_id,
+                                             const inet::Internet& internet);
+
+}  // namespace peering::platform

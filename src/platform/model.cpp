@@ -1,0 +1,57 @@
+#include "platform/model.h"
+
+namespace peering::platform {
+
+const char* pop_type_name(PopType type) {
+  return type == PopType::kIxp ? "IXP" : "university";
+}
+
+const char* interconnect_type_name(InterconnectType type) {
+  switch (type) {
+    case InterconnectType::kTransit:
+      return "transit";
+    case InterconnectType::kBilateralPeer:
+      return "peer";
+    case InterconnectType::kRouteServer:
+      return "route-server";
+  }
+  return "?";
+}
+
+const char* experiment_status_name(ExperimentStatus status) {
+  switch (status) {
+    case ExperimentStatus::kProposed:
+      return "proposed";
+    case ExperimentStatus::kApproved:
+      return "approved";
+    case ExperimentStatus::kActive:
+      return "active";
+    case ExperimentStatus::kRejected:
+      return "rejected";
+    case ExperimentStatus::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+NumberedResources NumberedResources::peering_defaults() {
+  NumberedResources res;
+  // PEERING's primary ASN plus experiment ASNs; three 4-byte ASNs (§4.2).
+  res.asns = {47065, 61574, 61575, 61576, 263842, 263843, 263844, 33207};
+  // 40 /24s: modeled as 184.164.224/19 (32 x /24) + 138.185.228/22 (4) +
+  // 204.9.168/22 (4), approximating PEERING's real allocations.
+  for (int i = 0; i < 32; ++i)
+    res.prefix_pool.push_back(Ipv4Prefix(
+        Ipv4Address(184, 164, static_cast<std::uint8_t>(224 + i), 0), 24));
+  for (int i = 0; i < 4; ++i)
+    res.prefix_pool.push_back(Ipv4Prefix(
+        Ipv4Address(138, 185, static_cast<std::uint8_t>(228 + i), 0), 24));
+  for (int i = 0; i < 4; ++i)
+    res.prefix_pool.push_back(Ipv4Prefix(
+        Ipv4Address(204, 9, static_cast<std::uint8_t>(168 + i), 0), 24));
+  auto v6 = Ipv6Address::parse("2804:269c::");
+  res.v6_allocation = Ipv6Prefix{*v6, 32};
+  return res;
+}
+
+}  // namespace peering::platform

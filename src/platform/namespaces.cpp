@@ -1,0 +1,64 @@
+#include "platform/namespaces.h"
+
+namespace peering::platform {
+
+Status NamespaceManager::create(const std::string& name) {
+  if (name.empty()) return Error("namespace: empty name");
+  if (namespaces_.count(name))
+    return Error("namespace: already exists: " + name);
+  namespaces_[name] = std::make_unique<NetlinkSim>();
+  return Status::Ok();
+}
+
+Status NamespaceManager::destroy(const std::string& name) {
+  if (name == "host") return Error("namespace: cannot destroy host");
+  if (!namespaces_.erase(name))
+    return Error("namespace: no such namespace: " + name);
+  return Status::Ok();
+}
+
+Status NamespaceManager::reset(const std::string& name) {
+  if (name == "host") return Error("namespace: cannot reset host");
+  auto it = namespaces_.find(name);
+  if (it == namespaces_.end())
+    return Error("namespace: no such namespace: " + name);
+  it->second = std::make_unique<NetlinkSim>();
+  return Status::Ok();
+}
+
+std::vector<std::string> NamespaceManager::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, ns] : namespaces_) out.push_back(name);
+  return out;
+}
+
+NetlinkSim* NamespaceManager::netlink(const std::string& name) {
+  auto it = namespaces_.find(name);
+  return it == namespaces_.end() ? nullptr : it->second.get();
+}
+
+ApplyResult IsolatedService::start(const DesiredNetworkState& desired) {
+  if (!manager_->exists(namespace_)) {
+    if (auto st = manager_->create(namespace_); !st) {
+      ApplyResult result;
+      result.error = st.error().message;
+      return result;
+    }
+  }
+  NetworkController controller(manager_->netlink(namespace_));
+  return controller.apply(desired);
+}
+
+ApplyResult IsolatedService::recover(const DesiredNetworkState& desired) {
+  if (auto st = manager_->reset(namespace_); !st) {
+    ApplyResult result;
+    result.error = st.error().message;
+    return result;
+  }
+  NetworkController controller(manager_->netlink(namespace_));
+  return controller.apply(desired);
+}
+
+Status IsolatedService::stop() { return manager_->destroy(namespace_); }
+
+}  // namespace peering::platform

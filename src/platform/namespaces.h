@@ -1,0 +1,71 @@
+// Container network-namespace isolation (§5 "Standardization and
+// Isolation"): vBGP's services configure an isolated network namespace, so
+// configuration errors, software bugs, or failures cannot wedge the host's
+// own networking stack and lock the operators out of in-band access. The
+// namespace can be torn down and rebuilt from intent at any time without
+// touching the host namespace.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/controller.h"
+#include "platform/netlink.h"
+
+namespace peering::platform {
+
+/// A set of isolated network namespaces on one server, each with its own
+/// netlink state. The "host" namespace always exists.
+class NamespaceManager {
+ public:
+  NamespaceManager() { namespaces_["host"] = std::make_unique<NetlinkSim>(); }
+
+  /// Creates a named namespace (fails if it exists).
+  Status create(const std::string& name);
+
+  /// Destroys a namespace and everything configured inside it. The host
+  /// namespace cannot be destroyed.
+  Status destroy(const std::string& name);
+
+  /// Resets a namespace to empty (the "reset the state of the namespace if
+  /// needed" escape hatch). The host namespace cannot be reset.
+  Status reset(const std::string& name);
+
+  bool exists(const std::string& name) const {
+    return namespaces_.count(name) > 0;
+  }
+  std::vector<std::string> names() const;
+
+  /// The netlink handle scoped to one namespace.
+  NetlinkSim* netlink(const std::string& name);
+
+ private:
+  std::map<std::string, std::unique_ptr<NetlinkSim>> namespaces_;
+};
+
+/// One containerized service deployment: a namespace plus the network
+/// controller that reconciles it with intent.
+class IsolatedService {
+ public:
+  IsolatedService(NamespaceManager* manager, std::string namespace_name)
+      : manager_(manager), namespace_(std::move(namespace_name)) {}
+
+  /// Creates the namespace (if needed) and applies the desired state.
+  ApplyResult start(const DesiredNetworkState& desired);
+
+  /// Rebuild-from-scratch recovery: reset the namespace and re-apply.
+  ApplyResult recover(const DesiredNetworkState& desired);
+
+  /// Tears the namespace down.
+  Status stop();
+
+  const std::string& namespace_name() const { return namespace_; }
+
+ private:
+  NamespaceManager* manager_;
+  std::string namespace_;
+};
+
+}  // namespace peering::platform

@@ -1,0 +1,112 @@
+#include "platform/netlink.h"
+
+#include <algorithm>
+
+namespace peering::platform {
+
+Status NetlinkSim::count_mutation() {
+  ++mutations_;
+  if (fail_at_ != 0 && mutations_ == fail_at_) {
+    return Error("netlink: injected failure at mutation " +
+                 std::to_string(mutations_));
+  }
+  return Status::Ok();
+}
+
+Status NetlinkSim::create_interface(const std::string& name) {
+  if (auto st = count_mutation(); !st) return st;
+  if (interfaces_.count(name)) return Error("netlink: interface exists: " + name);
+  interfaces_[name] = NlInterface{name, false, {}};
+  return Status::Ok();
+}
+
+Status NetlinkSim::delete_interface(const std::string& name) {
+  if (auto st = count_mutation(); !st) return st;
+  if (!interfaces_.erase(name))
+    return Error("netlink: no such interface: " + name);
+  // Routes over the interface are flushed by the kernel.
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->interface == name)
+      it = routes_.erase(it);
+    else
+      ++it;
+  }
+  return Status::Ok();
+}
+
+Status NetlinkSim::set_link_up(const std::string& name, bool up) {
+  if (auto st = count_mutation(); !st) return st;
+  auto it = interfaces_.find(name);
+  if (it == interfaces_.end())
+    return Error("netlink: no such interface: " + name);
+  it->second.up = up;
+  return Status::Ok();
+}
+
+Status NetlinkSim::add_address(const std::string& ifname, NlAddress address) {
+  if (auto st = count_mutation(); !st) return st;
+  auto it = interfaces_.find(ifname);
+  if (it == interfaces_.end())
+    return Error("netlink: no such interface: " + ifname);
+  for (const auto& existing : it->second.addresses)
+    if (existing.address == address.address)
+      return Error("netlink: address exists");
+  it->second.addresses.push_back(address);
+  return Status::Ok();
+}
+
+Status NetlinkSim::remove_address(const std::string& ifname,
+                                  Ipv4Address address) {
+  if (auto st = count_mutation(); !st) return st;
+  auto it = interfaces_.find(ifname);
+  if (it == interfaces_.end())
+    return Error("netlink: no such interface: " + ifname);
+  auto& addrs = it->second.addresses;
+  auto found = std::find_if(addrs.begin(), addrs.end(), [&](const NlAddress& a) {
+    return a.address == address;
+  });
+  if (found == addrs.end()) return Error("netlink: no such address");
+  addrs.erase(found);
+  return Status::Ok();
+}
+
+Status NetlinkSim::add_route(const NlRoute& route) {
+  if (auto st = count_mutation(); !st) return st;
+  if (!interfaces_.count(route.interface))
+    return Error("netlink: no such interface: " + route.interface);
+  if (!routes_.insert(route).second) return Error("netlink: route exists");
+  return Status::Ok();
+}
+
+Status NetlinkSim::remove_route(const NlRoute& route) {
+  if (auto st = count_mutation(); !st) return st;
+  if (!routes_.erase(route)) return Error("netlink: no such route");
+  return Status::Ok();
+}
+
+Status NetlinkSim::add_rule(const NlRule& rule) {
+  if (auto st = count_mutation(); !st) return st;
+  if (!rules_.insert(rule).second) return Error("netlink: rule exists");
+  return Status::Ok();
+}
+
+Status NetlinkSim::remove_rule(const NlRule& rule) {
+  if (auto st = count_mutation(); !st) return st;
+  if (!rules_.erase(rule)) return Error("netlink: no such rule");
+  return Status::Ok();
+}
+
+std::vector<NlInterface> NetlinkSim::interfaces() const {
+  std::vector<NlInterface> out;
+  out.reserve(interfaces_.size());
+  for (const auto& [name, nif] : interfaces_) out.push_back(nif);
+  return out;
+}
+
+std::optional<NlInterface> NetlinkSim::interface(const std::string& name) const {
+  auto it = interfaces_.find(name);
+  if (it == interfaces_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace peering::platform

@@ -1,0 +1,88 @@
+// A simulated Linux Netlink interface: the request/response API the
+// network controller programs (§5). Deliberately mirrors the real
+// constraints the paper calls out: no intent expression (only queries,
+// adds, and removes), no transactions, and no way to change an interface's
+// primary address except by removing and re-adding addresses in order.
+// Supports failure injection for transaction/rollback tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "netbase/result.h"
+
+namespace peering::platform {
+
+struct NlAddress {
+  Ipv4Address address;
+  std::uint8_t prefix_length = 24;
+  bool operator==(const NlAddress&) const = default;
+};
+
+struct NlInterface {
+  std::string name;
+  bool up = false;
+  /// Ordered: the first address is the primary (used for ICMP sourcing).
+  std::vector<NlAddress> addresses;
+  bool operator==(const NlInterface&) const = default;
+};
+
+struct NlRoute {
+  Ipv4Prefix prefix;
+  Ipv4Address gateway;
+  std::string interface;
+  /// Routing table id (vBGP keeps one table per neighbor).
+  std::uint32_t table = 254;  // RT_TABLE_MAIN
+  auto operator<=>(const NlRoute&) const = default;
+};
+
+/// An ip-rule-style policy rule: frames matching `selector` (we use the
+/// destination-MAC string of a virtual neighbor) look up `table`.
+struct NlRule {
+  std::uint32_t priority = 0;
+  std::string selector;
+  std::uint32_t table = 254;
+  auto operator<=>(const NlRule&) const = default;
+};
+
+class NetlinkSim {
+ public:
+  // -- mutations (each counts toward failure injection) --
+  Status create_interface(const std::string& name);
+  Status delete_interface(const std::string& name);
+  Status set_link_up(const std::string& name, bool up);
+  /// Appends an address; the first added is the primary.
+  Status add_address(const std::string& ifname, NlAddress address);
+  Status remove_address(const std::string& ifname, Ipv4Address address);
+  Status add_route(const NlRoute& route);
+  Status remove_route(const NlRoute& route);
+  Status add_rule(const NlRule& rule);
+  Status remove_rule(const NlRule& rule);
+
+  // -- queries (never fail) --
+  std::vector<NlInterface> interfaces() const;
+  std::optional<NlInterface> interface(const std::string& name) const;
+  std::vector<NlRoute> routes() const { return {routes_.begin(), routes_.end()}; }
+  std::vector<NlRule> rules() const { return {rules_.begin(), rules_.end()}; }
+
+  /// Failure injection: the `n`-th subsequent mutation fails (1-based);
+  /// later mutations succeed again.
+  void fail_nth_mutation(int n) { fail_at_ = mutations_ + n; }
+  std::uint64_t mutation_count() const { return mutations_; }
+
+ private:
+  Status count_mutation();
+
+  std::map<std::string, NlInterface> interfaces_;
+  std::set<NlRoute> routes_;
+  std::set<NlRule> rules_;
+  std::uint64_t mutations_ = 0;
+  std::uint64_t fail_at_ = 0;
+};
+
+}  // namespace peering::platform

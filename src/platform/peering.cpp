@@ -1,0 +1,403 @@
+#include "platform/peering.h"
+
+#include <algorithm>
+
+#include "netbase/log.h"
+#include "sim/stream.h"
+#include "vbgp/communities.h"
+
+namespace peering::platform {
+
+Peering::Peering(sim::EventLoop* loop, ConfigDatabase* db,
+                 PeeringOptions options)
+    : loop_(loop), db_(db), options_(options), fabric_(loop) {}
+
+void Peering::build() {
+  std::uint8_t index = 1;
+  for (const auto& [id, model] : db_->model().pops) {
+    build_pop(model, index++);
+  }
+  if (options_.build_backbone) build_backbone();
+}
+
+void Peering::build_pop(const PopModel& model, std::uint8_t pop_index) {
+  auto pop = std::make_unique<PopRuntime>();
+  pop->model = model;
+
+  vbgp::VRouterConfig config;
+  config.name = model.id;
+  config.pop_id = model.id;
+  config.asn = db_->model().resources.asns.front();
+  config.router_id = Ipv4Address(10, 255, pop_index, 1);
+  config.router_seed = pop_index;
+  pop->router = std::make_unique<vbgp::VRouter>(loop_, config);
+
+  pop->control = std::make_unique<enforce::ControlPlaneEnforcer>();
+  pop->control->install_default_rules(
+      {vbgp::kWhitelistAsn, vbgp::kBlacklistAsn});
+  pop->data = std::make_unique<enforce::DataPlaneEnforcer>();
+  pop->router->set_control_enforcer(pop->control.get());
+  pop->router->set_data_enforcer(pop->data.get());
+
+  // Materialize the first K interconnects as live neighbor routers.
+  std::size_t live = 0;
+  std::uint8_t subnet = 1;
+  for (const auto& ic : model.interconnects) {
+    if (live >= options_.max_live_neighbors_per_pop) break;
+    auto nb = std::make_unique<NeighborRuntime>();
+    nb->model = ic;
+    nb->router_address = Ipv4Address(10, pop_index, subnet, 1);
+    nb->neighbor_address = Ipv4Address(10, pop_index, subnet, 2);
+    ++subnet;
+
+    sim::LinkConfig link_config;
+    link_config.latency = Duration::micros(200);
+    link_config.name = model.id + "<->" + ic.name;
+    nb->link = std::make_unique<sim::Link>(loop_, link_config);
+
+    nb->router_interface = pop->router->add_attached_interface(
+        ic.name, MacAddress::from_id((pop_index << 16) | (live + 1)),
+        {nb->router_address, 24}, *nb->link, /*side_a=*/true,
+        /*promiscuous=*/true);
+
+    nb->host = std::make_unique<ip::Host>(loop_, ic.name);
+    nb->host->add_attached_interface(
+        "up", MacAddress::from_id(0xCC000000u | (pop_index << 16) | (live + 1)),
+        {nb->neighbor_address, 24}, *nb->link, /*side_a=*/false);
+    // Default route back into the platform (for replies to experiments).
+    nb->host->routes().insert(ip::Route{Ipv4Prefix(Ipv4Address(), 0),
+                                        nb->router_address, 0, 0});
+
+    nb->speaker = std::make_unique<bgp::BgpSpeaker>(
+        loop_, ic.name, ic.asn, nb->neighbor_address);
+
+    nb->peer_at_router = pop->router->add_neighbor(
+        {.name = ic.name, .asn = ic.asn,
+         .local_address = nb->router_address,
+         .remote_address = nb->neighbor_address,
+         .interface = nb->router_interface,
+         .global_id = ic.global_id});
+    nb->peer_at_neighbor = nb->speaker->add_peer(
+        {.name = model.id, .peer_asn = config.asn,
+         .local_address = nb->neighbor_address,
+         .peer_address = nb->router_address});
+
+    auto streams = sim::StreamChannel::make(loop_, link_config.latency);
+    pop->router->speaker().connect_peer(nb->peer_at_router, streams.a);
+    nb->speaker->connect_peer(nb->peer_at_neighbor, streams.b);
+
+    pop->neighbors.push_back(std::move(nb));
+    ++live;
+  }
+
+  if (options_.build_ixp_fabric && model.type == PopType::kIxp)
+    build_ixp_fabric(*pop, pop_index);
+
+  pop_indexes_[model.id] = pop_index;
+  pops_[model.id] = std::move(pop);
+}
+
+void Peering::build_ixp_fabric(PopRuntime& pop, std::uint8_t pop_index) {
+  auto ixp = std::make_unique<IxpFabricRuntime>();
+  ixp->fabric = std::make_unique<ether::Switch>(pop.model.id + "-fabric");
+  const Ipv4Prefix fabric_subnet(Ipv4Address(10, pop_index, 250, 0), 24);
+
+  auto attach_port = [&](MacAddress mac) -> sim::Link& {
+    sim::LinkConfig config;
+    config.latency = Duration::micros(50);
+    ixp->fabric_links.push_back(std::make_unique<sim::Link>(loop_, config));
+    ixp->fabric->attach(*ixp->fabric_links.back(), /*side_a=*/false);
+    (void)mac;
+    return *ixp->fabric_links.back();
+  };
+
+  // The vBGP router's fabric port.
+  ixp->router_fabric_address = Ipv4Address(10, pop_index, 250, 1);
+  sim::Link& router_link =
+      attach_port(MacAddress::from_id(0x30000000u | (pop_index << 8)));
+  ixp->router_interface = pop.router->add_attached_interface(
+      "ixp", MacAddress::from_id(0x30000000u | (pop_index << 8) | 1),
+      {ixp->router_fabric_address, 24}, router_link, /*side_a=*/true,
+      /*promiscuous=*/true);
+
+  // The route server: control plane only. It has no data-plane host — its
+  // speaker exchanges routes over streams, and no packet is ever addressed
+  // to it (RFC 7947: the RS stays off the data path).
+  ixp->rs_asn = 64600u + pop_index;
+  ixp->rs_address = Ipv4Address(10, pop_index, 250, 2);
+  ixp->route_server = std::make_unique<bgp::BgpSpeaker>(
+      loop_, pop.model.id + "-rs", ixp->rs_asn, ixp->rs_address);
+
+  // vBGP router <-> route server session. On the RS side the session is
+  // transparent (no RS-ASN prepend, member next-hops preserved).
+  ixp->rs_peer_at_router = pop.router->add_neighbor(
+      {.name = "route-server", .asn = ixp->rs_asn,
+       .local_address = ixp->router_fabric_address,
+       .remote_address = ixp->rs_address,
+       .interface = ixp->router_interface,
+       .global_id = 0});
+  bgp::PeerConfig rs_to_router;
+  rs_to_router.name = pop.model.id;
+  rs_to_router.peer_asn = pop.router->config().asn;
+  rs_to_router.local_address = ixp->rs_address;
+  rs_to_router.peer_address = ixp->router_fabric_address;
+  rs_to_router.transparent = true;
+  ixp->router_peer_at_rs = ixp->route_server->add_peer(rs_to_router);
+  auto rs_streams = sim::StreamChannel::make(loop_, Duration::micros(50));
+  pop.router->speaker().connect_peer(ixp->rs_peer_at_router, rs_streams.a);
+  ixp->route_server->connect_peer(ixp->router_peer_at_rs, rs_streams.b);
+
+  // Members: hosts on the fabric with their own speakers, peering with the
+  // route server only.
+  for (std::size_t m = 0; m < options_.route_server_members; ++m) {
+    auto member = std::make_unique<IxpMemberRuntime>();
+    member->asn = 64700u + pop_index * 100u + static_cast<bgp::Asn>(m);
+    member->fabric_address =
+        Ipv4Address(10, pop_index, 250, static_cast<std::uint8_t>(10 + m));
+
+    MacAddress mac = MacAddress::from_id(
+        0x31000000u | (pop_index << 8) | static_cast<std::uint32_t>(m));
+    sim::Link& link = attach_port(mac);
+    member->link = nullptr;  // owned by ixp->fabric_links
+    member->host =
+        std::make_unique<ip::Host>(loop_, "member-as" + std::to_string(member->asn));
+    member->host->add_attached_interface("ixp", mac,
+                                         {member->fabric_address, 24}, link,
+                                         /*side_a=*/true);
+    // Traffic toward experiment space flows back via the vBGP router.
+    member->host->routes().insert(ip::Route{Ipv4Prefix(Ipv4Address(), 0),
+                                            ixp->router_fabric_address, 0, 0});
+
+    member->speaker = std::make_unique<bgp::BgpSpeaker>(
+        loop_, "as" + std::to_string(member->asn), member->asn,
+        member->fabric_address);
+    bgp::PeerConfig member_to_rs;
+    member_to_rs.name = "rs";
+    member_to_rs.peer_asn = ixp->rs_asn;
+    member_to_rs.local_address = member->fabric_address;
+    member_to_rs.peer_address = ixp->rs_address;
+    member->peer_at_rs = member->speaker->add_peer(member_to_rs);
+    bgp::PeerConfig rs_to_member;
+    rs_to_member.name = "as" + std::to_string(member->asn);
+    rs_to_member.peer_asn = member->asn;
+    rs_to_member.local_address = ixp->rs_address;
+    rs_to_member.peer_address = member->fabric_address;
+    rs_to_member.transparent = true;
+    member->rs_side = ixp->route_server->add_peer(rs_to_member);
+
+    auto streams = sim::StreamChannel::make(loop_, Duration::micros(50));
+    member->speaker->connect_peer(member->peer_at_rs, streams.a);
+    ixp->route_server->connect_peer(member->rs_side, streams.b);
+
+    ixp->members.push_back(std::move(member));
+  }
+  (void)fabric_subnet;
+  pop.ixp = std::move(ixp);
+}
+
+void Peering::build_backbone() {
+  // Full mesh among backbone PoPs (iBGP requires it without route
+  // reflection).
+  std::vector<PopRuntime*> backbone_pops;
+  for (auto& [id, pop] : pops_) {
+    if (pop->model.on_backbone) backbone_pops.push_back(pop.get());
+  }
+  for (std::size_t i = 0; i < backbone_pops.size(); ++i) {
+    for (std::size_t j = i + 1; j < backbone_pops.size(); ++j) {
+      fabric_.provision(*backbone_pops[i]->router, *backbone_pops[j]->router,
+                        options_.backbone_capacity_bps,
+                        options_.backbone_latency);
+    }
+  }
+}
+
+PopRuntime* Peering::pop(const std::string& pop_id) {
+  auto it = pops_.find(pop_id);
+  return it == pops_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Peering::pop_ids() const {
+  std::vector<std::string> out;
+  for (const auto& [id, pop] : pops_) out.push_back(id);
+  return out;
+}
+
+Result<ExperimentAttachment> Peering::attach_experiment(
+    const std::string& exp_id, const std::string& pop_id) {
+  return attach_experiment(exp_id, pop_id, options_.tunnel_latency);
+}
+
+Result<ExperimentAttachment> Peering::attach_experiment(
+    const std::string& exp_id, const std::string& pop_id,
+    Duration link_latency) {
+  const ExperimentModel* exp = db_->experiment(exp_id);
+  if (!exp) return Error("peering: no such experiment: " + exp_id);
+  if (exp->status != ExperimentStatus::kApproved &&
+      exp->status != ExperimentStatus::kActive)
+    return Error("peering: experiment not approved: " + exp_id);
+  PopRuntime* pop = this->pop(pop_id);
+  if (!pop) return Error("peering: no such pop: " + pop_id);
+
+  if (auto st = db_->activate_experiment(exp_id, pop_id); !st) return st.error();
+
+  std::uint8_t pop_index = pop_indexes_[pop_id];
+  int tunnel_index = pop->next_tunnel_index++;
+
+  ExperimentAttachment attachment;
+  attachment.experiment_id = exp_id;
+  attachment.pop_id = pop_id;
+  attachment.experiment_asn = exp->asn;
+  attachment.platform_asn = db_->model().resources.asns.front();
+  attachment.router_tunnel_address =
+      Ipv4Address(100, static_cast<std::uint8_t>(64 + pop_index),
+                  static_cast<std::uint8_t>(tunnel_index), 1);
+  attachment.client_tunnel_address =
+      Ipv4Address(100, static_cast<std::uint8_t>(64 + pop_index),
+                  static_cast<std::uint8_t>(tunnel_index), 2);
+
+  // The attachment link: an OpenVPN tunnel (tens of ms) or a colocated
+  // CloudLab site hop (microseconds).
+  sim::LinkConfig tunnel_config;
+  tunnel_config.latency = link_latency;
+  tunnel_config.name = exp_id + "@" + pop_id;
+  tunnels_.push_back(std::make_unique<sim::Link>(loop_, tunnel_config));
+  attachment.tunnel = tunnels_.back().get();
+
+  attachment.router_interface = pop->router->add_attached_interface(
+      "tun-" + exp_id,
+      MacAddress::from_id(0xDD000000u | (pop_index << 16) |
+                          static_cast<std::uint32_t>(tunnel_index)),
+      {attachment.router_tunnel_address, 24}, *attachment.tunnel,
+      /*side_a=*/true, /*promiscuous=*/true);
+  attachment.router = pop->router.get();
+
+  attachment.peer_at_router = pop->router->add_experiment(
+      {.experiment_id = exp_id, .asn = exp->asn,
+       .local_address = attachment.router_tunnel_address,
+       .remote_address = attachment.client_tunnel_address,
+       .interface = attachment.router_interface});
+
+  // Enforcement grants at this PoP. The grant's allocation covers the
+  // experiment's prefixes plus its tunnel address (sources for control
+  // traffic).
+  enforce::ExperimentGrant grant = exp->to_grant();
+  grant.allocated_prefixes.push_back(
+      Ipv4Prefix(attachment.client_tunnel_address, 32));
+  if (pop->model.bandwidth_limit_bps > 0 &&
+      (grant.traffic_rate_bps == 0 ||
+       grant.traffic_rate_bps > pop->model.bandwidth_limit_bps))
+    grant.traffic_rate_bps = pop->model.bandwidth_limit_bps;
+  pop->control->set_grant(grant);
+  if (auto st = pop->data->install(grant); !st) return st.error();
+
+  // Mux routes: local delivery here, backbone delivery everywhere else.
+  for (const auto& prefix : exp->allocated_prefixes) {
+    pop->router->add_experiment_route(prefix, exp_id,
+                                      attachment.router_interface,
+                                      attachment.client_tunnel_address);
+    for (auto& [other_id, other] : pops_) {
+      if (other_id == pop_id) continue;
+      if (other->router->has_local_experiment_route(prefix)) continue;
+      const backbone::Circuit* circuit =
+          fabric_.circuit_between(other_id, pop_id);
+      if (!circuit) continue;
+      bool other_is_a = circuit->pop_a == other_id;
+      Ipv4Address gateway = other_is_a ? circuit->addr_b : circuit->addr_a;
+      int interface = other_is_a ? circuit->if_a : circuit->if_b;
+      other->router->add_remote_experiment_route(prefix, interface, gateway);
+    }
+  }
+
+  pop->experiment_peers[exp_id] = attachment.peer_at_router;
+
+  // BGP transport over the tunnel.
+  auto streams = sim::StreamChannel::make(loop_, link_latency);
+  pop->router->speaker().connect_peer(attachment.peer_at_router, streams.a);
+  attachment.client_stream = streams.b;
+
+  LOG_INFO("peering", exp_id << " attached at " << pop_id);
+  return attachment;
+}
+
+Result<std::shared_ptr<sim::StreamEndpoint>> Peering::reconnect_experiment(
+    const ExperimentAttachment& attachment) {
+  PopRuntime* pop = this->pop(attachment.pop_id);
+  if (!pop) return Error("peering: no such pop: " + attachment.pop_id);
+  auto streams = sim::StreamChannel::make(loop_, options_.tunnel_latency);
+  pop->router->speaker().connect_peer(attachment.peer_at_router, streams.a);
+  return streams.b;
+}
+
+Status Peering::feed_routes(const std::string& pop_id,
+                            std::size_t neighbor_index,
+                            const std::vector<inet::FeedRoute>& feed) {
+  PopRuntime* pop = this->pop(pop_id);
+  if (!pop) return Error("peering: no such pop: " + pop_id);
+  if (neighbor_index >= pop->neighbors.size())
+    return Error("peering: neighbor index out of range");
+  auto& nb = pop->neighbors[neighbor_index];
+  for (const auto& route : feed) {
+    bgp::PathAttributes attrs = route.attrs;
+    // The neighbor speaker prepends its own ASN on export; the feed's
+    // first hop is the neighbor itself, so drop it to avoid duplication.
+    auto path = attrs.as_path.flatten();
+    if (!path.empty() && path.front() == nb->model.asn)
+      path.erase(path.begin());
+    attrs.as_path = bgp::AsPath(path);
+    attrs.next_hop = Ipv4Address();
+    nb->speaker->originate(route.prefix, attrs);
+  }
+  return Status::Ok();
+}
+
+Status Peering::feed_member_routes(const std::string& pop_id,
+                                   std::size_t member_index,
+                                   const std::vector<inet::FeedRoute>& feed) {
+  PopRuntime* pop = this->pop(pop_id);
+  if (!pop) return Error("peering: no such pop: " + pop_id);
+  if (!pop->ixp) return Error("peering: pop has no IXP fabric: " + pop_id);
+  if (member_index >= pop->ixp->members.size())
+    return Error("peering: member index out of range");
+  auto& member = pop->ixp->members[member_index];
+  for (const auto& route : feed) {
+    bgp::PathAttributes attrs = route.attrs;
+    auto path = attrs.as_path.flatten();
+    if (!path.empty() && path.front() == member->asn) path.erase(path.begin());
+    attrs.as_path = bgp::AsPath(path);
+    attrs.next_hop = Ipv4Address();  // filled with the fabric address
+    member->speaker->originate(route.prefix, attrs);
+  }
+  return Status::Ok();
+}
+
+Status Peering::refresh_experiment(const std::string& exp_id) {
+  const ExperimentModel* exp = db_->experiment(exp_id);
+  if (!exp) return Error("peering: no such experiment: " + exp_id);
+  for (auto& [pop_id, pop] : pops_) {
+    auto peer_it = pop->experiment_peers.find(exp_id);
+    if (peer_it == pop->experiment_peers.end()) continue;
+    // Regenerate and install the grant from the current model.
+    enforce::ExperimentGrant grant = exp->to_grant();
+    // Preserve the tunnel-address allowance established at attach time.
+    if (const auto* old = pop->control->grant(exp_id)) {
+      for (const auto& prefix : old->allocated_prefixes) {
+        if (prefix.length() == 32) grant.allocated_prefixes.push_back(prefix);
+      }
+    }
+    pop->control->set_grant(grant);
+    if (auto st = pop->data->install(grant); !st) return st;
+    // Ask the experiment to resend its announcements so the new policy is
+    // applied over the live session.
+    pop->router->speaker().request_refresh(peer_it->second);
+  }
+  return Status::Ok();
+}
+
+void Peering::sync_enforcement_state() {
+  // Pairwise max-merge converges every store to the AS-wide maximum.
+  enforce::StateStore merged;
+  for (auto& [id, pop] : pops_) merged.merge_max(pop->control->state());
+  for (auto& [id, pop] : pops_) pop->control->state().merge_max(merged);
+}
+
+}  // namespace peering::platform

@@ -1,0 +1,185 @@
+// The PEERING platform (§4): assembles everything into a running,
+// simulated deployment — a vBGP router per PoP with its enforcement
+// engines, live neighbor routers exchanging real BGP and traffic, the
+// backbone fabric with its iBGP mesh, and the turn-key experiment
+// attachment flow (tunnel + ADD-PATH session + enforcement grants + mux
+// routes at every PoP).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backbone/fabric.h"
+#include "ether/switch.h"
+#include "bgp/speaker.h"
+#include "enforce/control_policy.h"
+#include "enforce/data_enforcer.h"
+#include "inet/route_feed.h"
+#include "ip/host.h"
+#include "platform/configdb.h"
+#include "sim/event_loop.h"
+#include "vbgp/vrouter.h"
+
+namespace peering::platform {
+
+struct PeeringOptions {
+  /// Live neighbor routers materialized per PoP (the rest of the
+  /// interconnects exist in the model and generated configs only; at
+  /// AMS-IX scale nobody needs 854 live peers in a unit test).
+  std::size_t max_live_neighbors_per_pop = 4;
+  bool build_backbone = true;
+  std::uint64_t backbone_capacity_bps = 1'000'000'000;
+  Duration backbone_latency = Duration::millis(15);
+  /// OpenVPN tunnel latency between an experiment and a PoP (§7.4 notes
+  /// tunnels add latency).
+  Duration tunnel_latency = Duration::millis(20);
+  /// Build a shared layer-2 IXP fabric (learning switch) at IXP PoPs, with
+  /// a transparent route server (RFC 7947) and this many live member
+  /// routers behind it. This is how the bulk of PEERING's 923 peers
+  /// connect (§4.2): one BGP session to the route server, data plane
+  /// directly to each member across the fabric.
+  bool build_ixp_fabric = false;
+  std::size_t route_server_members = 3;
+};
+
+/// One live neighbor router at a PoP.
+struct NeighborRuntime {
+  InterconnectModel model;
+  std::unique_ptr<sim::Link> link;
+  std::unique_ptr<ip::Host> host;
+  std::unique_ptr<bgp::BgpSpeaker> speaker;
+  bgp::PeerId peer_at_router = 0;
+  bgp::PeerId peer_at_neighbor = 0;
+  Ipv4Address router_address;
+  Ipv4Address neighbor_address;
+  int router_interface = -1;
+};
+
+/// A route-server member: an IXP participant that exchanges routes via the
+/// route server but carries data traffic directly across the fabric.
+struct IxpMemberRuntime {
+  bgp::Asn asn = 0;
+  Ipv4Address fabric_address;
+  std::unique_ptr<sim::Link> link;  // member <-> switch
+  std::unique_ptr<ip::Host> host;
+  std::unique_ptr<bgp::BgpSpeaker> speaker;
+  bgp::PeerId peer_at_rs = 0;  // member's session on the route server
+  bgp::PeerId rs_side = 0;     // route server's session toward this member
+};
+
+/// The IXP fabric at a PoP: the shared switch, the transparent route
+/// server (control plane only — never on the data path), and live members.
+struct IxpFabricRuntime {
+  std::unique_ptr<ether::Switch> fabric;
+  std::vector<std::unique_ptr<sim::Link>> fabric_links;
+  Ipv4Address router_fabric_address;
+  int router_interface = -1;
+  bgp::Asn rs_asn = 0;
+  Ipv4Address rs_address;
+  std::unique_ptr<bgp::BgpSpeaker> route_server;
+  bgp::PeerId rs_peer_at_router = 0;  // vBGP router's session to the RS
+  bgp::PeerId router_peer_at_rs = 0;  // RS's session to the vBGP router
+  std::vector<std::unique_ptr<IxpMemberRuntime>> members;
+};
+
+struct PopRuntime {
+  PopModel model;
+  std::unique_ptr<vbgp::VRouter> router;
+  std::unique_ptr<enforce::ControlPlaneEnforcer> control;
+  std::unique_ptr<enforce::DataPlaneEnforcer> data;
+  std::vector<std::unique_ptr<NeighborRuntime>> neighbors;
+  std::unique_ptr<IxpFabricRuntime> ixp;
+  /// BGP peer id of each attached experiment at this PoP.
+  std::map<std::string, bgp::PeerId> experiment_peers;
+  int next_tunnel_index = 0;
+};
+
+/// Everything an experiment client needs after attaching at a PoP.
+struct ExperimentAttachment {
+  std::string experiment_id;
+  std::string pop_id;
+  sim::Link* tunnel = nullptr;
+  vbgp::VRouter* router = nullptr;
+  bgp::PeerId peer_at_router = 0;
+  Ipv4Address router_tunnel_address;
+  Ipv4Address client_tunnel_address;
+  int router_interface = -1;
+  /// The experiment's side of the BGP transport.
+  std::shared_ptr<sim::StreamEndpoint> client_stream;
+  bgp::Asn experiment_asn = 0;
+  bgp::Asn platform_asn = 0;
+};
+
+class Peering {
+ public:
+  Peering(sim::EventLoop* loop, ConfigDatabase* db, PeeringOptions options = {});
+
+  /// Builds every PoP (vBGP router, enforcement engines, live neighbors)
+  /// and provisions the backbone mesh.
+  void build();
+
+  sim::EventLoop* loop() { return loop_; }
+  ConfigDatabase& db() { return *db_; }
+  backbone::BackboneFabric& fabric() { return fabric_; }
+
+  PopRuntime* pop(const std::string& pop_id);
+  std::vector<std::string> pop_ids() const;
+
+  /// Attaches an approved experiment at a PoP: provisions the tunnel,
+  /// registers the ADD-PATH session and enforcement grants, installs mux
+  /// routes platform-wide, and returns the client-side handles.
+  Result<ExperimentAttachment> attach_experiment(const std::string& exp_id,
+                                                 const std::string& pop_id);
+
+  /// Variant with an explicit attachment-link latency (used by colocated
+  /// CloudLab sites, whose LAN hop replaces the Internet VPN tunnel).
+  Result<ExperimentAttachment> attach_experiment(const std::string& exp_id,
+                                                 const std::string& pop_id,
+                                                 Duration link_latency);
+
+  /// Re-establishes the BGP transport for an existing attachment (used by
+  /// the toolkit's session start/stop); returns the new client-side stream.
+  Result<std::shared_ptr<sim::StreamEndpoint>> reconnect_experiment(
+      const ExperimentAttachment& attachment);
+
+  /// Originates a route feed from a live neighbor (by index) at a PoP.
+  Status feed_routes(const std::string& pop_id, std::size_t neighbor_index,
+                     const std::vector<inet::FeedRoute>& feed);
+
+  /// Originates a route feed from an IXP route-server member (by index).
+  /// The routes reach the vBGP router via the transparent route server,
+  /// with the member's fabric address as next-hop.
+  Status feed_member_routes(const std::string& pop_id,
+                            std::size_t member_index,
+                            const std::vector<inet::FeedRoute>& feed);
+
+  /// Re-applies an experiment's (possibly changed) grant at every PoP it
+  /// is attached to, then uses ROUTE-REFRESH to re-evaluate the
+  /// experiment's announcements under the new policy — no session resets
+  /// (§5: configuration pushes do not disrupt running experiments).
+  Status refresh_experiment(const std::string& exp_id);
+
+  /// AS-wide policy support (§3.3): folds all PoPs' enforcement state
+  /// stores together so per-prefix budgets apply across the platform.
+  void sync_enforcement_state();
+
+  /// Runs the event loop until BGP and routing converge.
+  void settle(Duration d = Duration::seconds(10)) { loop_->run_for(d); }
+
+ private:
+  void build_pop(const PopModel& model, std::uint8_t pop_index);
+  void build_ixp_fabric(PopRuntime& pop, std::uint8_t pop_index);
+  void build_backbone();
+
+  sim::EventLoop* loop_;
+  ConfigDatabase* db_;
+  PeeringOptions options_;
+  backbone::BackboneFabric fabric_;
+  std::map<std::string, std::unique_ptr<PopRuntime>> pops_;
+  std::map<std::string, std::uint8_t> pop_indexes_;
+  std::vector<std::unique_ptr<sim::Link>> tunnels_;
+};
+
+}  // namespace peering::platform

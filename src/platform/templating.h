@@ -1,0 +1,30 @@
+// Intent-based configuration generation (§5): transforms the central
+// PlatformModel into the per-service artifacts a PoP runs — the BIRD-style
+// router configuration (which exceeds 10,000 lines at large PoPs), the
+// OpenVPN server configuration, the enforcement-engine configuration, and
+// the DesiredNetworkState handed to the network controller.
+#pragma once
+
+#include <string>
+
+#include "platform/controller.h"
+#include "platform/model.h"
+
+namespace peering::platform {
+
+struct GeneratedConfigs {
+  std::string bird_config;
+  std::string openvpn_config;
+  std::string enforcer_config;
+  DesiredNetworkState network;
+
+  std::size_t bird_line_count() const;
+};
+
+/// Generates every service configuration for one PoP from the model.
+/// Deterministic: equal models yield byte-identical configs (the property
+/// that makes canarying and version-control diffs meaningful).
+GeneratedConfigs generate_pop_configs(const PlatformModel& model,
+                                      const std::string& pop_id);
+
+}  // namespace peering::platform

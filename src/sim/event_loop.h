@@ -1,0 +1,92 @@
+// Deterministic discrete-event simulation core. All protocol machinery in
+// the library (link transmission, ARP, BGP timers, enforcement windows) is
+// driven by a single EventLoop, so an entire multi-PoP PEERING deployment
+// executes reproducibly inside one process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netbase/time.h"
+
+namespace peering::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (clamped to now if in the
+  /// past). Events at equal times run in scheduling order (FIFO), which keeps
+  /// runs deterministic.
+  void schedule_at(SimTime at, Callback fn) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  void schedule_after(Duration delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or `limit` events have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && executed < limit) {
+      step();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Runs events with timestamps <= `until`, then advances the clock to
+  /// exactly `until` (even if idle). Returns the number of events executed.
+  std::size_t run_until(SimTime until) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.top().at <= until) {
+      step();
+      ++executed;
+    }
+    if (now_ < until) now_ = until;
+    return executed;
+  }
+
+  /// Convenience: run_until(now + d).
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step() {
+    // Move the callback out before popping: the callback may schedule new
+    // events, which mutates the queue.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+  }
+
+  SimTime now_;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace peering::sim

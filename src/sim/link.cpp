@@ -1,0 +1,48 @@
+#include "sim/link.h"
+
+namespace peering::sim {
+
+bool LinkDirection::send(Bytes frame) {
+  if (!receiver_) {
+    ++frames_dropped_;
+    return false;
+  }
+  const std::size_t size = frame.size();
+  if (config_.bandwidth_bps == 0) {
+    // Infinite bandwidth: only propagation latency applies.
+    ++frames_sent_;
+    bytes_sent_ += size;
+    loop_->schedule_after(config_.latency,
+                          [this, f = std::move(frame)]() { receiver_(f); });
+    return true;
+  }
+
+  // Drop-tail: reject if the queue of not-yet-serialized bytes is full.
+  const SimTime now = loop_->now();
+  if (tx_free_ < now) {
+    tx_free_ = now;
+    queued_bytes_ = 0;
+  }
+  if (queued_bytes_ + size > config_.queue_limit_bytes) {
+    ++frames_dropped_;
+    return false;
+  }
+
+  const Duration serialization =
+      Duration::nanos(static_cast<std::int64_t>(size) * 8 * 1'000'000'000 /
+                      static_cast<std::int64_t>(config_.bandwidth_bps));
+  tx_free_ = tx_free_ + serialization;
+  queued_bytes_ += size;
+  ++frames_sent_;
+  bytes_sent_ += size;
+  // The queue drains when serialization completes; delivery happens one
+  // propagation latency later.
+  loop_->schedule_at(tx_free_, [this, size]() {
+    if (queued_bytes_ >= size) queued_bytes_ -= size;
+  });
+  loop_->schedule_at(tx_free_ + config_.latency,
+                     [this, f = std::move(frame)]() { receiver_(f); });
+  return true;
+}
+
+}  // namespace peering::sim

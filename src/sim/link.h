@@ -1,0 +1,75 @@
+// Point-to-point simulated links carrying opaque frames (serialized Ethernet
+// in practice). A link models propagation latency, serialization at a
+// configured bandwidth, and a finite drop-tail queue — enough to reproduce
+// the paper's backbone-throughput behaviour (§6) and to carry real protocol
+// traffic between PoPs, neighbors, and experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "netbase/bytes.h"
+#include "sim/event_loop.h"
+
+namespace peering::sim {
+
+/// Receives frames delivered by a link endpoint.
+using FrameHandler = std::function<void(const Bytes&)>;
+
+struct LinkConfig {
+  Duration latency = Duration::micros(100);
+  /// Bits per second; 0 means infinite (no serialization delay).
+  std::uint64_t bandwidth_bps = 0;
+  /// Maximum bytes queued awaiting serialization before drop-tail kicks in.
+  std::size_t queue_limit_bytes = 512 * 1024;
+  std::string name = "link";
+};
+
+/// One direction of a link. Tracks its own serialization horizon and queue
+/// occupancy; drops when the queue is full (drop-tail).
+class LinkDirection {
+ public:
+  LinkDirection(EventLoop* loop, const LinkConfig& config)
+      : loop_(loop), config_(config) {}
+
+  void set_receiver(FrameHandler handler) { receiver_ = std::move(handler); }
+
+  /// Offers a frame for transmission. Returns false if the frame was dropped
+  /// because the queue was full.
+  bool send(Bytes frame);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  EventLoop* loop_;
+  LinkConfig config_;
+  FrameHandler receiver_;
+  /// Time at which the transmitter becomes free (serialization horizon).
+  SimTime tx_free_;
+  std::size_t queued_bytes_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// A full-duplex point-to-point link: two directions sharing a config.
+class Link {
+ public:
+  Link(EventLoop* loop, const LinkConfig& config)
+      : a_to_b_(loop, config), b_to_a_(loop, config), config_(config) {}
+
+  LinkDirection& a_to_b() { return a_to_b_; }
+  LinkDirection& b_to_a() { return b_to_a_; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  LinkDirection a_to_b_;
+  LinkDirection b_to_a_;
+  LinkConfig config_;
+};
+
+}  // namespace peering::sim

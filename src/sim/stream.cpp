@@ -1,0 +1,59 @@
+#include "sim/stream.h"
+
+namespace peering::sim {
+
+void StreamEndpoint::on_data(DataHandler handler) {
+  data_handler_ = std::move(handler);
+  if (data_handler_ && !pending_.empty()) {
+    auto buffered = std::move(pending_);
+    pending_.clear();
+    for (auto& chunk : buffered) data_handler_(chunk);
+  }
+}
+
+bool StreamEndpoint::send(const Bytes& data) {
+  auto peer = peer_.lock();
+  if (!open_ || !peer) return false;
+  bytes_sent_ += data.size();
+  loop_->schedule_after(latency_, [peer, data]() {
+    if (peer->open_) peer->deliver(data);
+  });
+  return true;
+}
+
+void StreamEndpoint::close() {
+  if (!open_) return;
+  open_ = false;
+  if (auto peer = peer_.lock()) {
+    loop_->schedule_after(latency_, [peer]() { peer->remote_closed(); });
+  }
+}
+
+void StreamEndpoint::deliver(const Bytes& data) {
+  bytes_received_ += data.size();
+  if (data_handler_) {
+    data_handler_(data);
+  } else {
+    pending_.push_back(data);
+  }
+}
+
+void StreamEndpoint::remote_closed() {
+  if (!open_) return;
+  open_ = false;
+  if (close_handler_) close_handler_();
+}
+
+StreamChannel::Pair StreamChannel::make(EventLoop* loop, Duration latency) {
+  Pair pair{std::make_shared<StreamEndpoint>(),
+            std::make_shared<StreamEndpoint>()};
+  pair.a->loop_ = loop;
+  pair.b->loop_ = loop;
+  pair.a->latency_ = latency;
+  pair.b->latency_ = latency;
+  pair.a->peer_ = pair.b;
+  pair.b->peer_ = pair.a;
+  return pair;
+}
+
+}  // namespace peering::sim

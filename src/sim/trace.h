@@ -1,0 +1,49 @@
+// In-memory event trace. Components append timestamped records; tests and
+// examples query them to assert on protocol behaviour (e.g. "the frame that
+// left the experiment carried the MAC assigned to neighbor N2").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/time.h"
+
+namespace peering::sim {
+
+struct TraceRecord {
+  SimTime at;
+  std::string category;
+  std::string message;
+};
+
+class TraceRecorder {
+ public:
+  void record(SimTime at, std::string category, std::string message) {
+    records_.push_back({at, std::move(category), std::move(message)});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// All records in the given category, in order.
+  std::vector<TraceRecord> by_category(const std::string& category) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_)
+      if (r.category == category) out.push_back(r);
+    return out;
+  }
+
+  /// Number of records whose message contains `needle`.
+  std::size_t count_containing(const std::string& needle) const {
+    std::size_t n = 0;
+    for (const auto& r : records_)
+      if (r.message.find(needle) != std::string::npos) ++n;
+    return n;
+  }
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace peering::sim

@@ -1,0 +1,312 @@
+#include "toolkit/client.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netbase/log.h"
+
+namespace peering::toolkit {
+
+// --------------------------- AnnouncementBuilder ---------------------------
+
+AnnouncementBuilder& AnnouncementBuilder::prepend(int count) {
+  prepend_ += count;
+  return *this;
+}
+AnnouncementBuilder& AnnouncementBuilder::poison(bgp::Asn asn) {
+  poisoned_.push_back(asn);
+  return *this;
+}
+AnnouncementBuilder& AnnouncementBuilder::community(bgp::Community c) {
+  attrs_.communities.push_back(c);
+  return *this;
+}
+AnnouncementBuilder& AnnouncementBuilder::large_community(bgp::LargeCommunity c) {
+  attrs_.large_communities.push_back(c);
+  return *this;
+}
+AnnouncementBuilder& AnnouncementBuilder::announce_to(std::uint16_t neighbor_id) {
+  attrs_.communities.push_back(vbgp::announce_to(neighbor_id));
+  return *this;
+}
+AnnouncementBuilder& AnnouncementBuilder::no_announce_to(
+    std::uint16_t neighbor_id) {
+  attrs_.communities.push_back(vbgp::no_announce_to(neighbor_id));
+  return *this;
+}
+AnnouncementBuilder& AnnouncementBuilder::med(std::uint32_t value) {
+  attrs_.med = value;
+  return *this;
+}
+AnnouncementBuilder& AnnouncementBuilder::on_pop(const std::string& pop_id) {
+  pops_.push_back(pop_id);
+  return *this;
+}
+Status AnnouncementBuilder::send() {
+  return client_->send_announcement(prefix_, attrs_, prepend_, poisoned_,
+                                    pops_);
+}
+
+// ----------------------------- ExperimentClient ----------------------------
+
+ExperimentClient::ExperimentClient(sim::EventLoop* loop,
+                                   std::string experiment_id)
+    : loop_(loop),
+      experiment_id_(std::move(experiment_id)),
+      host_(loop, experiment_id_) {}
+
+Status ExperimentClient::open_tunnel(platform::Peering& platform,
+                                     const std::string& pop_id) {
+  if (sessions_.count(pop_id))
+    return Error("toolkit: tunnel to " + pop_id + " already open");
+  auto attachment = platform.attach_experiment(experiment_id_, pop_id);
+  if (!attachment) return attachment.error();
+
+  PopSession session;
+  session.attachment = std::move(*attachment);
+  session.platform = &platform;
+
+  // Wire the client NIC: the allocation's first address is primary (the
+  // experiment sources traffic from its own space), the tunnel address is
+  // secondary.
+  const auto* exp = platform.db().experiment(experiment_id_);
+  auto& nif = host_.add_interface(
+      "tun-" + pop_id,
+      MacAddress::from_id(0xEE000000u | static_cast<std::uint32_t>(next_if_)));
+  ++next_if_;
+  if (exp && !exp->allocated_prefixes.empty()) {
+    const Ipv4Prefix& alloc = exp->allocated_prefixes.front();
+    nif.add_address({Ipv4Address(alloc.address().value() + 1), alloc.length()});
+  }
+  nif.add_address({session.attachment.client_tunnel_address, 24});
+  nif.attach(*session.attachment.tunnel, /*side_a=*/false);
+  session.host_interface = host_.interface_count() - 1;
+  for (const auto& addr : nif.addresses())
+    host_.routes().insert(
+        ip::Route{addr.subnet(), Ipv4Address(), session.host_interface, 0});
+
+  if (!speaker_) {
+    asn_ = session.attachment.experiment_asn;
+    speaker_ = std::make_unique<bgp::BgpSpeaker>(
+        loop_, experiment_id_, asn_,
+        session.attachment.client_tunnel_address);
+  }
+  sessions_[pop_id] = std::move(session);
+  return Status::Ok();
+}
+
+Status ExperimentClient::close_tunnel(const std::string& pop_id) {
+  auto it = sessions_.find(pop_id);
+  if (it == sessions_.end()) return Error("toolkit: no tunnel to " + pop_id);
+  if (it->second.bgp_running) {
+    if (auto st = stop_bgp(pop_id); !st) return st;
+  }
+  sessions_.erase(it);
+  return Status::Ok();
+}
+
+bool ExperimentClient::tunnel_up(const std::string& pop_id) const {
+  return sessions_.count(pop_id) > 0;
+}
+
+Status ExperimentClient::start_bgp(const std::string& pop_id) {
+  auto it = sessions_.find(pop_id);
+  if (it == sessions_.end()) return Error("toolkit: no tunnel to " + pop_id);
+  PopSession& session = it->second;
+  if (session.bgp_running) return Error("toolkit: BGP already running");
+
+  if (session.peer_at_client == 0) {
+    session.peer_at_client = speaker_->add_peer(
+        {.name = pop_id, .peer_asn = session.attachment.platform_asn,
+         .local_address = session.attachment.client_tunnel_address,
+         .peer_address = session.attachment.router_tunnel_address,
+         .addpath = bgp::AddPathMode::kBoth});
+  }
+
+  std::shared_ptr<sim::StreamEndpoint> stream = session.attachment.client_stream;
+  session.attachment.client_stream.reset();
+  if (!stream || !stream->open()) {
+    auto reconnected =
+        session.platform->reconnect_experiment(session.attachment);
+    if (!reconnected) return reconnected.error();
+    stream = *reconnected;
+  }
+  speaker_->connect_peer(session.peer_at_client, stream);
+  session.bgp_running = true;
+  return Status::Ok();
+}
+
+Status ExperimentClient::stop_bgp(const std::string& pop_id) {
+  auto it = sessions_.find(pop_id);
+  if (it == sessions_.end()) return Error("toolkit: no tunnel to " + pop_id);
+  if (!it->second.bgp_running) return Error("toolkit: BGP not running");
+  speaker_->disconnect_peer(it->second.peer_at_client);
+  it->second.bgp_running = false;
+  return Status::Ok();
+}
+
+bool ExperimentClient::session_established(const std::string& pop_id) const {
+  auto it = sessions_.find(pop_id);
+  if (it == sessions_.end() || !speaker_ || it->second.peer_at_client == 0)
+    return false;
+  return speaker_->session_state(it->second.peer_at_client) ==
+         bgp::SessionState::kEstablished;
+}
+
+std::string ExperimentClient::bgp_status() const {
+  std::ostringstream out;
+  for (const auto& [pop, session] : sessions_) {
+    out << pop << ": ";
+    if (!session.bgp_running || session.peer_at_client == 0) {
+      out << "Down\n";
+    } else {
+      out << bgp::session_state_name(
+                 speaker_->session_state(session.peer_at_client))
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ExperimentClient::cli(const std::string& command) const {
+  std::ostringstream out;
+  if (command == "show protocols") {
+    out << "Name        State\n";
+    for (const auto& [pop, session] : sessions_) {
+      const char* state =
+          session.bgp_running && session.peer_at_client != 0
+              ? bgp::session_state_name(
+                    speaker_->session_state(session.peer_at_client))
+              : "Down";
+      out << pop << "  " << state << "\n";
+    }
+    return out.str();
+  }
+  if (command.rfind("show route", 0) == 0) {
+    std::string arg = command.size() > 11 ? command.substr(11) : "";
+    if (!speaker_) return "no BGP speaker\n";
+    auto dump = [&](const bgp::RibRoute& route) {
+      out << route.prefix.str() << " via " << route.attrs->next_hop.str()
+          << " [" << route.attrs->as_path.str() << "]\n";
+    };
+    if (arg.empty()) {
+      speaker_->loc_rib().visit_all(dump);
+    } else {
+      auto prefix = Ipv4Prefix::parse(arg);
+      if (!prefix) return "bad prefix: " + arg + "\n";
+      for (const auto& route : speaker_->loc_rib().candidates(*prefix))
+        dump(route);
+    }
+    return out.str();
+  }
+  return "unknown command: " + command + "\n";
+}
+
+Status ExperimentClient::send_announcement(const Ipv4Prefix& prefix,
+                                           bgp::PathAttributes attrs,
+                                           int prepend,
+                                           const std::vector<bgp::Asn>& poisoned,
+                                           const std::vector<std::string>& pops) {
+  if (!speaker_) return Error("toolkit: not connected");
+  for (const auto& pop : pops)
+    if (!sessions_.count(pop))
+      return Error("toolkit: not connected at " + pop);
+  if (pops.empty())
+    pop_restrictions_.erase(prefix);
+  else
+    pop_restrictions_[prefix] = pops;
+  // The speaker prepends the experiment ASN once on export; the builder's
+  // extra prepends and poisoned ASNs form the originated path, with the
+  // experiment ASN re-appearing at the origin when poisoning so the origin
+  // check still passes.
+  std::vector<bgp::Asn> path;
+  for (int i = 0; i < prepend; ++i) path.push_back(asn_);
+  for (bgp::Asn p : poisoned) path.push_back(p);
+  if (!poisoned.empty()) path.push_back(asn_);
+  attrs.as_path = bgp::AsPath(path);
+  speaker_->originate(prefix, attrs);
+  announced_[prefix] = attrs;
+  apply_pop_restrictions();
+  return Status::Ok();
+}
+
+void ExperimentClient::apply_pop_restrictions() {
+  for (auto& [pop, session] : sessions_) {
+    if (session.peer_at_client == 0) continue;
+    bgp::RoutePolicy policy = bgp::RoutePolicy::accept_all();
+    for (const auto& [prefix, pops] : pop_restrictions_) {
+      if (std::find(pops.begin(), pops.end(), pop) != pops.end()) continue;
+      bgp::PolicyTerm deny;
+      deny.match.prefix = prefix;
+      deny.match.or_longer = false;
+      deny.actions.deny = true;
+      policy.add_term(deny);
+    }
+    speaker_->peer_config(session.peer_at_client).export_policy = policy;
+    if (session.bgp_running)
+      speaker_->reevaluate_exports(session.peer_at_client);
+  }
+}
+
+Status ExperimentClient::withdraw(const Ipv4Prefix& prefix) {
+  if (!speaker_) return Error("toolkit: not connected");
+  if (!announced_.erase(prefix))
+    return Error("toolkit: prefix not announced: " + prefix.str());
+  pop_restrictions_.erase(prefix);
+  speaker_->withdraw_originated(prefix);
+  return Status::Ok();
+}
+
+std::vector<RouteView> ExperimentClient::routes(const Ipv4Prefix& prefix) const {
+  std::vector<RouteView> out;
+  if (!speaker_) return out;
+  for (const auto& route : speaker_->loc_rib().candidates(prefix)) {
+    RouteView view;
+    view.prefix = route.prefix;
+    view.virtual_next_hop = route.attrs->next_hop;
+    view.as_path = route.attrs->as_path;
+    view.communities = route.attrs->communities;
+    for (const auto& [pop, session] : sessions_) {
+      if (session.peer_at_client != route.peer) continue;
+      view.pop = pop;
+      auto* nb = session.attachment.router->registry().by_virtual_ip(
+          route.attrs->next_hop);
+      if (nb) {
+        view.neighbor_name = nb->name;
+        view.neighbor_id = nb->local_id;
+      }
+    }
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+std::vector<NeighborInfo> ExperimentClient::neighbors(
+    const std::string& pop_id) const {
+  std::vector<NeighborInfo> out;
+  auto it = sessions_.find(pop_id);
+  if (it == sessions_.end()) return out;
+  auto& registry =
+      const_cast<platform::ExperimentAttachment&>(it->second.attachment)
+          .router->registry();
+  for (auto* nb : registry.all()) {
+    NeighborInfo info;
+    info.local_id = nb->local_id;
+    info.name = nb->name;
+    info.virtual_ip = nb->virtual_ip;
+    out.push_back(info);
+  }
+  return out;
+}
+
+Status ExperimentClient::select_egress(const Ipv4Prefix& dest,
+                                       const std::string& pop_id,
+                                       Ipv4Address virtual_next_hop) {
+  auto it = sessions_.find(pop_id);
+  if (it == sessions_.end()) return Error("toolkit: no tunnel to " + pop_id);
+  host_.routes().insert(
+      ip::Route{dest, virtual_next_hop, it->second.host_interface, 0});
+  return Status::Ok();
+}
+
+}  // namespace peering::toolkit

@@ -1,0 +1,163 @@
+// The experiment toolkit (§4.5, Table 1): a turn-key client that wraps the
+// tunnel and BGP plumbing so researchers can run experiments without prior
+// vBGP/PEERING experience. Covers every Table 1 row:
+//
+//   OpenVPN            open/close/check status of tunnels
+//   BGP/BIRD           start/stop sessions, session status, CLI access
+//   Prefix management  announce/withdraw, community and AS-path manipulation
+//
+// plus the advanced per-packet egress selection of §3.2.2 (installing a
+// chosen virtual next-hop into the client's kernel table).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/speaker.h"
+#include "ip/host.h"
+#include "platform/peering.h"
+#include "vbgp/communities.h"
+
+namespace peering::toolkit {
+
+/// A route as seen by the experiment, with platform metadata resolved.
+struct RouteView {
+  std::string pop;
+  Ipv4Prefix prefix;
+  Ipv4Address virtual_next_hop;
+  bgp::AsPath as_path;
+  std::vector<bgp::Community> communities;
+  /// Resolved neighbor identity (from the PoP's published neighbor list).
+  std::string neighbor_name;
+  std::uint16_t neighbor_id = 0;
+};
+
+/// Published information about a PoP neighbor (community values etc.).
+struct NeighborInfo {
+  std::uint16_t local_id = 0;
+  std::string name;
+  bgp::Asn asn = 0;
+  Ipv4Address virtual_ip;
+};
+
+class ExperimentClient;
+
+/// Fluent builder for one announcement (Table 1 "prefix management").
+class AnnouncementBuilder {
+ public:
+  /// Prepends the experiment's own ASN `count` extra times.
+  AnnouncementBuilder& prepend(int count);
+  /// Inserts a third-party ASN into the path (BGP poisoning; requires the
+  /// capability or the platform rejects it).
+  AnnouncementBuilder& poison(bgp::Asn asn);
+  /// Attaches an arbitrary community.
+  AnnouncementBuilder& community(bgp::Community c);
+  /// Attaches a large community.
+  AnnouncementBuilder& large_community(bgp::LargeCommunity c);
+  /// Restricts propagation to one neighbor (whitelist community).
+  AnnouncementBuilder& announce_to(std::uint16_t neighbor_id);
+  /// Excludes one neighbor (blacklist community).
+  AnnouncementBuilder& no_announce_to(std::uint16_t neighbor_id);
+  AnnouncementBuilder& med(std::uint32_t value);
+  /// Restricts the announcement to one PoP session (the real client's
+  /// `announce -m <mux>` flag); may be called repeatedly to allow several.
+  AnnouncementBuilder& on_pop(const std::string& pop_id);
+  /// Sends the announcement (to every connected PoP session unless
+  /// restricted with on_pop).
+  Status send();
+
+ private:
+  friend class ExperimentClient;
+  AnnouncementBuilder(ExperimentClient* client, Ipv4Prefix prefix)
+      : client_(client), prefix_(prefix) {}
+  ExperimentClient* client_;
+  Ipv4Prefix prefix_;
+  int prepend_ = 0;
+  std::vector<bgp::Asn> poisoned_;
+  std::vector<std::string> pops_;
+  bgp::PathAttributes attrs_;
+};
+
+class ExperimentClient {
+ public:
+  ExperimentClient(sim::EventLoop* loop, std::string experiment_id);
+
+  const std::string& id() const { return experiment_id_; }
+  ip::Host& host() { return host_; }
+  bgp::BgpSpeaker& speaker() { return *speaker_; }
+
+  // ------------------------------ OpenVPN ------------------------------
+
+  /// Opens the tunnel to a PoP (provisions the attachment on the platform
+  /// side and wires the client NIC). Requires an approved experiment.
+  Status open_tunnel(platform::Peering& platform, const std::string& pop_id);
+  Status close_tunnel(const std::string& pop_id);
+  bool tunnel_up(const std::string& pop_id) const;
+
+  // ------------------------------ BGP/BIRD -----------------------------
+
+  /// Starts the BGP session over an open tunnel.
+  Status start_bgp(const std::string& pop_id);
+  Status stop_bgp(const std::string& pop_id);
+  /// Session status text, e.g. "amsterdam01: Established".
+  std::string bgp_status() const;
+  bool session_established(const std::string& pop_id) const;
+  /// BIRD-CLI-style commands: "show protocols", "show route",
+  /// "show route <prefix>".
+  std::string cli(const std::string& command) const;
+
+  // -------------------------- Prefix management ------------------------
+
+  AnnouncementBuilder announce(const Ipv4Prefix& prefix) {
+    return AnnouncementBuilder(this, prefix);
+  }
+  Status withdraw(const Ipv4Prefix& prefix);
+
+  // ------------------------- Routes & data plane -----------------------
+
+  /// All paths the platform exposes for `prefix`, across connected PoPs.
+  std::vector<RouteView> routes(const Ipv4Prefix& prefix) const;
+
+  /// The PoP's published neighbor list (community values, virtual IPs).
+  std::vector<NeighborInfo> neighbors(const std::string& pop_id) const;
+
+  /// Installs `virtual_next_hop` as the egress for `dest`: subsequent
+  /// packets are forwarded by the chosen neighbor's table (§3.2.2).
+  Status select_egress(const Ipv4Prefix& dest, const std::string& pop_id,
+                       Ipv4Address virtual_next_hop);
+
+ private:
+  friend class AnnouncementBuilder;
+  Status send_announcement(const Ipv4Prefix& prefix,
+                           bgp::PathAttributes attrs, int prepend,
+                           const std::vector<bgp::Asn>& poisoned,
+                           const std::vector<std::string>& pops);
+
+  /// Rebuilds every session's client-side export policy from the per-pop
+  /// restrictions and re-evaluates exports over the live sessions.
+  void apply_pop_restrictions();
+
+  struct PopSession {
+    platform::ExperimentAttachment attachment;
+    platform::Peering* platform = nullptr;
+    int host_interface = -1;
+    bgp::PeerId peer_at_client = 0;
+    bool bgp_running = false;
+  };
+
+  sim::EventLoop* loop_;
+  std::string experiment_id_;
+  ip::Host host_;
+  std::unique_ptr<bgp::BgpSpeaker> speaker_;
+  bgp::Asn asn_ = 0;
+  std::map<std::string, PopSession> sessions_;
+  std::map<Ipv4Prefix, bgp::PathAttributes> announced_;
+  /// Prefix -> PoPs allowed to export it (empty = all).
+  std::map<Ipv4Prefix, std::vector<std::string>> pop_restrictions_;
+  int next_if_ = 0;
+};
+
+}  // namespace peering::toolkit

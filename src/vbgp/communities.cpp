@@ -1,0 +1,22 @@
+#include "vbgp/communities.h"
+
+#include <vector>
+
+namespace peering::vbgp {
+
+bool export_allowed_by_communities(
+    const std::vector<bgp::Community>& communities,
+    std::uint16_t neighbor_id) {
+  bool any_whitelist = false;
+  bool whitelisted = false;
+  for (bgp::Community c : communities) {
+    if (c.asn() == kBlacklistAsn && c.value() == neighbor_id) return false;
+    if (c.asn() == kWhitelistAsn) {
+      any_whitelist = true;
+      if (c.value() == neighbor_id) whitelisted = true;
+    }
+  }
+  return !any_whitelist || whitelisted;
+}
+
+}  // namespace peering::vbgp

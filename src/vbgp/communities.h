@@ -1,0 +1,42 @@
+// PEERING's announcement-control communities (§3.2.1): experiments label
+// announcements with whitelist/blacklist communities that select which PoP
+// neighbors an announcement propagates to. vBGP consumes these communities
+// at export time and strips them before the announcement reaches the
+// Internet.
+#pragma once
+
+#include "bgp/types.h"
+
+namespace peering::vbgp {
+
+/// Community "ASN" used for the announce-to whitelist: (kWhitelistAsn, n)
+/// means "announce this prefix to neighbor n (only)". PEERING's real ASN.
+constexpr std::uint16_t kWhitelistAsn = 47065;
+
+/// Community "ASN" used for the blacklist: (kBlacklistAsn, n) means "do not
+/// announce this prefix to neighbor n".
+constexpr std::uint16_t kBlacklistAsn = 47064;
+
+/// Builds the whitelist community for a neighbor's local id.
+inline bgp::Community announce_to(std::uint16_t neighbor_id) {
+  return bgp::Community(kWhitelistAsn, neighbor_id);
+}
+
+/// Builds the blacklist community for a neighbor's local id.
+inline bgp::Community no_announce_to(std::uint16_t neighbor_id) {
+  return bgp::Community(kBlacklistAsn, neighbor_id);
+}
+
+inline bool is_control_community(bgp::Community c) {
+  return c.asn() == kWhitelistAsn || c.asn() == kBlacklistAsn;
+}
+
+/// Export decision for one (announcement, neighbor) pair given the
+/// announcement's communities: if any whitelist community is present the
+/// neighbor must be whitelisted; a blacklist entry always suppresses; with
+/// no control communities the announcement goes to every neighbor (§3.2.1).
+bool export_allowed_by_communities(
+    const std::vector<bgp::Community>& communities,
+    std::uint16_t neighbor_id);
+
+}  // namespace peering::vbgp

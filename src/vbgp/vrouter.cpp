@@ -1,0 +1,514 @@
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "vbgp/vrouter.h"
+
+#include "netbase/log.h"
+
+namespace peering::vbgp {
+
+namespace {
+/// Internal marker attached to experiment announcements at import so every
+/// vBGP router (including across the backbone) can recognize them as
+/// experiment-originated. Stripped on every egress.
+constexpr std::uint32_t kExperimentMarker = 0xFFFF0001;
+
+bool has_experiment_marker(const bgp::PathAttributes& attrs, bgp::Asn asn) {
+  for (const auto& lc : attrs.large_communities)
+    if (lc.global == asn && lc.local1 == kExperimentMarker) return true;
+  return false;
+}
+
+void strip_control(bgp::PathAttributes& attrs, bgp::Asn asn) {
+  auto& cs = attrs.communities;
+  cs.erase(std::remove_if(cs.begin(), cs.end(), is_control_community),
+           cs.end());
+  auto& lcs = attrs.large_communities;
+  lcs.erase(std::remove_if(lcs.begin(), lcs.end(),
+                           [asn](const bgp::LargeCommunity& lc) {
+                             return lc.global == asn &&
+                                    lc.local1 == kExperimentMarker;
+                           }),
+            lcs.end());
+}
+}  // namespace
+
+VRouter::VRouter(sim::EventLoop* loop, const VRouterConfig& config)
+    : ip::Host(loop, config.name),
+      config_(config),
+      speaker_(loop, config.name, config.asn, config.router_id),
+      registry_(config.router_seed) {
+  install_hooks();
+}
+
+void VRouter::install_hooks() {
+  speaker_.set_import_hook([this](bgp::PeerId from,
+                                  const bgp::NlriEntry& entry,
+                                  const bgp::PathAttributes& attrs) {
+    switch (peer_kind(from)) {
+      case PeerKind::kNeighbor:
+        return import_from_neighbor(from, entry, attrs);
+      case PeerKind::kBackbone:
+        return import_from_backbone(from, entry, attrs);
+      case PeerKind::kExperiment:
+        return import_from_experiment(from, entry, attrs);
+    }
+    return std::optional<bgp::PathAttributes>(attrs);
+  });
+  speaker_.set_export_hook([this](bgp::PeerId to, const bgp::RibRoute& route,
+                                  const bgp::PathAttributes& attrs) {
+    return export_route(to, route, attrs);
+  });
+  speaker_.on_route_event([this](const bgp::RibRoute& route, bool withdrawn) {
+    sync_fib(route, withdrawn);
+  });
+}
+
+VRouter::PeerKind VRouter::peer_kind(bgp::PeerId peer) const {
+  auto it = peer_kinds_.find(peer);
+  return it == peer_kinds_.end() ? PeerKind::kNeighbor : it->second;
+}
+
+bgp::PeerId VRouter::add_neighbor(const NeighborSpec& spec) {
+  bgp::PeerConfig config;
+  config.name = spec.name;
+  config.peer_asn = spec.asn;
+  config.local_address = spec.local_address;
+  config.peer_address = spec.remote_address;
+  config.hold_time = spec.hold_time;
+  bgp::PeerId peer = speaker_.add_peer(config);
+  peer_kinds_[peer] = PeerKind::kNeighbor;
+  registry_.add_local(spec.name, peer, spec.remote_address, spec.interface,
+                      spec.global_id);
+  return peer;
+}
+
+bgp::PeerId VRouter::add_experiment(const ExperimentSpec& spec) {
+  bgp::PeerConfig config;
+  config.name = spec.experiment_id;
+  config.peer_asn = spec.asn;
+  config.local_address = spec.local_address;
+  config.peer_address = spec.remote_address;
+  config.hold_time = spec.hold_time;
+  config.addpath = bgp::AddPathMode::kBoth;
+  config.export_all_paths = true;
+  bgp::PeerId peer = speaker_.add_peer(config);
+  peer_kinds_[peer] = PeerKind::kExperiment;
+  experiments_by_peer_[peer] = spec.experiment_id;
+  experiments_by_interface_[spec.interface] = spec.experiment_id;
+  return peer;
+}
+
+bgp::PeerId VRouter::add_backbone_peer(const BackboneSpec& spec) {
+  bgp::PeerConfig config;
+  config.name = spec.name;
+  config.peer_asn = config_.asn;  // iBGP
+  config.local_address = spec.local_address;
+  config.peer_address = spec.remote_address;
+  config.hold_time = spec.hold_time;
+  config.addpath = bgp::AddPathMode::kBoth;
+  config.export_all_paths = true;
+  bgp::PeerId peer = speaker_.add_peer(config);
+  peer_kinds_[peer] = PeerKind::kBackbone;
+  backbone_interfaces_[peer] = spec.interface;
+  return peer;
+}
+
+void VRouter::add_experiment_route(const Ipv4Prefix& prefix,
+                                   const std::string& experiment_id,
+                                   int tunnel_interface,
+                                   Ipv4Address tunnel_address) {
+  MuxEntry entry;
+  entry.experiment_id = experiment_id;
+  entry.remote = false;
+  entry.interface = tunnel_interface;
+  entry.gateway = tunnel_address;
+  mux_entries_[prefix] = entry;
+  mux_.insert(ip::Route{prefix, tunnel_address, tunnel_interface, 0});
+  // Locally generated packets (ICMP errors, pings) reach the experiment via
+  // the main table too.
+  routes().insert(ip::Route{prefix, tunnel_address, tunnel_interface, 0});
+}
+
+void VRouter::add_remote_experiment_route(const Ipv4Prefix& prefix,
+                                          int backbone_interface,
+                                          Ipv4Address gateway) {
+  MuxEntry entry;
+  entry.remote = true;
+  entry.interface = backbone_interface;
+  entry.gateway = gateway;
+  mux_entries_[prefix] = entry;
+  mux_.insert(ip::Route{prefix, gateway, backbone_interface, 0});
+  routes().insert(ip::Route{prefix, gateway, backbone_interface, 0});
+}
+
+std::optional<std::string> VRouter::experiment_for_interface(
+    int if_index) const {
+  auto it = experiments_by_interface_.find(if_index);
+  if (it == experiments_by_interface_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+std::optional<bgp::PathAttributes> VRouter::import_from_neighbor(
+    bgp::PeerId from, const bgp::NlriEntry& entry,
+    const bgp::PathAttributes& attrs) {
+  VirtualNeighbor* nb = registry_.by_peer(from);
+  if (!nb) return std::nullopt;
+  bgp::PathAttributes out = attrs;
+  // Remember the route's real gateway for the per-neighbor FIB. A direct
+  // neighbor announces itself as next-hop; a route server announces the
+  // advertising member's fabric address (the RS is control-plane only).
+  Ipv4Address real_nh = attrs.next_hop.is_zero() ? nb->gateway : attrs.next_hop;
+  real_next_hops_[{from, entry.prefix, entry.path_id}] = real_nh;
+  // Store the route with the platform-global neighbor IP as next-hop: iBGP
+  // exports keep it verbatim (so remote routers can re-map it, §4.4);
+  // exports to experiments re-map it to the local virtual IP.
+  out.next_hop = nb->global_id != 0 ? global_pool_ip(nb->global_id)
+                                    : nb->virtual_ip;
+  return out;
+}
+
+std::optional<bgp::PathAttributes> VRouter::import_from_backbone(
+    bgp::PeerId from, const bgp::NlriEntry&, const bgp::PathAttributes& attrs) {
+  // Experiment routes relayed across the backbone carry the marker; they
+  // need no neighbor registration (traffic flows via the mux).
+  if (has_experiment_marker(attrs, config_.asn)) return attrs;
+  // A route from a remote PoP's neighbor: its next-hop is that neighbor's
+  // global pool IP. Lazily materialize a local virtual identity for it so
+  // experiments here can address it.
+  auto it = backbone_interfaces_.find(from);
+  if (it != backbone_interfaces_.end() &&
+      Ipv4Prefix(kGlobalPoolBase, 16).contains(attrs.next_hop)) {
+    std::uint32_t global_id = attrs.next_hop.value() - kGlobalPoolBase.value();
+    registry_.add_remote(global_id, from, it->second);
+  }
+  return attrs;
+}
+
+std::optional<bgp::PathAttributes> VRouter::import_from_experiment(
+    bgp::PeerId from, const bgp::NlriEntry& entry,
+    const bgp::PathAttributes& attrs) {
+  const Ipv4Prefix& prefix = entry.prefix;
+  auto exp_it = experiments_by_peer_.find(from);
+  if (exp_it == experiments_by_peer_.end()) return std::nullopt;
+
+  bgp::PathAttributes out = attrs;
+  if (control_enforcer_) {
+    enforce::AnnouncementContext ctx;
+    ctx.experiment_id = exp_it->second;
+    ctx.pop_id = config_.pop_id;
+    ctx.prefix = prefix;
+    ctx.attrs = attrs;
+    ctx.now = loop_->now();
+    enforce::Verdict verdict = control_enforcer_->check(ctx);
+    switch (verdict.action) {
+      case enforce::Verdict::Action::kReject:
+        return std::nullopt;
+      case enforce::Verdict::Action::kTransform:
+        out = verdict.transformed;
+        break;
+      case enforce::Verdict::Action::kAccept:
+        break;
+    }
+  }
+  out.large_communities.push_back(
+      bgp::LargeCommunity{config_.asn, kExperimentMarker, 0});
+  return out;
+}
+
+std::optional<bgp::PathAttributes> VRouter::export_route(
+    bgp::PeerId to, const bgp::RibRoute& route,
+    const bgp::PathAttributes& attrs) {
+  const PeerKind to_kind = peer_kind(to);
+  const PeerKind from_kind =
+      route.peer == bgp::kLocalRoutes ? PeerKind::kNeighbor  // local routes
+                                      : peer_kind(route.peer);
+  const bool experiment_route =
+      has_experiment_marker(*route.attrs, config_.asn) ||
+      from_kind == PeerKind::kExperiment;
+
+  switch (to_kind) {
+    case PeerKind::kExperiment: {
+      // Experiments never see each other's routes (isolation), but see
+      // every Internet route with full fidelity: original attributes, no
+      // local prepend, next-hop re-mapped to the local virtual IP.
+      if (experiment_route) return std::nullopt;
+      bgp::PathAttributes out = *route.attrs;  // undo standard transforms
+      Ipv4Address nh = out.next_hop;
+      if (VirtualNeighbor* nb = registry_.local_by_global_ip(nh)) {
+        out.next_hop = nb->virtual_ip;
+      } else if (VirtualNeighbor* rnb = registry_.remote_by_global_ip(nh)) {
+        out.next_hop = rnb->virtual_ip;
+      }
+      // else: already a virtual IP (off-backbone PoP) or locally originated.
+      return out;
+    }
+    case PeerKind::kNeighbor: {
+      // Only experiment-originated (or platform-originated) announcements
+      // reach the Internet; PEERING never transits third-party routes.
+      if (!experiment_route && route.peer != bgp::kLocalRoutes)
+        return std::nullopt;
+      VirtualNeighbor* nb = registry_.by_peer(to);
+      if (!nb) return std::nullopt;
+      if (!export_allowed_by_communities(route.attrs->communities,
+                                         nb->local_id))
+        return std::nullopt;
+      bgp::PathAttributes out = attrs;  // keep standard eBGP transform
+      strip_control(out, config_.asn);
+      return out;
+    }
+    case PeerKind::kBackbone: {
+      // Everything (neighbor routes with global next-hops, experiment
+      // routes with markers) crosses the backbone; the speaker's iBGP rules
+      // already prevent iBGP-learned routes from echoing back.
+      return attrs;
+    }
+  }
+  return attrs;
+}
+
+void VRouter::sync_fib(const bgp::RibRoute& route, bool withdrawn) {
+  VirtualNeighbor* nb = nullptr;
+  switch (peer_kind(route.peer)) {
+    case PeerKind::kNeighbor:
+      nb = registry_.by_peer(route.peer);
+      break;
+    case PeerKind::kBackbone:
+      // Only routes pointing at a remote neighbor's global IP get a FIB;
+      // experiment routes relayed over the backbone are mux-routed.
+      nb = registry_.remote_by_global_ip(route.attrs->next_hop);
+      break;
+    case PeerKind::kExperiment:
+      nb = nullptr;
+      break;
+  }
+  if (nb) {
+    if (withdrawn) {
+      nb->fib.remove(route.prefix);
+      real_next_hops_.erase({route.peer, route.prefix, route.path_id});
+    } else {
+      Ipv4Address gateway = nb->gateway;
+      auto real = real_next_hops_.find({route.peer, route.prefix, route.path_id});
+      if (real != real_next_hops_.end()) gateway = real->second;
+      nb->fib.insert(ip::Route{route.prefix, gateway, nb->interface, 0});
+    }
+  }
+
+  if (default_table_enabled_) {
+    auto best = speaker_.loc_rib().best(route.prefix);
+    if (!best) {
+      default_table_.remove(route.prefix);
+    } else {
+      VirtualNeighbor* bnb = registry_.by_peer(best->peer);
+      if (!bnb) bnb = registry_.remote_by_global_ip(best->attrs->next_hop);
+      if (bnb) {
+        default_table_.insert(
+            ip::Route{route.prefix, bnb->gateway, bnb->interface, 0});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operational surface
+// ---------------------------------------------------------------------------
+
+std::string VRouter::show_neighbors() {
+  std::ostringstream out;
+  out << "neighbor            virtual-ip     virtual-mac         fib-routes\n";
+  for (VirtualNeighbor* nb : registry_.all()) {
+    out << std::left << std::setw(20) << nb->name << std::setw(15)
+        << nb->virtual_ip.str() << std::setw(20) << nb->virtual_mac.str()
+        << nb->fib.size() << (nb->remote ? "  (remote)" : "") << "\n";
+  }
+  return out.str();
+}
+
+std::string VRouter::show_route(const Ipv4Prefix& prefix) const {
+  std::ostringstream out;
+  for (const auto& route : speaker_.loc_rib().candidates(prefix)) {
+    out << prefix.str() << " via " << route.attrs->next_hop.str() << " ["
+        << route.attrs->as_path.str() << "]";
+    if (route.attrs->local_pref)
+      out << " lp=" << *route.attrs->local_pref;
+    if (route.attrs->med) out << " med=" << *route.attrs->med;
+    for (auto c : route.attrs->communities) out << " " << c.str();
+    auto best = speaker_.loc_rib().best(prefix);
+    if (best && best->peer == route.peer && best->path_id == route.path_id)
+      out << " *";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string VRouter::show_summary() {
+  std::ostringstream out;
+  out << config_.name << " (AS" << config_.asn << ", " << config_.pop_id
+      << ")\n";
+  out << "  loc-rib: " << speaker_.loc_rib().route_count() << " paths, "
+      << speaker_.loc_rib().prefix_count() << " prefixes\n";
+  out << "  neighbors: " << registry_.size() << " ("
+      << registry_.fib_route_count() << " FIB routes, "
+      << registry_.fib_memory_bytes() / 1024 << " KiB)\n";
+  out << "  data plane: " << stats_.frames_demuxed << " demuxed, "
+      << stats_.frames_to_experiments << " to experiments, "
+      << stats_.packets_enforcement_drop << " enforcement drops\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+void VRouter::handle_arp(int if_index, const ether::ArpMessage& msg) {
+  // Attribute real neighbor MACs for ingress rewriting.
+  if (!msg.sender_ip.is_zero()) {
+    for (VirtualNeighbor* nb : registry_.all()) {
+      if (!nb->remote && nb->gateway == msg.sender_ip) {
+        registry_.learn_real_mac(msg.sender_mac, nb->local_id);
+        break;
+      }
+    }
+  }
+
+  // Standard processing first (learns the sender, answers for real
+  // interface addresses).
+  ip::Host::handle_arp(if_index, msg);
+
+  if (msg.op != ether::ArpOp::kRequest) return;
+
+  // vBGP's ARP responder: local-pool virtual IPs (asked by experiments) and
+  // global-pool IPs of local neighbors (asked by backbone peers, §4.4).
+  VirtualNeighbor* nb = registry_.by_virtual_ip(msg.target_ip);
+  if (!nb) nb = registry_.local_by_global_ip(msg.target_ip);
+  if (!nb) return;
+
+  ether::ArpMessage reply;
+  reply.op = ether::ArpOp::kReply;
+  reply.sender_mac = nb->virtual_mac;
+  reply.sender_ip = msg.target_ip;
+  reply.target_mac = msg.sender_mac;
+  reply.target_ip = msg.sender_ip;
+  send_frame(if_index,
+             ether::make_frame(msg.sender_mac, nb->virtual_mac,
+                               ether::EtherType::kArp, reply.encode()));
+  ++stats_.arp_virtual_replies;
+}
+
+void VRouter::handle_frame(int if_index, const ether::EthernetFrame& frame) {
+  if (frame.ethertype == static_cast<std::uint16_t>(ether::EtherType::kArp)) {
+    auto msg = ether::ArpMessage::decode(frame.payload);
+    if (msg) handle_arp(if_index, *msg);
+    return;
+  }
+  if (frame.ethertype != static_cast<std::uint16_t>(ether::EtherType::kIpv4))
+    return;
+  auto packet = ip::Ipv4Packet::decode(frame.payload);
+  if (!packet) {
+    LOG_WARN("vbgp", name() << ": malformed IPv4: " << packet.error().message);
+    return;
+  }
+
+  // Per-packet route delegation: the destination MAC selects the neighbor
+  // whose routing table forwards this packet (§3.2.2).
+  if (VirtualNeighbor* nb = registry_.by_mac(frame.dst)) {
+    egress_from_experiment(if_index, *nb, std::move(*packet));
+    return;
+  }
+
+  if (owns_address(packet->dst)) {
+    ip::Host::handle_ipv4(if_index, *packet, frame);
+    return;
+  }
+
+  deliver_toward_experiment(if_index, frame, std::move(*packet));
+}
+
+void VRouter::egress_from_experiment(int in_if, VirtualNeighbor& neighbor,
+                                     ip::Ipv4Packet packet) {
+  auto exp = experiment_for_interface(in_if);
+  // Data-plane enforcement: source-address verification and rate limiting.
+  if (data_enforcer_) {
+    Bytes wire = packet.encode();
+    enforce::FilterAction action =
+        data_enforcer_->check(exp.value_or("<unknown>"), wire, loop_->now());
+    if (action == enforce::FilterAction::kDrop) {
+      ++stats_.packets_enforcement_drop;
+      return;
+    }
+  }
+  if (exp) accounting_[*exp].egress_bytes += packet.total_length();
+
+  if (packet.ttl <= 1) {
+    send_icmp_error(in_if, packet, ip::make_time_exceeded(packet));
+    return;
+  }
+  packet.ttl -= 1;
+
+  auto route = neighbor.fib.lookup(packet.dst);
+  if (!route) {
+    ++stats_.packets_no_fib_route;
+    send_icmp_error(in_if, packet, ip::make_unreachable(packet, 0));
+    return;
+  }
+  ++stats_.frames_demuxed;
+  if (trace_) {
+    trace_->record(loop_->now(), "demux",
+                   exp.value_or("?") + " -> " + neighbor.name + " dst=" +
+                       packet.dst.str());
+  }
+  transmit(route->interface, route->next_hop, std::move(packet));
+}
+
+void VRouter::deliver_toward_experiment(int in_if,
+                                        const ether::EthernetFrame& frame,
+                                        ip::Ipv4Packet packet) {
+  auto route = mux_.lookup(packet.dst);
+  if (!route) return;  // not for any experiment: drop (no transit)
+  auto entry_it = mux_entries_.find(route->prefix);
+  if (entry_it == mux_entries_.end()) return;
+  const MuxEntry& entry = entry_it->second;
+
+  if (packet.ttl <= 1) {
+    send_icmp_error(in_if, packet, ip::make_time_exceeded(packet));
+    return;
+  }
+  packet.ttl -= 1;
+
+  if (entry.remote) {
+    // Hand off across the backbone toward the PoP hosting the experiment.
+    transmit(entry.interface, entry.gateway, std::move(packet));
+    return;
+  }
+  accounting_[entry.experiment_id].ingress_bytes += packet.total_length();
+
+  // Final hop: rewrite the source MAC to the delivering neighbor's virtual
+  // MAC so the experiment can attribute ingress traffic (§3.2.2).
+  MacAddress src_mac = interface(entry.interface).mac();
+  if (VirtualNeighbor* nb = registry_.by_real_mac(frame.src)) {
+    src_mac = nb->virtual_mac;
+  }
+  auto exp_mac = arp_cache(entry.interface).lookup(entry.gateway, loop_->now());
+  if (!exp_mac) {
+    // MAC not resolved yet: fall back to standard transmission (resolves
+    // via ARP; this first packet is delivered without attribution).
+    transmit(entry.interface, entry.gateway, std::move(packet));
+    return;
+  }
+  ++stats_.frames_to_experiments;
+  if (trace_) {
+    trace_->record(loop_->now(), "deliver",
+                   entry.experiment_id + " <- " + src_mac.str() + " dst=" +
+                       packet.dst.str());
+  }
+  send_frame(entry.interface,
+             ether::make_frame(*exp_mac, src_mac, ether::EtherType::kIpv4,
+                               packet.encode()));
+}
+
+}  // namespace peering::vbgp

@@ -1,0 +1,243 @@
+// VRouter: the vBGP edge router (§3). It virtualizes the data and control
+// planes of one BGP router and delegates them to experiments:
+//
+//  control plane (§3.2.1)
+//   * routes received from neighbors are stored with their next-hop
+//     rewritten to the neighbor's platform-global pool IP;
+//   * experiments peer over ADD-PATH sessions and receive *every* path,
+//     with the next-hop rewritten again to the per-router local virtual IP
+//     of the (local or remote) neighbor;
+//   * experiment announcements pass the control-plane enforcement engine,
+//     then propagate to neighbors under whitelist/blacklist community
+//     control; control communities are stripped on egress.
+//
+//  data plane (§3.2.2)
+//   * the router answers ARP for local-pool virtual IPs (from experiments)
+//     and for global-pool IPs of its local neighbors (from backbone peers);
+//   * a frame whose destination MAC is a virtual neighbor MAC is forwarded
+//     using that neighbor's routing table, after data-plane enforcement;
+//   * traffic arriving from neighbors for an experiment's prefix is handed
+//     to the experiment with the source MAC rewritten to the delivering
+//     neighbor's virtual MAC (ingress attribution).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <optional>
+#include <string>
+
+#include "bgp/speaker.h"
+#include "enforce/control_policy.h"
+#include "enforce/data_enforcer.h"
+#include "ip/host.h"
+#include "sim/trace.h"
+#include "vbgp/communities.h"
+#include "vbgp/neighbor_registry.h"
+
+namespace peering::vbgp {
+
+struct VRouterConfig {
+  std::string name;
+  std::string pop_id;
+  bgp::Asn asn = 47065;
+  Ipv4Address router_id;
+  /// Seed for virtual-MAC derivation; must differ between routers.
+  std::uint32_t router_seed = 1;
+};
+
+/// Parameters for a real BGP neighbor at this PoP.
+struct NeighborSpec {
+  std::string name;
+  bgp::Asn asn = 0;
+  /// Our address on the shared interface / point-to-point link.
+  Ipv4Address local_address;
+  /// The neighbor router's address (data-plane gateway).
+  Ipv4Address remote_address;
+  int interface = -1;
+  /// Platform-wide neighbor id (0 if this PoP is off-backbone).
+  std::uint32_t global_id = 0;
+  std::uint16_t hold_time = 90;
+};
+
+/// Parameters for an experiment session at this PoP.
+struct ExperimentSpec {
+  std::string experiment_id;
+  bgp::Asn asn = 0;
+  Ipv4Address local_address;   // our end of the tunnel
+  Ipv4Address remote_address;  // experiment's tunnel address
+  int interface = -1;          // dedicated tunnel interface
+  std::uint16_t hold_time = 90;
+};
+
+/// Parameters for a backbone iBGP session to another vBGP router.
+struct BackboneSpec {
+  std::string name;
+  Ipv4Address local_address;
+  Ipv4Address remote_address;  // remote router's backbone address
+  int interface = -1;
+  std::uint16_t hold_time = 180;
+};
+
+struct VRouterStats {
+  std::uint64_t frames_demuxed = 0;          // experiment -> neighbor
+  std::uint64_t frames_to_experiments = 0;   // neighbor -> experiment
+  std::uint64_t packets_enforcement_drop = 0;
+  std::uint64_t packets_no_fib_route = 0;
+  std::uint64_t arp_virtual_replies = 0;
+};
+
+/// Per-experiment byte counters: the accountability record the platform
+/// keeps for attribution (§3.3, after PlanetFlow).
+struct TrafficAccount {
+  std::uint64_t egress_bytes = 0;   // experiment -> Internet
+  std::uint64_t ingress_bytes = 0;  // Internet -> experiment
+};
+
+class VRouter : public ip::Host {
+ public:
+  VRouter(sim::EventLoop* loop, const VRouterConfig& config);
+
+  const VRouterConfig& config() const { return config_; }
+  bgp::BgpSpeaker& speaker() { return speaker_; }
+  NeighborRegistry& registry() { return registry_; }
+  const VRouterStats& stats() const { return stats_; }
+
+  /// Enforcement engines are owned by the platform (shared state across
+  /// PoPs is the platform's concern); unset engines disable enforcement —
+  /// used only by unit tests.
+  void set_control_enforcer(enforce::ControlPlaneEnforcer* enforcer) {
+    control_enforcer_ = enforcer;
+  }
+  void set_data_enforcer(enforce::DataPlaneEnforcer* enforcer) {
+    data_enforcer_ = enforcer;
+  }
+
+  /// Registers a real neighbor; returns the BGP peer id. The caller then
+  /// wires the transport via speaker().connect_peer.
+  bgp::PeerId add_neighbor(const NeighborSpec& spec);
+
+  /// Registers an experiment session (ADD-PATH send, all paths exported).
+  bgp::PeerId add_experiment(const ExperimentSpec& spec);
+
+  /// Registers a backbone iBGP session to another vBGP router.
+  bgp::PeerId add_backbone_peer(const BackboneSpec& spec);
+
+  /// Routes traffic destined to `prefix` toward a locally attached
+  /// experiment (the platform calls this when approving an experiment).
+  void add_experiment_route(const Ipv4Prefix& prefix,
+                            const std::string& experiment_id,
+                            int tunnel_interface, Ipv4Address tunnel_address);
+
+  /// Routes traffic destined to `prefix` across the backbone toward the PoP
+  /// hosting the experiment.
+  void add_remote_experiment_route(const Ipv4Prefix& prefix,
+                                   int backbone_interface,
+                                   Ipv4Address gateway);
+
+  /// Experiment id served by the given tunnel interface, if any.
+  std::optional<std::string> experiment_for_interface(int if_index) const;
+
+  /// True if `prefix` already has a local (tunnel) mux entry; used by the
+  /// platform to avoid shadowing a local attachment with a backbone route.
+  bool has_local_experiment_route(const Ipv4Prefix& prefix) const {
+    auto it = mux_entries_.find(prefix);
+    return it != mux_entries_.end() && !it->second.remote;
+  }
+
+  /// Sum of all per-neighbor FIB bytes (Figure 6a).
+  std::size_t fib_memory_bytes() const { return registry_.fib_memory_bytes(); }
+
+  /// Per-experiment traffic attribution record.
+  const std::map<std::string, TrafficAccount>& traffic_accounting() const {
+    return accounting_;
+  }
+
+  /// Optional data-plane trace: demux decisions and deliveries are
+  /// recorded for offline analysis (nullptr disables).
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Enables maintenance of a best-path "default" routing table synced from
+  /// the Loc-RIB (the per-interconnection-with-default configuration of
+  /// Figure 6a; unnecessary for pure vBGP operation).
+  void enable_default_table(bool on) { default_table_enabled_ = on; }
+  const ip::RoutingTable& default_table() const { return default_table_; }
+
+  /// Operational surface (the platform's looking glass / "show" commands):
+  /// session table, virtual-neighbor table with FIB sizes, per-prefix
+  /// route dump. Text output, BIRD-CLI flavored.
+  std::string show_neighbors();
+  std::string show_route(const Ipv4Prefix& prefix) const;
+  std::string show_summary();
+
+ protected:
+  void handle_frame(int if_index, const ether::EthernetFrame& frame) override;
+  void handle_arp(int if_index, const ether::ArpMessage& msg) override;
+
+ private:
+  /// Installs speaker hooks (import rewrite, export control).
+  void install_hooks();
+
+  std::optional<bgp::PathAttributes> import_from_neighbor(
+      bgp::PeerId from, const bgp::NlriEntry& entry,
+      const bgp::PathAttributes& attrs);
+  std::optional<bgp::PathAttributes> import_from_backbone(
+      bgp::PeerId from, const bgp::NlriEntry& entry,
+      const bgp::PathAttributes& attrs);
+  std::optional<bgp::PathAttributes> import_from_experiment(
+      bgp::PeerId from, const bgp::NlriEntry& entry,
+      const bgp::PathAttributes& attrs);
+
+  std::optional<bgp::PathAttributes> export_route(
+      bgp::PeerId to, const bgp::RibRoute& route,
+      const bgp::PathAttributes& attrs);
+
+  void sync_fib(const bgp::RibRoute& route, bool withdrawn);
+
+  /// Data-plane paths.
+  void egress_from_experiment(int in_if, VirtualNeighbor& neighbor,
+                              ip::Ipv4Packet packet);
+  void deliver_toward_experiment(int in_if, const ether::EthernetFrame& frame,
+                                 ip::Ipv4Packet packet);
+
+  enum class PeerKind { kNeighbor, kExperiment, kBackbone };
+  PeerKind peer_kind(bgp::PeerId peer) const;
+
+  VRouterConfig config_;
+  bgp::BgpSpeaker speaker_;
+  NeighborRegistry registry_;
+  enforce::ControlPlaneEnforcer* control_enforcer_ = nullptr;
+  enforce::DataPlaneEnforcer* data_enforcer_ = nullptr;
+
+  std::map<bgp::PeerId, PeerKind> peer_kinds_;
+  std::map<bgp::PeerId, int> backbone_interfaces_;
+  std::map<int, std::string> experiments_by_interface_;
+  std::map<bgp::PeerId, std::string> experiments_by_peer_;
+
+  struct MuxEntry {
+    std::string experiment_id;  // empty for remote (backbone) entries
+    bool remote = false;
+    int interface = -1;
+    Ipv4Address gateway;  // experiment tunnel address, or backbone gateway
+  };
+  /// Destination-prefix multiplexer: which experiment (or which backbone
+  /// path) receives traffic for an experiment prefix.
+  ip::RoutingTable mux_;
+  std::map<Ipv4Prefix, MuxEntry> mux_entries_;
+
+  ip::RoutingTable default_table_;
+  bool default_table_enabled_ = false;
+  std::map<std::string, TrafficAccount> accounting_;
+  sim::TraceRecorder* trace_ = nullptr;
+
+  /// Original (pre-rewrite) next-hop per imported route: the gateway the
+  /// per-neighbor FIB forwards to. For a direct neighbor this equals the
+  /// neighbor's address; for a route-server session it is the advertising
+  /// member's address on the IXP fabric.
+  std::map<std::tuple<bgp::PeerId, Ipv4Prefix, std::uint32_t>, Ipv4Address>
+      real_next_hops_;
+
+  VRouterStats stats_;
+};
+
+}  // namespace peering::vbgp

@@ -1,0 +1,132 @@
+// Route-policy framework tests: matches, actions, term ordering.
+#include <gtest/gtest.h>
+
+#include "bgp/policy.h"
+
+namespace peering::bgp {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+PathAttributes base_attrs() {
+  PathAttributes a;
+  a.as_path = AsPath({65001});
+  a.next_hop = Ipv4Address(192, 0, 2, 1);
+  a.communities = {Community(47065, 1)};
+  return a;
+}
+
+TEST(MatchSpec, PrefixExactVsOrLonger) {
+  MatchSpec exact;
+  exact.prefix = pfx("10.0.0.0/16");
+  exact.or_longer = false;
+  EXPECT_TRUE(exact.matches(pfx("10.0.0.0/16"), base_attrs()));
+  EXPECT_FALSE(exact.matches(pfx("10.0.1.0/24"), base_attrs()));
+
+  MatchSpec longer;
+  longer.prefix = pfx("10.0.0.0/16");
+  EXPECT_TRUE(longer.matches(pfx("10.0.1.0/24"), base_attrs()));
+  EXPECT_FALSE(longer.matches(pfx("11.0.0.0/24"), base_attrs()));
+}
+
+TEST(MatchSpec, CommunityAnyOf) {
+  MatchSpec spec;
+  spec.any_community = {Community(47065, 2), Community(47065, 1)};
+  EXPECT_TRUE(spec.matches(pfx("10.0.0.0/24"), base_attrs()));
+  spec.any_community = {Community(47065, 2)};
+  EXPECT_FALSE(spec.matches(pfx("10.0.0.0/24"), base_attrs()));
+}
+
+TEST(MatchSpec, AsPathContainsAndOrigin) {
+  MatchSpec spec;
+  spec.as_path_contains = 65001;
+  EXPECT_TRUE(spec.matches(pfx("10.0.0.0/24"), base_attrs()));
+  spec.as_path_contains = 65999;
+  EXPECT_FALSE(spec.matches(pfx("10.0.0.0/24"), base_attrs()));
+
+  MatchSpec origin;
+  origin.origin_asn = 65001;
+  EXPECT_TRUE(origin.matches(pfx("10.0.0.0/24"), base_attrs()));
+  origin.origin_asn = 65002;
+  EXPECT_FALSE(origin.matches(pfx("10.0.0.0/24"), base_attrs()));
+}
+
+TEST(PolicyActions, ApplyAllTransforms) {
+  PolicyActions actions;
+  actions.set_local_pref = 250;
+  actions.set_med = 10;
+  actions.set_next_hop = Ipv4Address(10, 9, 9, 9);
+  actions.add_communities = {Community(47065, 99)};
+  actions.remove_communities = {Community(47065, 1)};
+  actions.prepend_asn = 65000;
+  actions.prepend_count = 3;
+
+  PathAttributes attrs = base_attrs();
+  actions.apply(attrs);
+  EXPECT_EQ(attrs.local_pref, 250u);
+  EXPECT_EQ(attrs.med, 10u);
+  EXPECT_EQ(attrs.next_hop, Ipv4Address(10, 9, 9, 9));
+  EXPECT_TRUE(attrs.has_community(Community(47065, 99)));
+  EXPECT_FALSE(attrs.has_community(Community(47065, 1)));
+  EXPECT_EQ(attrs.as_path.flatten(),
+            (std::vector<Asn>{65000, 65000, 65000, 65001}));
+}
+
+TEST(PolicyActions, AddCommunityIsIdempotent) {
+  PolicyActions actions;
+  actions.add_communities = {Community(47065, 1)};
+  PathAttributes attrs = base_attrs();
+  actions.apply(attrs);
+  EXPECT_EQ(attrs.communities.size(), 1u);
+}
+
+TEST(RoutePolicy, FirstMatchingFinalTermDecides) {
+  RoutePolicy policy;
+  PolicyTerm deny_term;
+  deny_term.match.prefix = pfx("10.0.0.0/8");
+  deny_term.actions.deny = true;
+  policy.add_term(deny_term);
+  PolicyTerm accept_term;
+  accept_term.actions.set_local_pref = 500;
+  policy.add_term(accept_term);
+
+  EXPECT_FALSE(policy.apply(pfx("10.1.0.0/16"), base_attrs()).has_value());
+  auto accepted = policy.apply(pfx("192.168.0.0/24"), base_attrs());
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->local_pref, 500u);
+}
+
+TEST(RoutePolicy, NonFinalTermsAccumulate) {
+  RoutePolicy policy;
+  PolicyTerm tag;
+  tag.actions.add_communities = {Community(47065, 7)};
+  tag.final_term = false;
+  policy.add_term(tag);
+  PolicyTerm pref;
+  pref.actions.set_local_pref = 400;
+  policy.add_term(pref);
+
+  auto out = policy.apply(pfx("10.0.0.0/24"), base_attrs());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->has_community(Community(47065, 7)));
+  EXPECT_EQ(out->local_pref, 400u);
+}
+
+TEST(RoutePolicy, DefaultActionApplies) {
+  EXPECT_TRUE(
+      RoutePolicy::accept_all().apply(pfx("10.0.0.0/24"), base_attrs()));
+  EXPECT_FALSE(
+      RoutePolicy::deny_all().apply(pfx("10.0.0.0/24"), base_attrs()));
+}
+
+TEST(RoutePolicy, DenyAllWithExceptionTerm) {
+  RoutePolicy policy = RoutePolicy::deny_all();
+  PolicyTerm allow;
+  allow.match.prefix = pfx("184.164.224.0/19");
+  policy.add_term(allow);
+  EXPECT_TRUE(policy.apply(pfx("184.164.225.0/24"), base_attrs()));
+  EXPECT_FALSE(policy.apply(pfx("8.8.8.0/24"), base_attrs()));
+}
+
+}  // namespace
+}  // namespace peering::bgp

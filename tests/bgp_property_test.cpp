@@ -1,0 +1,243 @@
+// Property-based tests for the BGP stack:
+//   * convergence order-independence: the same set of announcements yields
+//     the same final RIBs regardless of arrival order and interleaving;
+//   * decoder robustness: random mutations of valid wire bytes never crash
+//     the decoder — every input either parses or returns a clean error;
+//   * decision-process invariants: the selected best path is never
+//     dominated by another candidate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/speaker.h"
+#include "inet/route_feed.h"
+#include "netbase/rand.h"
+#include "sim/stream.h"
+
+namespace peering::bgp {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+/// Dumps a speaker's Loc-RIB to a canonical string for comparison.
+std::string rib_fingerprint(const BgpSpeaker& speaker) {
+  std::string out;
+  speaker.loc_rib().visit_all([&](const RibRoute& route) {
+    out += route.prefix.str() + "|" + route.attrs->as_path.str() + "|" +
+           route.attrs->next_hop.str() + "\n";
+  });
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    lines.push_back(out.substr(start, end - start));
+    start = end + 1;
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string sorted;
+  for (const auto& line : lines) sorted += line + "\n";
+  return sorted;
+}
+
+class ConvergenceOrderTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvergenceOrderTest, FinalRibIndependentOfAnnouncementOrder) {
+  // Two runs: identical route sets announced in different orders with
+  // different inter-announcement delays must converge to identical RIBs.
+  inet::RouteFeedConfig config;
+  config.route_count = 60;
+  config.seed = 77;
+  auto feed = inet::generate_feed(config);
+
+  auto run = [&](std::uint64_t shuffle_seed) {
+    sim::EventLoop loop;
+    BgpSpeaker a(&loop, "a", 65001, Ipv4Address(1, 1, 1, 1));
+    BgpSpeaker b(&loop, "b", 65002, Ipv4Address(2, 2, 2, 2));
+    PeerId ap = a.add_peer({.name = "to-b", .peer_asn = 65002,
+                            .local_address = Ipv4Address(10, 0, 0, 1)});
+    PeerId bp = b.add_peer({.name = "to-a", .peer_asn = 65001,
+                            .local_address = Ipv4Address(10, 0, 0, 2)});
+    auto streams = sim::StreamChannel::make(&loop, Duration::millis(1));
+    a.connect_peer(ap, streams.a);
+    b.connect_peer(bp, streams.b);
+    loop.run_for(Duration::seconds(5));
+
+    std::vector<inet::FeedRoute> shuffled = feed;
+    Rng rng(shuffle_seed);
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    for (const auto& route : shuffled) {
+      PathAttributes attrs = route.attrs;
+      auto path = attrs.as_path.flatten();
+      attrs.as_path = AsPath({path.begin() + 1, path.end()});
+      attrs.next_hop = Ipv4Address();
+      a.originate(route.prefix, attrs);
+      loop.run_for(Duration::millis(rng.range(1, 50)));
+    }
+    loop.run_for(Duration::seconds(10));
+    return rib_fingerprint(b);
+  };
+
+  std::string first = run(GetParam());
+  std::string second = run(GetParam() + 1000);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ConvergenceOrderTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+class DecoderFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzzTest, MutatedWireBytesNeverCrash) {
+  Rng rng(GetParam());
+  UpdateCodecOptions options;
+
+  // A corpus of valid messages to mutate.
+  std::vector<Bytes> corpus;
+  {
+    OpenMessage open;
+    open.asn = 65001;
+    open.router_id = Ipv4Address(1, 1, 1, 1);
+    open.add_four_byte_asn(65001);
+    open.add_addpath_ipv4(AddPathMode::kBoth);
+    corpus.push_back(frame_message(MessageType::kOpen, open.encode_body()));
+    corpus.push_back(encode_message(KeepaliveMessage{}, options));
+
+    UpdateMessage update;
+    PathAttributes attrs;
+    attrs.as_path = AsPath({65001, 3356});
+    attrs.next_hop = Ipv4Address(10, 0, 0, 1);
+    attrs.communities = {Community(3356, 70)};
+    attrs.large_communities = {{1, 2, 3}};
+    update.attributes = attrs;
+    update.nlri = {{0, pfx("184.164.224.0/24")}, {0, pfx("10.0.0.0/8")}};
+    update.withdrawn = {{0, pfx("192.0.2.0/24")}};
+    corpus.push_back(encode_message(update, options));
+
+    NotificationMessage notification;
+    notification.code = NotificationCode::kCease;
+    corpus.push_back(frame_message(MessageType::kNotification,
+                                   notification.encode_body()));
+  }
+
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    Bytes wire = corpus[rng.below(corpus.size())];
+    // Mutate 1-8 random bytes (possibly the marker/length/type).
+    std::size_t mutations = 1 + rng.below(8);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      if (wire.empty()) break;
+      wire[rng.below(wire.size())] = static_cast<std::uint8_t>(rng.next());
+    }
+    // Occasionally truncate or extend.
+    if (rng.chance(0.2) && wire.size() > 2)
+      wire.resize(rng.range(1, wire.size()));
+    if (rng.chance(0.1)) {
+      Bytes extra(rng.below(32), static_cast<std::uint8_t>(rng.next()));
+      wire.insert(wire.end(), extra.begin(), extra.end());
+    }
+
+    MessageDecoder decoder;
+    decoder.set_options(options);
+    decoder.feed(wire);
+    // Poll until drained, error, or bounded iterations. Must never crash,
+    // hang, or read out of bounds (ASAN-clean by construction via
+    // ByteReader).
+    for (int polls = 0; polls < 16; ++polls) {
+      auto result = decoder.poll();
+      if (!result.ok()) break;          // clean framing/parse error
+      if (!result->has_value()) break;  // needs more data
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class DecisionInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecisionInvariantTest, BestIsNeverDominated) {
+  Rng rng(GetParam());
+  AttrPool pool;
+  std::map<PeerId, PeerDecisionInfo> infos;
+  auto info_fn = [&](PeerId p) { return infos[p]; };
+
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::vector<RibRoute> candidates;
+    std::size_t n = 1 + rng.below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      PathAttributes attrs;
+      std::vector<Asn> path;
+      for (std::uint64_t h = 0; h < rng.range(1, 5); ++h)
+        path.push_back(static_cast<Asn>(rng.range(64000, 65000)));
+      attrs.as_path = AsPath(path);
+      attrs.next_hop = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+      if (rng.chance(0.5))
+        attrs.local_pref = static_cast<std::uint32_t>(rng.range(50, 300));
+      attrs.origin = static_cast<Origin>(rng.below(3));
+      PeerId peer = static_cast<PeerId>(i + 1);
+      infos[peer].ibgp = rng.chance(0.3);
+      infos[peer].router_id = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+      candidates.push_back({pfx("203.0.113.0/24"), 0, peer, pool.intern(attrs)});
+    }
+    int best = select_best_path(candidates, info_fn);
+    ASSERT_GE(best, 0);
+    const auto& b = *candidates[static_cast<std::size_t>(best)].attrs;
+    // Invariant: no candidate strictly dominates the winner on the first
+    // two criteria (higher local-pref, or equal local-pref and strictly
+    // shorter path with everything else at least as good is too strong to
+    // check fully — we check the strict dominance cases).
+    for (const auto& cand : candidates) {
+      const auto& c = *cand.attrs;
+      EXPECT_LE(c.local_pref.value_or(100), b.local_pref.value_or(100))
+          << "dominated on local-pref";
+      if (c.local_pref.value_or(100) == b.local_pref.value_or(100)) {
+        // Same local-pref: winner must have minimal path length among
+        // those with the max local-pref... only when origins equal too.
+        if (c.as_path.decision_length() < b.as_path.decision_length()) {
+          // This is allowed only if a later tiebreak cannot apply — it
+          // cannot: shorter path wins immediately. So this is a violation.
+          ADD_FAILURE() << "dominated on path length";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecisionInvariantTest,
+                         ::testing::Values(7, 8, 9));
+
+/// Session churn: repeatedly bounce a session; routes must be flushed and
+/// re-learned consistently, with no leaks or stale state.
+TEST(SessionChurn, RoutesSurviveRepeatedResets) {
+  sim::EventLoop loop;
+  BgpSpeaker a(&loop, "a", 65001, Ipv4Address(1, 1, 1, 1));
+  BgpSpeaker b(&loop, "b", 65002, Ipv4Address(2, 2, 2, 2));
+  PeerId ap = a.add_peer({.name = "to-b", .peer_asn = 65002});
+  PeerId bp = b.add_peer({.name = "to-a", .peer_asn = 65001});
+
+  for (int i = 0; i < 20; ++i) {
+    PathAttributes attrs;
+    attrs.med = static_cast<std::uint32_t>(i);
+    a.originate(pfx("203.0.113.0/24"), attrs);
+
+    auto streams = sim::StreamChannel::make(&loop, Duration::millis(1));
+    a.connect_peer(ap, streams.a);
+    b.connect_peer(bp, streams.b);
+    loop.run_for(Duration::seconds(5));
+    ASSERT_EQ(b.session_state(bp), SessionState::kEstablished) << "cycle " << i;
+    auto best = b.loc_rib().best(pfx("203.0.113.0/24"));
+    ASSERT_TRUE(best.has_value()) << "cycle " << i;
+    EXPECT_EQ(best->attrs->med, static_cast<std::uint32_t>(i));
+
+    a.disconnect_peer(ap);
+    loop.run_for(Duration::seconds(2));
+    EXPECT_FALSE(b.loc_rib().best(pfx("203.0.113.0/24")).has_value())
+        << "stale route after reset, cycle " << i;
+    EXPECT_EQ(b.loc_rib().route_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace peering::bgp

@@ -1,0 +1,215 @@
+// RIB tests: attribute-pool sharing, Adj-RIB-In semantics, and the
+// RFC 4271 decision process step by step.
+#include <gtest/gtest.h>
+
+#include "bgp/rib.h"
+
+namespace peering::bgp {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+PathAttributes attrs_with(std::vector<Asn> path,
+                          std::optional<std::uint32_t> local_pref = {},
+                          Origin origin = Origin::kIgp,
+                          std::optional<std::uint32_t> med = {}) {
+  PathAttributes a;
+  a.as_path = AsPath(std::move(path));
+  a.next_hop = Ipv4Address(192, 0, 2, 1);
+  a.local_pref = local_pref;
+  a.origin = origin;
+  a.med = med;
+  return a;
+}
+
+TEST(AttrPool, DeduplicatesIdenticalAttributes) {
+  AttrPool pool;
+  auto a = pool.intern(attrs_with({65001}));
+  auto b = pool.intern(attrs_with({65001}));
+  auto c = pool.intern(attrs_with({65002}));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(AttrPool, SweepReleasesUnreferenced) {
+  AttrPool pool;
+  {
+    auto a = pool.intern(attrs_with({65001}));
+    EXPECT_EQ(pool.size(), 1u);
+  }
+  EXPECT_EQ(pool.sweep(), 1u);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.memory_bytes(), 0u);
+}
+
+TEST(AdjRibIn, UpdateWithdrawLifecycle) {
+  AttrPool pool;
+  AdjRibIn rib;
+  RibRoute r{pfx("10.0.0.0/24"), 1, 5, pool.intern(attrs_with({65001}))};
+  EXPECT_TRUE(rib.update(r));
+  EXPECT_FALSE(rib.update(r));  // identical: no change
+  r.attrs = pool.intern(attrs_with({65002}));
+  EXPECT_TRUE(rib.update(r));  // changed attrs
+  EXPECT_EQ(rib.size(), 1u);
+
+  auto removed = rib.withdraw(pfx("10.0.0.0/24"), 1);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(rib.size(), 0u);
+  EXPECT_FALSE(rib.withdraw(pfx("10.0.0.0/24"), 1).has_value());
+}
+
+TEST(AdjRibIn, MultiplePathIdsPerPrefix) {
+  AttrPool pool;
+  AdjRibIn rib;
+  rib.update({pfx("10.0.0.0/24"), 1, 5, pool.intern(attrs_with({65001}))});
+  rib.update({pfx("10.0.0.0/24"), 2, 5, pool.intern(attrs_with({65002}))});
+  EXPECT_EQ(rib.paths(pfx("10.0.0.0/24")).size(), 2u);
+  EXPECT_EQ(rib.size(), 2u);
+}
+
+TEST(AdjRibIn, ClearReturnsEverything) {
+  AttrPool pool;
+  AdjRibIn rib;
+  rib.update({pfx("10.0.0.0/24"), 1, 5, pool.intern(attrs_with({65001}))});
+  rib.update({pfx("10.1.0.0/24"), 1, 5, pool.intern(attrs_with({65001}))});
+  auto removed = rib.clear();
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(rib.size(), 0u);
+}
+
+class DecisionTest : public ::testing::Test {
+ protected:
+  PeerDecisionInfo info(PeerId peer) const {
+    auto it = infos_.find(peer);
+    return it == infos_.end() ? PeerDecisionInfo{} : it->second;
+  }
+  std::function<PeerDecisionInfo(PeerId)> info_fn() {
+    return [this](PeerId p) { return info(p); };
+  }
+  AttrPool pool_;
+  std::map<PeerId, PeerDecisionInfo> infos_;
+};
+
+TEST_F(DecisionTest, HighestLocalPrefWins) {
+  std::vector<RibRoute> cands{
+      {pfx("10.0.0.0/24"), 0, 1, pool_.intern(attrs_with({65001}, 100))},
+      {pfx("10.0.0.0/24"), 0, 2, pool_.intern(attrs_with({65002, 65003}, 300))},
+  };
+  EXPECT_EQ(select_best_path(cands, info_fn()), 1);
+}
+
+TEST_F(DecisionTest, MissingLocalPrefDefaultsTo100) {
+  std::vector<RibRoute> cands{
+      {pfx("10.0.0.0/24"), 0, 1, pool_.intern(attrs_with({65001}))},
+      {pfx("10.0.0.0/24"), 0, 2, pool_.intern(attrs_with({65001}, 99))},
+  };
+  EXPECT_EQ(select_best_path(cands, info_fn()), 0);
+}
+
+TEST_F(DecisionTest, ShorterAsPathWins) {
+  std::vector<RibRoute> cands{
+      {pfx("10.0.0.0/24"), 0, 1, pool_.intern(attrs_with({65001, 65002}))},
+      {pfx("10.0.0.0/24"), 0, 2, pool_.intern(attrs_with({65003}))},
+  };
+  EXPECT_EQ(select_best_path(cands, info_fn()), 1);
+}
+
+TEST_F(DecisionTest, LowerOriginWins) {
+  std::vector<RibRoute> cands{
+      {pfx("10.0.0.0/24"), 0, 1,
+       pool_.intern(attrs_with({65001}, {}, Origin::kIncomplete))},
+      {pfx("10.0.0.0/24"), 0, 2,
+       pool_.intern(attrs_with({65002}, {}, Origin::kIgp))},
+  };
+  EXPECT_EQ(select_best_path(cands, info_fn()), 1);
+}
+
+TEST_F(DecisionTest, MedComparedOnlyForSameNeighborAs) {
+  // Same first AS: lower MED wins.
+  std::vector<RibRoute> same{
+      {pfx("10.0.0.0/24"), 0, 1,
+       pool_.intern(attrs_with({65001, 65005}, {}, Origin::kIgp, 20))},
+      {pfx("10.0.0.0/24"), 0, 2,
+       pool_.intern(attrs_with({65001, 65006}, {}, Origin::kIgp, 10))},
+  };
+  EXPECT_EQ(select_best_path(same, info_fn()), 1);
+
+  // Different first AS: MED ignored; tie broken by router id below.
+  infos_[1].router_id = Ipv4Address(1, 1, 1, 1);
+  infos_[2].router_id = Ipv4Address(2, 2, 2, 2);
+  std::vector<RibRoute> diff{
+      {pfx("10.0.0.0/24"), 0, 1,
+       pool_.intern(attrs_with({65001, 65005}, {}, Origin::kIgp, 20))},
+      {pfx("10.0.0.0/24"), 0, 2,
+       pool_.intern(attrs_with({65002, 65006}, {}, Origin::kIgp, 10))},
+  };
+  EXPECT_EQ(select_best_path(diff, info_fn()), 0);
+}
+
+TEST_F(DecisionTest, EbgpPreferredOverIbgp) {
+  infos_[1].ibgp = true;
+  infos_[2].ibgp = false;
+  std::vector<RibRoute> cands{
+      {pfx("10.0.0.0/24"), 0, 1, pool_.intern(attrs_with({65001}))},
+      {pfx("10.0.0.0/24"), 0, 2, pool_.intern(attrs_with({65002}))},
+  };
+  EXPECT_EQ(select_best_path(cands, info_fn()), 1);
+}
+
+TEST_F(DecisionTest, RouterIdBreaksTies) {
+  infos_[1].router_id = Ipv4Address(9, 9, 9, 9);
+  infos_[2].router_id = Ipv4Address(1, 1, 1, 1);
+  std::vector<RibRoute> cands{
+      {pfx("10.0.0.0/24"), 0, 1, pool_.intern(attrs_with({65001}))},
+      {pfx("10.0.0.0/24"), 0, 2, pool_.intern(attrs_with({65002}))},
+  };
+  EXPECT_EQ(select_best_path(cands, info_fn()), 1);
+}
+
+TEST_F(DecisionTest, EmptyCandidatesYieldNoBest) {
+  std::vector<RibRoute> none;
+  EXPECT_EQ(select_best_path(none, info_fn()), -1);
+}
+
+TEST(LocRib, TracksBestAcrossUpdatesAndWithdrawals) {
+  AttrPool pool;
+  std::map<PeerId, PeerDecisionInfo> infos;
+  infos[1].router_id = Ipv4Address(1, 1, 1, 1);
+  infos[2].router_id = Ipv4Address(2, 2, 2, 2);
+  LocRib rib([&](PeerId p) { return infos[p]; });
+
+  // Peer 1: longer path; peer 2: shorter path -> peer 2 best.
+  EXPECT_TRUE(rib.update(
+      {pfx("10.0.0.0/24"), 0, 1, pool.intern(attrs_with({65001, 65009}))}));
+  EXPECT_TRUE(
+      rib.update({pfx("10.0.0.0/24"), 0, 2, pool.intern(attrs_with({65002}))}));
+  EXPECT_EQ(rib.best(pfx("10.0.0.0/24"))->peer, 2u);
+  EXPECT_EQ(rib.route_count(), 2u);
+
+  // Withdrawing the best promotes the other.
+  EXPECT_TRUE(rib.withdraw(pfx("10.0.0.0/24"), 2, 0));
+  EXPECT_EQ(rib.best(pfx("10.0.0.0/24"))->peer, 1u);
+
+  // Withdrawing the last removes the prefix entirely.
+  EXPECT_TRUE(rib.withdraw(pfx("10.0.0.0/24"), 1, 0));
+  EXPECT_FALSE(rib.best(pfx("10.0.0.0/24")).has_value());
+  EXPECT_EQ(rib.prefix_count(), 0u);
+}
+
+TEST(LocRib, UpdateOfNonBestDoesNotSignalChange) {
+  AttrPool pool;
+  std::map<PeerId, PeerDecisionInfo> infos;
+  infos[1].router_id = Ipv4Address(1, 1, 1, 1);
+  infos[2].router_id = Ipv4Address(2, 2, 2, 2);
+  LocRib rib([&](PeerId p) { return infos[p]; });
+  rib.update({pfx("10.0.0.0/24"), 0, 1, pool.intern(attrs_with({65001}))});
+  rib.update(
+      {pfx("10.0.0.0/24"), 0, 2, pool.intern(attrs_with({65002, 65003}))});
+  // Re-updating the losing path with another losing path: best unchanged.
+  EXPECT_FALSE(rib.update(
+      {pfx("10.0.0.0/24"), 0, 2, pool.intern(attrs_with({65002, 65004}))}));
+}
+
+}  // namespace
+}  // namespace peering::bgp

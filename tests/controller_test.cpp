@@ -1,0 +1,199 @@
+// Network-controller tests (§5): minimal-diff reconciliation, transactional
+// rollback under injected netlink failures, and the primary-address
+// remove/re-add dance.
+#include <gtest/gtest.h>
+
+#include "platform/controller.h"
+
+namespace peering::platform {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+NlInterface make_if(const std::string& name,
+                    std::vector<NlAddress> addresses) {
+  return NlInterface{name, true, std::move(addresses)};
+}
+
+DesiredNetworkState basic_state() {
+  DesiredNetworkState state;
+  state.interfaces.push_back(
+      make_if("eth0", {{Ipv4Address(10, 0, 0, 1), 24}}));
+  state.interfaces.push_back(
+      make_if("tap0", {{Ipv4Address(100, 64, 0, 1), 24}}));
+  state.routes.push_back(
+      NlRoute{pfx("184.164.224.0/24"), Ipv4Address(100, 64, 0, 2), "tap0", 254});
+  state.rules.push_back(NlRule{100, "dmac:neighbor-1", 1000});
+  return state;
+}
+
+TEST(Controller, AppliesFromScratch) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  auto result = controller.apply(basic_state());
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_TRUE(controller.in_sync(basic_state()));
+  EXPECT_EQ(nl.interfaces().size(), 2u);
+  EXPECT_EQ(nl.routes().size(), 1u);
+  EXPECT_EQ(nl.rules().size(), 1u);
+}
+
+TEST(Controller, ReapplyIsNoOp) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  ASSERT_TRUE(controller.apply(basic_state()).success);
+  std::uint64_t mutations = nl.mutation_count();
+  auto result = controller.apply(basic_state());
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.changes_applied, 0);
+  EXPECT_EQ(nl.mutation_count(), mutations);
+}
+
+TEST(Controller, MinimalDiffKeepsCompatibleConfig) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  ASSERT_TRUE(controller.apply(basic_state()).success);
+
+  // Add one route; everything else untouched (so BGP sessions and VPN
+  // connections over existing interfaces survive).
+  DesiredNetworkState next = basic_state();
+  next.routes.push_back(
+      NlRoute{pfx("184.164.225.0/24"), Ipv4Address(100, 64, 0, 2), "tap0", 254});
+  auto result = controller.apply(next);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.changes_applied, 1);
+}
+
+TEST(Controller, RemovesIncompatibleConfig) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  ASSERT_TRUE(controller.apply(basic_state()).success);
+
+  DesiredNetworkState next = basic_state();
+  next.interfaces.pop_back();  // drop tap0
+  next.routes.clear();         // its route must go too
+  next.rules.clear();
+  auto result = controller.apply(next);
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_TRUE(controller.in_sync(next));
+  EXPECT_EQ(nl.interfaces().size(), 1u);
+  EXPECT_TRUE(nl.routes().empty());
+  EXPECT_TRUE(nl.rules().empty());
+}
+
+TEST(Controller, PrimaryAddressWrongTriggersReorder) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  // Live: addresses in the wrong order (B is primary).
+  ASSERT_TRUE(nl.create_interface("eth0").ok());
+  ASSERT_TRUE(nl.set_link_up("eth0", true).ok());
+  ASSERT_TRUE(nl.add_address("eth0", {Ipv4Address(10, 0, 0, 2), 24}).ok());
+  ASSERT_TRUE(nl.add_address("eth0", {Ipv4Address(10, 0, 0, 1), 24}).ok());
+
+  DesiredNetworkState desired;
+  desired.interfaces.push_back(make_if(
+      "eth0",
+      {{Ipv4Address(10, 0, 0, 1), 24}, {Ipv4Address(10, 0, 0, 2), 24}}));
+  auto result = controller.apply(desired);
+  ASSERT_TRUE(result.success) << result.error;
+  auto eth0 = nl.interface("eth0");
+  ASSERT_TRUE(eth0.has_value());
+  // The intended primary is now first: ICMP errors source correctly.
+  EXPECT_EQ(eth0->addresses.front().address, Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(eth0->addresses.size(), 2u);
+}
+
+TEST(Controller, SecondaryAddressChangeDoesNotReorder) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  DesiredNetworkState v1;
+  v1.interfaces.push_back(make_if(
+      "eth0",
+      {{Ipv4Address(10, 0, 0, 1), 24}, {Ipv4Address(10, 0, 0, 2), 24}}));
+  ASSERT_TRUE(controller.apply(v1).success);
+  std::uint64_t mutations = nl.mutation_count();
+
+  // Swap the secondary for another: one remove + one add, primary intact.
+  DesiredNetworkState v2;
+  v2.interfaces.push_back(make_if(
+      "eth0",
+      {{Ipv4Address(10, 0, 0, 1), 24}, {Ipv4Address(10, 0, 0, 3), 24}}));
+  auto result = controller.apply(v2);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(nl.mutation_count() - mutations, 2u);
+}
+
+TEST(Controller, FailureMidTransactionRollsBackEverything) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  ASSERT_TRUE(controller.apply(basic_state()).success);
+  auto before_ifs = nl.interfaces();
+  auto before_routes = nl.routes();
+  auto before_rules = nl.rules();
+
+  // Apply a state with several new pieces; fail partway through.
+  DesiredNetworkState next = basic_state();
+  next.interfaces.push_back(make_if("tap1", {{Ipv4Address(100, 64, 1, 1), 24}}));
+  next.routes.push_back(
+      NlRoute{pfx("184.164.230.0/24"), Ipv4Address(100, 64, 1, 2), "tap1", 254});
+  next.rules.push_back(NlRule{101, "dmac:neighbor-2", 1001});
+  nl.fail_nth_mutation(4);  // somewhere inside the new-config additions
+
+  auto result = controller.apply(next);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.rolled_back);
+  // Live state must be exactly as before the attempt.
+  EXPECT_EQ(nl.interfaces(), before_ifs);
+  EXPECT_EQ(nl.routes(), before_routes);
+  EXPECT_EQ(nl.rules(), before_rules);
+  EXPECT_TRUE(controller.in_sync(basic_state()));
+}
+
+TEST(Controller, RollbackCoversRemovalsToo) {
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+  ASSERT_TRUE(controller.apply(basic_state()).success);
+  auto before_routes = nl.routes();
+
+  // Next state removes the route and rule and adds an interface; fail on
+  // the last mutation so the removals must be undone.
+  DesiredNetworkState next = basic_state();
+  next.routes.clear();
+  next.rules.clear();
+  next.interfaces.push_back(make_if("tap9", {{Ipv4Address(100, 64, 9, 1), 24}}));
+  nl.fail_nth_mutation(3);
+
+  auto result = controller.apply(next);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(nl.routes(), before_routes);
+  EXPECT_TRUE(controller.in_sync(basic_state()));
+}
+
+TEST(Netlink, FailureInjectionFiresOnce) {
+  NetlinkSim nl;
+  nl.fail_nth_mutation(2);
+  EXPECT_TRUE(nl.create_interface("a").ok());
+  EXPECT_FALSE(nl.create_interface("b").ok());
+  EXPECT_TRUE(nl.create_interface("b").ok());
+}
+
+TEST(Netlink, DeleteInterfaceFlushesRoutes) {
+  NetlinkSim nl;
+  ASSERT_TRUE(nl.create_interface("tap0").ok());
+  ASSERT_TRUE(
+      nl.add_route({pfx("10.0.0.0/24"), Ipv4Address(1, 1, 1, 1), "tap0", 254})
+          .ok());
+  ASSERT_TRUE(nl.delete_interface("tap0").ok());
+  EXPECT_TRUE(nl.routes().empty());
+}
+
+TEST(Netlink, DuplicateAddressRejected) {
+  NetlinkSim nl;
+  ASSERT_TRUE(nl.create_interface("eth0").ok());
+  ASSERT_TRUE(nl.add_address("eth0", {Ipv4Address(10, 0, 0, 1), 24}).ok());
+  EXPECT_FALSE(nl.add_address("eth0", {Ipv4Address(10, 0, 0, 1), 24}).ok());
+}
+
+}  // namespace
+}  // namespace peering::platform

@@ -1,0 +1,178 @@
+// Tests for the synthetic Internet: relationship graph, Gao–Rexford
+// propagation invariants (valley-freeness, preference ordering), customer
+// cones, generators.
+#include <gtest/gtest.h>
+
+#include "inet/route_feed.h"
+#include "inet/topology.h"
+
+namespace peering::inet {
+namespace {
+
+TEST(AsGraph, CustomerConeIsTransitive) {
+  AsGraph g;
+  g.add_provider(2, 1);  // 1 is provider of 2
+  g.add_provider(3, 2);
+  g.add_provider(4, 2);
+  g.add_provider(5, 9);  // unrelated branch
+  auto cone = g.customer_cone(1);
+  EXPECT_EQ(cone, (std::set<bgp::Asn>{1, 2, 3, 4}));
+  EXPECT_EQ(g.customer_cone(3), (std::set<bgp::Asn>{3}));
+}
+
+/// Small diamond: origin 10 is a customer of 2 and 3; 1 is provider of 2,3;
+/// 4 peers with 2.
+class SmallTopology : public ::testing::Test {
+ protected:
+  SmallTopology() {
+    g.add_provider(10, 2);
+    g.add_provider(10, 3);
+    g.add_provider(2, 1);
+    g.add_provider(3, 1);
+    g.add_peering(2, 4);
+    g.add_provider(5, 4);  // 5 is a customer of 4
+  }
+  AsGraph g;
+};
+
+TEST_F(SmallTopology, DirectProvidersGetCustomerRoutes) {
+  auto routes = g.routes_to(10);
+  ASSERT_TRUE(routes.count(2));
+  EXPECT_EQ(routes[2].type, RouteType::kCustomer);
+  EXPECT_EQ(routes[2].path, (std::vector<bgp::Asn>{10}));
+  ASSERT_TRUE(routes.count(1));
+  EXPECT_EQ(routes[1].type, RouteType::kCustomer);
+  EXPECT_EQ(routes[1].path.size(), 2u);
+}
+
+TEST_F(SmallTopology, PeersGetPeerRoutes) {
+  auto routes = g.routes_to(10);
+  ASSERT_TRUE(routes.count(4));
+  EXPECT_EQ(routes[4].type, RouteType::kPeer);
+  EXPECT_EQ(routes[4].path, (std::vector<bgp::Asn>{2, 10}));
+}
+
+TEST_F(SmallTopology, PeerRoutesPropagateToCustomersOnly) {
+  auto routes = g.routes_to(10);
+  // 5 (customer of 4) reaches 10 via its provider 4.
+  ASSERT_TRUE(routes.count(5));
+  EXPECT_EQ(routes[5].type, RouteType::kProvider);
+  EXPECT_EQ(routes[5].path, (std::vector<bgp::Asn>{4, 2, 10}));
+}
+
+TEST_F(SmallTopology, CustomerRoutePreferredOverPeerAndProvider) {
+  // Give 4 a direct customer edge to 10 as well: 4 must now prefer it.
+  g.add_provider(10, 4);
+  auto routes = g.routes_to(10);
+  EXPECT_EQ(routes[4].type, RouteType::kCustomer);
+  EXPECT_EQ(routes[4].path, (std::vector<bgp::Asn>{10}));
+}
+
+TEST_F(SmallTopology, AllPathsAreValleyFree) {
+  auto routes = g.routes_to(10);
+  for (const auto& [asn, route] : routes) {
+    if (asn == 10) continue;
+    EXPECT_TRUE(AsGraph::path_is_valley_free(g, route.path, 10))
+        << "AS" << asn << " path not valley-free";
+  }
+}
+
+TEST(GeneratedInternet, EveryAsReachesEveryStub) {
+  InternetConfig config;
+  config.tier1_count = 4;
+  config.tier2_count = 10;
+  config.stub_count = 40;
+  Internet net = generate_internet(config);
+  // Sample a few stubs: every AS must have a route (the graph is connected
+  // through tier-1s).
+  int checked = 0;
+  for (bgp::Asn origin : net.stubs) {
+    if (++checked > 5) break;
+    auto routes = net.graph.routes_to(origin);
+    EXPECT_EQ(routes.size(), net.graph.as_count())
+        << "origin " << origin << " unreachable from some AS";
+  }
+}
+
+TEST(GeneratedInternet, ValleyFreePropertyHoldsGlobally) {
+  InternetConfig config;
+  config.tier1_count = 3;
+  config.tier2_count = 8;
+  config.stub_count = 30;
+  Internet net = generate_internet(config);
+  bgp::Asn origin = net.stubs.front();
+  auto routes = net.graph.routes_to(origin);
+  for (const auto& [asn, route] : routes) {
+    if (asn == origin) continue;
+    EXPECT_TRUE(AsGraph::path_is_valley_free(net.graph, route.path, origin));
+  }
+}
+
+TEST(GeneratedInternet, DeterministicForSeed) {
+  InternetConfig config;
+  Internet a = generate_internet(config);
+  Internet b = generate_internet(config);
+  EXPECT_EQ(a.graph.as_count(), b.graph.as_count());
+  EXPECT_EQ(a.prefixes, b.prefixes);
+}
+
+TEST(GeneratedInternet, StubPrefixesAreUnique) {
+  Internet net = generate_internet(InternetConfig{});
+  std::set<Ipv4Prefix> seen;
+  for (const auto& [asn, prefix] : net.prefixes)
+    EXPECT_TRUE(seen.insert(prefix).second) << prefix.str();
+}
+
+TEST(RouteFeed, GeneratesRequestedCountWithUniquePrefixes) {
+  RouteFeedConfig config;
+  config.route_count = 5000;
+  auto feed = generate_feed(config);
+  ASSERT_EQ(feed.size(), 5000u);
+  std::set<Ipv4Prefix> seen;
+  for (const auto& route : feed) {
+    EXPECT_TRUE(seen.insert(route.prefix).second);
+    EXPECT_EQ(route.attrs.as_path.first(), config.neighbor_asn);
+    EXPECT_GE(route.attrs.as_path.decision_length(), 2u);
+  }
+}
+
+TEST(RouteFeed, PathLengthsAreRealistic) {
+  RouteFeedConfig config;
+  config.route_count = 20000;
+  config.mean_path_tail = 3.5;
+  auto feed = generate_feed(config);
+  double total = 0;
+  for (const auto& route : feed) {
+    total += static_cast<double>(route.attrs.as_path.decision_length());
+  }
+  double mean = total / static_cast<double>(feed.size());
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 6.5);
+}
+
+TEST(RouteFeed, ChurnReferencesExistingPrefixes) {
+  RouteFeedConfig config;
+  config.route_count = 100;
+  auto feed = generate_feed(config);
+  auto churn = generate_churn(feed, 500, 9);
+  ASSERT_EQ(churn.size(), 500u);
+  std::set<Ipv4Prefix> known;
+  for (const auto& route : feed) known.insert(route.prefix);
+  for (const auto& update : churn)
+    EXPECT_TRUE(known.count(update.prefix)) << update.prefix.str();
+}
+
+TEST(RouteFeed, DeterministicForSeed) {
+  RouteFeedConfig config;
+  config.route_count = 1000;
+  auto a = generate_feed(config);
+  auto b = generate_feed(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prefix, b[i].prefix);
+    EXPECT_EQ(a[i].attrs, b[i].attrs);
+  }
+}
+
+}  // namespace
+}  // namespace peering::inet

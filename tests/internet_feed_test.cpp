@@ -1,0 +1,134 @@
+// §4.2 reachability semantics over the synthetic Internet, and the
+// platform feed that enacts them:
+//   * announcements via transit providers can reach every AS;
+//   * announcements made only to a peer reach exactly the peer's customer
+//     cone ("ASes in the customer cones of our peers receive announcements
+//     made by experiments to peers");
+//   * live neighbors fed from the graph export per Gao-Rexford policy
+//     (transits: full table; peers: customer cone only).
+#include <gtest/gtest.h>
+
+#include "inet/debugging.h"
+#include "platform/internet_feed.h"
+#include "toolkit/client.h"
+
+namespace peering {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+/// PEERING (47065) with one transit (3000, under tier-1 100) and one peer
+/// (4000, with customers 4001/4002); an unrelated stub 5001 under the
+/// tier-1.
+class ReachabilityTopology : public ::testing::Test {
+ protected:
+  ReachabilityTopology() {
+    g.add_provider(47065, 3000);
+    g.add_provider(3000, 100);
+    g.add_peering(47065, 4000);
+    g.add_provider(4000, 100);
+    g.add_provider(4001, 4000);
+    g.add_provider(4002, 4001);  // nested cone
+    g.add_provider(5001, 100);
+  }
+  inet::AsGraph g;
+};
+
+TEST_F(ReachabilityTopology, TransitAnnouncementReachesEveryAs) {
+  auto routes = g.routes_to(47065);
+  EXPECT_EQ(routes.size(), g.as_count());
+}
+
+TEST_F(ReachabilityTopology, PeerOnlyAnnouncementReachesExactlyTheCone) {
+  // Announce to the peer only: block the transit edge.
+  auto routes = inet::routes_to_filtered(g, 47065, {{47065, 3000}});
+  std::set<bgp::Asn> reached;
+  for (const auto& [asn, route] : routes) reached.insert(asn);
+  reached.erase(47065);  // self
+
+  auto cone = g.customer_cone(4000);
+  EXPECT_EQ(reached, cone) << "peer announcement must reach exactly the "
+                              "peer's customer cone";
+  // Explicitly: the unrelated stub and the tier-1 do not see it (peers do
+  // not re-export peer routes upward or laterally).
+  EXPECT_FALSE(reached.count(5001));
+  EXPECT_FALSE(reached.count(100));
+  EXPECT_TRUE(reached.count(4002));  // nested cone member
+}
+
+TEST_F(ReachabilityTopology, ExtraRouteDiversityForConeMembers) {
+  // §4.2: cone members are reachable both via all transits and via the
+  // peer — "extra" route diversity. Compare path sets with and without
+  // the peer edge.
+  auto with_peer = g.routes_to(47065);
+  auto without_peer =
+      inet::routes_to_filtered(g, 47065, {{47065, 4000}, {4000, 47065}});
+  ASSERT_TRUE(with_peer.count(4001));
+  ASSERT_TRUE(without_peer.count(4001));
+  // With the peering, the cone member uses the short peer path; without
+  // it, the longer transit path. Both exist -> diversity.
+  EXPECT_LT(with_peer[4001].path.size(), without_peer[4001].path.size());
+}
+
+TEST(InternetFeed, FeedsNeighborsWithPolicyCorrectTables) {
+  // A PoP whose two live neighbors are the transit 3000 and the peer 4000
+  // from a generated Internet-like graph.
+  inet::Internet internet;
+  internet.graph.add_provider(47065, 3000);
+  internet.graph.add_provider(3000, 100);
+  internet.graph.add_peering(47065, 4000);
+  internet.graph.add_provider(4000, 100);
+  internet.graph.add_provider(4001, 4000);
+  internet.graph.add_provider(5001, 100);
+  internet.prefixes[4001] = pfx("192.0.1.0/24");   // in the peer's cone
+  internet.prefixes[5001] = pfx("192.0.2.0/24");   // outside it
+
+  platform::PlatformModel model;
+  model.resources = platform::NumberedResources::peering_defaults();
+  platform::PopModel pop;
+  pop.id = "pop1";
+  pop.type = platform::PopType::kIxp;
+  pop.interconnects.push_back(
+      {"transit-3000", 3000, platform::InterconnectType::kTransit, 1});
+  pop.interconnects.push_back(
+      {"peer-4000", 4000, platform::InterconnectType::kBilateralPeer, 2});
+  model.pops[pop.id] = pop;
+
+  sim::EventLoop loop;
+  platform::ConfigDatabase db(model);
+  platform::Peering peering(&loop, &db);
+  peering.build();
+  peering.settle();
+
+  auto stats = platform::feed_from_internet(peering, "pop1", internet);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->neighbors_fed, 2u);
+  // Transit: both prefixes. Peer: only the cone prefix. Total 3.
+  EXPECT_EQ(stats->routes_fed, 3u);
+  peering.settle();
+
+  // The experiment sees the policy difference as path diversity.
+  platform::ExperimentProposal proposal;
+  proposal.id = "exp1";
+  proposal.requested_prefixes = 1;
+  ASSERT_TRUE(db.propose_experiment(proposal).ok());
+  ASSERT_TRUE(db.approve_experiment("exp1").ok());
+  toolkit::ExperimentClient client(&loop, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering.settle();
+
+  // Cone prefix: two paths (transit + peer). Outside prefix: transit only.
+  EXPECT_EQ(client.routes(pfx("192.0.1.0/24")).size(), 2u);
+  auto outside = client.routes(pfx("192.0.2.0/24"));
+  ASSERT_EQ(outside.size(), 1u);
+  EXPECT_EQ(outside[0].neighbor_name, "transit-3000");
+  // The peer's path to the cone prefix is the direct customer route.
+  for (const auto& view : client.routes(pfx("192.0.1.0/24"))) {
+    if (view.neighbor_name == "peer-4000")
+      EXPECT_EQ(view.as_path.flatten(), (std::vector<bgp::Asn>{4000, 4001}));
+  }
+}
+
+}  // namespace
+}  // namespace peering

@@ -1,0 +1,200 @@
+// Tests for the BPF-like packet-filter VM: validator, execution semantics,
+// token buckets, and the compiled anti-spoofing filters.
+#include <gtest/gtest.h>
+
+#include "enforce/data_enforcer.h"
+#include "enforce/packet_filter.h"
+#include "ip/ipv4.h"
+
+namespace peering::enforce {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+Bytes packet_with_src(Ipv4Address src, std::size_t payload = 0) {
+  ip::Ipv4Packet pkt;
+  pkt.src = src;
+  pkt.dst = Ipv4Address(192, 0, 2, 1);
+  pkt.payload = Bytes(payload, 0xab);
+  return pkt.encode();
+}
+
+TEST(FilterValidator, RejectsEmptyProgram) {
+  EXPECT_FALSE(PacketFilter::load({}).ok());
+}
+
+TEST(FilterValidator, RejectsFallThrough) {
+  FilterBuilder b;
+  b.load_len();
+  EXPECT_FALSE(PacketFilter::load(b.take()).ok());
+}
+
+TEST(FilterValidator, RejectsOutOfRangeJump) {
+  FilterBuilder b;
+  b.jmp_eq(0, 5, 0);  // target past end
+  b.ret_drop();
+  EXPECT_FALSE(PacketFilter::load(b.take()).ok());
+}
+
+TEST(FilterValidator, AcceptsMinimalPrograms) {
+  FilterBuilder pass;
+  pass.ret_pass();
+  EXPECT_TRUE(PacketFilter::load(pass.take()).ok());
+}
+
+TEST(FilterExec, LoadAndCompareWords) {
+  // PASS iff byte 0 (version/IHL) == 0x45.
+  FilterBuilder b;
+  b.load_byte(0);
+  b.jmp_eq(0x45, 0, 1);
+  b.ret_pass();
+  b.ret_drop();
+  auto filter = PacketFilter::load(b.take());
+  ASSERT_TRUE(filter.ok());
+  FilterState state({});
+  Bytes good = packet_with_src(Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(filter->run(good, SimTime(), state), FilterAction::kPass);
+  Bytes bad = good;
+  bad[0] = 0x60;
+  EXPECT_EQ(filter->run(bad, SimTime(), state), FilterAction::kDrop);
+}
+
+TEST(FilterExec, OutOfBoundsLoadYieldsZero) {
+  FilterBuilder b;
+  b.load_word(1000);
+  b.jmp_eq(0, 0, 1);
+  b.ret_pass();  // reached when the OOB load produced 0
+  b.ret_drop();
+  auto filter = PacketFilter::load(b.take());
+  ASSERT_TRUE(filter.ok());
+  FilterState state({});
+  EXPECT_EQ(filter->run(Bytes{1, 2, 3}, SimTime(), state),
+            FilterAction::kPass);
+}
+
+TEST(FilterExec, GreaterThanComparison) {
+  // DROP iff total packet length > 100.
+  FilterBuilder b;
+  b.load_len();
+  b.jmp_gt(100, 0, 1);
+  b.ret_drop();
+  b.ret_pass();
+  auto filter = PacketFilter::load(b.take());
+  ASSERT_TRUE(filter.ok());
+  FilterState state({});
+  EXPECT_EQ(filter->run(Bytes(50, 0), SimTime(), state), FilterAction::kPass);
+  EXPECT_EQ(filter->run(Bytes(150, 0), SimTime(), state), FilterAction::kDrop);
+}
+
+TEST(TokenBuckets, RefillOverTime) {
+  FilterState state({{100.0, 100.0}});  // 100 tokens/s, burst 100
+  SimTime t;
+  EXPECT_TRUE(state.consume(0, 100, t));
+  EXPECT_FALSE(state.consume(0, 1, t));
+  t = t + Duration::millis(500);  // +50 tokens
+  EXPECT_TRUE(state.consume(0, 50, t));
+  EXPECT_FALSE(state.consume(0, 1, t));
+}
+
+TEST(TokenBuckets, BurstIsCapped) {
+  FilterState state({{10.0, 20.0}});
+  SimTime t = SimTime() + Duration::hours(1);  // long idle
+  EXPECT_TRUE(state.consume(0, 20, t));
+  EXPECT_FALSE(state.consume(0, 1, t));
+}
+
+TEST(SourceCheckFilter, PassesOwnedDropsSpoofed) {
+  auto filter = build_source_check_filter(
+      {pfx("184.164.224.0/23"), pfx("138.185.228.0/24")});
+  ASSERT_TRUE(filter.ok());
+  FilterState state({});
+  EXPECT_EQ(filter->run(packet_with_src(Ipv4Address(184, 164, 225, 9)),
+                        SimTime(), state),
+            FilterAction::kPass);
+  EXPECT_EQ(filter->run(packet_with_src(Ipv4Address(138, 185, 228, 1)),
+                        SimTime(), state),
+            FilterAction::kPass);
+  EXPECT_EQ(filter->run(packet_with_src(Ipv4Address(8, 8, 8, 8)), SimTime(),
+                        state),
+            FilterAction::kDrop);
+  EXPECT_EQ(filter->packets_dropped(), 1u);
+}
+
+TEST(SourceCheckFilter, EmptyAllocationDropsEverything) {
+  auto filter = build_source_check_filter({});
+  ASSERT_TRUE(filter.ok());
+  FilterState state({});
+  EXPECT_EQ(filter->run(packet_with_src(Ipv4Address(10, 0, 0, 1)), SimTime(),
+                        state),
+            FilterAction::kDrop);
+}
+
+TEST(SourceCheckFilter, ManyAllocationsStillValid) {
+  // Exceeds what a single 8-bit far jump could reach; the per-test epilogue
+  // layout must keep the program valid.
+  std::vector<Ipv4Prefix> allocations;
+  for (int i = 0; i < 120; ++i)
+    allocations.push_back(
+        Ipv4Prefix(Ipv4Address(10, static_cast<std::uint8_t>(i), 0, 0), 24));
+  auto filter = build_source_check_filter(allocations);
+  ASSERT_TRUE(filter.ok());
+  FilterState state({});
+  EXPECT_EQ(filter->run(packet_with_src(Ipv4Address(10, 119, 0, 5)),
+                        SimTime(), state),
+            FilterAction::kPass);
+  EXPECT_EQ(filter->run(packet_with_src(Ipv4Address(10, 120, 0, 5)),
+                        SimTime(), state),
+            FilterAction::kDrop);
+}
+
+TEST(RateFilter, MetersBytes) {
+  auto filter = build_source_check_and_rate_filter({pfx("184.164.224.0/24")});
+  ASSERT_TRUE(filter.ok());
+  // 8000 bits/s = 1000 bytes/s, burst 1000 bytes.
+  FilterState state({{1000.0, 1000.0}});
+  SimTime t;
+  Bytes big = packet_with_src(Ipv4Address(184, 164, 224, 1), 800);  // 820B
+  EXPECT_EQ(filter->run(big, t, state), FilterAction::kPass);
+  EXPECT_EQ(filter->run(big, t, state), FilterAction::kDrop);  // bucket empty
+  t = t + Duration::seconds(1);
+  EXPECT_EQ(filter->run(big, t, state), FilterAction::kPass);  // refilled
+}
+
+TEST(DataPlaneEnforcer, InstallsAndEnforcesPerExperiment) {
+  DataPlaneEnforcer enforcer;
+  ExperimentGrant g1;
+  g1.experiment_id = "exp1";
+  g1.allocated_prefixes = {pfx("184.164.224.0/24")};
+  ExperimentGrant g2;
+  g2.experiment_id = "exp2";
+  g2.allocated_prefixes = {pfx("138.185.228.0/24")};
+  ASSERT_TRUE(enforcer.install(g1).ok());
+  ASSERT_TRUE(enforcer.install(g2).ok());
+
+  // exp1 sourcing from its own space: pass. From exp2's space: spoof, drop.
+  EXPECT_EQ(enforcer.check("exp1", packet_with_src(Ipv4Address(184, 164, 224, 1)),
+                           SimTime()),
+            FilterAction::kPass);
+  EXPECT_EQ(enforcer.check("exp1", packet_with_src(Ipv4Address(138, 185, 228, 1)),
+                           SimTime()),
+            FilterAction::kDrop);
+  // Unknown experiment fails closed.
+  EXPECT_EQ(enforcer.check("ghost", packet_with_src(Ipv4Address(184, 164, 224, 1)),
+                           SimTime()),
+            FilterAction::kDrop);
+}
+
+TEST(DataPlaneEnforcer, RateLimitedGrant) {
+  DataPlaneEnforcer enforcer;
+  ExperimentGrant grant;
+  grant.experiment_id = "exp1";
+  grant.allocated_prefixes = {pfx("184.164.224.0/24")};
+  grant.traffic_rate_bps = 8000;  // 1000 B/s
+  ASSERT_TRUE(enforcer.install(grant).ok());
+  Bytes big = packet_with_src(Ipv4Address(184, 164, 224, 1), 900);
+  EXPECT_EQ(enforcer.check("exp1", big, SimTime()), FilterAction::kPass);
+  EXPECT_EQ(enforcer.check("exp1", big, SimTime()), FilterAction::kDrop);
+}
+
+}  // namespace
+}  // namespace peering::enforce

@@ -1,0 +1,296 @@
+// Route-server tests: RFC 7947 transparency at the speaker level, and the
+// full IXP-fabric scenario — members exchange routes via the route server
+// (control plane) while data traffic flows directly across the switch to
+// the member router; the route server is never on the data path (§2.2.2:
+// "the aggregator is on the control plane but not the data path").
+#include <gtest/gtest.h>
+
+#include "ip/udp.h"
+#include "platform/peering.h"
+#include "toolkit/client.h"
+
+namespace peering {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+TEST(TransparentMode, NoPrependAndNextHopPreserved) {
+  sim::EventLoop loop;
+  // member -> rs (transparent) -> client
+  bgp::BgpSpeaker member(&loop, "member", 65010, Ipv4Address(1, 1, 1, 1));
+  bgp::BgpSpeaker rs(&loop, "rs", 64600, Ipv4Address(2, 2, 2, 2));
+  bgp::BgpSpeaker client(&loop, "client", 65020, Ipv4Address(3, 3, 3, 3));
+
+  bgp::PeerId m_rs = member.add_peer({.name = "rs", .peer_asn = 64600,
+                                      .local_address = Ipv4Address(10, 0, 0, 10)});
+  bgp::PeerConfig rs_m{.name = "member", .peer_asn = 65010,
+                       .local_address = Ipv4Address(10, 0, 0, 2)};
+  rs_m.transparent = true;
+  bgp::PeerId rs_member = rs.add_peer(rs_m);
+  auto s1 = sim::StreamChannel::make(&loop, Duration::millis(1));
+  member.connect_peer(m_rs, s1.a);
+  rs.connect_peer(rs_member, s1.b);
+
+  bgp::PeerConfig rs_c{.name = "client", .peer_asn = 65020,
+                       .local_address = Ipv4Address(10, 0, 0, 2)};
+  rs_c.transparent = true;
+  bgp::PeerId rs_client = rs.add_peer(rs_c);
+  bgp::PeerId c_rs = client.add_peer({.name = "rs", .peer_asn = 64600,
+                                      .local_address = Ipv4Address(10, 0, 0, 20)});
+  auto s2 = sim::StreamChannel::make(&loop, Duration::millis(1));
+  rs.connect_peer(rs_client, s2.a);
+  client.connect_peer(c_rs, s2.b);
+  loop.run_for(Duration::seconds(5));
+
+  member.originate(pfx("198.51.100.0/24"), bgp::PathAttributes{});
+  loop.run_for(Duration::seconds(5));
+
+  auto best = client.loc_rib().best(pfx("198.51.100.0/24"));
+  ASSERT_TRUE(best.has_value());
+  // Transparency: the RS ASN (64600) does not appear, and the next-hop is
+  // the member's own address, not the RS's.
+  EXPECT_EQ(best->attrs->as_path.flatten(), (std::vector<bgp::Asn>{65010}));
+  EXPECT_EQ(best->attrs->next_hop, Ipv4Address(10, 0, 0, 10));
+}
+
+class IxpFabricTest : public ::testing::Test {
+ protected:
+  IxpFabricTest() {
+    platform::PlatformModel model;
+    model.resources = platform::NumberedResources::peering_defaults();
+    platform::PopModel pop;
+    pop.id = "ixp01";
+    pop.location = "Test IXP";
+    pop.type = platform::PopType::kIxp;
+    pop.interconnects.push_back(
+        {"transit-a", 65001, platform::InterconnectType::kTransit, 1});
+    model.pops[pop.id] = pop;
+
+    db_ = std::make_unique<platform::ConfigDatabase>(model);
+    platform::PeeringOptions options;
+    options.build_ixp_fabric = true;
+    options.route_server_members = 3;
+    peering_ = std::make_unique<platform::Peering>(&loop_, db_.get(), options);
+    peering_->build();
+    peering_->settle();
+
+    platform::ExperimentProposal proposal;
+    proposal.id = "exp1";
+    proposal.requested_prefixes = 1;
+    EXPECT_TRUE(db_->propose_experiment(proposal).ok());
+    EXPECT_TRUE(db_->approve_experiment("exp1").ok());
+  }
+
+  platform::IxpFabricRuntime& ixp() { return *peering_->pop("ixp01")->ixp; }
+
+  sim::EventLoop loop_;
+  std::unique_ptr<platform::ConfigDatabase> db_;
+  std::unique_ptr<platform::Peering> peering_;
+};
+
+TEST_F(IxpFabricTest, RouteServerSessionsEstablish) {
+  auto* pop = peering_->pop("ixp01");
+  EXPECT_EQ(pop->router->speaker().session_state(ixp().rs_peer_at_router),
+            bgp::SessionState::kEstablished);
+  for (const auto& member : ixp().members) {
+    EXPECT_EQ(member->speaker->session_state(member->peer_at_rs),
+              bgp::SessionState::kEstablished)
+        << "member AS" << member->asn;
+  }
+}
+
+TEST_F(IxpFabricTest, MemberRoutesReachExperimentViaRsVirtualNeighbor) {
+  ASSERT_TRUE(peering_
+                  ->feed_member_routes(
+                      "ixp01", 0,
+                      {{pfx("198.51.100.0/24"),
+                        [] {
+                          bgp::PathAttributes a;
+                          return a;
+                        }()}})
+                  .ok());
+  peering_->settle();
+
+  toolkit::ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(*peering_, "ixp01").ok());
+  ASSERT_TRUE(client.start_bgp("ixp01").ok());
+  peering_->settle();
+
+  auto views = client.routes(pfx("198.51.100.0/24"));
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].neighbor_name, "route-server");
+  // The member's AS path, with neither the RS ASN nor 47065.
+  EXPECT_EQ(views[0].as_path.flatten(),
+            (std::vector<bgp::Asn>{ixp().members[0]->asn}));
+}
+
+TEST_F(IxpFabricTest, DataPathGoesDirectlyToMemberNotRs) {
+  ASSERT_TRUE(peering_
+                  ->feed_member_routes(
+                      "ixp01", 1,
+                      {{pfx("198.51.100.0/24"), bgp::PathAttributes{}}})
+                  .ok());
+  // The destination host lives behind member 1.
+  auto& member = *ixp().members[1];
+  member.host->add_interface("stub", MacAddress::from_id(0x990001))
+      .add_address({Ipv4Address(198, 51, 100, 1), 24});
+  peering_->settle();
+
+  toolkit::ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(*peering_, "ixp01").ok());
+  ASSERT_TRUE(client.start_bgp("ixp01").ok());
+  peering_->settle();
+
+  auto views = client.routes(pfx("198.51.100.0/24"));
+  ASSERT_EQ(views.size(), 1u);
+  ASSERT_TRUE(client
+                  .select_egress(pfx("198.51.100.0/24"), "ixp01",
+                                 views[0].virtual_next_hop)
+                  .ok());
+
+  int member_received = 0;
+  member.host->on_packet([&](const ip::Ipv4Packet& packet, int,
+                             const ether::EthernetFrame&) {
+    if (packet.dst == Ipv4Address(198, 51, 100, 1)) ++member_received;
+  });
+  client.host().ping(Ipv4Address(198, 51, 100, 1), 1, 1);
+  peering_->settle(Duration::seconds(3));
+  EXPECT_EQ(member_received, 1);
+  // The per-RS FIB entry points at the member's fabric address.
+  auto* rs_nb =
+      peering_->pop("ixp01")->router->registry().by_peer(ixp().rs_peer_at_router);
+  auto fib_route = rs_nb->fib.lookup(Ipv4Address(198, 51, 100, 1));
+  ASSERT_TRUE(fib_route.has_value());
+  EXPECT_EQ(fib_route->next_hop, member.fabric_address);
+}
+
+TEST_F(IxpFabricTest, EchoReplyReturnsAcrossFabric) {
+  ASSERT_TRUE(peering_
+                  ->feed_member_routes(
+                      "ixp01", 2,
+                      {{pfx("198.51.100.0/24"), bgp::PathAttributes{}}})
+                  .ok());
+  auto& member = *ixp().members[2];
+  member.host->add_interface("stub", MacAddress::from_id(0x990002))
+      .add_address({Ipv4Address(198, 51, 100, 1), 24});
+  peering_->settle();
+
+  toolkit::ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(*peering_, "ixp01").ok());
+  ASSERT_TRUE(client.start_bgp("ixp01").ok());
+  peering_->settle();
+  auto views = client.routes(pfx("198.51.100.0/24"));
+  ASSERT_EQ(views.size(), 1u);
+  ASSERT_TRUE(client
+                  .select_egress(pfx("198.51.100.0/24"), "ixp01",
+                                 views[0].virtual_next_hop)
+                  .ok());
+
+  bool got_reply = false;
+  client.host().on_packet([&](const ip::Ipv4Packet& packet, int,
+                              const ether::EthernetFrame&) {
+    auto msg = ip::IcmpMessage::decode(packet.payload);
+    if (msg && msg->type == ip::IcmpType::kEchoReply) got_reply = true;
+  });
+  client.host().ping(Ipv4Address(198, 51, 100, 1), 2, 1);
+  peering_->settle(Duration::seconds(3));
+  EXPECT_TRUE(got_reply);
+}
+
+TEST_F(IxpFabricTest, ExperimentAnnouncementReachesMembersViaRs) {
+  toolkit::ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(*peering_, "ixp01").ok());
+  ASSERT_TRUE(client.start_bgp("ixp01").ok());
+  peering_->settle();
+  Ipv4Prefix allocation = db_->experiment("exp1")->allocated_prefixes.front();
+  ASSERT_TRUE(client.announce(allocation).send().ok());
+  peering_->settle();
+
+  for (const auto& member : ixp().members) {
+    auto best = member->speaker->loc_rib().best(allocation);
+    ASSERT_TRUE(best.has_value()) << "member AS" << member->asn;
+    // Path through PEERING, without the (transparent) RS ASN.
+    auto path = best->attrs->as_path.flatten();
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], 47065u);
+    EXPECT_FALSE(best->attrs->as_path.contains(ixp().rs_asn));
+  }
+}
+
+/// Hosting a service (§2.1 goal: experiments can host services reachable
+/// from the Internet): a UDP "server" on the experiment host answers a
+/// request from a host behind an IXP member. Note the server, like any
+/// vBGP experiment, must choose an egress for its responses — vBGP makes
+/// no routing decisions on its behalf.
+TEST_F(IxpFabricTest, ExperimentHostsServiceReachableFromInternet) {
+  // The member announces its space and owns an address in it.
+  ASSERT_TRUE(peering_
+                  ->feed_member_routes(
+                      "ixp01", 0,
+                      {{pfx("198.51.100.0/24"), bgp::PathAttributes{}}})
+                  .ok());
+  ixp().members[0]->host->add_interface("stub", MacAddress::from_id(0x990009))
+      .add_address({Ipv4Address(198, 51, 100, 2), 24});
+
+  toolkit::ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(*peering_, "ixp01").ok());
+  ASSERT_TRUE(client.start_bgp("ixp01").ok());
+  peering_->settle();
+  Ipv4Prefix allocation = db_->experiment("exp1")->allocated_prefixes.front();
+  ASSERT_TRUE(client.announce(allocation).send().ok());
+  peering_->settle();
+  // Server-side egress choice for response traffic.
+  auto egress = client.routes(pfx("198.51.100.0/24"));
+  ASSERT_EQ(egress.size(), 1u);
+  ASSERT_TRUE(client
+                  .select_egress(pfx("198.51.100.0/24"), "ixp01",
+                                 egress[0].virtual_next_hop)
+                  .ok());
+
+  // The "server": answers any UDP datagram on port 8080 with a response.
+  Ipv4Address server_addr(allocation.address().value() + 1);
+  client.host().on_packet([&](const ip::Ipv4Packet& packet, int,
+                              const ether::EthernetFrame&) {
+    if (packet.protocol != static_cast<std::uint8_t>(ip::IpProto::kUdp)) return;
+    auto request = ip::UdpDatagram::decode(packet.payload);
+    if (!request || request->dst_port != 8080) return;
+    ip::Ipv4Packet response;
+    response.protocol = static_cast<std::uint8_t>(ip::IpProto::kUdp);
+    response.src = packet.dst;
+    response.dst = packet.src;
+    ip::UdpDatagram reply;
+    reply.src_port = 8080;
+    reply.dst_port = request->src_port;
+    reply.payload = Bytes{'O', 'K'};
+    response.payload = reply.encode();
+    client.host().send_packet(std::move(response));
+  });
+
+  // The "Internet client" behind member 0 (the member routes toward the
+  // experiment prefix via its default route to the vBGP router).
+  auto& member = *ixp().members[0];
+  bool got_response = false;
+  member.host->on_packet([&](const ip::Ipv4Packet& packet, int,
+                             const ether::EthernetFrame&) {
+    if (packet.protocol != static_cast<std::uint8_t>(ip::IpProto::kUdp)) return;
+    auto response = ip::UdpDatagram::decode(packet.payload);
+    if (response && response->src_port == 8080 &&
+        response->payload == Bytes{'O', 'K'})
+      got_response = true;
+  });
+  ip::Ipv4Packet request;
+  request.protocol = static_cast<std::uint8_t>(ip::IpProto::kUdp);
+  request.src = Ipv4Address(198, 51, 100, 2);  // announced, routable space
+  request.dst = server_addr;
+  ip::UdpDatagram udp;
+  udp.src_port = 40000;
+  udp.dst_port = 8080;
+  udp.payload = Bytes{'H', 'I'};
+  request.payload = udp.encode();
+  member.host->send_packet(std::move(request));
+  peering_->settle(Duration::seconds(3));
+  EXPECT_TRUE(got_response);
+}
+
+}  // namespace
+}  // namespace peering

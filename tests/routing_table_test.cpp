@@ -1,0 +1,153 @@
+// LPM routing-table tests, including a randomized property test against a
+// linear-scan oracle and memory-accounting checks used by the Figure 6a
+// reproduction.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ip/routing_table.h"
+#include "netbase/rand.h"
+
+namespace peering::ip {
+namespace {
+
+Route route(const std::string& prefix, std::uint32_t nh, int ifidx = 0) {
+  return Route{*Ipv4Prefix::parse(prefix), Ipv4Address(nh), ifidx, 0};
+}
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable table;
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("10.1.0.0/16", 2));
+  table.insert(route("10.1.2.0/24", 3));
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 2, 3))->next_hop.value(), 3u);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 9, 9))->next_hop.value(), 2u);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 9, 9, 9))->next_hop.value(), 1u);
+  EXPECT_FALSE(table.lookup(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(RoutingTable, DefaultRouteMatchesEverything) {
+  RoutingTable table;
+  table.insert(route("0.0.0.0/0", 42));
+  EXPECT_EQ(table.lookup(Ipv4Address(203, 0, 113, 7))->next_hop.value(), 42u);
+}
+
+TEST(RoutingTable, InsertReplacesExisting) {
+  RoutingTable table;
+  EXPECT_FALSE(table.insert(route("10.0.0.0/24", 1)));
+  EXPECT_TRUE(table.insert(route("10.0.0.0/24", 2)));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 0, 0, 1))->next_hop.value(), 2u);
+}
+
+TEST(RoutingTable, RemoveRestoresLessSpecific) {
+  RoutingTable table;
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("10.1.0.0/16", 2));
+  EXPECT_TRUE(table.remove(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 0, 1))->next_hop.value(), 1u);
+  EXPECT_FALSE(table.remove(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, RemovePrunesNodes) {
+  RoutingTable table;
+  table.insert(route("10.1.2.0/24", 1));
+  std::size_t nodes_with_route = table.node_count();
+  table.remove(*Ipv4Prefix::parse("10.1.2.0/24"));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_LT(table.node_count(), nodes_with_route);
+  EXPECT_EQ(table.node_count(), 0u);
+}
+
+TEST(RoutingTable, ExactMatchDistinguishesLengths) {
+  RoutingTable table;
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("10.0.0.0/16", 2));
+  EXPECT_EQ(table.exact(*Ipv4Prefix::parse("10.0.0.0/8"))->next_hop.value(), 1u);
+  EXPECT_EQ(table.exact(*Ipv4Prefix::parse("10.0.0.0/16"))->next_hop.value(), 2u);
+  EXPECT_FALSE(table.exact(*Ipv4Prefix::parse("10.0.0.0/24")).has_value());
+}
+
+TEST(RoutingTable, VisitSeesAllRoutes) {
+  RoutingTable table;
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("192.168.0.0/16", 2));
+  table.insert(route("0.0.0.0/0", 3));
+  int count = 0;
+  table.visit([&](const Route&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(RoutingTable, MemoryGrowsLinearlyAndShrinksOnClear) {
+  RoutingTable table;
+  std::size_t empty = table.memory_bytes();
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    Ipv4Prefix p(Ipv4Address(10 + (i >> 8), i & 0xff, 0, 0), 24);
+    table.insert(Route{p, Ipv4Address(1), 0, 0});
+  }
+  std::size_t full = table.memory_bytes();
+  EXPECT_GT(full, empty);
+  // Linearity sanity: per-route cost should be bounded (trie depth <= 24
+  // nodes per /24 route, far fewer amortized due to shared paths).
+  EXPECT_LT((full - empty) / 1000, 3000u);
+  table.clear();
+  EXPECT_EQ(table.memory_bytes(), empty);
+}
+
+/// Property test: trie lookup == linear scan oracle over random
+/// insert/remove/lookup sequences.
+class RoutingTablePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingTablePropertyTest, MatchesLinearOracle) {
+  Rng rng(GetParam());
+  RoutingTable table;
+  std::map<Ipv4Prefix, Route> oracle;
+
+  auto random_prefix = [&]() {
+    // Cluster prefixes to force shared trie paths and overlaps.
+    std::uint8_t len = static_cast<std::uint8_t>(rng.range(8, 28));
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next()) &
+                         (rng.chance(0.5) ? 0x0a0fffffu : 0xffffffffu);
+    return Ipv4Prefix(Ipv4Address(addr), len);
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    double action = rng.uniform();
+    if (action < 0.55) {
+      Route r{random_prefix(), Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+              static_cast<int>(rng.below(4)), 0};
+      table.insert(r);
+      oracle[r.prefix] = r;
+    } else if (action < 0.75 && !oracle.empty()) {
+      auto it = oracle.begin();
+      std::advance(it, static_cast<long>(rng.below(oracle.size())));
+      EXPECT_TRUE(table.remove(it->first));
+      oracle.erase(it);
+    } else {
+      Ipv4Address probe(static_cast<std::uint32_t>(rng.next()));
+      auto got = table.lookup(probe);
+      // Oracle: longest matching prefix by linear scan.
+      const Route* want = nullptr;
+      for (const auto& [prefix, r] : oracle) {
+        if (prefix.contains(probe) &&
+            (!want || prefix.length() > want->prefix.length()))
+          want = &r;
+      }
+      if (want == nullptr) {
+        EXPECT_FALSE(got.has_value()) << "probe " << probe.str();
+      } else {
+        ASSERT_TRUE(got.has_value()) << "probe " << probe.str();
+        EXPECT_EQ(got->prefix, want->prefix) << "probe " << probe.str();
+        EXPECT_EQ(got->next_hop, want->next_hop);
+      }
+    }
+    EXPECT_EQ(table.size(), oracle.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingTablePropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace peering::ip

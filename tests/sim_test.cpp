@@ -1,0 +1,178 @@
+// Tests for the discrete-event core: ordering, determinism, link latency /
+// bandwidth / drop-tail behaviour, reliable streams.
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/stream.h"
+
+namespace peering::sim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(Duration::seconds(3), [&] { order.push_back(3); });
+  loop.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  loop.schedule_after(Duration::seconds(2), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime() + Duration::seconds(3));
+}
+
+TEST(EventLoop, EqualTimesRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    loop.schedule_after(Duration::seconds(1), [&order, i] { order.push_back(i); });
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    if (++count < 5) loop.schedule_after(Duration::millis(10), tick);
+  };
+  loop.schedule_after(Duration::millis(10), tick);
+  loop.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now().ns(), Duration::millis(50).ns());
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWhenIdle) {
+  EventLoop loop;
+  loop.run_until(SimTime() + Duration::seconds(10));
+  EXPECT_EQ(loop.now(), SimTime() + Duration::seconds(10));
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  bool late_ran = false;
+  loop.schedule_after(Duration::seconds(5), [&] { late_ran = true; });
+  loop.run_until(SimTime() + Duration::seconds(2));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(Link, DeliversAfterLatency) {
+  EventLoop loop;
+  LinkConfig config;
+  config.latency = Duration::millis(10);
+  Link link(&loop, config);
+  SimTime delivered_at;
+  link.a_to_b().set_receiver([&](const Bytes&) { delivered_at = loop.now(); });
+  link.a_to_b().send(Bytes{1, 2, 3});
+  loop.run();
+  EXPECT_EQ(delivered_at.ns(), Duration::millis(10).ns());
+}
+
+TEST(Link, SerializationDelayAtFiniteBandwidth) {
+  EventLoop loop;
+  LinkConfig config;
+  config.latency = Duration::millis(1);
+  config.bandwidth_bps = 8'000'000;  // 1 byte/us
+  Link link(&loop, config);
+  std::vector<SimTime> deliveries;
+  link.a_to_b().set_receiver([&](const Bytes&) { deliveries.push_back(loop.now()); });
+  // Two 1000-byte frames: serialization 1ms each, so arrivals at 2ms and 3ms.
+  link.a_to_b().send(Bytes(1000, 0));
+  link.a_to_b().send(Bytes(1000, 0));
+  loop.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].ns(), Duration::millis(2).ns());
+  EXPECT_EQ(deliveries[1].ns(), Duration::millis(3).ns());
+}
+
+TEST(Link, DropTailWhenQueueFull) {
+  EventLoop loop;
+  LinkConfig config;
+  config.bandwidth_bps = 8'000;  // 1 byte/ms: very slow
+  config.queue_limit_bytes = 2000;
+  Link link(&loop, config);
+  int received = 0;
+  link.a_to_b().set_receiver([&](const Bytes&) { ++received; });
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i)
+    if (link.a_to_b().send(Bytes(1000, 0))) ++accepted;
+  EXPECT_EQ(accepted, 2);  // queue fits two 1000B frames
+  EXPECT_EQ(link.a_to_b().frames_dropped(), 8u);
+  loop.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Link, QueueDrainsOverTime) {
+  EventLoop loop;
+  LinkConfig config;
+  config.bandwidth_bps = 8'000'000;  // 1 byte/us
+  config.queue_limit_bytes = 1000;
+  Link link(&loop, config);
+  link.a_to_b().set_receiver([](const Bytes&) {});
+  EXPECT_TRUE(link.a_to_b().send(Bytes(800, 0)));
+  EXPECT_FALSE(link.a_to_b().send(Bytes(800, 0)));  // queue full
+  loop.run_for(Duration::millis(2));                // drains
+  EXPECT_TRUE(link.a_to_b().send(Bytes(800, 0)));
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{});
+  int a_received = 0, b_received = 0;
+  link.a_to_b().set_receiver([&](const Bytes&) { ++b_received; });
+  link.b_to_a().set_receiver([&](const Bytes&) { ++a_received; });
+  link.a_to_b().send(Bytes{1});
+  link.b_to_a().send(Bytes{2});
+  link.b_to_a().send(Bytes{3});
+  loop.run();
+  EXPECT_EQ(b_received, 1);
+  EXPECT_EQ(a_received, 2);
+}
+
+TEST(Stream, DeliversInOrderAfterLatency) {
+  EventLoop loop;
+  auto pair = StreamChannel::make(&loop, Duration::millis(5));
+  std::vector<int> received;
+  pair.b->on_data([&](const Bytes& data) { received.push_back(data[0]); });
+  pair.a->send(Bytes{1});
+  pair.a->send(Bytes{2});
+  pair.a->send(Bytes{3});
+  loop.run();
+  EXPECT_EQ(received, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Stream, BuffersUntilHandlerAttached) {
+  EventLoop loop;
+  auto pair = StreamChannel::make(&loop, Duration::millis(1));
+  pair.a->send(Bytes{42});
+  loop.run();
+  std::vector<int> received;
+  pair.b->on_data([&](const Bytes& data) { received.push_back(data[0]); });
+  EXPECT_EQ(received, (std::vector<int>{42}));
+}
+
+TEST(Stream, CloseNotifiesPeer) {
+  EventLoop loop;
+  auto pair = StreamChannel::make(&loop, Duration::millis(1));
+  bool closed = false;
+  pair.b->on_close([&] { closed = true; });
+  pair.a->close();
+  loop.run();
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(pair.b->open());
+  EXPECT_FALSE(pair.b->send(Bytes{1}));
+}
+
+TEST(Stream, DataInFlightAtCloseIsNotDeliveredAfterClose) {
+  EventLoop loop;
+  auto pair = StreamChannel::make(&loop, Duration::millis(1));
+  int received = 0;
+  pair.b->on_data([&](const Bytes&) { ++received; });
+  pair.a->send(Bytes{1});
+  pair.b->close();  // b closes immediately; a's data arrives later
+  loop.run();
+  EXPECT_EQ(received, 0);
+}
+
+}  // namespace
+}  // namespace peering::sim

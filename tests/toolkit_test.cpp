@@ -1,0 +1,428 @@
+// End-to-end platform + toolkit tests: the full turn-key flow of §4.5/4.6
+// — propose, approve, open tunnel, start BGP, see routes, announce with
+// AS-path/community manipulation, steer traffic — every row of Table 1.
+#include <gtest/gtest.h>
+
+#include "platform/footprint.h"
+#include "platform/peering.h"
+#include "toolkit/client.h"
+
+namespace peering::toolkit {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+/// A small two-PoP deployment for fast tests.
+platform::PlatformModel small_model() {
+  platform::PlatformModel model;
+  model.resources = platform::NumberedResources::peering_defaults();
+  platform::PopModel pop1;
+  pop1.id = "pop1";
+  pop1.location = "Test IXP";
+  pop1.type = platform::PopType::kIxp;
+  pop1.on_backbone = true;
+  pop1.interconnects.push_back(
+      {"transit-a", 65001, platform::InterconnectType::kTransit, 1});
+  pop1.interconnects.push_back(
+      {"peer-b", 65002, platform::InterconnectType::kBilateralPeer, 2});
+  model.pops["pop1"] = pop1;
+
+  platform::PopModel pop2;
+  pop2.id = "pop2";
+  pop2.location = "Test University";
+  pop2.type = platform::PopType::kUniversity;
+  pop2.on_backbone = true;
+  pop2.interconnects.push_back(
+      {"transit-c", 65003, platform::InterconnectType::kTransit, 3});
+  model.pops["pop2"] = pop2;
+  return model;
+}
+
+class ToolkitTest : public ::testing::Test {
+ protected:
+  ToolkitTest() : db_(small_model()), peering_(&loop_, &db_) {
+    peering_.build();
+    peering_.settle();
+
+    platform::ExperimentProposal proposal;
+    proposal.id = "exp1";
+    proposal.description = "toolkit test";
+    proposal.requested_prefixes = 1;
+    EXPECT_TRUE(db_.propose_experiment(proposal).ok());
+    EXPECT_TRUE(db_.approve_experiment("exp1").ok());
+  }
+
+  /// Feeds one destination route from every live neighbor at pop1.
+  void feed_destination() {
+    inet::FeedRoute route;
+    route.prefix = pfx("192.168.0.0/24");
+    route.attrs.as_path = bgp::AsPath({65001, 64999});
+    EXPECT_TRUE(peering_.feed_routes("pop1", 0, {route}).ok());
+    route.attrs.as_path = bgp::AsPath({65002, 64999});
+    EXPECT_TRUE(peering_.feed_routes("pop1", 1, {route}).ok());
+    peering_.settle();
+  }
+
+  sim::EventLoop loop_;
+  platform::ConfigDatabase db_;
+  platform::Peering peering_;
+};
+
+TEST_F(ToolkitTest, TunnelLifecycle) {
+  ExperimentClient client(&loop_, "exp1");
+  EXPECT_FALSE(client.tunnel_up("pop1"));
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  EXPECT_TRUE(client.tunnel_up("pop1"));
+  EXPECT_FALSE(client.open_tunnel(peering_, "pop1").ok());  // already open
+  ASSERT_TRUE(client.close_tunnel("pop1").ok());
+  EXPECT_FALSE(client.tunnel_up("pop1"));
+}
+
+TEST_F(ToolkitTest, UnapprovedExperimentCannotConnect) {
+  ExperimentClient client(&loop_, "ghost");
+  EXPECT_FALSE(client.open_tunnel(peering_, "pop1").ok());
+}
+
+TEST_F(ToolkitTest, BgpSessionLifecycleAndStatus) {
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+  EXPECT_TRUE(client.session_established("pop1"));
+  EXPECT_NE(client.bgp_status().find("pop1: Established"), std::string::npos);
+
+  ASSERT_TRUE(client.stop_bgp("pop1").ok());
+  peering_.settle();
+  EXPECT_FALSE(client.session_established("pop1"));
+
+  // Restart works (fresh transport via the platform).
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+  EXPECT_TRUE(client.session_established("pop1"));
+}
+
+TEST_F(ToolkitTest, CliShowProtocolsAndRoutes) {
+  feed_destination();
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+
+  std::string protocols = client.cli("show protocols");
+  EXPECT_NE(protocols.find("pop1"), std::string::npos);
+  EXPECT_NE(protocols.find("Established"), std::string::npos);
+
+  std::string routes = client.cli("show route 192.168.0.0/24");
+  EXPECT_NE(routes.find("192.168.0.0/24"), std::string::npos);
+  EXPECT_NE(routes.find("64999"), std::string::npos);
+  EXPECT_EQ(client.cli("bogus"), "unknown command: bogus\n");
+}
+
+TEST_F(ToolkitTest, SeesAllPathsAndResolvesNeighbors) {
+  feed_destination();
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  ASSERT_EQ(views.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& view : views) {
+    EXPECT_EQ(view.pop, "pop1");
+    names.insert(view.neighbor_name);
+  }
+  EXPECT_TRUE(names.count("transit-a"));
+  EXPECT_TRUE(names.count("peer-b"));
+
+  auto neighbors = client.neighbors("pop1");
+  EXPECT_GE(neighbors.size(), 2u);
+}
+
+TEST_F(ToolkitTest, AnnounceReachesNeighborsAndWithdrawRemoves) {
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+
+  const Ipv4Prefix allocation =
+      db_.experiment("exp1")->allocated_prefixes.front();
+  ASSERT_TRUE(client.announce(allocation).send().ok());
+  peering_.settle();
+
+  auto* pop1 = peering_.pop("pop1");
+  auto at_transit = pop1->neighbors[0]->speaker->loc_rib().best(allocation);
+  ASSERT_TRUE(at_transit.has_value());
+  EXPECT_EQ(at_transit->attrs->as_path.flatten().front(), 47065u);
+
+  ASSERT_TRUE(client.withdraw(allocation).ok());
+  peering_.settle();
+  EXPECT_FALSE(
+      pop1->neighbors[0]->speaker->loc_rib().best(allocation).has_value());
+  EXPECT_FALSE(client.withdraw(allocation).ok());  // already withdrawn
+}
+
+TEST_F(ToolkitTest, PrependAndMedManipulation) {
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+  const Ipv4Prefix allocation =
+      db_.experiment("exp1")->allocated_prefixes.front();
+  bgp::Asn exp_asn = db_.experiment("exp1")->asn;
+
+  ASSERT_TRUE(client.announce(allocation).prepend(2).med(40).send().ok());
+  peering_.settle();
+
+  auto at_transit =
+      peering_.pop("pop1")->neighbors[0]->speaker->loc_rib().best(allocation);
+  ASSERT_TRUE(at_transit.has_value());
+  EXPECT_EQ(at_transit->attrs->as_path.flatten(),
+            (std::vector<bgp::Asn>{47065, exp_asn, exp_asn, exp_asn}));
+}
+
+TEST_F(ToolkitTest, SelectiveAnnouncementViaBuilder) {
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+  const Ipv4Prefix allocation =
+      db_.experiment("exp1")->allocated_prefixes.front();
+
+  // Find transit-a's community id from the published neighbor list.
+  std::uint16_t transit_id = 0;
+  for (const auto& nb : client.neighbors("pop1"))
+    if (nb.name == "transit-a") transit_id = nb.local_id;
+  ASSERT_NE(transit_id, 0);
+
+  ASSERT_TRUE(client.announce(allocation).announce_to(transit_id).send().ok());
+  peering_.settle();
+  auto* pop1 = peering_.pop("pop1");
+  EXPECT_TRUE(pop1->neighbors[0]->speaker->loc_rib().best(allocation).has_value());
+  EXPECT_FALSE(
+      pop1->neighbors[1]->speaker->loc_rib().best(allocation).has_value());
+}
+
+TEST_F(ToolkitTest, MultiPopVisibilityOverBackbone) {
+  feed_destination();
+  ExperimentClient client(&loop_, "exp1");
+  // Connect at pop2 only: routes from pop1's neighbors arrive via the
+  // backbone mesh.
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop2").ok());
+  ASSERT_TRUE(client.start_bgp("pop2").ok());
+  peering_.settle(Duration::seconds(20));
+
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  EXPECT_EQ(views.size(), 2u) << client.cli("show route");
+}
+
+TEST_F(ToolkitTest, EgressSelectionSteersTraffic) {
+  feed_destination();
+  // Give pop1's neighbors a destination host address each.
+  auto* pop1 = peering_.pop("pop1");
+  pop1->neighbors[0]->host->add_interface("stub", MacAddress::from_id(0x900001))
+      .add_address({Ipv4Address(192, 168, 0, 1), 24});
+  pop1->neighbors[1]->host->add_interface("stub", MacAddress::from_id(0x900002))
+      .add_address({Ipv4Address(192, 168, 0, 1), 24});
+
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  ASSERT_EQ(views.size(), 2u);
+  const RouteView* via_peer_b = nullptr;
+  for (const auto& view : views)
+    if (view.neighbor_name == "peer-b") via_peer_b = &view;
+  ASSERT_NE(via_peer_b, nullptr);
+
+  ASSERT_TRUE(client
+                  .select_egress(pfx("192.168.0.0/24"), "pop1",
+                                 via_peer_b->virtual_next_hop)
+                  .ok());
+  int at_transit = 0, at_peer = 0;
+  pop1->neighbors[0]->host->on_packet(
+      [&](const ip::Ipv4Packet&, int, const ether::EthernetFrame&) {
+        ++at_transit;
+      });
+  pop1->neighbors[1]->host->on_packet(
+      [&](const ip::Ipv4Packet&, int, const ether::EthernetFrame&) {
+        ++at_peer;
+      });
+  client.host().ping(Ipv4Address(192, 168, 0, 1), 1, 1);
+  peering_.settle(Duration::seconds(3));
+  EXPECT_EQ(at_peer, 1);
+  EXPECT_EQ(at_transit, 0);
+}
+
+TEST_F(ToolkitTest, ParallelExperimentsDoNotInterfere) {
+  platform::ExperimentProposal p2;
+  p2.id = "exp2";
+  p2.requested_prefixes = 1;
+  ASSERT_TRUE(db_.propose_experiment(p2).ok());
+  ASSERT_TRUE(db_.approve_experiment("exp2").ok());
+
+  ExperimentClient c1(&loop_, "exp1"), c2(&loop_, "exp2");
+  ASSERT_TRUE(c1.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(c2.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(c1.start_bgp("pop1").ok());
+  ASSERT_TRUE(c2.start_bgp("pop1").ok());
+  peering_.settle();
+
+  const Ipv4Prefix a1 = db_.experiment("exp1")->allocated_prefixes.front();
+  const Ipv4Prefix a2 = db_.experiment("exp2")->allocated_prefixes.front();
+  EXPECT_NE(a1, a2);  // disjoint allocations
+  ASSERT_TRUE(c1.announce(a1).send().ok());
+  ASSERT_TRUE(c2.announce(a2).send().ok());
+  peering_.settle();
+
+  // Both reach the transit; neither sees the other's announcement.
+  auto* transit = peering_.pop("pop1")->neighbors[0].get();
+  EXPECT_TRUE(transit->speaker->loc_rib().best(a1).has_value());
+  EXPECT_TRUE(transit->speaker->loc_rib().best(a2).has_value());
+  EXPECT_TRUE(c1.routes(a2).empty());
+  EXPECT_TRUE(c2.routes(a1).empty());
+}
+
+TEST_F(ToolkitTest, EnforcementStateSyncsAcrossPops) {
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+  const Ipv4Prefix allocation =
+      db_.experiment("exp1")->allocated_prefixes.front();
+  ASSERT_TRUE(client.announce(allocation).send().ok());
+  peering_.settle();
+
+  peering_.sync_enforcement_state();
+  // pop2's enforcer now sees pop1's counters.
+  auto* pop2 = peering_.pop("pop2");
+  bool found = false;
+  for (const auto& [key, value] : pop2->control->state().snapshot()) {
+    if (key.find("exp1") != std::string::npos && value > 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+
+TEST_F(ToolkitTest, LiveCapabilityUpdateViaRouteRefresh) {
+  // The §4.7/§5 workflow: an experiment's announcement has its communities
+  // stripped (no capability); the admin grants the capability on the web
+  // form; the platform pushes the new policy and refreshes the experiment's
+  // announcements over the live session — no reconnect, no withdrawal.
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+  const Ipv4Prefix allocation =
+      db_.experiment("exp1")->allocated_prefixes.front();
+
+  bgp::Community marker(3356, 70);
+  ASSERT_TRUE(client.announce(allocation).community(marker).send().ok());
+  peering_.settle();
+  auto* transit = peering_.pop("pop1")->neighbors[0].get();
+  auto before = transit->speaker->loc_rib().best(allocation);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_FALSE(before->attrs->has_community(marker)) << "should be stripped";
+
+  // Grant the communities capability and push it live.
+  ASSERT_TRUE(db_.update_capabilities(
+                     "exp1", {enforce::Capability::kCommunities}, 0, 8)
+                  .ok());
+  ASSERT_TRUE(peering_.refresh_experiment("exp1").ok());
+  peering_.settle();
+
+  auto after = transit->speaker->loc_rib().best(allocation);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(after->attrs->has_community(marker))
+      << "community should now pass enforcement";
+  // Session never reset.
+  EXPECT_TRUE(client.session_established("pop1"));
+}
+
+TEST_F(ToolkitTest, CapabilityRevocationTakesEffectLive) {
+  // Start with the capability, announce, revoke, refresh: stripped again.
+  ASSERT_TRUE(db_.update_capabilities(
+                     "exp1", {enforce::Capability::kCommunities}, 0, 8)
+                  .ok());
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  peering_.settle();
+  const Ipv4Prefix allocation =
+      db_.experiment("exp1")->allocated_prefixes.front();
+  bgp::Community marker(3356, 70);
+  ASSERT_TRUE(client.announce(allocation).community(marker).send().ok());
+  peering_.settle();
+  auto* transit = peering_.pop("pop1")->neighbors[0].get();
+  ASSERT_TRUE(transit->speaker->loc_rib().best(allocation)->attrs->has_community(
+      marker));
+
+  ASSERT_TRUE(db_.update_capabilities("exp1", {}, 0, 0).ok());
+  ASSERT_TRUE(peering_.refresh_experiment("exp1").ok());
+  peering_.settle();
+  auto after = transit->speaker->loc_rib().best(allocation);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_FALSE(after->attrs->has_community(marker));
+}
+
+
+TEST_F(ToolkitTest, PerPopAnnouncementRestriction) {
+  // The real client's `announce -m <mux>`: announce at pop1 only, while
+  // connected at both PoPs. pop2's neighbors never see the prefix (not
+  // even via the backbone, since the experiment's own session at pop2
+  // suppresses the export and pop1's copy carries the experiment marker).
+  ExperimentClient client(&loop_, "exp1");
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop1").ok());
+  ASSERT_TRUE(client.open_tunnel(peering_, "pop2").ok());
+  ASSERT_TRUE(client.start_bgp("pop1").ok());
+  ASSERT_TRUE(client.start_bgp("pop2").ok());
+  peering_.settle();
+  const Ipv4Prefix allocation =
+      db_.experiment("exp1")->allocated_prefixes.front();
+
+  ASSERT_TRUE(client.announce(allocation).on_pop("pop1").send().ok());
+  peering_.settle();
+  // pop1's router learned it over the pop1 session only.
+  auto* pop1 = peering_.pop("pop1");
+  auto* pop2 = peering_.pop("pop2");
+  EXPECT_TRUE(pop1->neighbors[0]->speaker->loc_rib().best(allocation).has_value());
+  // pop2's session carries nothing; note the announcement still reaches
+  // pop2's neighbors across the backbone from pop1 — that is PEERING's
+  // actual behaviour; mux selection controls which session injects it.
+  auto cands_pop2_session =
+      pop2->router->speaker().adj_rib_in(
+          pop2->experiment_peers.at("exp1")).size();
+  EXPECT_EQ(cands_pop2_session, 0u);
+
+  // Un-restricting (announce everywhere) injects at both sessions.
+  ASSERT_TRUE(client.announce(allocation).send().ok());
+  peering_.settle();
+  EXPECT_EQ(pop2->router->speaker().adj_rib_in(
+                pop2->experiment_peers.at("exp1")).size(),
+            1u);
+
+  // Announcing to an unconnected PoP is an error.
+  EXPECT_FALSE(client.announce(allocation).on_pop("nowhere").send().ok());
+}
+
+TEST_F(ToolkitTest, NoTransitBetweenNeighbors) {
+  // Routes learned from one neighbor must never be exported to another
+  // neighbor: PEERING does not provide transit to the Internet.
+  feed_destination();  // both pop1 neighbors announce 192.168.0.0/24
+  auto* pop1 = peering_.pop("pop1");
+  // Neither neighbor sees the other's route through PEERING.
+  EXPECT_EQ(pop1->neighbors[0]->speaker->loc_rib().candidates(
+                pfx("192.168.0.0/24")).size(), 1u)
+      << "transit-a should only hold its own originated route";
+  EXPECT_EQ(pop1->neighbors[1]->speaker->loc_rib().candidates(
+                pfx("192.168.0.0/24")).size(), 1u);
+  // And pop2's transit (across the backbone) sees nothing either.
+  EXPECT_FALSE(peering_.pop("pop2")->neighbors[0]->speaker->loc_rib()
+                   .best(pfx("192.168.0.0/24"))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace peering::toolkit

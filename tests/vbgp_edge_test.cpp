@@ -1,0 +1,247 @@
+// vBGP edge cases: TTL expiry at the router, drops for destinations that
+// are neither experiments' nor ours (no transit), bandwidth-capped sites
+// shaping experiment traffic, and the operational "show" surface.
+#include <gtest/gtest.h>
+
+#include "platform/peering.h"
+#include "toolkit/client.h"
+
+namespace peering {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+platform::PlatformModel capped_model() {
+  platform::PlatformModel model;
+  model.resources = platform::NumberedResources::peering_defaults();
+  platform::PopModel pop;
+  pop.id = "capped01";
+  pop.location = "Bandwidth-capped university";
+  pop.type = platform::PopType::kUniversity;
+  // 80 kbit/s agreed with the site operators (§4.7: two sites shape).
+  pop.bandwidth_limit_bps = 80'000;
+  pop.interconnects.push_back(
+      {"transit-a", 65001, platform::InterconnectType::kTransit, 1});
+  model.pops[pop.id] = pop;
+  return model;
+}
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  EdgeTest() : db_(capped_model()), peering_(&loop_, &db_) {
+    peering_.build();
+    peering_.settle();
+
+    platform::ExperimentProposal proposal;
+    proposal.id = "exp1";
+    proposal.requested_prefixes = 1;
+    EXPECT_TRUE(db_.propose_experiment(proposal).ok());
+    EXPECT_TRUE(db_.approve_experiment("exp1").ok());
+
+    inet::FeedRoute route;
+    route.prefix = pfx("192.168.0.0/24");
+    route.attrs.as_path = bgp::AsPath({65001, 64999});
+    EXPECT_TRUE(peering_.feed_routes("capped01", 0, {route}).ok());
+    auto* pop = peering_.pop("capped01");
+    pop->neighbors[0]->host->add_interface("stub", MacAddress::from_id(0xA00001))
+        .add_address({Ipv4Address(192, 168, 0, 1), 24});
+    peering_.settle();
+  }
+
+  std::unique_ptr<toolkit::ExperimentClient> connect() {
+    auto client = std::make_unique<toolkit::ExperimentClient>(&loop_, "exp1");
+    EXPECT_TRUE(client->open_tunnel(peering_, "capped01").ok());
+    EXPECT_TRUE(client->start_bgp("capped01").ok());
+    peering_.settle();
+    return client;
+  }
+
+  sim::EventLoop loop_;
+  platform::ConfigDatabase db_;
+  platform::Peering peering_;
+};
+
+TEST_F(EdgeTest, TtlExpiryAtRouterYieldsTimeExceeded) {
+  auto client_ptr = connect();
+  auto& client = *client_ptr;
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  ASSERT_EQ(views.size(), 1u);
+  ASSERT_TRUE(client
+                  .select_egress(pfx("192.168.0.0/24"), "capped01",
+                                 views[0].virtual_next_hop)
+                  .ok());
+
+  bool got_ttl_exceeded = false;
+  client.host().on_packet([&](const ip::Ipv4Packet& packet, int,
+                              const ether::EthernetFrame&) {
+    auto msg = ip::IcmpMessage::decode(packet.payload);
+    if (msg && msg->type == ip::IcmpType::kTimeExceeded)
+      got_ttl_exceeded = true;
+  });
+  ip::Ipv4Packet probe;
+  probe.src = db_.experiment("exp1")->allocated_prefixes[0].address();
+  probe.src = Ipv4Address(probe.src.value() + 1);
+  probe.dst = Ipv4Address(192, 168, 0, 1);
+  probe.ttl = 1;  // dies at the vBGP router
+  client.host().send_packet(std::move(probe));
+  peering_.settle(Duration::seconds(3));
+  EXPECT_TRUE(got_ttl_exceeded);
+}
+
+TEST_F(EdgeTest, NonExperimentDestinationIsNotTransited) {
+  // A neighbor sends traffic for space that belongs to nobody here: vBGP
+  // must drop it (§7.4: "experiments cannot transit traffic that is
+  // neither from nor to a Peering address").
+  auto* pop = peering_.pop("capped01");
+  auto& nb = *pop->neighbors[0];
+  std::uint64_t delivered_before = pop->router->stats().frames_to_experiments;
+  ip::Ipv4Packet stray;
+  stray.src = Ipv4Address(192, 168, 0, 1);
+  stray.dst = Ipv4Address(203, 0, 113, 99);  // not allocated to anyone
+  nb.host->send_packet(std::move(stray));
+  peering_.settle(Duration::seconds(2));
+  EXPECT_EQ(pop->router->stats().frames_to_experiments, delivered_before);
+}
+
+TEST_F(EdgeTest, BandwidthCappedSiteShapesExperimentTraffic) {
+  auto client_ptr = connect();
+  auto& client = *client_ptr;
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  ASSERT_EQ(views.size(), 1u);
+  ASSERT_TRUE(client
+                  .select_egress(pfx("192.168.0.0/24"), "capped01",
+                                 views[0].virtual_next_hop)
+                  .ok());
+
+  // Blast 40 1KB packets instantly: at 80 kbit/s (10 kB/s, 1s burst) only
+  // ~10 should pass the token bucket.
+  auto* pop = peering_.pop("capped01");
+  int received = 0;
+  pop->neighbors[0]->host->on_packet(
+      [&](const ip::Ipv4Packet&, int, const ether::EthernetFrame&) {
+        ++received;
+      });
+  Ipv4Address src(db_.experiment("exp1")->allocated_prefixes[0].address().value() + 1);
+  for (int i = 0; i < 40; ++i) {
+    ip::Ipv4Packet packet;
+    packet.src = src;
+    packet.dst = Ipv4Address(192, 168, 0, 1);
+    packet.protocol = static_cast<std::uint8_t>(ip::IpProto::kUdp);
+    packet.payload = Bytes(1000, 0);
+    client.host().send_packet(std::move(packet));
+  }
+  peering_.settle(Duration::seconds(2));
+  EXPECT_GT(received, 0);
+  EXPECT_LT(received, 20) << "rate limit did not shape";
+  EXPECT_GT(pop->router->stats().packets_enforcement_drop, 10u);
+}
+
+TEST_F(EdgeTest, ShowCommandsRenderOperationalState) {
+  auto client_ptr = connect();
+  auto& client = *client_ptr;
+  Ipv4Prefix allocation = db_.experiment("exp1")->allocated_prefixes[0];
+  ASSERT_TRUE(client.announce(allocation).send().ok());
+  peering_.settle();
+
+  auto* router = peering_.pop("capped01")->router.get();
+  std::string neighbors = router->show_neighbors();
+  EXPECT_NE(neighbors.find("transit-a"), std::string::npos);
+  EXPECT_NE(neighbors.find("127.65."), std::string::npos);
+
+  std::string route = router->show_route(pfx("192.168.0.0/24"));
+  EXPECT_NE(route.find("192.168.0.0/24"), std::string::npos);
+  EXPECT_NE(route.find("65001 64999"), std::string::npos);
+  EXPECT_NE(route.find("*"), std::string::npos);  // best marker
+
+  std::string summary = router->show_summary();
+  EXPECT_NE(summary.find("AS47065"), std::string::npos);
+  EXPECT_NE(summary.find("loc-rib"), std::string::npos);
+}
+
+TEST_F(EdgeTest, ArpCacheExpiryTriggersReResolution) {
+  auto client_ptr = connect();
+  auto& client = *client_ptr;
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  ASSERT_TRUE(client
+                  .select_egress(pfx("192.168.0.0/24"), "capped01",
+                                 views[0].virtual_next_hop)
+                  .ok());
+  client.host().ping(Ipv4Address(192, 168, 0, 1), 1, 1);
+  peering_.settle(Duration::seconds(2));
+  ASSERT_TRUE(client.host()
+                  .arp_cache(0)
+                  .lookup(views[0].virtual_next_hop, loop_.now())
+                  .has_value());
+
+  // Let the cache expire (5 minute TTL) and ping again: resolution
+  // re-runs and traffic still flows.
+  peering_.settle(Duration::minutes(6));
+  EXPECT_FALSE(client.host()
+                   .arp_cache(0)
+                   .lookup(views[0].virtual_next_hop, loop_.now())
+                   .has_value());
+  int received = 0;
+  peering_.pop("capped01")->neighbors[0]->host->on_packet(
+      [&](const ip::Ipv4Packet& packet, int, const ether::EthernetFrame&) {
+        auto msg = ip::IcmpMessage::decode(packet.payload);
+        if (msg && msg->type == ip::IcmpType::kEchoRequest) ++received;
+      });
+  client.host().ping(Ipv4Address(192, 168, 0, 1), 1, 2);
+  peering_.settle(Duration::seconds(2));
+  EXPECT_EQ(received, 1);
+}
+
+
+TEST_F(EdgeTest, DefaultTableTracksBestPath) {
+  // The Figure 6a "per-interconnection data plane w/ default" configuration:
+  // a best-path table synced with the decision process. Unnecessary for
+  // vBGP operation but measured for comparison.
+  auto* router = peering_.pop("capped01")->router.get();
+  router->enable_default_table(true);
+
+  inet::FeedRoute route;
+  route.prefix = pfx("198.51.100.0/24");
+  route.attrs.as_path = bgp::AsPath({65001, 64998});
+  ASSERT_TRUE(peering_.feed_routes("capped01", 0, {route}).ok());
+  peering_.settle();
+
+  auto entry = router->default_table().lookup(Ipv4Address(198, 51, 100, 1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->next_hop,
+            peering_.pop("capped01")->neighbors[0]->neighbor_address);
+
+  // Withdrawal empties the default table entry too.
+  peering_.pop("capped01")->neighbors[0]->speaker->withdraw_originated(
+      pfx("198.51.100.0/24"));
+  peering_.settle();
+  EXPECT_FALSE(
+      router->default_table().lookup(Ipv4Address(198, 51, 100, 1)).has_value());
+}
+
+TEST_F(EdgeTest, DataPlaneTraceRecordsDemuxAndDelivery) {
+  sim::TraceRecorder trace;
+  auto* router = peering_.pop("capped01")->router.get();
+  router->set_trace(&trace);
+
+  auto client_ptr = connect();
+  auto& client = *client_ptr;
+  auto views = client.routes(pfx("192.168.0.0/24"));
+  ASSERT_EQ(views.size(), 1u);
+  ASSERT_TRUE(client
+                  .select_egress(pfx("192.168.0.0/24"), "capped01",
+                                 views[0].virtual_next_hop)
+                  .ok());
+  client.host().ping(Ipv4Address(192, 168, 0, 1), 1, 1);
+  peering_.settle(Duration::seconds(3));
+  // Prime attribution (first reply resolves via fallback), ping again.
+  client.host().ping(Ipv4Address(192, 168, 0, 1), 1, 2);
+  peering_.settle(Duration::seconds(3));
+
+  EXPECT_GE(trace.by_category("demux").size(), 2u);
+  EXPECT_GE(trace.count_containing("exp1"), 2u);
+  EXPECT_GE(trace.by_category("deliver").size(), 1u);
+  router->set_trace(nullptr);
+}
+
+}  // namespace
+}  // namespace peering
