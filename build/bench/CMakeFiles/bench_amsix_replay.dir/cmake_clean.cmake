@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_amsix_replay.dir/bench_amsix_replay.cpp.o"
+  "CMakeFiles/bench_amsix_replay.dir/bench_amsix_replay.cpp.o.d"
+  "bench_amsix_replay"
+  "bench_amsix_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_amsix_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

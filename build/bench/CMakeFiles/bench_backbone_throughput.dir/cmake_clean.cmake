@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backbone_throughput.dir/bench_backbone_throughput.cpp.o"
+  "CMakeFiles/bench_backbone_throughput.dir/bench_backbone_throughput.cpp.o.d"
+  "bench_backbone_throughput"
+  "bench_backbone_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backbone_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

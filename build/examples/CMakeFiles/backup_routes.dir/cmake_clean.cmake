@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_routes.dir/backup_routes.cpp.o"
+  "CMakeFiles/backup_routes.dir/backup_routes.cpp.o.d"
+  "backup_routes"
+  "backup_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

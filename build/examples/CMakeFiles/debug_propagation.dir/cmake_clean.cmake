@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_propagation.dir/debug_propagation.cpp.o"
+  "CMakeFiles/debug_propagation.dir/debug_propagation.cpp.o.d"
+  "debug_propagation"
+  "debug_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_controller.dir/espresso_controller.cpp.o"
+  "CMakeFiles/espresso_controller.dir/espresso_controller.cpp.o.d"
+  "espresso_controller"
+  "espresso_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footprint_report.dir/footprint_report.cpp.o"
+  "CMakeFiles/footprint_report.dir/footprint_report.cpp.o.d"
+  "footprint_report"
+  "footprint_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footprint_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_detection.dir/hijack_detection.cpp.o"
+  "CMakeFiles/hijack_detection.dir/hijack_detection.cpp.o.d"
+  "hijack_detection"
+  "hijack_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

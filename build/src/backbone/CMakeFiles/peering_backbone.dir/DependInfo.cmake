@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backbone/fabric.cpp" "src/backbone/CMakeFiles/peering_backbone.dir/fabric.cpp.o" "gcc" "src/backbone/CMakeFiles/peering_backbone.dir/fabric.cpp.o.d"
+  "/root/repo/src/backbone/tcp_model.cpp" "src/backbone/CMakeFiles/peering_backbone.dir/tcp_model.cpp.o" "gcc" "src/backbone/CMakeFiles/peering_backbone.dir/tcp_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vbgp/CMakeFiles/peering_vbgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/enforce/CMakeFiles/peering_enforce.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/peering_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/peering_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/ether/CMakeFiles/peering_ether.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peering_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/peering_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

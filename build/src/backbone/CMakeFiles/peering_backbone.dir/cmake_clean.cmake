@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_backbone.dir/fabric.cpp.o"
+  "CMakeFiles/peering_backbone.dir/fabric.cpp.o.d"
+  "CMakeFiles/peering_backbone.dir/tcp_model.cpp.o"
+  "CMakeFiles/peering_backbone.dir/tcp_model.cpp.o.d"
+  "libpeering_backbone.a"
+  "libpeering_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeering_backbone.a"
+)

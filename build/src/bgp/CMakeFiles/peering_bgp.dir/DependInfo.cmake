@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/attributes.cpp" "src/bgp/CMakeFiles/peering_bgp.dir/attributes.cpp.o" "gcc" "src/bgp/CMakeFiles/peering_bgp.dir/attributes.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/bgp/CMakeFiles/peering_bgp.dir/message.cpp.o" "gcc" "src/bgp/CMakeFiles/peering_bgp.dir/message.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/peering_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/peering_bgp.dir/policy.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/peering_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/peering_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/speaker.cpp" "src/bgp/CMakeFiles/peering_bgp.dir/speaker.cpp.o" "gcc" "src/bgp/CMakeFiles/peering_bgp.dir/speaker.cpp.o.d"
+  "/root/repo/src/bgp/types.cpp" "src/bgp/CMakeFiles/peering_bgp.dir/types.cpp.o" "gcc" "src/bgp/CMakeFiles/peering_bgp.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/peering_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peering_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_bgp.dir/attributes.cpp.o"
+  "CMakeFiles/peering_bgp.dir/attributes.cpp.o.d"
+  "CMakeFiles/peering_bgp.dir/message.cpp.o"
+  "CMakeFiles/peering_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/peering_bgp.dir/policy.cpp.o"
+  "CMakeFiles/peering_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/peering_bgp.dir/rib.cpp.o"
+  "CMakeFiles/peering_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/peering_bgp.dir/speaker.cpp.o"
+  "CMakeFiles/peering_bgp.dir/speaker.cpp.o.d"
+  "CMakeFiles/peering_bgp.dir/types.cpp.o"
+  "CMakeFiles/peering_bgp.dir/types.cpp.o.d"
+  "libpeering_bgp.a"
+  "libpeering_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

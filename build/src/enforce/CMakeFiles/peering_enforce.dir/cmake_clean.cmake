@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_enforce.dir/control_policy.cpp.o"
+  "CMakeFiles/peering_enforce.dir/control_policy.cpp.o.d"
+  "CMakeFiles/peering_enforce.dir/data_enforcer.cpp.o"
+  "CMakeFiles/peering_enforce.dir/data_enforcer.cpp.o.d"
+  "CMakeFiles/peering_enforce.dir/packet_filter.cpp.o"
+  "CMakeFiles/peering_enforce.dir/packet_filter.cpp.o.d"
+  "CMakeFiles/peering_enforce.dir/state_store.cpp.o"
+  "CMakeFiles/peering_enforce.dir/state_store.cpp.o.d"
+  "libpeering_enforce.a"
+  "libpeering_enforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_enforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

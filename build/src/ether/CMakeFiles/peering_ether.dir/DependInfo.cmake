@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ether/arp.cpp" "src/ether/CMakeFiles/peering_ether.dir/arp.cpp.o" "gcc" "src/ether/CMakeFiles/peering_ether.dir/arp.cpp.o.d"
+  "/root/repo/src/ether/frame.cpp" "src/ether/CMakeFiles/peering_ether.dir/frame.cpp.o" "gcc" "src/ether/CMakeFiles/peering_ether.dir/frame.cpp.o.d"
+  "/root/repo/src/ether/netif.cpp" "src/ether/CMakeFiles/peering_ether.dir/netif.cpp.o" "gcc" "src/ether/CMakeFiles/peering_ether.dir/netif.cpp.o.d"
+  "/root/repo/src/ether/switch.cpp" "src/ether/CMakeFiles/peering_ether.dir/switch.cpp.o" "gcc" "src/ether/CMakeFiles/peering_ether.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/peering_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peering_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_ether.dir/arp.cpp.o"
+  "CMakeFiles/peering_ether.dir/arp.cpp.o.d"
+  "CMakeFiles/peering_ether.dir/frame.cpp.o"
+  "CMakeFiles/peering_ether.dir/frame.cpp.o.d"
+  "CMakeFiles/peering_ether.dir/netif.cpp.o"
+  "CMakeFiles/peering_ether.dir/netif.cpp.o.d"
+  "CMakeFiles/peering_ether.dir/switch.cpp.o"
+  "CMakeFiles/peering_ether.dir/switch.cpp.o.d"
+  "libpeering_ether.a"
+  "libpeering_ether.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_ether.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

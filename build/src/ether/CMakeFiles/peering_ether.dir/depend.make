@@ -1,0 +1,2 @@
+# Empty dependencies file for peering_ether.
+# This may be replaced when dependencies are built.

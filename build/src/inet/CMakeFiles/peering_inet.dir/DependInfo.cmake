@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inet/debugging.cpp" "src/inet/CMakeFiles/peering_inet.dir/debugging.cpp.o" "gcc" "src/inet/CMakeFiles/peering_inet.dir/debugging.cpp.o.d"
+  "/root/repo/src/inet/route_feed.cpp" "src/inet/CMakeFiles/peering_inet.dir/route_feed.cpp.o" "gcc" "src/inet/CMakeFiles/peering_inet.dir/route_feed.cpp.o.d"
+  "/root/repo/src/inet/topology.cpp" "src/inet/CMakeFiles/peering_inet.dir/topology.cpp.o" "gcc" "src/inet/CMakeFiles/peering_inet.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/peering_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peering_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/peering_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_inet.dir/debugging.cpp.o"
+  "CMakeFiles/peering_inet.dir/debugging.cpp.o.d"
+  "CMakeFiles/peering_inet.dir/route_feed.cpp.o"
+  "CMakeFiles/peering_inet.dir/route_feed.cpp.o.d"
+  "CMakeFiles/peering_inet.dir/topology.cpp.o"
+  "CMakeFiles/peering_inet.dir/topology.cpp.o.d"
+  "libpeering_inet.a"
+  "libpeering_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/host.cpp" "src/ip/CMakeFiles/peering_ip.dir/host.cpp.o" "gcc" "src/ip/CMakeFiles/peering_ip.dir/host.cpp.o.d"
+  "/root/repo/src/ip/icmp.cpp" "src/ip/CMakeFiles/peering_ip.dir/icmp.cpp.o" "gcc" "src/ip/CMakeFiles/peering_ip.dir/icmp.cpp.o.d"
+  "/root/repo/src/ip/ipv4.cpp" "src/ip/CMakeFiles/peering_ip.dir/ipv4.cpp.o" "gcc" "src/ip/CMakeFiles/peering_ip.dir/ipv4.cpp.o.d"
+  "/root/repo/src/ip/routing_table.cpp" "src/ip/CMakeFiles/peering_ip.dir/routing_table.cpp.o" "gcc" "src/ip/CMakeFiles/peering_ip.dir/routing_table.cpp.o.d"
+  "/root/repo/src/ip/traceroute.cpp" "src/ip/CMakeFiles/peering_ip.dir/traceroute.cpp.o" "gcc" "src/ip/CMakeFiles/peering_ip.dir/traceroute.cpp.o.d"
+  "/root/repo/src/ip/udp.cpp" "src/ip/CMakeFiles/peering_ip.dir/udp.cpp.o" "gcc" "src/ip/CMakeFiles/peering_ip.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/peering_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peering_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ether/CMakeFiles/peering_ether.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

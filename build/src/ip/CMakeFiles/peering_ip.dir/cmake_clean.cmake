@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_ip.dir/host.cpp.o"
+  "CMakeFiles/peering_ip.dir/host.cpp.o.d"
+  "CMakeFiles/peering_ip.dir/icmp.cpp.o"
+  "CMakeFiles/peering_ip.dir/icmp.cpp.o.d"
+  "CMakeFiles/peering_ip.dir/ipv4.cpp.o"
+  "CMakeFiles/peering_ip.dir/ipv4.cpp.o.d"
+  "CMakeFiles/peering_ip.dir/routing_table.cpp.o"
+  "CMakeFiles/peering_ip.dir/routing_table.cpp.o.d"
+  "CMakeFiles/peering_ip.dir/traceroute.cpp.o"
+  "CMakeFiles/peering_ip.dir/traceroute.cpp.o.d"
+  "CMakeFiles/peering_ip.dir/udp.cpp.o"
+  "CMakeFiles/peering_ip.dir/udp.cpp.o.d"
+  "libpeering_ip.a"
+  "libpeering_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

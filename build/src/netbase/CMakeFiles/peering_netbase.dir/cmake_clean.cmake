@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_netbase.dir/bytes.cpp.o"
+  "CMakeFiles/peering_netbase.dir/bytes.cpp.o.d"
+  "CMakeFiles/peering_netbase.dir/ip.cpp.o"
+  "CMakeFiles/peering_netbase.dir/ip.cpp.o.d"
+  "CMakeFiles/peering_netbase.dir/log.cpp.o"
+  "CMakeFiles/peering_netbase.dir/log.cpp.o.d"
+  "CMakeFiles/peering_netbase.dir/mac.cpp.o"
+  "CMakeFiles/peering_netbase.dir/mac.cpp.o.d"
+  "CMakeFiles/peering_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/peering_netbase.dir/prefix.cpp.o.d"
+  "CMakeFiles/peering_netbase.dir/time.cpp.o"
+  "CMakeFiles/peering_netbase.dir/time.cpp.o.d"
+  "libpeering_netbase.a"
+  "libpeering_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

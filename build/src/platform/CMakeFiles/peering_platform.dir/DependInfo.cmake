@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/artemis.cpp" "src/platform/CMakeFiles/peering_platform.dir/artemis.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/artemis.cpp.o.d"
+  "/root/repo/src/platform/cloudlab.cpp" "src/platform/CMakeFiles/peering_platform.dir/cloudlab.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/cloudlab.cpp.o.d"
+  "/root/repo/src/platform/collector.cpp" "src/platform/CMakeFiles/peering_platform.dir/collector.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/collector.cpp.o.d"
+  "/root/repo/src/platform/configdb.cpp" "src/platform/CMakeFiles/peering_platform.dir/configdb.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/configdb.cpp.o.d"
+  "/root/repo/src/platform/controller.cpp" "src/platform/CMakeFiles/peering_platform.dir/controller.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/controller.cpp.o.d"
+  "/root/repo/src/platform/deploy.cpp" "src/platform/CMakeFiles/peering_platform.dir/deploy.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/deploy.cpp.o.d"
+  "/root/repo/src/platform/footprint.cpp" "src/platform/CMakeFiles/peering_platform.dir/footprint.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/footprint.cpp.o.d"
+  "/root/repo/src/platform/internet_feed.cpp" "src/platform/CMakeFiles/peering_platform.dir/internet_feed.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/internet_feed.cpp.o.d"
+  "/root/repo/src/platform/model.cpp" "src/platform/CMakeFiles/peering_platform.dir/model.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/model.cpp.o.d"
+  "/root/repo/src/platform/namespaces.cpp" "src/platform/CMakeFiles/peering_platform.dir/namespaces.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/namespaces.cpp.o.d"
+  "/root/repo/src/platform/netlink.cpp" "src/platform/CMakeFiles/peering_platform.dir/netlink.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/netlink.cpp.o.d"
+  "/root/repo/src/platform/peering.cpp" "src/platform/CMakeFiles/peering_platform.dir/peering.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/peering.cpp.o.d"
+  "/root/repo/src/platform/templating.cpp" "src/platform/CMakeFiles/peering_platform.dir/templating.cpp.o" "gcc" "src/platform/CMakeFiles/peering_platform.dir/templating.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vbgp/CMakeFiles/peering_vbgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/backbone/CMakeFiles/peering_backbone.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/peering_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/enforce/CMakeFiles/peering_enforce.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/peering_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/ether/CMakeFiles/peering_ether.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/peering_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peering_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/peering_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_platform.dir/artemis.cpp.o"
+  "CMakeFiles/peering_platform.dir/artemis.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/cloudlab.cpp.o"
+  "CMakeFiles/peering_platform.dir/cloudlab.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/collector.cpp.o"
+  "CMakeFiles/peering_platform.dir/collector.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/configdb.cpp.o"
+  "CMakeFiles/peering_platform.dir/configdb.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/controller.cpp.o"
+  "CMakeFiles/peering_platform.dir/controller.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/deploy.cpp.o"
+  "CMakeFiles/peering_platform.dir/deploy.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/footprint.cpp.o"
+  "CMakeFiles/peering_platform.dir/footprint.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/internet_feed.cpp.o"
+  "CMakeFiles/peering_platform.dir/internet_feed.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/model.cpp.o"
+  "CMakeFiles/peering_platform.dir/model.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/namespaces.cpp.o"
+  "CMakeFiles/peering_platform.dir/namespaces.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/netlink.cpp.o"
+  "CMakeFiles/peering_platform.dir/netlink.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/peering.cpp.o"
+  "CMakeFiles/peering_platform.dir/peering.cpp.o.d"
+  "CMakeFiles/peering_platform.dir/templating.cpp.o"
+  "CMakeFiles/peering_platform.dir/templating.cpp.o.d"
+  "libpeering_platform.a"
+  "libpeering_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_sim.dir/link.cpp.o"
+  "CMakeFiles/peering_sim.dir/link.cpp.o.d"
+  "CMakeFiles/peering_sim.dir/stream.cpp.o"
+  "CMakeFiles/peering_sim.dir/stream.cpp.o.d"
+  "libpeering_sim.a"
+  "libpeering_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

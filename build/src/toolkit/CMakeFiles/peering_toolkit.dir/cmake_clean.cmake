@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_toolkit.dir/client.cpp.o"
+  "CMakeFiles/peering_toolkit.dir/client.cpp.o.d"
+  "libpeering_toolkit.a"
+  "libpeering_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_vbgp.dir/communities.cpp.o"
+  "CMakeFiles/peering_vbgp.dir/communities.cpp.o.d"
+  "CMakeFiles/peering_vbgp.dir/neighbor_registry.cpp.o"
+  "CMakeFiles/peering_vbgp.dir/neighbor_registry.cpp.o.d"
+  "CMakeFiles/peering_vbgp.dir/vrouter.cpp.o"
+  "CMakeFiles/peering_vbgp.dir/vrouter.cpp.o.d"
+  "libpeering_vbgp.a"
+  "libpeering_vbgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_vbgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for peering_vbgp.
+# This may be replaced when dependencies are built.

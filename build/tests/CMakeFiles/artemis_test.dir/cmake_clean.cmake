@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_test.dir/artemis_test.cpp.o"
+  "CMakeFiles/artemis_test.dir/artemis_test.cpp.o.d"
+  "artemis_test"
+  "artemis_test.pdb"
+  "artemis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

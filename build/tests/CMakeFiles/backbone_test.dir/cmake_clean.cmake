@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_test.dir/backbone_test.cpp.o"
+  "CMakeFiles/backbone_test.dir/backbone_test.cpp.o.d"
+  "backbone_test"
+  "backbone_test.pdb"
+  "backbone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

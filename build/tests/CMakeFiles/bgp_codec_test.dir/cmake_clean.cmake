@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_codec_test.dir/bgp_codec_test.cpp.o"
+  "CMakeFiles/bgp_codec_test.dir/bgp_codec_test.cpp.o.d"
+  "bgp_codec_test"
+  "bgp_codec_test.pdb"
+  "bgp_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_property_test.dir/bgp_property_test.cpp.o"
+  "CMakeFiles/bgp_property_test.dir/bgp_property_test.cpp.o.d"
+  "bgp_property_test"
+  "bgp_property_test.pdb"
+  "bgp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

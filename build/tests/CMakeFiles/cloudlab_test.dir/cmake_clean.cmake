@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlab_test.dir/cloudlab_test.cpp.o"
+  "CMakeFiles/cloudlab_test.dir/cloudlab_test.cpp.o.d"
+  "cloudlab_test"
+  "cloudlab_test.pdb"
+  "cloudlab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

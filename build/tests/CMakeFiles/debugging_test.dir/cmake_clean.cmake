@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging_test.dir/debugging_test.cpp.o"
+  "CMakeFiles/debugging_test.dir/debugging_test.cpp.o.d"
+  "debugging_test"
+  "debugging_test.pdb"
+  "debugging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

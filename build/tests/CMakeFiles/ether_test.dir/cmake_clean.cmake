@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ether_test.dir/ether_test.cpp.o"
+  "CMakeFiles/ether_test.dir/ether_test.cpp.o.d"
+  "ether_test"
+  "ether_test.pdb"
+  "ether_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ether_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

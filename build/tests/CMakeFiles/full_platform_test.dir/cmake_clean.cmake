@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_platform_test.dir/full_platform_test.cpp.o"
+  "CMakeFiles/full_platform_test.dir/full_platform_test.cpp.o.d"
+  "full_platform_test"
+  "full_platform_test.pdb"
+  "full_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_feed_test.dir/internet_feed_test.cpp.o"
+  "CMakeFiles/internet_feed_test.dir/internet_feed_test.cpp.o.d"
+  "internet_feed_test"
+  "internet_feed_test.pdb"
+  "internet_feed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_feed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

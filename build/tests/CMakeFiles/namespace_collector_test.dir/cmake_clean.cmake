@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namespace_collector_test.dir/namespace_collector_test.cpp.o"
+  "CMakeFiles/namespace_collector_test.dir/namespace_collector_test.cpp.o.d"
+  "namespace_collector_test"
+  "namespace_collector_test.pdb"
+  "namespace_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namespace_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolkit_test.dir/toolkit_test.cpp.o"
+  "CMakeFiles/toolkit_test.dir/toolkit_test.cpp.o.d"
+  "toolkit_test"
+  "toolkit_test.pdb"
+  "toolkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

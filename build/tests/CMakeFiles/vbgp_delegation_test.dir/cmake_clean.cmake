@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbgp_delegation_test.dir/vbgp_delegation_test.cpp.o"
+  "CMakeFiles/vbgp_delegation_test.dir/vbgp_delegation_test.cpp.o.d"
+  "vbgp_delegation_test"
+  "vbgp_delegation_test.pdb"
+  "vbgp_delegation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbgp_delegation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vbgp_edge_test.cpp" "tests/CMakeFiles/vbgp_edge_test.dir/vbgp_edge_test.cpp.o" "gcc" "tests/CMakeFiles/vbgp_edge_test.dir/vbgp_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/peering_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peering_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ether/CMakeFiles/peering_ether.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/peering_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/peering_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/enforce/CMakeFiles/peering_enforce.dir/DependInfo.cmake"
+  "/root/repo/build/src/vbgp/CMakeFiles/peering_vbgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/backbone/CMakeFiles/peering_backbone.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/peering_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/peering_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/peering_toolkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbgp_edge_test.dir/vbgp_edge_test.cpp.o"
+  "CMakeFiles/vbgp_edge_test.dir/vbgp_edge_test.cpp.o.d"
+  "vbgp_edge_test"
+  "vbgp_edge_test.pdb"
+  "vbgp_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbgp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netbase_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ether_test[1]_include.cmake")
+include("/root/repo/build/tests/ip_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_table_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_rib_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_session_test[1]_include.cmake")
+include("/root/repo/build/tests/enforce_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/vbgp_delegation_test[1]_include.cmake")
+include("/root/repo/build/tests/backbone_test[1]_include.cmake")
+include("/root/repo/build/tests/inet_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/toolkit_test[1]_include.cmake")
+include("/root/repo/build/tests/route_server_test[1]_include.cmake")
+include("/root/repo/build/tests/debugging_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/full_platform_test[1]_include.cmake")
+include("/root/repo/build/tests/namespace_collector_test[1]_include.cmake")
+include("/root/repo/build/tests/route_refresh_test[1]_include.cmake")
+include("/root/repo/build/tests/vbgp_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/artemis_test[1]_include.cmake")
+include("/root/repo/build/tests/cloudlab_test[1]_include.cmake")
+include("/root/repo/build/tests/internet_feed_test[1]_include.cmake")
