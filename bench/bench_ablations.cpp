@@ -65,7 +65,8 @@ void ablate_attr_interning() {
 // ---------------------------------------------------------------------------
 // Ablation 2: ADD-PATH fan-out.
 // ---------------------------------------------------------------------------
-double per_update_cost_with_experiments(int experiment_count) {
+double per_update_cost_with_experiments(int experiment_count,
+                                        bool encode_cache = true) {
   sim::EventLoop loop;
   vbgp::VRouterConfig config;
   config.name = "ablate";
@@ -74,6 +75,7 @@ double per_update_cost_with_experiments(int experiment_count) {
   config.router_id = Ipv4Address(10, 255, 9, 1);
   config.router_seed = 9;
   vbgp::VRouter router(&loop, config);
+  router.speaker().attr_pool().set_encode_cache_enabled(encode_cache);
 
   bgp::PeerId neighbor = router.add_neighbor(
       {.name = "n1", .asn = 65001, .local_address = Ipv4Address(10, 9, 1, 1),
@@ -148,6 +150,8 @@ std::uint64_t updates_sent_with_mrai(Duration mrai) {
 }  // namespace
 
 int main() {
+  benchutil::JsonReport report("ablations");
+
   std::printf("=== Ablation 1: attribute interning (500k-route table) ===\n");
   ablate_attr_interning();
 
@@ -159,9 +163,28 @@ int main() {
     if (n == 0) base = cost;
     std::printf("%16d %20.1f%s\n", n, cost * 1e6,
                 n == 0 ? "  (no fan-out baseline)" : "");
+    report.metric("fanout_" + std::to_string(n) + "_us_per_update",
+                  cost * 1e6);
   }
   std::printf("  -> marginal cost per additional all-paths session stays "
               "modest (baseline %.1f us)\n", base * 1e6);
+
+  // Ablation 2b: the per-session encode cache. With the cache every
+  // fan-out session reuses one canonical attribute encoding; without it
+  // each session re-serializes the attribute set per transmitted UPDATE.
+  std::printf("\n=== Ablation 2b: attribute encode cache (per fan-out) ===\n");
+  std::printf("%16s %16s %16s\n", "experiments", "cache on (us)",
+              "cache off (us)");
+  for (int n : {2, 8}) {
+    double on = per_update_cost_with_experiments(n, true);
+    double off = per_update_cost_with_experiments(n, false);
+    std::printf("%16d %16.1f %16.1f\n", n, on * 1e6, off * 1e6);
+    report.metric("encode_cache_on_" + std::to_string(n) + "_us", on * 1e6);
+    report.metric("encode_cache_off_" + std::to_string(n) + "_us", off * 1e6);
+    if (n == 8)
+      std::printf("  -> at 8 sessions the cache %s (%.1f vs %.1f us)\n",
+                  on < off ? "wins" : "LOSES", on * 1e6, off * 1e6);
+  }
 
   std::printf("\n=== Ablation 3: MRAI batching (300 flaps over 10 min) ===\n");
   std::printf("%16s %20s\n", "MRAI", "updates emitted");
@@ -169,8 +192,11 @@ int main() {
     std::uint64_t sent = updates_sent_with_mrai(Duration::seconds(seconds));
     std::printf("%15ds %20llu\n", seconds,
                 static_cast<unsigned long long>(sent));
+    report.metric("mrai_" + std::to_string(seconds) + "s_updates",
+                  static_cast<double>(sent));
   }
   std::printf("  -> the platform's per-prefix budget (144/day) plus MRAI keep"
               " re-export churn bounded\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "bgp/rib.h"
 #include "inet/route_feed.h"
 #include "ip/routing_table.h"
@@ -88,5 +89,15 @@ int main() {
   std::printf("observed AMS-IX p99  400 upd/s -> %.2f%% utilization\n",
               400 * per_update * 100);
   std::printf("headroom over p99: %.0fx\n", capacity / 400.0);
+
+  benchutil::JsonReport report("amsix_replay");
+  report.metric("routes", static_cast<double>(kRoutes));
+  report.metric("load_seconds", load_s);
+  report.metric("rib_mb", rib_bytes / 1e6);
+  report.metric("fib_mb", fib_bytes / 1e6);
+  report.metric("distinct_attr_sets", static_cast<double>(pool.size()));
+  report.metric("churn_us_per_update", per_update * 1e6);
+  report.metric("headroom_over_p99", capacity / 400.0);
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "backbone/tcp_model.h"
 #include "netbase/rand.h"
 #include "platform/footprint.h"
@@ -100,5 +101,12 @@ int main() {
   std::printf("\n%d pairs: min %.0f Mbps, avg %.0f Mbps, max %.0f Mbps\n",
               pairs, min_bps / 1e6, avg / 1e6, max_bps / 1e6);
   std::printf("paper:    min 60 Mbps, avg ~400 Mbps, max 750 Mbps\n");
+
+  benchutil::JsonReport report("backbone_throughput");
+  report.metric("pairs", pairs);
+  report.metric("min_mbps", min_bps / 1e6);
+  report.metric("avg_mbps", avg / 1e6);
+  report.metric("max_mbps", max_bps / 1e6);
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -4,6 +4,9 @@
 // that sits on every experiment packet.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "enforce/control_policy.h"
 #include "enforce/data_enforcer.h"
 #include "enforce/packet_filter.h"
@@ -37,8 +40,10 @@ void BM_ControlPlaneCheck(benchmark::State& state) {
   ctx.experiment_id = "bench";
   ctx.pop_id = "amsterdam01";
   ctx.prefix = pfx("184.164.224.0/24");
-  ctx.attrs.as_path = bgp::AsPath({61574, 3356, 61574});
-  ctx.attrs.communities = {bgp::Community(47065, 3), bgp::Community(3356, 70)};
+  bgp::PathAttributes attrs;
+  attrs.as_path = bgp::AsPath({61574, 3356, 61574});
+  attrs.communities = {bgp::Community(47065, 3), bgp::Community(3356, 70)};
+  ctx.attrs = bgp::make_attrs(std::move(attrs));
   for (auto _ : state) {
     ctx.now = SimTime(state.iterations());
     benchmark::DoNotOptimize(enforcer.check(ctx));
@@ -110,4 +115,24 @@ BENCHMARK(BM_DataPlaneEnforcerLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// As with the standalone benches, mirror the results into a machine-readable
+// BENCH_<name>.json alongside the console table.
+int main(int argc, char** argv) {
+  // Emit BENCH_enforcement.json alongside the console table. The flags are
+  // injected ahead of the user's own arguments so an explicit
+  // --benchmark_out on the command line still wins.
+  std::string out_flag = "--benchmark_out=BENCH_enforcement.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

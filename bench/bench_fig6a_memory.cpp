@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "bgp/rib.h"
 #include "inet/route_feed.h"
 #include "ip/routing_table.h"
@@ -118,5 +119,14 @@ int main() {
       linear = false;
   }
   std::printf("linear scaling: %s\n", linear ? "yes" : "NO");
+
+  benchutil::JsonReport report("fig6a_memory");
+  report.metric("routes", static_cast<double>(last.routes));
+  report.metric("control_plane_bytes_per_route", per_route_cp);
+  report.metric("with_dataplane_bytes_per_route", per_route_fib);
+  report.metric("with_default_bytes_per_route", per_route_def);
+  report.metric("routes_in_32gib_millions", routes_32gib);
+  report.metric("linear_scaling", linear ? 1 : 0);
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -153,5 +153,12 @@ int main() {
               21.8 * single * 100, 400 * single * 100);
   std::printf("headroom at 4000 upd/s: %s\n",
               4000 * multi < 1.0 ? "yes (under 100%)" : "NO");
+
+  benchutil::JsonReport report("fig6b_cpu");
+  report.metric("accept_us_per_update", accept * 1e6);
+  report.metric("single_router_vbgp_us_per_update", single * 1e6);
+  report.metric("multi_router_vbgp_us_per_update", multi * 1e6);
+  report.metric("updates_per_measurement", static_cast<double>(kUpdates));
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

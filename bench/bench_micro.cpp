@@ -3,6 +3,9 @@
 // determine the Figure 6 curves.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bgp/message.h"
 #include "bgp/rib.h"
 #include "inet/route_feed.h"
@@ -133,4 +136,23 @@ BENCHMARK(BM_AttrPoolIntern);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Mirror results into machine-readable BENCH_micro.json (see bench_util.h).
+int main(int argc, char** argv) {
+  // Emit BENCH_micro.json alongside the console table. The flags are
+  // injected ahead of the user's own arguments so an explicit
+  // --benchmark_out on the command line still wins.
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

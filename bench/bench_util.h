@@ -4,7 +4,10 @@
 // pre-encoding utilities.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bgp/message.h"
@@ -13,6 +16,43 @@
 #include "sim/stream.h"
 
 namespace peering::benchutil {
+
+/// Flat machine-readable results: each benchmark binary writes a
+/// BENCH_<name>.json next to where it ran, so successive runs diff cleanly
+/// and regressions are scriptable (the console output stays human-first).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    entries_.push_back("  \"" + key + "\": " + buf);
+  }
+
+  void note(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    entries_.push_back("  \"" + key + "\": \"" + escaped + "\"");
+  }
+
+  /// Writes BENCH_<name>.json into the working directory; returns the path.
+  std::string write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\"";
+    for (const auto& entry : entries_) out << ",\n" << entry;
+    out << "\n}\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> entries_;
+};
 
 /// Speaks just enough BGP on a raw stream to bring a session with the
 /// system-under-test to Established, then lets the caller inject

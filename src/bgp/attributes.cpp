@@ -302,4 +302,149 @@ Result<PathAttributes> decode_attributes(std::span<const std::uint8_t> data,
   return attrs;
 }
 
+// ---------------------------------------------------------------------------
+// Attribute sharing: content hash, copy-on-write builder, interning pool.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline void hash_mix(std::size_t& seed, std::size_t v) {
+  // boost::hash_combine's mixer, good enough for bucket selection.
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t hash_value(const PathAttributes& attrs) {
+  std::size_t h = static_cast<std::size_t>(attrs.origin);
+  for (const auto& seg : attrs.as_path.segments()) {
+    hash_mix(h, static_cast<std::size_t>(seg.type));
+    for (Asn asn : seg.asns) hash_mix(h, asn);
+  }
+  hash_mix(h, attrs.next_hop.value());
+  hash_mix(h, attrs.med ? *attrs.med + 1 : 0);
+  hash_mix(h, attrs.local_pref ? *attrs.local_pref + 1 : 0);
+  hash_mix(h, attrs.atomic_aggregate ? 1 : 2);
+  if (attrs.aggregator) {
+    hash_mix(h, attrs.aggregator->asn);
+    hash_mix(h, attrs.aggregator->address.value());
+  }
+  for (Community c : attrs.communities) hash_mix(h, c.raw);
+  for (const LargeCommunity& lc : attrs.large_communities) {
+    hash_mix(h, lc.global);
+    hash_mix(h, lc.local1);
+    hash_mix(h, lc.local2);
+  }
+  for (const RawAttribute& raw : attrs.unknown) {
+    hash_mix(h, raw.flags);
+    hash_mix(h, raw.type);
+    for (std::uint8_t b : raw.value) hash_mix(h, b);
+  }
+  return h;
+}
+
+AttrsPtr AttrBuilder::commit(AttrPool& pool) {
+  if (!owned_) {
+    if (base_) return pool.adopt(base_);
+    base_ = pool.intern(PathAttributes{});
+    return base_;
+  }
+  base_ = pool.intern(std::move(*owned_));
+  owned_.reset();
+  return base_;
+}
+
+AttrsPtr AttrBuilder::release() {
+  if (!owned_) return base_ ? base_ : make_attrs(PathAttributes{});
+  base_ = make_attrs(std::move(*owned_));
+  owned_.reset();
+  return base_;
+}
+
+std::size_t AttrPool::attrs_footprint(const PathAttributes& attrs) {
+  std::size_t bytes = sizeof(PathAttributes);
+  for (const auto& seg : attrs.as_path.segments())
+    bytes += sizeof(AsPathSegment) + seg.asns.size() * sizeof(Asn);
+  bytes += attrs.communities.size() * sizeof(Community);
+  bytes += attrs.large_communities.size() * sizeof(LargeCommunity);
+  for (const auto& raw : attrs.unknown)
+    bytes += sizeof(RawAttribute) + raw.value.size();
+  return bytes;
+}
+
+AttrsPtr AttrPool::insert(AttrsPtr ptr) {
+  attr_bytes_ += attrs_footprint(*ptr);
+  auto [it, inserted] = pool_.emplace(ptr, Entry{});
+  by_ptr_[it->first.get()] = &it->second;
+  return it->first;
+}
+
+AttrsPtr AttrPool::intern(const PathAttributes& attrs) {
+  auto it = pool_.find(attrs);
+  if (it != pool_.end()) {
+    ++stats_.intern_hits;
+    return it->first;
+  }
+  ++stats_.intern_misses;
+  return insert(std::make_shared<const PathAttributes>(attrs));
+}
+
+AttrsPtr AttrPool::intern(PathAttributes&& attrs) {
+  auto it = pool_.find(attrs);
+  if (it != pool_.end()) {
+    ++stats_.intern_hits;
+    return it->first;
+  }
+  ++stats_.intern_misses;
+  return insert(std::make_shared<const PathAttributes>(std::move(attrs)));
+}
+
+AttrsPtr AttrPool::adopt(const AttrsPtr& attrs) {
+  if (!attrs) return attrs;
+  if (by_ptr_.count(attrs.get()) > 0) {
+    ++stats_.intern_hits;
+    return attrs;
+  }
+  return intern(*attrs);
+}
+
+const Bytes& AttrPool::encoded(const AttrsPtr& attrs,
+                               const AttrCodecOptions& options) {
+  const std::size_t slot = options.four_byte_asn ? 1 : 0;
+  if (encode_cache_enabled_) {
+    auto it = by_ptr_.find(attrs.get());
+    if (it != by_ptr_.end()) {
+      auto& wire = it->second->wire[slot];
+      if (wire) {
+        ++stats_.encode_hits;
+        return *wire;
+      }
+      ++stats_.encode_misses;
+      wire = encode_attributes(*attrs, options);
+      wire_bytes_ += wire->size();
+      return *wire;
+    }
+  }
+  ++stats_.encode_misses;
+  scratch_ = encode_attributes(*attrs, options);
+  return scratch_;
+}
+
+std::size_t AttrPool::sweep() {
+  std::size_t removed = 0;
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->first.use_count() == 1) {
+      attr_bytes_ -= attrs_footprint(*it->first);
+      for (const auto& wire : it->second.wire)
+        if (wire) wire_bytes_ -= wire->size();
+      by_ptr_.erase(it->first.get());
+      it = pool_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 }  // namespace peering::bgp

@@ -1,11 +1,20 @@
-// BGP path attributes: typed representation plus the RFC 4271/6793/1997/8092
-// wire codec. Unknown optional-transitive attributes are preserved verbatim
-// (with the Partial bit set when propagated), which is what PEERING's
-// capability framework polices (§4.7: "optional BGP transitive attributes").
+// BGP path attributes: typed representation, the RFC 4271/6793/1997/8092
+// wire codec, and the sharing machinery the whole control plane is built
+// on — AttrPool (BIRD-style interning keyed by content hash, with a
+// canonical-encoding cache per codec option set) and AttrBuilder (a
+// copy-on-write handle that clones lazily on first mutation). One interned
+// AttrsPtr travels from decode to wire; policy, hooks, and enforcement all
+// operate on it and only pay for a copy when they actually mutate.
+// Unknown optional-transitive attributes are preserved verbatim (with the
+// Partial bit set when propagated), which is what PEERING's capability
+// framework polices (§4.7: "optional BGP transitive attributes").
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/types.h"
@@ -95,5 +104,169 @@ Bytes encode_attributes(const PathAttributes& attrs,
 /// 4-byte paths from AS4_PATH when the session is 2-byte.
 Result<PathAttributes> decode_attributes(std::span<const std::uint8_t> data,
                                          const AttrCodecOptions& options);
+
+/// A shared, immutable attribute set. Identical sets interned through one
+/// AttrPool compare equal by pointer.
+using AttrsPtr = std::shared_ptr<const PathAttributes>;
+
+/// Wraps freshly constructed attributes in an AttrsPtr. Not interned: pass
+/// the result through AttrPool::adopt/intern before storing it in a RIB if
+/// pointer-level deduplication matters.
+inline AttrsPtr make_attrs(PathAttributes attrs) {
+  return std::make_shared<const PathAttributes>(std::move(attrs));
+}
+
+/// Content hash over every attribute field; the AttrPool bucket index.
+std::size_t hash_value(const PathAttributes& attrs);
+
+class AttrPool;
+
+/// Copy-on-write handle over an interned attribute set. Interposition
+/// points (policy actions, import/export hooks, enforcement transforms)
+/// receive a builder, read through view(), and call mutate() only when they
+/// actually change something — the underlying PathAttributes is cloned
+/// lazily on the first mutate() and re-interned on commit(). A route that
+/// flows through every hook untouched never copies its attributes.
+class AttrBuilder {
+ public:
+  AttrBuilder() = default;
+  explicit AttrBuilder(AttrsPtr base) : base_(std::move(base)) {}
+  explicit AttrBuilder(PathAttributes owned)
+      : owned_(std::make_unique<PathAttributes>(std::move(owned))) {}
+
+  /// Read-only access; never copies.
+  const PathAttributes& view() const {
+    static const PathAttributes kEmpty;
+    return owned_ ? *owned_ : (base_ ? *base_ : kEmpty);
+  }
+  const PathAttributes* operator->() const { return &view(); }
+
+  /// Mutable access; clones the base set on first call.
+  PathAttributes& mutate() {
+    if (!owned_)
+      owned_ = base_ ? std::make_unique<PathAttributes>(*base_)
+                     : std::make_unique<PathAttributes>();
+    return *owned_;
+  }
+
+  /// True once mutate() has been called (a private copy exists).
+  bool dirty() const { return owned_ != nullptr; }
+  const AttrsPtr& base() const { return base_; }
+
+  /// Finishes the flow: returns the untouched base pointer when clean, or
+  /// re-interns the mutated copy. The builder is reusable afterwards (its
+  /// base becomes the committed pointer).
+  AttrsPtr commit(AttrPool& pool);
+
+  /// Like commit() without a pool: clean -> base, dirty -> fresh AttrsPtr.
+  AttrsPtr release();
+
+ private:
+  AttrsPtr base_;
+  std::unique_ptr<PathAttributes> owned_;
+};
+
+/// Interns PathAttributes so identical attribute sets share one allocation,
+/// mirroring BIRD's attribute cache (the reason Figure 6a's per-route
+/// memory stays in the hundreds of bytes). Keyed by content hash. Also
+/// memoizes the wire encoding per (attribute set, codec options) so an
+/// ADD-PATH fan-out to N sessions with identical negotiated options
+/// serializes the update body once, not N times.
+class AttrPool {
+ public:
+  struct Stats {
+    std::uint64_t intern_hits = 0;
+    std::uint64_t intern_misses = 0;
+    std::uint64_t encode_hits = 0;
+    std::uint64_t encode_misses = 0;
+
+    double intern_hit_rate() const {
+      auto total = intern_hits + intern_misses;
+      return total == 0 ? 0.0 : static_cast<double>(intern_hits) / total;
+    }
+    double encode_hit_rate() const {
+      auto total = encode_hits + encode_misses;
+      return total == 0 ? 0.0 : static_cast<double>(encode_hits) / total;
+    }
+  };
+
+  AttrsPtr intern(const PathAttributes& attrs);
+  AttrsPtr intern(PathAttributes&& attrs);
+
+  /// Returns `attrs` unchanged when it is already pool-owned (O(1) pointer
+  /// lookup); otherwise interns its content. Lets hooks hand back either a
+  /// committed builder result or a foreign pointer without double-copying.
+  AttrsPtr adopt(const AttrsPtr& attrs);
+
+  /// True if this exact pointer came from this pool.
+  bool owns(const AttrsPtr& attrs) const {
+    return attrs && by_ptr_.count(attrs.get()) > 0;
+  }
+
+  /// Cached wire encoding of an interned set for the given codec options.
+  /// Encoded at most once per (set, options); all sessions with identical
+  /// negotiated options share the bytes. Foreign (non-pool) pointers fall
+  /// back to a direct encode into a scratch buffer. The reference is valid
+  /// until the next encoded() call or sweep().
+  const Bytes& encoded(const AttrsPtr& attrs, const AttrCodecOptions& options);
+
+  /// Ablation toggle: with the cache disabled every encoded() call
+  /// serializes from scratch (the pre-refactor behaviour).
+  void set_encode_cache_enabled(bool enabled) {
+    encode_cache_enabled_ = enabled;
+  }
+  bool encode_cache_enabled() const { return encode_cache_enabled_; }
+
+  std::size_t size() const { return pool_.size(); }
+  /// Approximate bytes held by pooled attribute objects.
+  std::size_t memory_bytes() const { return attr_bytes_; }
+  /// Bytes held by cached wire encodings.
+  std::size_t encode_cache_bytes() const { return wire_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Drops entries (and their cached encodings) no longer referenced
+  /// elsewhere. Returns entries removed. BgpSpeaker calls this on session
+  /// reset so a churned-out table does not leave the pool inflated.
+  std::size_t sweep();
+
+ private:
+  /// Cached per-entry wire encodings, indexed by AttrCodecOptions::
+  /// four_byte_asn (the only codec option that changes attribute bytes).
+  struct Entry {
+    std::array<std::optional<Bytes>, 2> wire;
+  };
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(const PathAttributes& a) const {
+      return hash_value(a);
+    }
+    std::size_t operator()(const AttrsPtr& p) const { return hash_value(*p); }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(const AttrsPtr& a, const AttrsPtr& b) const {
+      return a == b || *a == *b;
+    }
+    bool operator()(const AttrsPtr& a, const PathAttributes& b) const {
+      return *a == b;
+    }
+    bool operator()(const PathAttributes& a, const AttrsPtr& b) const {
+      return a == *b;
+    }
+  };
+
+  static std::size_t attrs_footprint(const PathAttributes& attrs);
+  AttrsPtr insert(AttrsPtr ptr);
+
+  std::unordered_map<AttrsPtr, Entry, Hash, Eq> pool_;
+  /// Pointer index for O(1) encoded()/owns() lookups; values are stable
+  /// because unordered_map nodes do not move.
+  std::unordered_map<const PathAttributes*, Entry*> by_ptr_;
+  std::size_t attr_bytes_ = 0;
+  std::size_t wire_bytes_ = 0;
+  bool encode_cache_enabled_ = true;
+  Stats stats_;
+  Bytes scratch_;
+};
 
 }  // namespace peering::bgp

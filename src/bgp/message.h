@@ -155,6 +155,14 @@ using BgpMessage = std::variant<OpenMessage, UpdateMessage,
 /// Frames `body` with the BGP header (marker, length, type).
 Bytes frame_message(MessageType type, const Bytes& body);
 
+/// Frames a complete UPDATE for advertised NLRI from pre-encoded
+/// path-attribute bytes (the AttrPool encode cache): the hot transmit path
+/// used by BgpSpeaker's export flush, which skips re-serializing the
+/// attribute set for every session that shares the same codec options.
+Bytes encode_update_from_cached(const Bytes& attr_bytes,
+                                const std::vector<NlriEntry>& nlri,
+                                const UpdateCodecOptions& options);
+
 /// Serializes a full message.
 Bytes encode_message(const BgpMessage& message,
                      const UpdateCodecOptions& options);

@@ -46,17 +46,14 @@ void PolicyActions::apply(PathAttributes& attrs) const {
     attrs.as_path = attrs.as_path.prepended(prepend_asn, prepend_count);
 }
 
-std::optional<PathAttributes> RoutePolicy::apply(
-    const Ipv4Prefix& prefix, const PathAttributes& attrs) const {
-  PathAttributes out = attrs;
+bool RoutePolicy::apply(const Ipv4Prefix& prefix, AttrBuilder& attrs) const {
   for (const auto& term : terms_) {
-    if (!term.match.matches(prefix, out)) continue;
-    if (term.actions.deny) return std::nullopt;
-    term.actions.apply(out);
-    if (term.final_term) return out;
+    if (!term.match.matches(prefix, attrs.view())) continue;
+    if (term.actions.deny) return false;
+    term.actions.apply(attrs);
+    if (term.final_term) return true;
   }
-  if (!default_accept_) return std::nullopt;
-  return out;
+  return default_accept_;
 }
 
 }  // namespace peering::bgp

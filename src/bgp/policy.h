@@ -46,7 +46,20 @@ struct PolicyActions {
   std::size_t prepend_count = 0;
   Asn prepend_asn = 0;
 
+  /// True when the actions carry no transformation at all (a pure
+  /// accept/deny term) — the copy-on-write path skips the clone entirely.
+  bool is_noop() const {
+    return !set_local_pref && !set_med && !set_next_hop &&
+           add_communities.empty() && remove_communities.empty() &&
+           !strip_all_communities && prepend_count == 0;
+  }
+
   void apply(PathAttributes& attrs) const;
+  /// Copy-on-write variant: clones the builder's base only when the
+  /// actions actually transform something.
+  void apply(AttrBuilder& attrs) const {
+    if (!is_noop()) apply(attrs.mutate());
+  }
 };
 
 struct PolicyTerm {
@@ -82,10 +95,10 @@ class RoutePolicy {
 
   void set_default_accept(bool accept) { default_accept_ = accept; }
 
-  /// Evaluates the policy. Returns the (possibly transformed) attributes,
-  /// or nullopt if the route is denied.
-  std::optional<PathAttributes> apply(const Ipv4Prefix& prefix,
-                                      const PathAttributes& attrs) const;
+  /// Evaluates the policy against the builder's current view, accumulating
+  /// transforms copy-on-write (an all-accept policy never clones). Returns
+  /// false if the route is denied.
+  bool apply(const Ipv4Prefix& prefix, AttrBuilder& attrs) const;
 
   std::size_t term_count() const { return terms_.size(); }
 

@@ -4,53 +4,19 @@
 
 namespace peering::bgp {
 
-AttrsPtr AttrPool::intern(const PathAttributes& attrs) {
-  AttrCodecOptions canonical{.four_byte_asn = true};
-  Bytes encoded = encode_attributes(attrs, canonical);
-  std::string key(encoded.begin(), encoded.end());
-  auto it = pool_.find(key);
-  if (it != pool_.end()) return it->second;
-  auto ptr = std::make_shared<const PathAttributes>(attrs);
-  attr_bytes_ += attrs_footprint(attrs);
-  pool_.emplace(std::move(key), ptr);
-  return ptr;
-}
-
-std::size_t AttrPool::sweep() {
-  std::size_t removed = 0;
-  for (auto it = pool_.begin(); it != pool_.end();) {
-    if (it->second.use_count() == 1) {
-      attr_bytes_ -= attrs_footprint(*it->second);
-      it = pool_.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  return removed;
-}
-
-std::size_t AttrPool::attrs_footprint(const PathAttributes& attrs) {
-  std::size_t bytes = sizeof(PathAttributes);
-  for (const auto& seg : attrs.as_path.segments())
-    bytes += sizeof(AsPathSegment) + seg.asns.size() * sizeof(Asn);
-  bytes += attrs.communities.size() * sizeof(Community);
-  bytes += attrs.large_communities.size() * sizeof(LargeCommunity);
-  for (const auto& raw : attrs.unknown)
-    bytes += sizeof(RawAttribute) + raw.value.size();
-  return bytes;
-}
-
 bool AdjRibIn::update(const RibRoute& route) {
-  auto& by_id = routes_[route.prefix];
-  auto it = by_id.find(route.path_id);
-  if (it == by_id.end()) {
-    by_id.emplace(route.path_id, route);
+  auto& paths = routes_[route.prefix];
+  auto it = std::lower_bound(paths.begin(), paths.end(), route.path_id,
+                             [](const RibRoute& r, std::uint32_t id) {
+                               return r.path_id < id;
+                             });
+  if (it == paths.end() || it->path_id != route.path_id) {
+    paths.insert(it, route);
     ++size_;
     return true;
   }
-  if (it->second.attrs == route.attrs) return false;
-  it->second = route;
+  if (it->attrs == route.attrs) return false;
+  *it = route;
   return true;
 }
 
@@ -58,46 +24,48 @@ std::optional<RibRoute> AdjRibIn::withdraw(const Ipv4Prefix& prefix,
                                            std::uint32_t path_id) {
   auto pit = routes_.find(prefix);
   if (pit == routes_.end()) return std::nullopt;
-  auto it = pit->second.find(path_id);
-  if (it == pit->second.end()) return std::nullopt;
-  RibRoute removed = it->second;
-  pit->second.erase(it);
-  if (pit->second.empty()) routes_.erase(pit);
+  auto& paths = pit->second;
+  auto it = std::lower_bound(paths.begin(), paths.end(), path_id,
+                             [](const RibRoute& r, std::uint32_t id) {
+                               return r.path_id < id;
+                             });
+  if (it == paths.end() || it->path_id != path_id) return std::nullopt;
+  RibRoute removed = std::move(*it);
+  paths.erase(it);
+  if (paths.empty()) routes_.erase(pit);
   --size_;
   return removed;
 }
 
 std::vector<RibRoute> AdjRibIn::paths(const Ipv4Prefix& prefix) const {
-  std::vector<RibRoute> out;
   auto it = routes_.find(prefix);
-  if (it == routes_.end()) return out;
-  for (const auto& [id, route] : it->second) out.push_back(route);
-  return out;
+  if (it == routes_.end()) return {};
+  return it->second;
 }
 
 void AdjRibIn::visit(const std::function<void(const RibRoute&)>& fn) const {
-  for (const auto& [prefix, by_id] : routes_)
-    for (const auto& [id, route] : by_id) fn(route);
+  for (const auto& [prefix, paths] : routes_)
+    for (const auto& route : paths) fn(route);
 }
 
 std::vector<RibRoute> AdjRibIn::clear() {
   std::vector<RibRoute> removed;
   removed.reserve(size_);
-  for (auto& [prefix, by_id] : routes_)
-    for (auto& [id, route] : by_id) removed.push_back(route);
+  for (auto& [prefix, paths] : routes_)
+    for (auto& route : paths) removed.push_back(std::move(route));
   routes_.clear();
   size_ = 0;
   return removed;
 }
 
 std::size_t AdjRibIn::memory_bytes() const {
-  // Tree nodes for the outer and inner maps plus route payloads. Map node
-  // overhead is approximated at 4 pointers (rb-tree node header).
+  // One rb-tree node per prefix (header approximated at 4 pointers) plus
+  // the flat path vector's heap block.
   constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
   std::size_t bytes = sizeof(AdjRibIn);
-  for (const auto& [prefix, by_id] : routes_) {
-    bytes += kNodeOverhead + sizeof(Ipv4Prefix) + sizeof(by_id);
-    bytes += by_id.size() * (kNodeOverhead + sizeof(std::uint32_t) + sizeof(RibRoute));
+  for (const auto& [prefix, paths] : routes_) {
+    bytes += kNodeOverhead + sizeof(Ipv4Prefix) + sizeof(paths);
+    bytes += paths.capacity() * sizeof(RibRoute);
   }
   return bytes;
 }
@@ -230,6 +198,13 @@ std::vector<RibRoute> LocRib::candidates(const Ipv4Prefix& prefix) const {
   auto it = prefixes_.find(prefix);
   if (it == prefixes_.end()) return {};
   return it->second.candidates;
+}
+
+const std::vector<RibRoute>* LocRib::candidates_ref(
+    const Ipv4Prefix& prefix) const {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return nullptr;
+  return &it->second.candidates;
 }
 
 void LocRib::visit_best(const std::function<void(const RibRoute&)>& fn) const {

@@ -1,8 +1,9 @@
-// Routing Information Bases: per-peer Adj-RIB-In, the Loc-RIB with the
-// RFC 4271 decision process, and a deduplicating attribute pool (BIRD-style
-// attribute sharing — the reason per-route memory stays in the hundreds of
-// bytes, which Figure 6a measures). vBGP keeps all received paths (not just
-// best) because ADD-PATH re-exports every one of them to experiments.
+// Routing Information Bases: per-peer Adj-RIB-In and the Loc-RIB with the
+// RFC 4271 decision process. Attribute sharing lives in bgp/attributes.h
+// (AttrPool/AttrsPtr) — RIB entries only hold interned pointers, the reason
+// per-route memory stays in the hundreds of bytes (Figure 6a). vBGP keeps
+// all received paths (not just best) because ADD-PATH re-exports every one
+// of them to experiments.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +12,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/attributes.h"
@@ -21,27 +21,6 @@ namespace peering::bgp {
 
 /// Identifies a BGP session within a speaker.
 using PeerId = std::uint32_t;
-
-using AttrsPtr = std::shared_ptr<const PathAttributes>;
-
-/// Interns PathAttributes so identical attribute sets share one allocation,
-/// mirroring BIRD's attribute cache. Keyed by canonical encoding.
-class AttrPool {
- public:
-  AttrsPtr intern(const PathAttributes& attrs);
-
-  std::size_t size() const { return pool_.size(); }
-  /// Approximate bytes held by pooled attribute objects.
-  std::size_t memory_bytes() const { return attr_bytes_; }
-
-  /// Drops entries no longer referenced elsewhere. Returns entries removed.
-  std::size_t sweep();
-
- private:
-  static std::size_t attrs_footprint(const PathAttributes& attrs);
-  std::unordered_map<std::string, AttrsPtr> pool_;
-  std::size_t attr_bytes_ = 0;
-};
 
 /// One path for a prefix as known by the speaker.
 struct RibRoute {
@@ -80,7 +59,11 @@ class AdjRibIn {
   std::size_t memory_bytes() const;
 
  private:
-  std::map<Ipv4Prefix, std::map<std::uint32_t, RibRoute>> routes_;
+  /// Paths per prefix in a flat vector (ordered by path_id): almost every
+  /// (peer, prefix) carries a single path, so a per-path rb-tree node costs
+  /// ~32 B/route for nothing. The vector keeps Adj-RIB-In at a few dozen
+  /// bytes per route, which Figure 6a's B/route directly reports.
+  std::map<Ipv4Prefix, std::vector<RibRoute>> routes_;
   std::size_t size_ = 0;
 };
 
@@ -126,6 +109,11 @@ class LocRib {
 
   /// All candidates for a prefix.
   std::vector<RibRoute> candidates(const Ipv4Prefix& prefix) const;
+
+  /// Candidate list for a prefix without copying, or nullptr if absent.
+  /// Invalidated by update/withdraw on the same prefix — callers must not
+  /// mutate the RIB while holding it.
+  const std::vector<RibRoute>* candidates_ref(const Ipv4Prefix& prefix) const;
 
   /// Visits the best path of every prefix.
   void visit_best(const std::function<void(const RibRoute&)>& fn) const;

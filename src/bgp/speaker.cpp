@@ -41,15 +41,22 @@ struct BgpSpeaker::Session {
   std::uint16_t negotiated_hold = 90;
   AdjRibIn adj_in;
 
-  /// Adj-RIB-Out: prefix -> local path id -> what we advertised.
-  std::map<Ipv4Prefix, std::map<std::uint32_t, OutRoute>> adj_out;
+  /// Adj-RIB-Out: prefix -> local path id -> what we advertised. Hashed on
+  /// the prefix: flush_exports probes it once per advert and nothing needs
+  /// prefix order (full-table walks dump into a std::set first).
+  std::unordered_map<Ipv4Prefix, std::map<std::uint32_t, OutRoute>> adj_out;
   /// Local path-id allocation per prefix, keyed by origin (peer, path id).
-  std::map<Ipv4Prefix, std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t>>
+  std::unordered_map<Ipv4Prefix,
+                     std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t>>
       out_ids;
   std::uint32_t next_out_id = 1;
 
   /// MRAI batching state.
-  std::set<Ipv4Prefix> pending_export;
+  /// Prefixes awaiting export. Appended without dedup (duplicate flushes
+  /// are no-ops against the Adj-RIB-Out diff); flush_exports sorts and
+  /// uniques, so the wire order matches the old std::set behavior without
+  /// a tree-node allocation per scheduled prefix.
+  std::vector<Ipv4Prefix> pending_export;
   bool flush_scheduled = false;
   SimTime next_flush_allowed;
 
@@ -57,6 +64,12 @@ struct BgpSpeaker::Session {
   /// still matches (reset/restart invalidates stale timers).
   std::uint64_t hold_gen = 0;
   std::uint64_t keepalive_gen = 0;
+  /// Lazy hold timer: receiving a message only refreshes the deadline; at
+  /// most one expiry check sits in the event queue per session. Without
+  /// this, a full-table burst enqueues one 90-second timer per UPDATE and
+  /// the event heap drowns in stale no-ops.
+  SimTime hold_deadline;
+  bool hold_scheduled = false;
 };
 
 BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
@@ -95,6 +108,16 @@ bool BgpSpeaker::is_ibgp(PeerId peer) const {
 
 const AdjRibIn& BgpSpeaker::adj_rib_in(PeerId peer) const {
   return sessions_.at(peer)->adj_in;
+}
+
+std::vector<AttrsPtr> BgpSpeaker::adj_rib_out_attrs(
+    PeerId peer, const Ipv4Prefix& prefix) const {
+  std::vector<AttrsPtr> out;
+  const Session& s = *sessions_.at(peer);
+  auto it = s.adj_out.find(prefix);
+  if (it == s.adj_out.end()) return out;
+  for (const auto& [id, route] : it->second) out.push_back(route.attrs);
+  return out;
 }
 
 PeerDecisionInfo BgpSpeaker::peer_decision_info(PeerId peer) const {
@@ -200,8 +223,8 @@ void BgpSpeaker::reevaluate_exports(PeerId peer) {
   // Re-run export computation for every prefix we know about; flush_exports
   // diffs against the Adj-RIB-Out, so only real changes hit the wire.
   loc_rib_.visit_all(
-      [&](const RibRoute& route) { s.pending_export.insert(route.prefix); });
-  for (const auto& [prefix, out] : s.adj_out) s.pending_export.insert(prefix);
+      [&](const RibRoute& route) { s.pending_export.push_back(route.prefix); });
+  for (const auto& [prefix, out] : s.adj_out) s.pending_export.push_back(prefix);
   if (!s.pending_export.empty() && !s.flush_scheduled) {
     s.flush_scheduled = true;
     loop_->schedule_after(Duration::nanos(0), [this, peer]() {
@@ -304,46 +327,53 @@ void BgpSpeaker::handle_update(PeerId peer, const UpdateMessage& update) {
 
   for (const auto& entry : update.withdrawn) withdraw_route(peer, entry);
   if (update.attributes) {
-    for (const auto& entry : update.nlri)
-      import_route(peer, entry, *update.attributes);
+    // Intern once per UPDATE: every NLRI shares the AttrsPtr, repeated
+    // announcements of the same set hit the pool, and downstream
+    // pointer-keyed caches (vBGP's next-hop rewrite memo) get a stable key.
+    AttrsPtr attrs = attr_pool_.intern(*update.attributes);
+    for (const auto& entry : update.nlri) import_route(peer, entry, attrs);
   }
 }
 
 void BgpSpeaker::import_route(PeerId from, const NlriEntry& entry,
-                              const PathAttributes& attrs) {
+                              const AttrsPtr& attrs) {
   Session& s = *sessions_.at(from);
   const bool ibgp = s.config.peer_asn == asn_;
 
   // eBGP loop detection: drop routes carrying our own ASN.
-  if (!ibgp && !s.config.allow_own_asn_in && attrs.as_path.contains(asn_)) {
+  if (!ibgp && !s.config.allow_own_asn_in && attrs->as_path.contains(asn_)) {
     ++s.stats.routes_rejected_import;
     return;
   }
 
-  PathAttributes working = attrs;
-  auto accepted = s.config.import_policy.apply(entry.prefix, working);
-  if (!accepted) {
+  AttrBuilder builder(attrs);
+  if (!s.config.import_policy.apply(entry.prefix, builder)) {
     ++s.stats.routes_rejected_import;
     // An implicit withdraw may be needed if a previous version was accepted.
     withdraw_route(from, entry);
     return;
   }
-  working = std::move(*accepted);
+  // Hand the hook an uninterned candidate and intern only its final answer:
+  // when the hook rewrites the set (the vBGP next-hop case), the
+  // intermediate policy result never pays for a pool insertion.
+  AttrsPtr working;
   if (import_hook_) {
-    auto hooked = import_hook_(from, entry, working);
+    auto hooked = import_hook_(from, entry, builder.release());
     if (!hooked) {
       ++s.stats.routes_rejected_import;
       withdraw_route(from, entry);
       return;
     }
-    working = std::move(*hooked);
+    working = attr_pool_.adopt(*hooked);
+  } else {
+    working = builder.commit(attr_pool_);
   }
 
   RibRoute route;
   route.prefix = entry.prefix;
   route.path_id = entry.path_id;
   route.peer = from;
-  route.attrs = attr_pool_.intern(working);
+  route.attrs = std::move(working);
 
   if (!s.adj_in.update(route)) return;  // no change
   loc_rib_.update(route);
@@ -373,7 +403,7 @@ void BgpSpeaker::originate(const Ipv4Prefix& prefix, PathAttributes attrs) {
   route.prefix = prefix;
   route.path_id = 0;
   route.peer = kLocalRoutes;
-  route.attrs = attr_pool_.intern(attrs);
+  route.attrs = attr_pool_.intern(std::move(attrs));
   originated_[prefix] = route.attrs;
   loc_rib_.update(route);
   if (route_event_) route_event_(route, /*withdrawn=*/false);
@@ -394,8 +424,8 @@ void BgpSpeaker::withdraw_originated(const Ipv4Prefix& prefix) {
   for (auto& [to, session] : sessions_) schedule_export(to, prefix);
 }
 
-std::optional<PathAttributes> BgpSpeaker::standard_export_transform(
-    PeerId to, const RibRoute& route) const {
+bool BgpSpeaker::standard_export_transform(PeerId to, const RibRoute& route,
+                                           AttrBuilder& attrs) const {
   const Session& s = *sessions_.at(to);
   const bool to_ibgp = s.config.peer_asn == asn_;
   const bool from_ibgp =
@@ -404,54 +434,70 @@ std::optional<PathAttributes> BgpSpeaker::standard_export_transform(
 
   // Standard iBGP rule (no route reflection): iBGP-learned routes are not
   // re-advertised to iBGP peers.
-  if (to_ibgp && from_ibgp) return std::nullopt;
+  if (to_ibgp && from_ibgp) return false;
 
-  PathAttributes attrs = *route.attrs;
+  const PathAttributes& view = attrs.view();
 
   // RFC 1997 well-known communities.
-  if (attrs.has_community(kNoAdvertise)) return std::nullopt;
-  if (!to_ibgp && attrs.has_community(kNoExport)) return std::nullopt;
+  if (view.has_community(kNoAdvertise)) return false;
+  if (!to_ibgp && view.has_community(kNoExport)) return false;
 
   if (to_ibgp) {
-    if (!attrs.local_pref) attrs.local_pref = 100;
+    if (!view.local_pref) attrs.mutate().local_pref = 100;
   } else if (s.config.transparent) {
     // Route-server transparency (RFC 7947 §2.2): no local-AS prepend, the
-    // next-hop of the advertising client is preserved.
-    attrs.local_pref.reset();
+    // next-hop of the advertising client is preserved — often the whole
+    // transform is a no-op and the route keeps its interned pointer.
+    if (view.local_pref) attrs.mutate().local_pref.reset();
   } else {
-    attrs.as_path = attrs.as_path.prepended(asn_);
-    attrs.local_pref.reset();
+    PathAttributes& m = attrs.mutate();
+    m.as_path = m.as_path.prepended(asn_);
+    m.local_pref.reset();
     // MED is non-transitive across ASes: drop it when re-advertising a
     // route learned via eBGP, keep it for routes this AS originates.
-    if (route.peer != kLocalRoutes && !from_ibgp) attrs.med.reset();
-    attrs.next_hop = s.config.local_address;
+    if (route.peer != kLocalRoutes && !from_ibgp) m.med.reset();
+    m.next_hop = s.config.local_address;
   }
-  return attrs;
+  return true;
 }
 
-std::vector<std::pair<std::uint32_t, PathAttributes>>
-BgpSpeaker::desired_adverts(PeerId to, const Ipv4Prefix& prefix) {
+std::vector<std::pair<std::uint32_t, AttrsPtr>> BgpSpeaker::desired_adverts(
+    PeerId to, const Ipv4Prefix& prefix) {
   Session& s = *sessions_.at(to);
-  std::vector<RibRoute> sources;
+  // ADD-PATH sessions export every candidate: borrow the Loc-RIB's own
+  // vector instead of copying it (nothing below mutates the RIB — hooks
+  // and policies only transform attribute sets).
+  const std::vector<RibRoute>* sources = nullptr;
+  std::vector<RibRoute> best_only;
   if (s.config.export_all_paths && s.addpath_tx) {
-    sources = loc_rib_.candidates(prefix);
+    sources = loc_rib_.candidates_ref(prefix);
   } else {
     auto best = loc_rib_.best(prefix);
-    if (best) sources.push_back(*best);
+    if (best) best_only.push_back(*best);
+    sources = &best_only;
   }
 
-  std::vector<std::pair<std::uint32_t, PathAttributes>> out;
+  std::vector<std::pair<std::uint32_t, AttrsPtr>> out;
+  if (!sources || sources->empty()) {
+    s.out_ids.erase(prefix);
+    return out;
+  }
   auto& ids = s.out_ids[prefix];
-  for (const RibRoute& route : sources) {
+  for (const RibRoute& route : *sources) {
     if (route.peer == to) continue;  // split horizon
-    auto transformed = standard_export_transform(to, route);
-    if (!transformed) continue;
-    auto policed = s.config.export_policy.apply(prefix, *transformed);
-    if (!policed) continue;
+    AttrBuilder builder(route.attrs);
+    if (!standard_export_transform(to, route, builder)) continue;
+    if (!s.config.export_policy.apply(prefix, builder)) continue;
+    // As on import: intern only the post-hook set, so a hook that replaces
+    // the candidate (vBGP's experiment fan-out) never inserts the discarded
+    // intermediate into the pool.
+    AttrsPtr result;
     if (export_hook_) {
-      auto hooked = export_hook_(to, route, *policed);
+      auto hooked = export_hook_(to, route, builder.release());
       if (!hooked) continue;
-      policed = std::move(hooked);
+      result = attr_pool_.adopt(*hooked);
+    } else {
+      result = builder.commit(attr_pool_);
     }
     std::uint32_t local_id = 0;
     if (s.addpath_tx) {
@@ -460,7 +506,7 @@ BgpSpeaker::desired_adverts(PeerId to, const Ipv4Prefix& prefix) {
       if (it == ids.end()) it = ids.emplace(key, s.next_out_id++).first;
       local_id = it->second;
     }
-    out.emplace_back(local_id, std::move(*policed));
+    out.emplace_back(local_id, std::move(result));
   }
   if (out.empty()) s.out_ids.erase(prefix);
 
@@ -471,7 +517,7 @@ BgpSpeaker::desired_adverts(PeerId to, const Ipv4Prefix& prefix) {
 void BgpSpeaker::schedule_export(PeerId to, const Ipv4Prefix& prefix) {
   Session& s = *sessions_.at(to);
   if (s.state != SessionState::kEstablished) return;
-  s.pending_export.insert(prefix);
+  s.pending_export.push_back(prefix);
   if (s.flush_scheduled) return;
   s.flush_scheduled = true;
 
@@ -491,6 +537,9 @@ void BgpSpeaker::flush_exports(PeerId to) {
   Session& s = *sessions_.at(to);
   auto prefixes = std::move(s.pending_export);
   s.pending_export.clear();
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
   if (s.config.mrai > Duration::nanos(0))
     s.next_flush_allowed = loop_->now() + s.config.mrai;
 
@@ -518,16 +567,23 @@ void BgpSpeaker::flush_exports(PeerId to) {
     }
 
     // Advertise new/changed paths (one UPDATE per path; production
-    // implementations batch by shared attributes).
+    // implementations batch by shared attributes). Unchanged adverts are
+    // detected by pointer identity — interned sets compare in O(1).
     for (const auto& [id, attrs] : desired) {
       auto it = current.find(id);
-      AttrsPtr interned = attr_pool_.intern(attrs);
-      if (it != current.end() && it->second.attrs == interned) continue;
-      current[id] = OutRoute{0, 0, interned};
-      UpdateMessage update;
-      update.attributes = attrs;
-      update.nlri.push_back({id, prefix});
-      send_message(to, update);
+      if (it != current.end() && it->second.attrs == attrs) continue;
+      current[id] = OutRoute{0, 0, attrs};
+      if (s.stream && s.stream->open()) {
+        std::uint64_t hits = attr_pool_.stats().encode_hits;
+        const Bytes& attr_bytes = attr_pool_.encoded(attrs, s.tx_options.attrs);
+        if (attr_pool_.stats().encode_hits != hits)
+          ++s.stats.attr_encode_cache_hits;
+        else
+          ++s.stats.attr_encode_cache_misses;
+        std::vector<NlriEntry> nlri{{id, prefix}};
+        s.stream->send(
+            encode_update_from_cached(attr_bytes, nlri, s.tx_options));
+      }
       ++s.stats.updates_sent;
       ++total_updates_tx_;
     }
@@ -548,7 +604,7 @@ void BgpSpeaker::send_initial_table(PeerId to) {
   std::set<Ipv4Prefix> prefixes;
   loc_rib_.visit_all(
       [&](const RibRoute& route) { prefixes.insert(route.prefix); });
-  for (const auto& prefix : prefixes) s.pending_export.insert(prefix);
+  for (const auto& prefix : prefixes) s.pending_export.push_back(prefix);
   if (!s.pending_export.empty() && !s.flush_scheduled) {
     s.flush_scheduled = true;
     loop_->schedule_after(Duration::nanos(0), [this, to]() {
@@ -581,14 +637,30 @@ void BgpSpeaker::send_notification(PeerId peer, NotificationCode code,
 
 void BgpSpeaker::arm_hold_timer(PeerId peer) {
   Session& s = *sessions_.at(peer);
-  std::uint64_t gen = ++s.hold_gen;
-  if (s.negotiated_hold == 0) return;  // hold timer disabled
-  loop_->schedule_after(Duration::seconds(s.negotiated_hold), [this, peer, gen]() {
+  if (s.negotiated_hold == 0) {  // hold timer disabled
+    ++s.hold_gen;
+    s.hold_scheduled = false;
+    return;
+  }
+  s.hold_deadline = loop_->now() + Duration::seconds(s.negotiated_hold);
+  if (s.hold_scheduled) return;  // the live check below honors the refresh
+  s.hold_scheduled = true;
+  schedule_hold_check(peer, ++s.hold_gen);
+}
+
+void BgpSpeaker::schedule_hold_check(PeerId peer, std::uint64_t gen) {
+  loop_->schedule_at(sessions_.at(peer)->hold_deadline, [this, peer, gen]() {
     auto it = sessions_.find(peer);
     if (it == sessions_.end()) return;
     Session& session = *it->second;
     if (session.hold_gen != gen || session.state == SessionState::kIdle)
       return;
+    if (loop_->now() < session.hold_deadline) {
+      // Traffic arrived since this check was queued: chase the new deadline.
+      schedule_hold_check(peer, gen);
+      return;
+    }
+    session.hold_scheduled = false;
     send_notification(peer, NotificationCode::kHoldTimerExpired, 0,
                       "hold timer expired");
     session_down(peer, "hold timer expired");
@@ -619,6 +691,7 @@ void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
   s.state = SessionState::kIdle;
   ++s.hold_gen;
   ++s.keepalive_gen;
+  s.hold_scheduled = false;
   if (s.stream) {
     s.stream->close();
     s.stream.reset();
@@ -642,6 +715,12 @@ void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
       schedule_export(to, prefix);
     }
   }
+  // The churned-out table may have been the last reference to many pooled
+  // attribute sets (and their cached encodings); release them now so a
+  // flapping session does not leave the pool inflated. `removed` still
+  // pins them, so drop it first or the sweep frees nothing.
+  removed.clear();
+  attr_pool_.sweep();
   if (session_event_) session_event_(peer, SessionState::kIdle);
 }
 

@@ -77,21 +77,29 @@ struct PeerStats {
   std::uint64_t notifications_sent = 0;
   std::uint64_t notifications_received = 0;
   std::uint64_t keepalives_received = 0;
+  /// Transmit-side attribute serializations served from the AttrPool encode
+  /// cache vs. computed fresh for this session.
+  std::uint64_t attr_encode_cache_hits = 0;
+  std::uint64_t attr_encode_cache_misses = 0;
 };
 
 class BgpSpeaker {
  public:
   /// Import hook: runs after the peer's import policy, before RIB insertion.
-  /// Return nullopt to reject the route. vBGP rewrites next-hops here (and
-  /// records the original next-hop per (peer, prefix, path-id) for its
-  /// per-neighbor FIBs).
-  using ImportHook = std::function<std::optional<PathAttributes>(
-      PeerId from, const NlriEntry& entry, const PathAttributes& attrs)>;
+  /// Return nullopt to reject the route, the input pointer to accept it
+  /// unchanged (zero-copy), or a different AttrsPtr to transform it — build
+  /// one cheaply with AttrBuilder and commit() against attr_pool(). vBGP
+  /// rewrites next-hops here (and records the original next-hop per (peer,
+  /// prefix, path-id) for its per-neighbor FIBs).
+  using ImportHook = std::function<std::optional<AttrsPtr>(
+      PeerId from, const NlriEntry& entry, const AttrsPtr& attrs)>;
 
   /// Export hook: runs after the peer's export policy, before transmission.
-  /// Return nullopt to suppress. vBGP enforces announcement controls here.
-  using ExportHook = std::function<std::optional<PathAttributes>(
-      PeerId to, const RibRoute& route, const PathAttributes& attrs)>;
+  /// Return nullopt to suppress, the input pointer to pass through
+  /// untouched, or a transformed AttrsPtr. vBGP enforces announcement
+  /// controls here.
+  using ExportHook = std::function<std::optional<AttrsPtr>(
+      PeerId to, const RibRoute& route, const AttrsPtr& attrs)>;
 
   /// Route event: fired when the post-import route set changes (install or
   /// withdraw). vBGP synchronizes per-neighbor FIBs from this.
@@ -156,6 +164,13 @@ class BgpSpeaker {
   const LocRib& loc_rib() const { return loc_rib_; }
   const AdjRibIn& adj_rib_in(PeerId peer) const;
   AttrPool& attr_pool() { return attr_pool_; }
+  const AttrPool& attr_pool() const { return attr_pool_; }
+
+  /// Attribute pointers currently installed in the Adj-RIB-Out toward
+  /// `peer` for `prefix` (empty when nothing is advertised). Exposed so
+  /// tests can assert pointer-level sharing across fan-out sessions.
+  std::vector<AttrsPtr> adj_rib_out_attrs(PeerId peer,
+                                          const Ipv4Prefix& prefix) const;
 
   /// Total bytes across RIBs and the attribute pool (Figure 6a's
   /// "control plane" quantity).
@@ -179,12 +194,14 @@ class BgpSpeaker {
   void send_notification(PeerId peer, NotificationCode code,
                          std::uint8_t subcode, const std::string& reason);
   void arm_hold_timer(PeerId peer);
+  void schedule_hold_check(PeerId peer, std::uint64_t gen);
   void arm_keepalive_timer(PeerId peer);
 
   /// Applies import processing for one received route; updates RIBs and
-  /// schedules exports.
+  /// schedules exports. `attrs` is the already-interned attribute set of
+  /// the enclosing UPDATE (interned once, shared across its NLRI).
   void import_route(PeerId from, const NlriEntry& entry,
-                    const PathAttributes& attrs);
+                    const AttrsPtr& attrs);
   void withdraw_route(PeerId from, const NlriEntry& entry);
 
   /// Recomputes what `to` should be told about `prefix` and queues the
@@ -196,13 +213,16 @@ class BgpSpeaker {
 
   /// Computes the desired advertisement set for (to, prefix): zero, one
   /// (best path), or many (export_all_paths) routes after policy/hooks.
-  std::vector<std::pair<std::uint32_t, PathAttributes>> desired_adverts(
+  /// Each entry is an interned pointer; an export chain that transforms
+  /// nothing returns the Loc-RIB pointer itself.
+  std::vector<std::pair<std::uint32_t, AttrsPtr>> desired_adverts(
       PeerId to, const Ipv4Prefix& prefix);
 
   /// Default per-session transforms applied on export before policy: AS
-  /// prepend + next-hop handling for eBGP, LOCAL_PREF for iBGP.
-  std::optional<PathAttributes> standard_export_transform(
-      PeerId to, const RibRoute& route) const;
+  /// prepend + next-hop handling for eBGP, LOCAL_PREF for iBGP. Mutates the
+  /// builder copy-on-write; returns false to suppress the advertisement.
+  bool standard_export_transform(PeerId to, const RibRoute& route,
+                                 AttrBuilder& attrs) const;
 
   PeerDecisionInfo peer_decision_info(PeerId peer) const;
 

@@ -40,7 +40,7 @@ Verdict OriginAsnRule::evaluate(const AnnouncementContext& ctx,
                                 const ExperimentGrant& grant,
                                 StateStore&) const {
   if (ctx.is_withdraw) return Verdict::accept();
-  bgp::Asn origin = ctx.attrs.as_path.origin_asn();
+  bgp::Asn origin = ctx.attrs->as_path.origin_asn();
   if (origin == 0)
     return Verdict::reject(name(), "announcement carries no origin ASN");
   if (grant.allowed_origin(origin)) return Verdict::accept();
@@ -75,7 +75,7 @@ Verdict PoisoningRule::evaluate(const AnnouncementContext& ctx,
   // Count ASNs in the path that are neither an authorized origin nor
   // repeats (prepending an authorized ASN is always allowed).
   int poisoned = 0;
-  for (bgp::Asn asn : ctx.attrs.as_path.flatten()) {
+  for (bgp::Asn asn : ctx.attrs->as_path.flatten()) {
     if (!grant.allowed_origin(asn)) ++poisoned;
   }
   if (poisoned == 0) return Verdict::accept();
@@ -96,9 +96,9 @@ Verdict CommunityRule::evaluate(const AnnouncementContext& ctx,
                                 StateStore&) const {
   if (ctx.is_withdraw) return Verdict::accept();
   std::vector<bgp::Community> user;
-  for (bgp::Community c : ctx.attrs.communities)
+  for (bgp::Community c : ctx.attrs->communities)
     if (!is_control(c)) user.push_back(c);
-  std::size_t large = ctx.attrs.large_communities.size();
+  std::size_t large = ctx.attrs->large_communities.size();
 
   if (user.empty() && large == 0) return Verdict::accept();
 
@@ -107,14 +107,14 @@ Verdict CommunityRule::evaluate(const AnnouncementContext& ctx,
     // whole announcement (this is what the paper's tests verify: "check
     // that communities are stripped from exported announcements when the
     // capability is missing").
-    bgp::PathAttributes stripped = ctx.attrs;
+    bgp::PathAttributes stripped = *ctx.attrs;
     stripped.communities.erase(
         std::remove_if(stripped.communities.begin(),
                        stripped.communities.end(),
                        [&](bgp::Community c) { return !is_control(c); }),
         stripped.communities.end());
     stripped.large_communities.clear();
-    return Verdict::transform(name(), std::move(stripped),
+    return Verdict::transform(name(), bgp::make_attrs(std::move(stripped)),
                               "communities stripped: capability not granted");
   }
   if (static_cast<int>(user.size() + large) > grant.max_communities)
@@ -127,12 +127,12 @@ Verdict CommunityRule::evaluate(const AnnouncementContext& ctx,
 Verdict TransitiveAttrRule::evaluate(const AnnouncementContext& ctx,
                                      const ExperimentGrant& grant,
                                      StateStore&) const {
-  if (ctx.is_withdraw || ctx.attrs.unknown.empty()) return Verdict::accept();
+  if (ctx.is_withdraw || ctx.attrs->unknown.empty()) return Verdict::accept();
   if (grant.has(Capability::kTransitiveAttrs)) return Verdict::accept();
-  bgp::PathAttributes stripped = ctx.attrs;
+  bgp::PathAttributes stripped = *ctx.attrs;
   stripped.unknown.clear();
   return Verdict::transform(
-      name(), std::move(stripped),
+      name(), bgp::make_attrs(std::move(stripped)),
       "optional transitive attributes stripped: capability not granted");
 }
 
@@ -187,7 +187,7 @@ Verdict ControlPlaneEnforcer::check(const AnnouncementContext& ctx) {
                         "no grant on file for " + ctx.experiment_id));
   }
 
-  AnnouncementContext working = ctx;
+  AnnouncementContext working = ctx;  // attrs is a pointer: no deep copy
   bool any_transform = false;
   std::string transform_rules;
   for (const auto& rule : rules_) {

@@ -19,12 +19,14 @@
 
 namespace peering::enforce {
 
-/// Everything a rule can inspect about one experiment announcement.
+/// Everything a rule can inspect about one experiment announcement. The
+/// attribute set is carried by shared pointer: the common all-accept path
+/// flows through the whole chain without copying it.
 struct AnnouncementContext {
   std::string experiment_id;
   std::string pop_id;
   Ipv4Prefix prefix;
-  bgp::PathAttributes attrs;
+  bgp::AttrsPtr attrs = bgp::make_attrs({});
   SimTime now;
   bool is_withdraw = false;
 };
@@ -33,7 +35,7 @@ struct Verdict {
   enum class Action { kAccept, kReject, kTransform };
   Action action = Action::kAccept;
   /// Populated for kTransform: the attributes to propagate instead.
-  bgp::PathAttributes transformed;
+  bgp::AttrsPtr transformed;
   std::string rule;
   std::string reason;
 
@@ -45,7 +47,7 @@ struct Verdict {
     v.reason = std::move(reason);
     return v;
   }
-  static Verdict transform(std::string rule, bgp::PathAttributes attrs,
+  static Verdict transform(std::string rule, bgp::AttrsPtr attrs,
                            std::string reason) {
     Verdict v;
     v.action = Action::kTransform;

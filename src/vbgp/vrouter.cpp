@@ -32,6 +32,16 @@ void strip_control(bgp::PathAttributes& attrs, bgp::Asn asn) {
                            }),
             lcs.end());
 }
+
+/// True when strip_control would change anything — checked before cloning
+/// so clean routes keep their interned pointer.
+bool has_control(const bgp::PathAttributes& attrs, bgp::Asn asn) {
+  for (auto c : attrs.communities)
+    if (is_control_community(c)) return true;
+  for (const auto& lc : attrs.large_communities)
+    if (lc.global == asn && lc.local1 == kExperimentMarker) return true;
+  return false;
+}
 }  // namespace
 
 VRouter::VRouter(sim::EventLoop* loop, const VRouterConfig& config)
@@ -45,7 +55,7 @@ VRouter::VRouter(sim::EventLoop* loop, const VRouterConfig& config)
 void VRouter::install_hooks() {
   speaker_.set_import_hook([this](bgp::PeerId from,
                                   const bgp::NlriEntry& entry,
-                                  const bgp::PathAttributes& attrs) {
+                                  const bgp::AttrsPtr& attrs) {
     switch (peer_kind(from)) {
       case PeerKind::kNeighbor:
         return import_from_neighbor(from, entry, attrs);
@@ -54,10 +64,10 @@ void VRouter::install_hooks() {
       case PeerKind::kExperiment:
         return import_from_experiment(from, entry, attrs);
     }
-    return std::optional<bgp::PathAttributes>(attrs);
+    return std::optional<bgp::AttrsPtr>(attrs);
   });
   speaker_.set_export_hook([this](bgp::PeerId to, const bgp::RibRoute& route,
-                                  const bgp::PathAttributes& attrs) {
+                                  const bgp::AttrsPtr& attrs) {
     return export_route(to, route, attrs);
   });
   speaker_.on_route_event([this](const bgp::RibRoute& route, bool withdrawn) {
@@ -93,6 +103,10 @@ bgp::PeerId VRouter::add_experiment(const ExperimentSpec& spec) {
   config.hold_time = spec.hold_time;
   config.addpath = bgp::AddPathMode::kBoth;
   config.export_all_paths = true;
+  // Experiments see routes with full fidelity (export_route rebuilds from
+  // the Loc-RIB attributes); transparent mode keeps the standard export
+  // transform from cloning a prepended set that would only be discarded.
+  config.transparent = true;
   bgp::PeerId peer = speaker_.add_peer(config);
   peer_kinds_[peer] = PeerKind::kExperiment;
   experiments_by_peer_[peer] = spec.experiment_id;
@@ -154,50 +168,51 @@ std::optional<std::string> VRouter::experiment_for_interface(
 // Control plane
 // ---------------------------------------------------------------------------
 
-std::optional<bgp::PathAttributes> VRouter::import_from_neighbor(
+std::optional<bgp::AttrsPtr> VRouter::import_from_neighbor(
     bgp::PeerId from, const bgp::NlriEntry& entry,
-    const bgp::PathAttributes& attrs) {
+    const bgp::AttrsPtr& attrs) {
   VirtualNeighbor* nb = registry_.by_peer(from);
   if (!nb) return std::nullopt;
-  bgp::PathAttributes out = attrs;
   // Remember the route's real gateway for the per-neighbor FIB. A direct
   // neighbor announces itself as next-hop; a route server announces the
   // advertising member's fabric address (the RS is control-plane only).
-  Ipv4Address real_nh = attrs.next_hop.is_zero() ? nb->gateway : attrs.next_hop;
+  Ipv4Address real_nh =
+      attrs->next_hop.is_zero() ? nb->gateway : attrs->next_hop;
   real_next_hops_[{from, entry.prefix, entry.path_id}] = real_nh;
   // Store the route with the platform-global neighbor IP as next-hop: iBGP
   // exports keep it verbatim (so remote routers can re-map it, §4.4);
   // exports to experiments re-map it to the local virtual IP.
-  out.next_hop = nb->global_id != 0 ? global_pool_ip(nb->global_id)
-                                    : nb->virtual_ip;
-  return out;
+  Ipv4Address stored = nb->global_id != 0 ? global_pool_ip(nb->global_id)
+                                          : nb->virtual_ip;
+  return remap_next_hop(attrs, stored);
 }
 
-std::optional<bgp::PathAttributes> VRouter::import_from_backbone(
-    bgp::PeerId from, const bgp::NlriEntry&, const bgp::PathAttributes& attrs) {
+std::optional<bgp::AttrsPtr> VRouter::import_from_backbone(
+    bgp::PeerId from, const bgp::NlriEntry&, const bgp::AttrsPtr& attrs) {
   // Experiment routes relayed across the backbone carry the marker; they
-  // need no neighbor registration (traffic flows via the mux).
-  if (has_experiment_marker(attrs, config_.asn)) return attrs;
+  // need no neighbor registration (traffic flows via the mux). Either way
+  // the attributes pass through untouched — same pointer in, same out.
+  if (has_experiment_marker(*attrs, config_.asn)) return attrs;
   // A route from a remote PoP's neighbor: its next-hop is that neighbor's
   // global pool IP. Lazily materialize a local virtual identity for it so
   // experiments here can address it.
   auto it = backbone_interfaces_.find(from);
   if (it != backbone_interfaces_.end() &&
-      Ipv4Prefix(kGlobalPoolBase, 16).contains(attrs.next_hop)) {
-    std::uint32_t global_id = attrs.next_hop.value() - kGlobalPoolBase.value();
+      Ipv4Prefix(kGlobalPoolBase, 16).contains(attrs->next_hop)) {
+    std::uint32_t global_id = attrs->next_hop.value() - kGlobalPoolBase.value();
     registry_.add_remote(global_id, from, it->second);
   }
   return attrs;
 }
 
-std::optional<bgp::PathAttributes> VRouter::import_from_experiment(
+std::optional<bgp::AttrsPtr> VRouter::import_from_experiment(
     bgp::PeerId from, const bgp::NlriEntry& entry,
-    const bgp::PathAttributes& attrs) {
+    const bgp::AttrsPtr& attrs) {
   const Ipv4Prefix& prefix = entry.prefix;
   auto exp_it = experiments_by_peer_.find(from);
   if (exp_it == experiments_by_peer_.end()) return std::nullopt;
 
-  bgp::PathAttributes out = attrs;
+  bgp::AttrsPtr working = attrs;
   if (control_enforcer_) {
     enforce::AnnouncementContext ctx;
     ctx.experiment_id = exp_it->second;
@@ -210,20 +225,44 @@ std::optional<bgp::PathAttributes> VRouter::import_from_experiment(
       case enforce::Verdict::Action::kReject:
         return std::nullopt;
       case enforce::Verdict::Action::kTransform:
-        out = verdict.transformed;
+        working = verdict.transformed;
         break;
       case enforce::Verdict::Action::kAccept:
         break;
     }
   }
-  out.large_communities.push_back(
+  bgp::AttrBuilder b(std::move(working));
+  b.mutate().large_communities.push_back(
       bgp::LargeCommunity{config_.asn, kExperimentMarker, 0});
-  return out;
+  return b.commit(speaker_.attr_pool());
 }
 
-std::optional<bgp::PathAttributes> VRouter::export_route(
-    bgp::PeerId to, const bgp::RibRoute& route,
-    const bgp::PathAttributes& attrs) {
+bgp::AttrsPtr VRouter::remap_next_hop(const bgp::AttrsPtr& attrs,
+                                      Ipv4Address nh) {
+  if (attrs->next_hop == nh) return attrs;
+  // find() before insert: the hit path (steady state) then never copies
+  // the shared_ptr key, so no atomic refcount traffic.
+  auto it = nh_memo_.find(attrs);
+  if (it == nh_memo_.end() || it->second->next_hop != nh) {
+    bgp::AttrBuilder b(attrs);
+    b.mutate().next_hop = nh;
+    auto result = b.commit(speaker_.attr_pool());
+    if (it == nh_memo_.end()) {
+      // A non-pooled source (e.g. a route transformed by a custom import
+      // policy) gets a fresh pointer per update, so its memo entry is dead
+      // weight; the cap bounds that pathology and pool pinning alike.
+      if (nh_memo_.size() > 65536) nh_memo_.clear();
+      it = nh_memo_.emplace(attrs, std::move(result)).first;
+    } else {
+      it->second = std::move(result);
+    }
+  }
+  return it->second;
+}
+
+std::optional<bgp::AttrsPtr> VRouter::export_route(bgp::PeerId to,
+                                                   const bgp::RibRoute& route,
+                                                   const bgp::AttrsPtr& attrs) {
   const PeerKind to_kind = peer_kind(to);
   const PeerKind from_kind =
       route.peer == bgp::kLocalRoutes ? PeerKind::kNeighbor  // local routes
@@ -236,17 +275,19 @@ std::optional<bgp::PathAttributes> VRouter::export_route(
     case PeerKind::kExperiment: {
       // Experiments never see each other's routes (isolation), but see
       // every Internet route with full fidelity: original attributes, no
-      // local prepend, next-hop re-mapped to the local virtual IP.
+      // local prepend, next-hop re-mapped to the local virtual IP. Building
+      // from route.attrs (not the post-transform `attrs`) means every
+      // experiment session produces the same attribute set, which interns
+      // to a single shared pointer across the whole fan-out.
       if (experiment_route) return std::nullopt;
-      bgp::PathAttributes out = *route.attrs;  // undo standard transforms
-      Ipv4Address nh = out.next_hop;
+      Ipv4Address nh = route.attrs->next_hop;
       if (VirtualNeighbor* nb = registry_.local_by_global_ip(nh)) {
-        out.next_hop = nb->virtual_ip;
+        nh = nb->virtual_ip;
       } else if (VirtualNeighbor* rnb = registry_.remote_by_global_ip(nh)) {
-        out.next_hop = rnb->virtual_ip;
+        nh = rnb->virtual_ip;
       }
       // else: already a virtual IP (off-backbone PoP) or locally originated.
-      return out;
+      return remap_next_hop(route.attrs, nh);
     }
     case PeerKind::kNeighbor: {
       // Only experiment-originated (or platform-originated) announcements
@@ -258,14 +299,18 @@ std::optional<bgp::PathAttributes> VRouter::export_route(
       if (!export_allowed_by_communities(route.attrs->communities,
                                          nb->local_id))
         return std::nullopt;
-      bgp::PathAttributes out = attrs;  // keep standard eBGP transform
-      strip_control(out, config_.asn);
-      return out;
+      // Keep the standard eBGP transform; strip control communities only
+      // when there is something to strip.
+      if (!has_control(*attrs, config_.asn)) return attrs;
+      bgp::AttrBuilder b(attrs);
+      strip_control(b.mutate(), config_.asn);
+      return b.commit(speaker_.attr_pool());
     }
     case PeerKind::kBackbone: {
       // Everything (neighbor routes with global next-hops, experiment
       // routes with markers) crosses the backbone; the speaker's iBGP rules
-      // already prevent iBGP-learned routes from echoing back.
+      // already prevent iBGP-learned routes from echoing back. Pure
+      // pass-through: the interned pointer flows to the wire unchanged.
       return attrs;
     }
   }
@@ -352,6 +397,14 @@ std::string VRouter::show_summary() {
       << ")\n";
   out << "  loc-rib: " << speaker_.loc_rib().route_count() << " paths, "
       << speaker_.loc_rib().prefix_count() << " prefixes\n";
+  const bgp::AttrPool& pool = speaker_.attr_pool();
+  const auto& ps = pool.stats();
+  out << "  attr pool: " << pool.size() << " sets, "
+      << pool.memory_bytes() / 1024 << " KiB, " << std::fixed
+      << std::setprecision(1) << ps.intern_hit_rate() * 100.0 << "% hit\n";
+  out << "  encode cache: " << pool.encode_cache_bytes() / 1024 << " KiB, "
+      << std::fixed << std::setprecision(1) << ps.encode_hit_rate() * 100.0
+      << "% hit\n";
   out << "  neighbors: " << registry_.size() << " ("
       << registry_.fib_route_count() << " FIB routes, "
       << registry_.fib_memory_bytes() / 1024 << " KiB)\n";

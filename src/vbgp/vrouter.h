@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <tuple>
+#include <unordered_map>
 #include <optional>
 #include <string>
 
@@ -178,19 +179,26 @@ class VRouter : public ip::Host {
   /// Installs speaker hooks (import rewrite, export control).
   void install_hooks();
 
-  std::optional<bgp::PathAttributes> import_from_neighbor(
+  std::optional<bgp::AttrsPtr> import_from_neighbor(
       bgp::PeerId from, const bgp::NlriEntry& entry,
-      const bgp::PathAttributes& attrs);
-  std::optional<bgp::PathAttributes> import_from_backbone(
+      const bgp::AttrsPtr& attrs);
+  std::optional<bgp::AttrsPtr> import_from_backbone(
       bgp::PeerId from, const bgp::NlriEntry& entry,
-      const bgp::PathAttributes& attrs);
-  std::optional<bgp::PathAttributes> import_from_experiment(
+      const bgp::AttrsPtr& attrs);
+  std::optional<bgp::AttrsPtr> import_from_experiment(
       bgp::PeerId from, const bgp::NlriEntry& entry,
-      const bgp::PathAttributes& attrs);
+      const bgp::AttrsPtr& attrs);
 
-  std::optional<bgp::PathAttributes> export_route(
-      bgp::PeerId to, const bgp::RibRoute& route,
-      const bgp::PathAttributes& attrs);
+  std::optional<bgp::AttrsPtr> export_route(bgp::PeerId to,
+                                            const bgp::RibRoute& route,
+                                            const bgp::AttrsPtr& attrs);
+
+  /// `attrs` with its next-hop replaced by `nh`, interned. Memoized by
+  /// source pointer: next-hop rewriting is the hot per-update transform
+  /// (every import, every experiment export), and for a pool-owned source
+  /// the result is a pure function of the pointer, so the steady state is
+  /// one hash-map probe instead of clone + content-hash + intern.
+  bgp::AttrsPtr remap_next_hop(const bgp::AttrsPtr& attrs, Ipv4Address nh);
 
   void sync_fib(const bgp::RibRoute& route, bool withdrawn);
 
@@ -208,6 +216,10 @@ class VRouter : public ip::Host {
   NeighborRegistry registry_;
   enforce::ControlPlaneEnforcer* control_enforcer_ = nullptr;
   enforce::DataPlaneEnforcer* data_enforcer_ = nullptr;
+
+  // Keys hold a reference so a memoized source can never be swept and
+  // reallocated at the same address. Cleared wholesale past a size cap.
+  std::unordered_map<bgp::AttrsPtr, bgp::AttrsPtr> nh_memo_;
 
   std::map<bgp::PeerId, PeerKind> peer_kinds_;
   std::map<bgp::PeerId, int> backbone_interfaces_;
@@ -233,8 +245,19 @@ class VRouter : public ip::Host {
   /// Original (pre-rewrite) next-hop per imported route: the gateway the
   /// per-neighbor FIB forwards to. For a direct neighbor this equals the
   /// neighbor's address; for a route-server session it is the advertising
-  /// member's address on the IXP fabric.
-  std::map<std::tuple<bgp::PeerId, Ipv4Prefix, std::uint32_t>, Ipv4Address>
+  /// member's address on the IXP fabric. Hashed: one insert per import and
+  /// one lookup per FIB sync, never walked in order.
+  struct RouteKeyHash {
+    std::size_t operator()(const std::tuple<bgp::PeerId, Ipv4Prefix,
+                                            std::uint32_t>& k) const noexcept {
+      std::size_t h = std::hash<Ipv4Prefix>{}(std::get<1>(k));
+      h = h * 0x9e3779b97f4a7c15ull +
+          static_cast<std::size_t>(std::get<0>(k));
+      return h * 0x9e3779b97f4a7c15ull + std::get<2>(k);
+    }
+  };
+  std::unordered_map<std::tuple<bgp::PeerId, Ipv4Prefix, std::uint32_t>,
+                     Ipv4Address, RouteKeyHash>
       real_next_hops_;
 
   VRouterStats stats_;

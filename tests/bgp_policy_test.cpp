@@ -90,9 +90,10 @@ TEST(RoutePolicy, FirstMatchingFinalTermDecides) {
   accept_term.actions.set_local_pref = 500;
   policy.add_term(accept_term);
 
-  EXPECT_FALSE(policy.apply(pfx("10.1.0.0/16"), base_attrs()).has_value());
-  auto accepted = policy.apply(pfx("192.168.0.0/24"), base_attrs());
-  ASSERT_TRUE(accepted.has_value());
+  AttrBuilder denied(base_attrs());
+  EXPECT_FALSE(policy.apply(pfx("10.1.0.0/16"), denied));
+  AttrBuilder accepted(base_attrs());
+  ASSERT_TRUE(policy.apply(pfx("192.168.0.0/24"), accepted));
   EXPECT_EQ(accepted->local_pref, 500u);
 }
 
@@ -106,17 +107,17 @@ TEST(RoutePolicy, NonFinalTermsAccumulate) {
   pref.actions.set_local_pref = 400;
   policy.add_term(pref);
 
-  auto out = policy.apply(pfx("10.0.0.0/24"), base_attrs());
-  ASSERT_TRUE(out.has_value());
+  AttrBuilder out(base_attrs());
+  ASSERT_TRUE(policy.apply(pfx("10.0.0.0/24"), out));
   EXPECT_TRUE(out->has_community(Community(47065, 7)));
   EXPECT_EQ(out->local_pref, 400u);
 }
 
 TEST(RoutePolicy, DefaultActionApplies) {
-  EXPECT_TRUE(
-      RoutePolicy::accept_all().apply(pfx("10.0.0.0/24"), base_attrs()));
-  EXPECT_FALSE(
-      RoutePolicy::deny_all().apply(pfx("10.0.0.0/24"), base_attrs()));
+  AttrBuilder a(base_attrs());
+  EXPECT_TRUE(RoutePolicy::accept_all().apply(pfx("10.0.0.0/24"), a));
+  AttrBuilder b(base_attrs());
+  EXPECT_FALSE(RoutePolicy::deny_all().apply(pfx("10.0.0.0/24"), b));
 }
 
 TEST(RoutePolicy, DenyAllWithExceptionTerm) {
@@ -124,8 +125,20 @@ TEST(RoutePolicy, DenyAllWithExceptionTerm) {
   PolicyTerm allow;
   allow.match.prefix = pfx("184.164.224.0/19");
   policy.add_term(allow);
-  EXPECT_TRUE(policy.apply(pfx("184.164.225.0/24"), base_attrs()));
-  EXPECT_FALSE(policy.apply(pfx("8.8.8.0/24"), base_attrs()));
+  AttrBuilder a(base_attrs());
+  EXPECT_TRUE(policy.apply(pfx("184.164.225.0/24"), a));
+  AttrBuilder b(base_attrs());
+  EXPECT_FALSE(policy.apply(pfx("8.8.8.0/24"), b));
+}
+
+TEST(RoutePolicy, AcceptAllNeverClonesInternedBase) {
+  // The copy-on-write contract: a policy with no transforming term leaves
+  // the builder clean, so the interned pointer flows through unchanged.
+  auto interned = make_attrs(base_attrs());
+  AttrBuilder builder(interned);
+  ASSERT_TRUE(RoutePolicy::accept_all().apply(pfx("10.0.0.0/24"), builder));
+  EXPECT_FALSE(builder.dirty());
+  EXPECT_EQ(builder.release(), interned);
 }
 
 }  // namespace

@@ -19,6 +19,15 @@ ExperimentGrant basic_grant() {
   return grant;
 }
 
+/// Applies `f` to a mutable copy of the context's attributes and swaps the
+/// shared pointer (contexts carry immutable AttrsPtr).
+template <typename F>
+void edit_attrs(AnnouncementContext& ctx, F&& f) {
+  bgp::PathAttributes attrs = *ctx.attrs;
+  f(attrs);
+  ctx.attrs = bgp::make_attrs(std::move(attrs));
+}
+
 AnnouncementContext context(const std::string& exp = "exp1",
                             const std::string& prefix = "184.164.224.0/24",
                             std::vector<bgp::Asn> path = {61574}) {
@@ -26,7 +35,9 @@ AnnouncementContext context(const std::string& exp = "exp1",
   ctx.experiment_id = exp;
   ctx.pop_id = "amsterdam01";
   ctx.prefix = pfx(prefix);
-  ctx.attrs.as_path = bgp::AsPath(std::move(path));
+  edit_attrs(ctx, [&](bgp::PathAttributes& a) {
+    a.as_path = bgp::AsPath(std::move(path));
+  });
   ctx.now = SimTime() + Duration::hours(1);
   return ctx;
 }
@@ -169,18 +180,20 @@ TEST_P(CapabilityMatrixTest, EnforcedPerGrant) {
   enforcer_.set_grant(grant);
 
   AnnouncementContext ctx = context();
-  switch (cap) {
-    case Cap::kPoisoning:
-      ctx.attrs.as_path = bgp::AsPath({61574, 3356, 61574});  // poison 3356
-      break;
-    case Cap::kCommunities:
-      ctx.attrs.communities = {bgp::Community(3356, 70)};
-      break;
-    case Cap::kTransitiveAttrs:
-      ctx.attrs.unknown.push_back(bgp::RawAttribute{
-          bgp::kFlagOptional | bgp::kFlagTransitive, 99, Bytes{1}});
-      break;
-  }
+  edit_attrs(ctx, [&](bgp::PathAttributes& a) {
+    switch (cap) {
+      case Cap::kPoisoning:
+        a.as_path = bgp::AsPath({61574, 3356, 61574});  // poison 3356
+        break;
+      case Cap::kCommunities:
+        a.communities = {bgp::Community(3356, 70)};
+        break;
+      case Cap::kTransitiveAttrs:
+        a.unknown.push_back(bgp::RawAttribute{
+            bgp::kFlagOptional | bgp::kFlagTransitive, 99, Bytes{1}});
+        break;
+    }
+  });
 
   Verdict v = enforcer_.check(ctx);
   if (granted) {
@@ -196,11 +209,11 @@ TEST_P(CapabilityMatrixTest, EnforcedPerGrant) {
         // Communities are stripped, not rejected (matches the paper's test
         // description).
         ASSERT_EQ(v.action, Verdict::Action::kTransform);
-        EXPECT_TRUE(v.transformed.communities.empty());
+        EXPECT_TRUE(v.transformed->communities.empty());
         break;
       case Cap::kTransitiveAttrs:
         ASSERT_EQ(v.action, Verdict::Action::kTransform);
-        EXPECT_TRUE(v.transformed.unknown.empty());
+        EXPECT_TRUE(v.transformed->unknown.empty());
         break;
     }
   }
@@ -219,10 +232,14 @@ TEST_F(EnforcerTest, PoisoningBudgetEnforced) {
   enforcer_.set_grant(grant);
 
   auto ctx = context();
-  ctx.attrs.as_path = bgp::AsPath({61574, 3356, 1299, 61574});
+  edit_attrs(ctx, [](bgp::PathAttributes& a) {
+    a.as_path = bgp::AsPath({61574, 3356, 1299, 61574});
+  });
   EXPECT_EQ(enforcer_.check(ctx).action, Verdict::Action::kAccept);
 
-  ctx.attrs.as_path = bgp::AsPath({61574, 3356, 1299, 174, 61574});
+  edit_attrs(ctx, [](bgp::PathAttributes& a) {
+    a.as_path = bgp::AsPath({61574, 3356, 1299, 174, 61574});
+  });
   EXPECT_EQ(enforcer_.check(ctx).action, Verdict::Action::kReject);
 }
 
@@ -233,9 +250,13 @@ TEST_F(EnforcerTest, CommunityBudgetEnforced) {
   enforcer_.set_grant(grant);
 
   auto ctx = context();
-  ctx.attrs.communities = {bgp::Community(1, 1), bgp::Community(2, 2)};
+  edit_attrs(ctx, [](bgp::PathAttributes& a) {
+    a.communities = {bgp::Community(1, 1), bgp::Community(2, 2)};
+  });
   EXPECT_EQ(enforcer_.check(ctx).action, Verdict::Action::kAccept);
-  ctx.attrs.communities.push_back(bgp::Community(3, 3));
+  edit_attrs(ctx, [](bgp::PathAttributes& a) {
+    a.communities.push_back(bgp::Community(3, 3));
+  });
   EXPECT_EQ(enforcer_.check(ctx).action, Verdict::Action::kReject);
 }
 
@@ -243,8 +264,9 @@ TEST_F(EnforcerTest, ControlCommunitiesAlwaysAllowed) {
   // Whitelist/blacklist communities are consumed by vBGP and do not need
   // the communities capability.
   auto ctx = context();
-  ctx.attrs.communities = {bgp::Community(47065, 3),
-                           bgp::Community(47064, 5)};
+  edit_attrs(ctx, [](bgp::PathAttributes& a) {
+    a.communities = {bgp::Community(47065, 3), bgp::Community(47064, 5)};
+  });
   auto v = enforcer_.check(ctx);
   EXPECT_EQ(v.action, Verdict::Action::kAccept);
 }
