@@ -23,6 +23,8 @@
 #include "bench_util.h"
 #include "enforce/control_policy.h"
 #include "enforce/data_enforcer.h"
+#include "ip/fib_set.h"
+#include "netbase/rand.h"
 #include "vbgp/vrouter.h"
 
 using namespace peering;
@@ -126,6 +128,69 @@ double measure_per_update_seconds(bool vbgp_mode, bool multi_router) {
   return elapsed / static_cast<double>(kUpdates);
 }
 
+/// Data-plane lookup latency: per-packet LPM through a shared-leaf FibView
+/// vs the legacy single-owner RoutingTable with identical contents. The
+/// forwarding path runs one of these per packet, so the shared store must
+/// not regress lookups while it deduplicates memory.
+struct LookupCosts {
+  double legacy_ns;
+  double fibview_ns;
+};
+
+LookupCosts measure_lookup_ns() {
+  constexpr std::size_t kRoutes = 500'000;
+  constexpr std::size_t kProbes = 2'000'000;
+
+  inet::RouteFeedConfig config;
+  config.route_count = kRoutes;
+  config.seed = 42;
+  auto feed = inet::generate_feed(config);
+
+  ip::RoutingTable legacy;
+  ip::FibSet set;
+  // Several sibling views so the FibView path pays realistic slot-array
+  // sizes, not the single-view fast case.
+  std::vector<ip::FibView> views;
+  for (int v = 0; v < 8; ++v) views.push_back(set.make_view());
+  for (std::size_t i = 0; i < feed.size(); ++i) {
+    ip::Route r{feed[i].prefix, feed[i].attrs.next_hop,
+                static_cast<int>(i % 4), 0};
+    legacy.insert(r);
+    for (auto& v : views) v.insert(r);
+  }
+
+  std::vector<Ipv4Address> probes;
+  probes.reserve(kProbes);
+  Rng rng(7);
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    // Half the probes hit installed prefixes, half are random misses.
+    if (i % 2 == 0)
+      probes.push_back(feed[rng.below(feed.size())].prefix.address());
+    else
+      probes.push_back(Ipv4Address(static_cast<std::uint32_t>(rng.next())));
+  }
+
+  // Accumulate a checksum so the lookups cannot be optimized away.
+  auto time_lookups = [&](auto&& table) {
+    std::uint64_t sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& probe : probes) {
+      auto r = table.lookup(probe);
+      if (r) sink += r->next_hop.value();
+    }
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (sink == 0xdeadbeef) std::printf("impossible\n");
+    return elapsed / static_cast<double>(kProbes) * 1e9;
+  };
+
+  LookupCosts costs;
+  costs.legacy_ns = time_lookups(legacy);
+  costs.fibview_ns = time_lookups(views[3]);
+  return costs;
+}
+
 }  // namespace
 
 int main() {
@@ -154,11 +219,19 @@ int main() {
   std::printf("headroom at 4000 upd/s: %s\n",
               4000 * multi < 1.0 ? "yes (under 100%)" : "NO");
 
+  LookupCosts lookup = measure_lookup_ns();
+  std::printf("\ndata-plane LPM lookup: legacy RoutingTable %.0f ns, "
+              "shared-leaf FibView %.0f ns (%.2fx)\n",
+              lookup.legacy_ns, lookup.fibview_ns,
+              lookup.fibview_ns / lookup.legacy_ns);
+
   benchutil::JsonReport report("fig6b_cpu");
   report.metric("accept_us_per_update", accept * 1e6);
   report.metric("single_router_vbgp_us_per_update", single * 1e6);
   report.metric("multi_router_vbgp_us_per_update", multi * 1e6);
   report.metric("updates_per_measurement", static_cast<double>(kUpdates));
+  report.metric("lookup_legacy_ns", lookup.legacy_ns);
+  report.metric("lookup_fibview_ns", lookup.fibview_ns);
   std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: build the default (RelWithDebInfo) and asan-ubsan presets,
+# run the full test suite on both, then regenerate the fig6a memory report
+# and gate on the committed baseline (deterministic memory metrics only —
+# timing metrics are too noisy for CI thresholds).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== configure + build: default preset ==="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+echo "=== configure + build: asan-ubsan preset ==="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+echo "=== ctest: default preset ==="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "=== ctest: asan-ubsan preset ==="
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "=== bench regression gate: fig6a memory ==="
+# The ablation cross-checks FibView vs RoutingTable LPM answers and exits
+# non-zero below the 4x dedup target, so running it is itself a check.
+(cd build/bench && ./bench_fig6a_memory --mode=both)
+python3 tools/bench_check.py --fresh-dir build/bench \
+  --metric fig6a_memory:with_dataplane_bytes_per_route:lower \
+  --metric fig6a_memory:with_default_bytes_per_route:lower \
+  --metric fig6a_memory:ablation_shared_bytes_per_route:lower \
+  --metric fig6a_memory:ablation_dedup_factor:higher
+
+echo "=== CI: all green ==="

@@ -1,5 +1,7 @@
 #include "backbone/fabric.h"
 
+#include <set>
+
 #include "sim/stream.h"
 
 namespace peering::backbone {
@@ -10,6 +12,8 @@ Circuit& BackboneFabric::provision(vbgp::VRouter& a, vbgp::VRouter& b,
   auto circuit = std::make_unique<Circuit>();
   circuit->pop_a = a.config().name;
   circuit->pop_b = b.config().name;
+  circuit->router_a = &a;
+  circuit->router_b = &b;
   circuit->vlan_id = next_vlan_++;
   circuit->capacity_bps = capacity_bps;
   circuit->latency = latency;
@@ -61,6 +65,17 @@ const Circuit* BackboneFabric::circuit_between(const std::string& pop_a,
       return c.get();
   }
   return nullptr;
+}
+
+vbgp::FibAccounting BackboneFabric::fib_accounting() const {
+  vbgp::FibAccounting total;
+  std::set<const vbgp::VRouter*> seen;
+  for (const auto& c : circuits_) {
+    for (const vbgp::VRouter* r : {c->router_a, c->router_b}) {
+      if (r && seen.insert(r).second) total += r->fib_accounting();
+    }
+  }
+  return total;
 }
 
 TcpRunResult BackboneFabric::measure_tcp(const std::string& pop_a,

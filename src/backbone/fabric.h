@@ -21,6 +21,8 @@ namespace peering::backbone {
 struct Circuit {
   std::string pop_a;
   std::string pop_b;
+  const vbgp::VRouter* router_a = nullptr;
+  const vbgp::VRouter* router_b = nullptr;
   std::uint16_t vlan_id = 0;
   std::uint64_t capacity_bps = 1'000'000'000;
   Duration latency = Duration::millis(20);
@@ -58,6 +60,10 @@ class BackboneFabric {
   TcpRunResult measure_tcp(const std::string& pop_a, const std::string& pop_b,
                            Duration duration, double loss = 0.0,
                            std::uint64_t seed = 1) const;
+
+  /// Aggregate data-plane accounting over every distinct router on the
+  /// mesh: shared (deduplicated) vs flat (per-view-equivalent) FIB bytes.
+  vbgp::FibAccounting fib_accounting() const;
 
  private:
   sim::EventLoop* loop_;

@@ -1,0 +1,242 @@
+#include "ip/fib_set.h"
+
+#include <algorithm>
+
+namespace peering::ip {
+
+// ---------------------------------------------------------------------------
+// Slots
+// ---------------------------------------------------------------------------
+
+std::uint32_t FibSet::Slots::set(ViewId view, std::uint32_t id) {
+  if (view >= capacity_) {
+    if (id == 0) return 0;  // clearing an absent slot: nothing to do
+    std::uint16_t new_cap = capacity_ ? capacity_ : 2;
+    while (new_cap <= view) new_cap = static_cast<std::uint16_t>(new_cap * 2);
+    auto grown = std::make_unique<std::uint32_t[]>(new_cap);  // zeroed
+    std::copy(ids_.get(), ids_.get() + capacity_, grown.get());
+    ids_ = std::move(grown);
+    capacity_ = new_cap;
+  }
+  std::uint32_t prev = ids_[view];
+  ids_[view] = id;
+  if (prev == 0 && id != 0)
+    ++used_;
+  else if (prev != 0 && id == 0)
+    --used_;
+  return prev;
+}
+
+// ---------------------------------------------------------------------------
+// Payload pool
+// ---------------------------------------------------------------------------
+
+std::uint32_t FibSet::intern(const Payload& payload) {
+  auto it = payload_ids_.find(payload);
+  if (it != payload_ids_.end()) {
+    ref(it->second);
+    return it->second;
+  }
+  std::uint32_t id;
+  if (!free_payloads_.empty()) {
+    id = free_payloads_.back();
+    free_payloads_.pop_back();
+    payloads_[id - 1] = payload;
+    refs_[id - 1] = 1;
+  } else {
+    payloads_.push_back(payload);
+    refs_.push_back(1);
+    id = static_cast<std::uint32_t>(payloads_.size());
+  }
+  payload_ids_.emplace(payload, id);
+  return id;
+}
+
+void FibSet::deref(std::uint32_t id) {
+  if (--refs_[id - 1] == 0) {
+    payload_ids_.erase(payloads_[id - 1]);
+    free_payloads_.push_back(id);
+  }
+}
+
+Route FibSet::materialize(const Trie::Node& node, std::uint32_t id) const {
+  const Payload& p = payload(id);
+  return Route{node.prefix(), p.next_hop, p.interface, p.metric};
+}
+
+// ---------------------------------------------------------------------------
+// View lifecycle
+// ---------------------------------------------------------------------------
+
+FibSet::ViewId FibSet::create_view() {
+  if (!free_views_.empty()) {
+    ViewId view = free_views_.back();
+    free_views_.pop_back();
+    view_live_[view] = 1;
+    view_sizes_[view] = 0;
+    return view;
+  }
+  ViewId view = static_cast<ViewId>(view_sizes_.size());
+  view_sizes_.push_back(0);
+  view_live_.push_back(1);
+  return view;
+}
+
+void FibSet::release_view(ViewId view) {
+  if (!view_live(view)) return;
+  clear(view);
+  view_live_[view] = 0;
+  free_views_.push_back(view);
+}
+
+FibView FibSet::make_view() { return FibView(this, create_view()); }
+
+// ---------------------------------------------------------------------------
+// RoutingTable-contract operations, per view
+// ---------------------------------------------------------------------------
+
+bool FibSet::insert(ViewId view, const Route& route) {
+  if (!view_live(view)) return false;
+  Trie::Node* node = trie_.ensure(route.prefix);
+  std::uint32_t id =
+      intern(Payload{route.next_hop, route.interface, route.metric});
+  std::uint32_t prev = node->payload.set(view, id);
+  if (prev != 0) {
+    deref(prev);
+    return true;
+  }
+  ++view_sizes_[view];
+  return false;
+}
+
+bool FibSet::remove(ViewId view, const Ipv4Prefix& prefix) {
+  if (!view_live(view)) return false;
+  Trie::Node* node = trie_.find(prefix);
+  if (!node) return false;
+  std::uint32_t prev = node->payload.set(view, 0);
+  if (prev == 0) return false;  // node exists but is another view's (or structural)
+  deref(prev);
+  --view_sizes_[view];
+  if (node->payload.empty()) trie_.prune_path(prefix);
+  return true;
+}
+
+std::optional<Route> FibSet::lookup(ViewId view, Ipv4Address addr) const {
+  const Trie::Node* best = nullptr;
+  std::uint32_t best_id = 0;
+  trie_.walk_containing(addr, [&](const Trie::Node& node) {
+    std::uint32_t id = node.payload.get(view);
+    if (id != 0) {
+      best = &node;
+      best_id = id;
+    }
+  });
+  if (!best) return std::nullopt;
+  return materialize(*best, best_id);
+}
+
+std::optional<Route> FibSet::exact(ViewId view, const Ipv4Prefix& prefix) const {
+  const Trie::Node* node = trie_.find(prefix);
+  if (!node) return std::nullopt;
+  std::uint32_t id = node->payload.get(view);
+  if (id == 0) return std::nullopt;
+  return materialize(*node, id);
+}
+
+void FibSet::visit(ViewId view,
+                   const std::function<void(const Route&)>& fn) const {
+  trie_.visit([&](const Trie::Node& node) {
+    std::uint32_t id = node.payload.get(view);
+    if (id != 0) fn(materialize(node, id));
+  });
+}
+
+void FibSet::clear(ViewId view) {
+  if (!view_live(view) || view_sizes_[view] == 0) return;
+  trie_.visit_mut([&](Trie::Node& node) {
+    std::uint32_t prev = node.payload.set(view, 0);
+    if (prev != 0) deref(prev);
+  });
+  view_sizes_[view] = 0;
+  trie_.prune_all();
+}
+
+std::size_t FibSet::size(ViewId view) const {
+  return view < view_sizes_.size() ? view_sizes_[view] : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------------
+
+std::size_t FibSet::view_count() const {
+  return view_sizes_.size() - free_views_.size();
+}
+
+std::size_t FibSet::route_count() const {
+  std::size_t total = 0;
+  for (std::size_t n : view_sizes_) total += n;
+  return total;
+}
+
+std::size_t FibSet::unique_prefix_count() const {
+  std::size_t count = 0;
+  trie_.visit([&](const Trie::Node& node) {
+    if (!node.payload.empty()) ++count;
+  });
+  return count;
+}
+
+std::size_t FibSet::memory_bytes() const {
+  std::size_t bytes = sizeof(FibSet) + trie_.memory_bytes();
+  trie_.visit([&](const Trie::Node& node) {
+    bytes += node.payload.heap_bytes();
+  });
+  bytes += payloads_.capacity() * sizeof(Payload);
+  bytes += refs_.capacity() * sizeof(std::uint32_t);
+  bytes += free_payloads_.capacity() * sizeof(std::uint32_t);
+  // Intern index: per-entry node (key, value, chain pointer) plus buckets.
+  bytes += payload_ids_.size() *
+           (sizeof(Payload) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+  bytes += payload_ids_.bucket_count() * sizeof(void*);
+  bytes += view_sizes_.capacity() * sizeof(std::size_t);
+  bytes += view_live_.capacity() * sizeof(std::uint8_t);
+  bytes += free_views_.capacity() * sizeof(ViewId);
+  return bytes;
+}
+
+std::size_t FibSet::flat_node_count(ViewId view) const {
+  // A standalone path-compressed trie for this view's prefix set has one
+  // node per present prefix plus one junction wherever two populated
+  // subtrees diverge (and the junction itself carries no entry) — exactly
+  // what this walk counts against the shared structure.
+  std::size_t nodes = 0;
+  struct Walker {
+    ViewId view;
+    std::size_t* nodes;
+    bool operator()(const Trie::Node* node) const {
+      if (!node) return false;
+      bool left = (*this)(node->child[0].get());
+      bool right = (*this)(node->child[1].get());
+      bool present = node->payload.get(view) != 0;
+      if (present || (left && right)) ++*nodes;
+      return present || left || right;
+    }
+  };
+  Walker{view, &nodes}(trie_.root());
+  return nodes;
+}
+
+std::size_t FibSet::flat_equivalent_bytes(ViewId view) const {
+  return flat_node_count(view) * RoutingTable::node_bytes() +
+         sizeof(RoutingTable);
+}
+
+std::size_t FibSet::flat_equivalent_bytes() const {
+  std::size_t bytes = 0;
+  for (ViewId v = 0; v < view_live_.size(); ++v)
+    if (view_live_[v]) bytes += flat_equivalent_bytes(v);
+  return bytes;
+}
+
+}  // namespace peering::ip

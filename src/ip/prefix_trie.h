@@ -1,0 +1,223 @@
+// Path-compressed binary prefix trie: the structural engine under both the
+// single-owner RoutingTable and the multi-view FibSet. Every node carries
+// its full (address bits, length) key, so an edge can skip an arbitrary run
+// of bits and splicing a node out during pruning never rewrites its
+// descendants. Nodes exist only where a route lives or where two populated
+// subtrees diverge, which bounds the structure at 2N-1 nodes for N routes
+// (vs up to 32 chained nodes per route in a one-bit-per-level trie).
+//
+// The payload type supplies `bool empty() const`; the trie prunes nodes
+// whose payload is empty and that have fewer than two children.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "netbase/ip.h"
+#include "netbase/prefix.h"
+
+namespace peering::ip::detail {
+
+/// Bit `depth` of `addr`, counting from the most significant bit.
+inline int bit_at(std::uint32_t addr, int depth) {
+  return static_cast<int>((addr >> (31 - depth)) & 1u);
+}
+
+/// Host-order mask with the top `len` bits set.
+inline std::uint32_t mask_bits(int len) {
+  return len == 0 ? 0u : (~0u << (32 - len));
+}
+
+/// Length of the common prefix of `a` and `b`, capped at `limit`.
+inline int common_prefix_len(std::uint32_t a, std::uint32_t b, int limit) {
+  std::uint32_t diff = a ^ b;
+  int cl = diff == 0 ? 32 : std::countl_zero(diff);
+  return cl < limit ? cl : limit;
+}
+
+template <typename Payload>
+class PrefixTrie {
+ public:
+  struct Node {
+    std::uint32_t key = 0;  // canonical bits (host order, left aligned)
+    std::uint8_t len = 0;   // prefix length, 0..32
+    Payload payload;
+    std::unique_ptr<Node> child[2];
+
+    Ipv4Prefix prefix() const { return Ipv4Prefix(Ipv4Address(key), len); }
+    bool contains(std::uint32_t addr) const {
+      return (addr & mask_bits(len)) == key;
+    }
+  };
+
+  PrefixTrie() = default;
+  PrefixTrie(const PrefixTrie&) = delete;
+  PrefixTrie& operator=(const PrefixTrie&) = delete;
+  PrefixTrie(PrefixTrie&& other) noexcept
+      : root_(std::move(other.root_)),
+        nodes_(std::exchange(other.nodes_, 0)) {}
+  PrefixTrie& operator=(PrefixTrie&& other) noexcept {
+    root_ = std::move(other.root_);
+    nodes_ = std::exchange(other.nodes_, 0);
+    return *this;
+  }
+
+  /// Node for exactly `prefix`, creating (and splitting edges) as needed.
+  Node* ensure(const Ipv4Prefix& prefix) {
+    const std::uint32_t addr = prefix.address().value();
+    const int len = prefix.length();
+    std::unique_ptr<Node>* slot = &root_;
+    while (true) {
+      Node* n = slot->get();
+      if (!n) {
+        *slot = make_node(addr, len);
+        return slot->get();
+      }
+      int cl = common_prefix_len(addr, n->key, len < n->len ? len : n->len);
+      if (cl == n->len) {
+        if (n->len == len) return n;  // exact node already present
+        slot = &n->child[bit_at(addr, n->len)];
+        continue;
+      }
+      if (cl == len) {
+        // `prefix` is an ancestor of this node: insert it above.
+        auto above = make_node(addr, len);
+        above->child[bit_at(n->key, cl)] = std::move(*slot);
+        *slot = std::move(above);
+        return slot->get();
+      }
+      // True fork: a structural junction at the divergence point.
+      auto mid = make_node(n->key & mask_bits(cl), cl);
+      mid->child[bit_at(n->key, cl)] = std::move(*slot);
+      auto leaf = make_node(addr, len);
+      Node* created = leaf.get();
+      mid->child[bit_at(addr, cl)] = std::move(leaf);
+      *slot = std::move(mid);
+      return created;
+    }
+  }
+
+  /// Exact-match node, or nullptr.
+  Node* find(const Ipv4Prefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).find(prefix));
+  }
+  const Node* find(const Ipv4Prefix& prefix) const {
+    const std::uint32_t addr = prefix.address().value();
+    const int len = prefix.length();
+    const Node* n = root_.get();
+    while (n && n->len < len && n->contains(addr))
+      n = n->child[bit_at(addr, n->len)].get();
+    if (n && n->len == len && n->key == addr) return n;
+    return nullptr;
+  }
+
+  /// Calls `fn(node)` for every node whose prefix contains `addr`, from the
+  /// shortest to the longest match. The caller keeps its own "best".
+  template <typename Fn>
+  void walk_containing(Ipv4Address address, Fn&& fn) const {
+    const std::uint32_t addr = address.value();
+    const Node* n = root_.get();
+    while (n && n->contains(addr)) {
+      fn(*n);
+      if (n->len == 32) break;
+      n = n->child[bit_at(addr, n->len)].get();
+    }
+  }
+
+  /// Preorder visit of every node (structural junctions included; check the
+  /// payload to distinguish).
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    visit_node(root_.get(), fn);
+  }
+
+  /// Mutable preorder visit (payload edits only — callers must not change
+  /// keys or children; follow up with prune_all() after emptying payloads).
+  template <typename Fn>
+  void visit_mut(Fn&& fn) {
+    visit_node_mut(root_.get(), fn);
+  }
+
+  /// Root node for caller-driven traversals (may be null).
+  const Node* root() const { return root_.get(); }
+
+  /// Re-descends to `prefix` and prunes empty nodes bottom-up along the
+  /// path (splicing single-child nodes out). Call after emptying a payload.
+  void prune_path(const Ipv4Prefix& prefix) {
+    prune_recursive(root_, prefix.address().value(), prefix.length());
+  }
+
+  /// Prunes every empty prunable node in the whole trie (used by clear()
+  /// sweeps of one view of a multi-view payload).
+  void prune_all() { prune_all_recursive(root_); }
+
+  std::size_t node_count() const { return nodes_; }
+  std::size_t memory_bytes() const { return nodes_ * sizeof(Node); }
+  bool empty() const { return root_ == nullptr; }
+
+  void clear() {
+    root_.reset();
+    nodes_ = 0;
+  }
+
+ private:
+  std::unique_ptr<Node> make_node(std::uint32_t addr, int len) {
+    auto node = std::make_unique<Node>();
+    node->key = addr & mask_bits(len);
+    node->len = static_cast<std::uint8_t>(len);
+    ++nodes_;
+    return node;
+  }
+
+  /// Splices `slot`'s node out if its payload is empty and it has at most
+  /// one child. Safe to call on a null slot.
+  void maybe_splice(std::unique_ptr<Node>& slot) {
+    Node* n = slot.get();
+    if (!n || !n->payload.empty()) return;
+    if (n->child[0] && n->child[1]) return;
+    std::unique_ptr<Node> survivor =
+        std::move(n->child[0] ? n->child[0] : n->child[1]);
+    slot = std::move(survivor);  // destroys the spliced node
+    --nodes_;
+  }
+
+  void prune_recursive(std::unique_ptr<Node>& slot, std::uint32_t addr,
+                       int len) {
+    Node* n = slot.get();
+    if (!n || !n->contains(addr) || n->len > len) return;
+    if (n->len < len)
+      prune_recursive(n->child[bit_at(addr, n->len)], addr, len);
+    maybe_splice(slot);
+  }
+
+  void prune_all_recursive(std::unique_ptr<Node>& slot) {
+    Node* n = slot.get();
+    if (!n) return;
+    prune_all_recursive(n->child[0]);
+    prune_all_recursive(n->child[1]);
+    maybe_splice(slot);
+  }
+
+  template <typename Fn>
+  void visit_node(const Node* node, Fn& fn) const {
+    if (!node) return;
+    fn(*node);
+    visit_node(node->child[0].get(), fn);
+    visit_node(node->child[1].get(), fn);
+  }
+
+  template <typename Fn>
+  void visit_node_mut(Node* node, Fn& fn) {
+    if (!node) return;
+    fn(*node);
+    visit_node_mut(node->child[0].get(), fn);
+    visit_node_mut(node->child[1].get(), fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace peering::ip::detail

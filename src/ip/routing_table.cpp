@@ -2,107 +2,54 @@
 
 namespace peering::ip {
 
-namespace {
-/// Bit `depth` of `addr`, counting from the most significant bit.
-inline int bit_at(std::uint32_t addr, int depth) {
-  return static_cast<int>((addr >> (31 - depth)) & 1u);
-}
-}  // namespace
-
 bool RoutingTable::insert(const Route& route) {
-  if (!root_) {
-    root_ = std::make_unique<Node>();
-    ++nodes_;
-  }
-  Node* node = root_.get();
-  const std::uint32_t addr = route.prefix.address().value();
-  for (int depth = 0; depth < route.prefix.length(); ++depth) {
-    int b = bit_at(addr, depth);
-    if (!node->child[b]) {
-      node->child[b] = std::make_unique<Node>();
-      ++nodes_;
-    }
-    node = node->child[b].get();
-  }
-  bool replaced = node->route.has_value();
-  node->route = route;
+  auto* node = trie_.ensure(route.prefix);
+  bool replaced = !node->payload.empty();
+  node->payload.route = route;
   if (!replaced) ++size_;
   return replaced;
 }
 
 bool RoutingTable::remove(const Ipv4Prefix& prefix) {
-  if (!root_) return false;
-  bool removed = false;
-  if (remove_recursive(root_.get(), prefix, 0, &removed)) {
-    root_.reset();
-    --nodes_;
-  }
-  if (removed) --size_;
-  return removed;
-}
-
-bool RoutingTable::remove_recursive(Node* node, const Ipv4Prefix& prefix,
-                                    int depth, bool* removed) {
-  // Returns true if `node` became prunable (no children, no route).
-  if (depth == prefix.length()) {
-    if (node->route.has_value()) {
-      node->route.reset();
-      *removed = true;
-    }
-  } else {
-    int b = bit_at(prefix.address().value(), depth);
-    if (node->child[b] &&
-        remove_recursive(node->child[b].get(), prefix, depth + 1, removed)) {
-      node->child[b].reset();
-      --nodes_;
-    }
-  }
-  return !node->route.has_value() && !node->child[0] && !node->child[1];
+  auto* node = trie_.find(prefix);
+  if (!node || node->payload.empty()) return false;
+  node->payload.route.reset();
+  trie_.prune_path(prefix);
+  --size_;
+  return true;
 }
 
 std::optional<Route> RoutingTable::lookup(Ipv4Address addr) const {
-  const Node* node = root_.get();
   std::optional<Route> best;
-  int depth = 0;
-  while (node) {
-    if (node->route) best = node->route;
-    if (depth == 32) break;
-    int b = bit_at(addr.value(), depth);
-    node = node->child[b].get();
-    ++depth;
-  }
+  trie_.walk_containing(addr, [&](const auto& node) {
+    if (!node.payload.empty()) best = node.payload.route;
+  });
   return best;
 }
 
 std::optional<Route> RoutingTable::exact(const Ipv4Prefix& prefix) const {
-  const Node* node = root_.get();
-  for (int depth = 0; node && depth < prefix.length(); ++depth) {
-    node = node->child[bit_at(prefix.address().value(), depth)].get();
-  }
-  if (node && node->route) return node->route;
+  const auto* node = trie_.find(prefix);
+  if (node && !node->payload.empty()) return node->payload.route;
   return std::nullopt;
 }
 
 void RoutingTable::visit(const std::function<void(const Route&)>& fn) const {
-  visit_node(root_.get(), fn);
-}
-
-void RoutingTable::visit_node(const Node* node,
-                              const std::function<void(const Route&)>& fn) const {
-  if (!node) return;
-  if (node->route) fn(*node->route);
-  visit_node(node->child[0].get(), fn);
-  visit_node(node->child[1].get(), fn);
+  trie_.visit([&](const auto& node) {
+    if (!node.payload.empty()) fn(*node.payload.route);
+  });
 }
 
 void RoutingTable::clear() {
-  root_.reset();
+  trie_.clear();
   size_ = 0;
-  nodes_ = 0;
 }
 
 std::size_t RoutingTable::memory_bytes() const {
-  return nodes_ * sizeof(Node) + sizeof(RoutingTable);
+  return trie_.memory_bytes() + sizeof(RoutingTable);
+}
+
+std::size_t RoutingTable::node_bytes() {
+  return sizeof(detail::PrefixTrie<RouteSlot>::Node);
 }
 
 }  // namespace peering::ip

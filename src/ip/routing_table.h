@@ -1,9 +1,14 @@
-// Longest-prefix-match routing table (binary trie). This is the FIB
-// structure whose per-route memory cost Figure 6a measures: vBGP maintains
-// one of these tables per BGP neighbor so experiments can select any
-// neighbor's route per packet, and optionally one more "default" table kept
-// in sync with the best-path decision (the per-interconnection-with-default
-// configuration in the paper).
+// Longest-prefix-match routing table (path-compressed binary trie). This is
+// the FIB structure whose per-route memory cost Figure 6a measures: vBGP
+// maintains one table's worth of state per BGP neighbor so experiments can
+// select any neighbor's route per packet, and optionally one more "default"
+// table kept in sync with the best-path decision (the
+// per-interconnection-with-default configuration in the paper).
+//
+// RoutingTable is the single-owner flavour (one table, one owner — hosts,
+// oracles, the flat half of the fig6a ablation). The deduplicated
+// multi-neighbor store lives in fib_set.h (FibSet/FibView) and shares this
+// file's trie engine, so both answer lookups identically by construction.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "ip/prefix_trie.h"
 #include "netbase/ip.h"
 #include "netbase/prefix.h"
 
@@ -33,12 +39,17 @@ class RoutingTable {
  public:
   RoutingTable() = default;
 
-  // The trie holds raw owning pointers through unique_ptr nodes; moving is
-  // fine, copying is not meaningful.
+  // The trie owns its nodes through unique_ptr; moving is fine (the
+  // moved-from table is empty and reusable), copying is not meaningful.
   RoutingTable(const RoutingTable&) = delete;
   RoutingTable& operator=(const RoutingTable&) = delete;
-  RoutingTable(RoutingTable&&) = default;
-  RoutingTable& operator=(RoutingTable&&) = default;
+  RoutingTable(RoutingTable&& other) noexcept
+      : trie_(std::move(other.trie_)), size_(std::exchange(other.size_, 0)) {}
+  RoutingTable& operator=(RoutingTable&& other) noexcept {
+    trie_ = std::move(other.trie_);
+    size_ = std::exchange(other.size_, 0);
+    return *this;
+  }
 
   /// Inserts or replaces the route for `route.prefix`. Returns true if a
   /// route for that exact prefix already existed (and was replaced).
@@ -66,22 +77,22 @@ class RoutingTable {
   /// Figure 6a reproduction sums across tables.
   std::size_t memory_bytes() const;
 
-  std::size_t node_count() const { return nodes_; }
+  std::size_t node_count() const { return trie_.node_count(); }
+
+  /// Bytes of one trie node — what each node of a private table costs. The
+  /// FibSet uses this to price the "flat" (per-view-equivalent) accounting.
+  static std::size_t node_bytes();
 
  private:
-  struct Node {
-    std::unique_ptr<Node> child[2];
+  /// Trie payload: at most one route per node; structural junctions carry
+  /// none. The route's prefix is implied by the node key and not re-stored.
+  struct RouteSlot {
     std::optional<Route> route;
+    bool empty() const { return !route.has_value(); }
   };
 
-  void visit_node(const Node* node, const std::function<void(const Route&)>& fn) const;
-  /// Prunes childless, routeless nodes along the path to `prefix`.
-  bool remove_recursive(Node* node, const Ipv4Prefix& prefix, int depth,
-                        bool* removed);
-
-  std::unique_ptr<Node> root_;
+  detail::PrefixTrie<RouteSlot> trie_;
   std::size_t size_ = 0;
-  std::size_t nodes_ = 0;
 };
 
 }  // namespace peering::ip

@@ -400,4 +400,11 @@ void Peering::sync_enforcement_state() {
   for (auto& [id, pop] : pops_) pop->control->state().merge_max(merged);
 }
 
+vbgp::FibAccounting Peering::fib_accounting() const {
+  vbgp::FibAccounting total;
+  for (const auto& [id, pop] : pops_)
+    if (pop->router) total += pop->router->fib_accounting();
+  return total;
+}
+
 }  // namespace peering::platform

@@ -168,6 +168,10 @@ class Peering {
   /// Runs the event loop until BGP and routing converge.
   void settle(Duration d = Duration::seconds(10)) { loop_->run_for(d); }
 
+  /// Platform-wide data-plane accounting: shared (deduplicated) vs flat
+  /// (per-view-equivalent) FIB bytes summed over every PoP router.
+  vbgp::FibAccounting fib_accounting() const;
+
  private:
   void build_pop(const PopModel& model, std::uint8_t pop_index);
   void build_ixp_fabric(PopRuntime& pop, std::uint8_t pop_index);

@@ -6,7 +6,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "netbase/time.h"
@@ -67,26 +67,81 @@ class EventLoop {
     SimTime at;
     std::uint64_t seq;
     Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+    /// Strict priority: earlier time first; FIFO by sequence within a time.
+    bool before(const Event& other) const {
+      return at != other.at ? at < other.at : seq < other.seq;
     }
   };
 
+  /// Min-heap over (at, seq). Hand-rolled instead of std::priority_queue so
+  /// pop_min() can move the element out of the heap — std::priority_queue
+  /// only exposes a const top(), which forces a const_cast to avoid copying
+  /// the std::function. The (time, seq) order makes the extraction sequence
+  /// total, so heap-internal tie-breaks can't affect determinism.
+  class EventHeap {
+   public:
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    const Event& top() const { return items_.front(); }
+
+    void push(Event ev) {
+      items_.push_back(std::move(ev));
+      sift_up(items_.size() - 1);
+    }
+
+    /// Removes and returns the minimum element.
+    Event pop_min() {
+      Event min = std::move(items_.front());
+      if (items_.size() > 1) {
+        items_.front() = std::move(items_.back());
+        items_.pop_back();
+        sift_down(0);
+      } else {
+        items_.pop_back();
+      }
+      return min;
+    }
+
+   private:
+    void sift_up(std::size_t i) {
+      while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!items_[i].before(items_[parent])) break;
+        std::swap(items_[i], items_[parent]);
+        i = parent;
+      }
+    }
+
+    void sift_down(std::size_t i) {
+      const std::size_t n = items_.size();
+      while (true) {
+        std::size_t smallest = i;
+        std::size_t left = 2 * i + 1;
+        std::size_t right = left + 1;
+        if (left < n && items_[left].before(items_[smallest])) smallest = left;
+        if (right < n && items_[right].before(items_[smallest]))
+          smallest = right;
+        if (smallest == i) break;
+        std::swap(items_[i], items_[smallest]);
+        i = smallest;
+      }
+    }
+
+    std::vector<Event> items_;
+  };
+
   void step() {
-    // Move the callback out before popping: the callback may schedule new
-    // events, which mutates the queue.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // Extract before running: the callback may schedule new events, which
+    // mutates the heap.
+    Event ev = queue_.pop_min();
     now_ = ev.at;
     ev.fn();
   }
 
   SimTime now_;
   std::uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventHeap queue_;
 };
 
 }  // namespace peering::sim

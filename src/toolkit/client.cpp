@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "netbase/log.h"
 
@@ -286,10 +287,9 @@ std::vector<NeighborInfo> ExperimentClient::neighbors(
   std::vector<NeighborInfo> out;
   auto it = sessions_.find(pop_id);
   if (it == sessions_.end()) return out;
-  auto& registry =
-      const_cast<platform::ExperimentAttachment&>(it->second.attachment)
-          .router->registry();
-  for (auto* nb : registry.all()) {
+  const vbgp::NeighborRegistry& registry =
+      std::as_const(*it->second.attachment.router).registry();
+  for (const vbgp::VirtualNeighbor* nb : registry.all()) {
     NeighborInfo info;
     info.local_id = nb->local_id;
     info.name = nb->name;

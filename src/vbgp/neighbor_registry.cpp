@@ -11,6 +11,7 @@ VirtualNeighbor& NeighborRegistry::allocate(const std::string& name) {
   // 0x40 prefix namespaces virtual-neighbor MACs away from interface MACs
   // (which are also derived via MacAddress::from_id by the platform).
   nb.virtual_mac = MacAddress::from_id(0x40000000u | (router_seed_ << 16) | id);
+  nb.fib = fib_set_.make_view();
   by_mac_[nb.virtual_mac] = id;
   by_virtual_ip_[nb.virtual_ip] = id;
   return nb;
@@ -95,16 +96,21 @@ std::vector<VirtualNeighbor*> NeighborRegistry::all() {
   return out;
 }
 
-std::size_t NeighborRegistry::fib_memory_bytes() const {
-  std::size_t bytes = 0;
-  for (const auto& [id, nb] : neighbors_) bytes += nb.fib.memory_bytes();
-  return bytes;
+std::vector<const VirtualNeighbor*> NeighborRegistry::all() const {
+  std::vector<const VirtualNeighbor*> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [id, nb] : neighbors_) out.push_back(&nb);
+  return out;
 }
 
-std::size_t NeighborRegistry::fib_route_count() const {
-  std::size_t count = 0;
-  for (const auto& [id, nb] : neighbors_) count += nb.fib.size();
-  return count;
+FibAccounting NeighborRegistry::fib_accounting() const {
+  FibAccounting acct;
+  acct.shared_bytes = fib_set_.memory_bytes();
+  acct.flat_bytes = fib_set_.flat_equivalent_bytes();
+  acct.routes = fib_set_.route_count();
+  acct.unique_prefixes = fib_set_.unique_prefix_count();
+  acct.views = fib_set_.view_count();
+  return acct;
 }
 
 }  // namespace peering::vbgp

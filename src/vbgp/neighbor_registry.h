@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "bgp/rib.h"
-#include "ip/routing_table.h"
+#include "ip/fib_set.h"
 #include "netbase/ip.h"
 #include "netbase/mac.h"
 
@@ -58,7 +58,36 @@ struct VirtualNeighbor {
   MacAddress virtual_mac;
   /// Per-neighbor FIB: every route this neighbor (or the backbone, for its
   /// routes) advertised, installed so experiments can select it per packet.
-  ip::RoutingTable fib;
+  /// A view onto the registry's shared-leaf FibSet — prefixes known to
+  /// several neighbors share one trie leaf instead of one trie each.
+  ip::FibView fib;
+};
+
+/// Data-plane memory accounting, reported two ways: `shared_bytes` is what
+/// the deduplicated FibSet actually costs; `flat_bytes` is what the same
+/// contents would cost as one private RoutingTable per view (the
+/// pre-sharing design, and the paper's literal per-interconnection cost).
+struct FibAccounting {
+  std::size_t shared_bytes = 0;
+  std::size_t flat_bytes = 0;
+  std::size_t routes = 0;
+  std::size_t unique_prefixes = 0;
+  std::size_t views = 0;
+
+  double dedup_factor() const {
+    return shared_bytes == 0
+               ? 1.0
+               : static_cast<double>(flat_bytes) /
+                     static_cast<double>(shared_bytes);
+  }
+  FibAccounting& operator+=(const FibAccounting& other) {
+    shared_bytes += other.shared_bytes;
+    flat_bytes += other.flat_bytes;
+    routes += other.routes;
+    unique_prefixes += other.unique_prefixes;
+    views += other.views;
+    return *this;
+  }
 };
 
 class NeighborRegistry {
@@ -93,18 +122,34 @@ class NeighborRegistry {
   VirtualNeighbor* by_real_mac(const MacAddress& mac);
 
   std::vector<VirtualNeighbor*> all();
+  std::vector<const VirtualNeighbor*> all() const;
   std::size_t size() const { return neighbors_.size(); }
 
-  /// Total FIB memory across all neighbors (Figure 6a's per-interconnection
-  /// data-plane quantity).
-  std::size_t fib_memory_bytes() const;
-  std::size_t fib_route_count() const;
+  /// The shared-leaf store behind every neighbor FIB. The owning router
+  /// also hangs its mux and optional default tables off this set, so its
+  /// accounting covers the router's whole data plane.
+  ip::FibSet& fib_set() { return fib_set_; }
+  const ip::FibSet& fib_set() const { return fib_set_; }
+
+  /// Actual (deduplicated) FIB memory for the router's data plane —
+  /// Figure 6a's per-interconnection quantity under shared leaves.
+  std::size_t fib_memory_bytes() const { return fib_set_.memory_bytes(); }
+  /// Per-view-equivalent cost of the same state as private tables.
+  std::size_t fib_flat_bytes() const {
+    return fib_set_.flat_equivalent_bytes();
+  }
+  std::size_t fib_route_count() const { return fib_set_.route_count(); }
+
+  FibAccounting fib_accounting() const;
 
  private:
   VirtualNeighbor& allocate(const std::string& name);
 
   std::uint32_t router_seed_;
   std::uint16_t next_local_id_ = 1;
+  /// Declared before the neighbor map: views (inside VirtualNeighbor) must
+  /// be destroyed before the set they reference.
+  ip::FibSet fib_set_;
   std::map<std::uint16_t, VirtualNeighbor> neighbors_;
   std::unordered_map<MacAddress, std::uint16_t> by_mac_;
   std::unordered_map<Ipv4Address, std::uint16_t> by_virtual_ip_;

@@ -48,7 +48,9 @@ VRouter::VRouter(sim::EventLoop* loop, const VRouterConfig& config)
     : ip::Host(loop, config.name),
       config_(config),
       speaker_(loop, config.name, config.asn, config.router_id),
-      registry_(config.router_seed) {
+      registry_(config.router_seed),
+      mux_(registry_.fib_set().make_view()),
+      default_table_(registry_.fib_set().make_view()) {
   install_hooks();
 }
 
@@ -363,10 +365,10 @@ void VRouter::sync_fib(const bgp::RibRoute& route, bool withdrawn) {
 // Operational surface
 // ---------------------------------------------------------------------------
 
-std::string VRouter::show_neighbors() {
+std::string VRouter::show_neighbors() const {
   std::ostringstream out;
   out << "neighbor            virtual-ip     virtual-mac         fib-routes\n";
-  for (VirtualNeighbor* nb : registry_.all()) {
+  for (const VirtualNeighbor* nb : registry_.all()) {
     out << std::left << std::setw(20) << nb->name << std::setw(15)
         << nb->virtual_ip.str() << std::setw(20) << nb->virtual_mac.str()
         << nb->fib.size() << (nb->remote ? "  (remote)" : "") << "\n";
@@ -391,7 +393,7 @@ std::string VRouter::show_route(const Ipv4Prefix& prefix) const {
   return out.str();
 }
 
-std::string VRouter::show_summary() {
+std::string VRouter::show_summary() const {
   std::ostringstream out;
   out << config_.name << " (AS" << config_.asn << ", " << config_.pop_id
       << ")\n";
@@ -405,9 +407,12 @@ std::string VRouter::show_summary() {
   out << "  encode cache: " << pool.encode_cache_bytes() / 1024 << " KiB, "
       << std::fixed << std::setprecision(1) << ps.encode_hit_rate() * 100.0
       << "% hit\n";
-  out << "  neighbors: " << registry_.size() << " ("
-      << registry_.fib_route_count() << " FIB routes, "
-      << registry_.fib_memory_bytes() / 1024 << " KiB)\n";
+  const FibAccounting fa = registry_.fib_accounting();
+  out << "  neighbors: " << registry_.size() << " (" << fa.routes
+      << " FIB routes, " << fa.unique_prefixes << " unique prefixes)\n";
+  out << "  fib store: " << fa.shared_bytes / 1024 << " KiB shared, "
+      << fa.flat_bytes / 1024 << " KiB flat-equivalent, " << std::fixed
+      << std::setprecision(1) << fa.dedup_factor() << "x dedup\n";
   out << "  data plane: " << stats_.frames_demuxed << " demuxed, "
       << stats_.frames_to_experiments << " to experiments, "
       << stats_.packets_enforcement_drop << " enforcement drops\n";

@@ -102,6 +102,7 @@ class VRouter : public ip::Host {
   const VRouterConfig& config() const { return config_; }
   bgp::BgpSpeaker& speaker() { return speaker_; }
   NeighborRegistry& registry() { return registry_; }
+  const NeighborRegistry& registry() const { return registry_; }
   const VRouterStats& stats() const { return stats_; }
 
   /// Enforcement engines are owned by the platform (shared state across
@@ -146,8 +147,13 @@ class VRouter : public ip::Host {
     return it != mux_entries_.end() && !it->second.remote;
   }
 
-  /// Sum of all per-neighbor FIB bytes (Figure 6a).
+  /// Actual bytes of this router's data plane: the deduplicated FibSet
+  /// behind every per-neighbor table, the mux, and the optional default
+  /// table (Figure 6a under shared leaves).
   std::size_t fib_memory_bytes() const { return registry_.fib_memory_bytes(); }
+
+  /// Shared vs per-view-equivalent data-plane accounting.
+  FibAccounting fib_accounting() const { return registry_.fib_accounting(); }
 
   /// Per-experiment traffic attribution record.
   const std::map<std::string, TrafficAccount>& traffic_accounting() const {
@@ -162,14 +168,15 @@ class VRouter : public ip::Host {
   /// the Loc-RIB (the per-interconnection-with-default configuration of
   /// Figure 6a; unnecessary for pure vBGP operation).
   void enable_default_table(bool on) { default_table_enabled_ = on; }
-  const ip::RoutingTable& default_table() const { return default_table_; }
+  const ip::FibView& default_table() const { return default_table_; }
 
   /// Operational surface (the platform's looking glass / "show" commands):
   /// session table, virtual-neighbor table with FIB sizes, per-prefix
-  /// route dump. Text output, BIRD-CLI flavored.
-  std::string show_neighbors();
+  /// route dump. Text output, BIRD-CLI flavored. Read-only: the whole
+  /// surface is const so a looking glass can hold `const VRouter*`.
+  std::string show_neighbors() const;
   std::string show_route(const Ipv4Prefix& prefix) const;
-  std::string show_summary();
+  std::string show_summary() const;
 
  protected:
   void handle_frame(int if_index, const ether::EthernetFrame& frame) override;
@@ -233,11 +240,12 @@ class VRouter : public ip::Host {
     Ipv4Address gateway;  // experiment tunnel address, or backbone gateway
   };
   /// Destination-prefix multiplexer: which experiment (or which backbone
-  /// path) receives traffic for an experiment prefix.
-  ip::RoutingTable mux_;
+  /// path) receives traffic for an experiment prefix. A view of the
+  /// registry's shared FibSet, like the per-neighbor tables.
+  ip::FibView mux_;
   std::map<Ipv4Prefix, MuxEntry> mux_entries_;
 
-  ip::RoutingTable default_table_;
+  ip::FibView default_table_;
   bool default_table_enabled_ = false;
   std::map<std::string, TrafficAccount> accounting_;
   sim::TraceRecorder* trace_ = nullptr;

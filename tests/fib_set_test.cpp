@@ -1,0 +1,361 @@
+// Shared-leaf FIB store tests: the RoutingTable contract exercised through
+// FibView (typed over both implementations), copy-on-write isolation between
+// views, a randomized differential test of FibView against the legacy
+// single-owner RoutingTable, and the shared-vs-flat accounting the Figure 6a
+// ablation depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ip/fib_set.h"
+#include "ip/routing_table.h"
+#include "netbase/rand.h"
+
+namespace peering::ip {
+namespace {
+
+Route route(const std::string& prefix, std::uint32_t nh, int ifidx = 0) {
+  return Route{*Ipv4Prefix::parse(prefix), Ipv4Address(nh), ifidx, 0};
+}
+
+// ---------------------------------------------------------------------------
+// LPM edge cases, typed over both table flavours. A RoutingTable and a
+// FibView must be indistinguishable through the shared contract.
+// ---------------------------------------------------------------------------
+
+// Wraps FibView so each TableHolder owns its backing set; TableHolder<
+// RoutingTable> is the plain table.
+template <typename T>
+struct TableHolder;
+
+template <>
+struct TableHolder<RoutingTable> {
+  RoutingTable table;
+  RoutingTable& get() { return table; }
+  TableHolder fresh() const { return {}; }
+};
+
+template <>
+struct TableHolder<FibView> {
+  std::unique_ptr<FibSet> set = std::make_unique<FibSet>();
+  FibView table = set->make_view();
+  FibView& get() { return table; }
+  TableHolder fresh() const { return {}; }
+};
+
+template <typename T>
+class LpmContractTest : public ::testing::Test {
+ protected:
+  TableHolder<T> holder_;
+};
+
+using TableTypes = ::testing::Types<RoutingTable, FibView>;
+TYPED_TEST_SUITE(LpmContractTest, TableTypes);
+
+TYPED_TEST(LpmContractTest, DefaultRouteIsFallbackForEverything) {
+  auto& table = this->holder_.get();
+  table.insert(route("0.0.0.0/0", 1));
+  table.insert(route("10.0.0.0/8", 2));
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 1, 1))->next_hop.value(), 2u);
+  EXPECT_EQ(table.lookup(Ipv4Address(203, 0, 113, 9))->next_hop.value(), 1u);
+  EXPECT_EQ(table.lookup(Ipv4Address(0, 0, 0, 1))->next_hop.value(), 1u);
+}
+
+TYPED_TEST(LpmContractTest, HostRoutesBeatEveryCoveringPrefix) {
+  auto& table = this->holder_.get();
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("10.1.2.3/32", 2));
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 2, 3))->next_hop.value(), 2u);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 2, 4))->next_hop.value(), 1u);
+  EXPECT_TRUE(table.exact(*Ipv4Prefix::parse("10.1.2.3/32")).has_value());
+  EXPECT_FALSE(table.exact(*Ipv4Prefix::parse("10.1.2.4/32")).has_value());
+}
+
+TYPED_TEST(LpmContractTest, NestedOverlappingPrefixesResolveByLength) {
+  auto& table = this->holder_.get();
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("10.1.0.0/16", 2));
+  table.insert(route("10.1.2.0/24", 3));
+  table.insert(route("10.1.2.128/25", 4));
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 2, 200))->next_hop.value(), 4u);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 2, 100))->next_hop.value(), 3u);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 3, 1))->next_hop.value(), 2u);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 2, 0, 1))->next_hop.value(), 1u);
+}
+
+TYPED_TEST(LpmContractTest, InsertReplacesAndReportsReplacement) {
+  auto& table = this->holder_.get();
+  EXPECT_FALSE(table.insert(route("192.0.2.0/24", 1)));
+  EXPECT_TRUE(table.insert(route("192.0.2.0/24", 9)));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(Ipv4Address(192, 0, 2, 1))->next_hop.value(), 9u);
+}
+
+TYPED_TEST(LpmContractTest, RemoveFallsBackToCoveringPrefix) {
+  auto& table = this->holder_.get();
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("10.1.0.0/16", 2));
+  EXPECT_TRUE(table.remove(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 0, 1))->next_hop.value(), 1u);
+  EXPECT_FALSE(table.remove(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TYPED_TEST(LpmContractTest, MovedFromTableIsEmptyAndReusable) {
+  auto moved_to = std::move(this->holder_);
+  auto& old_table = this->holder_.get();
+  EXPECT_EQ(old_table.size(), 0u);
+  EXPECT_FALSE(old_table.lookup(Ipv4Address(10, 0, 0, 1)).has_value());
+
+  // The moved-from holder must accept a fresh table and work normally.
+  this->holder_ = this->holder_.fresh();
+  auto& reused = this->holder_.get();
+  reused.insert(route("10.0.0.0/8", 7));
+  EXPECT_EQ(reused.size(), 1u);
+  EXPECT_EQ(reused.lookup(Ipv4Address(10, 1, 1, 1))->next_hop.value(), 7u);
+}
+
+TYPED_TEST(LpmContractTest, ClearEmptiesAndAllowsReuse) {
+  auto& table = this->holder_.get();
+  table.insert(route("10.0.0.0/8", 1));
+  table.insert(route("10.1.0.0/16", 2));
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(Ipv4Address(10, 1, 1, 1)).has_value());
+  table.insert(route("10.2.0.0/16", 3));
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 2, 0, 1))->next_hop.value(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// FibSet-specific behaviour: view isolation, copy-on-write writes, payload
+// interning, release/reuse.
+// ---------------------------------------------------------------------------
+
+TEST(FibSet, ViewsAreIsolated) {
+  FibSet set;
+  FibView a = set.make_view();
+  FibView b = set.make_view();
+  a.insert(route("10.0.0.0/8", 1));
+  b.insert(route("10.0.0.0/8", 2));
+  b.insert(route("192.168.0.0/16", 3));
+  EXPECT_EQ(a.lookup(Ipv4Address(10, 1, 1, 1))->next_hop.value(), 1u);
+  EXPECT_EQ(b.lookup(Ipv4Address(10, 1, 1, 1))->next_hop.value(), 2u);
+  EXPECT_FALSE(a.lookup(Ipv4Address(192, 168, 1, 1)).has_value());
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  // Removing from one view leaves the other's entry untouched.
+  EXPECT_TRUE(a.remove(*Ipv4Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(b.lookup(Ipv4Address(10, 1, 1, 1))->next_hop.value(), 2u);
+}
+
+TEST(FibSet, SharedPrefixUsesOneTrieLeaf) {
+  FibSet set;
+  std::vector<FibView> views;
+  for (int i = 0; i < 8; ++i) views.push_back(set.make_view());
+  for (auto& v : views) v.insert(route("203.0.113.0/24", 1));
+  EXPECT_EQ(set.unique_prefix_count(), 1u);
+  EXPECT_EQ(set.route_count(), 8u);
+}
+
+TEST(FibSet, IdenticalPayloadsAreInterned) {
+  FibSet set;
+  FibView a = set.make_view();
+  std::size_t before = set.memory_bytes();
+  // 64 routes through the same gateway/interface: one pooled payload.
+  for (std::uint32_t i = 0; i < 64; ++i)
+    a.insert(route("10." + std::to_string(i) + ".0.0/16", 7, 3));
+  std::size_t with_same_payload = set.memory_bytes();
+  FibSet set2;
+  FibView b = set2.make_view();
+  // Same shape, but every route gets a distinct payload.
+  for (std::uint32_t i = 0; i < 64; ++i)
+    b.insert(route("10." + std::to_string(i) + ".0.0/16", 100 + i, 3));
+  std::size_t with_distinct_payloads = set2.memory_bytes();
+  EXPECT_LT(with_same_payload - before, with_distinct_payloads - before);
+}
+
+TEST(FibSet, ReleasedViewDropsRoutesAndRecyclesId) {
+  FibSet set;
+  FibView keeper = set.make_view();
+  keeper.insert(route("10.0.0.0/8", 1));
+  {
+    FibView temp = set.make_view();
+    temp.insert(route("10.0.0.0/8", 2));
+    temp.insert(route("172.16.0.0/12", 3));
+    EXPECT_EQ(set.view_count(), 2u);
+  }  // temp released on destruction
+  EXPECT_EQ(set.view_count(), 1u);
+  EXPECT_EQ(set.route_count(), 1u);
+  EXPECT_EQ(set.unique_prefix_count(), 1u);
+  // The recycled id starts empty.
+  FibView next = set.make_view();
+  EXPECT_EQ(next.size(), 0u);
+  EXPECT_FALSE(next.lookup(Ipv4Address(10, 1, 1, 1)).has_value());
+  EXPECT_EQ(keeper.lookup(Ipv4Address(10, 1, 1, 1))->next_hop.value(), 1u);
+}
+
+TEST(FibSet, UnboundViewReadsEmptyAndIgnoresWrites) {
+  FibView unbound;
+  EXPECT_FALSE(unbound.bound());
+  EXPECT_FALSE(unbound.insert(route("10.0.0.0/8", 1)));
+  EXPECT_FALSE(unbound.lookup(Ipv4Address(10, 0, 0, 1)).has_value());
+  EXPECT_FALSE(unbound.remove(*Ipv4Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(unbound.size(), 0u);
+  unbound.clear();  // no-op, must not crash
+}
+
+// ---------------------------------------------------------------------------
+// Differential test: a FibView and a legacy RoutingTable fed the identical
+// randomized insert/remove sequence must answer every lookup identically.
+// ---------------------------------------------------------------------------
+
+class FibViewDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FibViewDifferentialTest, MatchesRoutingTable) {
+  Rng rng(GetParam());
+  FibSet set;
+  // Other views churn concurrently so the shared trie holds foreign state
+  // the view under test must never observe.
+  FibView subject = set.make_view();
+  FibView noise_a = set.make_view();
+  FibView noise_b = set.make_view();
+  RoutingTable legacy;
+  std::vector<Ipv4Prefix> present;
+
+  auto random_prefix = [&]() {
+    std::uint8_t len = static_cast<std::uint8_t>(rng.range(0, 32));
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next()) &
+                         (rng.chance(0.5) ? 0x0a0fffffu : 0xffffffffu);
+    return Ipv4Prefix(Ipv4Address(addr), len);
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    double action = rng.uniform();
+    if (action < 0.45) {
+      Route r{random_prefix(),
+              Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+              static_cast<int>(rng.below(8)), 0};
+      bool replaced_view = subject.insert(r);
+      bool replaced_legacy = legacy.insert(r);
+      EXPECT_EQ(replaced_view, replaced_legacy);
+      if (!replaced_legacy) present.push_back(r.prefix);
+    } else if (action < 0.60 && !present.empty()) {
+      std::size_t idx = rng.below(present.size());
+      Ipv4Prefix victim = present[idx];
+      EXPECT_EQ(subject.remove(victim), legacy.remove(victim));
+      present[idx] = present.back();
+      present.pop_back();
+    } else if (action < 0.70) {
+      // Foreign churn: must be invisible to the subject view.
+      Route r{random_prefix(),
+              Ipv4Address(static_cast<std::uint32_t>(rng.next())), 1, 0};
+      if (rng.chance(0.5))
+        noise_a.insert(r);
+      else
+        noise_b.insert(r);
+    } else {
+      Ipv4Address probe(static_cast<std::uint32_t>(rng.next()));
+      auto got = subject.lookup(probe);
+      auto want = legacy.lookup(probe);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "probe " << probe.str();
+      if (want) {
+        EXPECT_EQ(got->prefix, want->prefix) << "probe " << probe.str();
+        EXPECT_EQ(got->next_hop, want->next_hop);
+        EXPECT_EQ(got->interface, want->interface);
+      }
+    }
+    ASSERT_EQ(subject.size(), legacy.size());
+  }
+
+  // Final sweep: exact() must agree on every surviving prefix, and visit()
+  // must enumerate identical route sets.
+  for (const auto& p : present) {
+    auto got = subject.exact(p);
+    auto want = legacy.exact(p);
+    ASSERT_TRUE(got.has_value() && want.has_value());
+    EXPECT_EQ(got->next_hop, want->next_hop);
+  }
+  std::map<Ipv4Prefix, Route> seen_view, seen_legacy;
+  subject.visit([&](const Route& r) { seen_view[r.prefix] = r; });
+  legacy.visit([&](const Route& r) { seen_legacy[r.prefix] = r; });
+  EXPECT_EQ(seen_view.size(), seen_legacy.size());
+  for (const auto& [p, r] : seen_legacy) {
+    ASSERT_TRUE(seen_view.count(p)) << p.str();
+    EXPECT_EQ(seen_view[p], r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FibViewDifferentialTest,
+                         ::testing::Values(1, 2, 3, 17, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// Accounting: shared vs flat-equivalent bytes.
+// ---------------------------------------------------------------------------
+
+TEST(FibSetAccounting, FlatEquivalentMatchesRealRoutingTable) {
+  // flat_equivalent_bytes(view) claims to price the view's contents as a
+  // standalone RoutingTable; verify against an actual one.
+  Rng rng(7);
+  FibSet set;
+  FibView view = set.make_view();
+  FibView other = set.make_view();  // foreign state to ignore
+  RoutingTable standalone;
+  for (int i = 0; i < 500; ++i) {
+    std::uint8_t len = static_cast<std::uint8_t>(rng.range(8, 28));
+    Ipv4Prefix p(Ipv4Address(static_cast<std::uint32_t>(rng.next())), len);
+    Route r{p, Ipv4Address(1), 0, 0};
+    view.insert(r);
+    standalone.insert(r);
+    if (rng.chance(0.6))
+      other.insert(Route{
+          Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(rng.next())), 24),
+          Ipv4Address(2), 0, 0});
+  }
+  EXPECT_EQ(set.flat_equivalent_bytes(view.id()), standalone.memory_bytes());
+}
+
+TEST(FibSetAccounting, MostlyOverlappingViewsDedupAtLeast4x) {
+  // The tentpole target: 20 neighbors with ~95% table overlap must cost at
+  // least 4x less shared than flat.
+  Rng rng(11);
+  FibSet set;
+  std::vector<FibView> views;
+  for (int v = 0; v < 20; ++v) views.push_back(set.make_view());
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    Ipv4Prefix p(Ipv4Address((10u << 24) | (i << 8)), 24);
+    for (std::size_t v = 0; v < views.size(); ++v) {
+      if (v == 0 || rng.uniform() < 0.95)
+        views[v].insert(Route{p, Ipv4Address(100 + static_cast<std::uint32_t>(v)),
+                              static_cast<int>(v), 0});
+    }
+  }
+  std::size_t shared = set.memory_bytes();
+  std::size_t flat = set.flat_equivalent_bytes();
+  EXPECT_GE(static_cast<double>(flat) / static_cast<double>(shared), 4.0)
+      << "shared=" << shared << " flat=" << flat;
+}
+
+TEST(FibSetAccounting, SharedBytesShrinkWhenViewReleases) {
+  FibSet set;
+  FibView keeper = set.make_view();
+  for (std::uint32_t i = 0; i < 64; ++i)
+    keeper.insert(route("10." + std::to_string(i) + ".0.0/16", 1));
+  std::size_t with_one = set.memory_bytes();
+  {
+    FibView temp = set.make_view();
+    for (std::uint32_t i = 0; i < 64; ++i)
+      temp.insert(route("172." + std::to_string(16 + i % 16) + "." +
+                            std::to_string(i / 16) + ".0/24",
+                        2));
+    EXPECT_GT(set.memory_bytes(), with_one);
+  }
+  // Trie nodes for the released view's private prefixes are pruned. (Leaf
+  // slot arrays and pool capacity may persist; trie structure dominates.)
+  EXPECT_EQ(set.unique_prefix_count(), 64u);
+  EXPECT_EQ(set.route_count(), 64u);
+}
+
+}  // namespace
+}  // namespace peering::ip

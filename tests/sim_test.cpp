@@ -29,6 +29,42 @@ TEST(EventLoop, EqualTimesRunFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(EventLoop, EqualTimesFromCallbacksRunAfterEarlierScheduled) {
+  // An event that schedules work at its own timestamp: the new event has a
+  // later sequence number, so it runs after everything already queued for
+  // that instant — scheduling order is the tiebreak, not heap internals.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(Duration::seconds(1), [&] {
+    order.push_back(0);
+    loop.schedule_after(Duration(), [&] { order.push_back(3); });
+  });
+  loop.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  loop.schedule_after(Duration::seconds(1), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventLoop, InterleavedTimesKeepPerTimestampFifo) {
+  // Pushes at alternating timestamps exercise heap sift paths; within each
+  // timestamp the original scheduling order must survive extraction.
+  EventLoop loop;
+  std::vector<std::pair<int, int>> order;  // (second, scheduling index)
+  for (int i = 0; i < 50; ++i) {
+    int t = (i * 7) % 5;
+    loop.schedule_after(Duration::seconds(t), [&order, t, i] {
+      order.emplace_back(t, i);
+    });
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    EXPECT_LE(order[k - 1].first, order[k].first);
+    if (order[k - 1].first == order[k].first)
+      EXPECT_LT(order[k - 1].second, order[k].second);
+  }
+}
+
 TEST(EventLoop, EventsCanScheduleEvents) {
   EventLoop loop;
   int count = 0;

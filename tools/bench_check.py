@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_<name>.json against the committed baseline snapshot.
+
+Each benchmark binary writes BENCH_<name>.json into its working directory;
+committed reference snapshots live in bench/baselines/. This script compares
+named metrics between the two and exits non-zero when a metric regressed by
+more than the allowed tolerance (default 15%).
+
+Metric specs say which direction is "worse":
+
+    --metric fig6a_memory:ablation_dedup_factor:higher
+    --metric fig6b_cpu:lookup_fibview_ns:lower
+
+"higher" means larger values are better (a drop beyond tolerance fails);
+"lower" means smaller values are better (a rise beyond tolerance fails).
+
+Usage:
+    tools/bench_check.py --fresh-dir build/bench \\
+        --metric fig6a_memory:with_dataplane_bytes_per_route:lower \\
+        --metric fig6a_memory:ablation_dedup_factor:higher
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as exc:
+        sys.exit(f"bench_check: malformed JSON in {path}: {exc}")
+
+
+def parse_spec(spec):
+    parts = spec.split(":")
+    if len(parts) != 3 or parts[2] not in ("higher", "lower"):
+        sys.exit(
+            f"bench_check: bad --metric spec '{spec}' "
+            "(want <bench>:<metric>:higher|lower)"
+        )
+    return parts[0], parts[1], parts[2]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(__file__), "..", "bench", "baselines"),
+        help="directory holding committed BENCH_<name>.json snapshots",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=".",
+        help="directory holding freshly produced BENCH_<name>.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative regression (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="BENCH:METRIC:DIRECTION",
+        help="metric to check; repeatable (direction: higher|lower is better)",
+    )
+    args = parser.parse_args()
+
+    if not args.metric:
+        sys.exit("bench_check: no --metric specs given")
+
+    failures = []
+    checked = 0
+    for spec in args.metric:
+        bench, metric, direction = parse_spec(spec)
+        fname = f"BENCH_{bench}.json"
+        baseline = load_report(os.path.join(args.baselines, fname))
+        fresh = load_report(os.path.join(args.fresh_dir, fname))
+        if baseline is None:
+            print(f"  SKIP {bench}:{metric} (no baseline snapshot)")
+            continue
+        if fresh is None:
+            failures.append(f"{bench}: fresh {fname} not found in {args.fresh_dir}")
+            continue
+        if metric not in baseline:
+            failures.append(f"{bench}: metric '{metric}' missing from baseline")
+            continue
+        if metric not in fresh:
+            failures.append(f"{bench}: metric '{metric}' missing from fresh run")
+            continue
+
+        base_val = float(baseline[metric])
+        fresh_val = float(fresh[metric])
+        checked += 1
+        if base_val == 0:
+            print(f"  SKIP {bench}:{metric} (baseline is zero)")
+            continue
+
+        # Relative change, signed so that positive = regression.
+        if direction == "lower":
+            change = (fresh_val - base_val) / abs(base_val)
+        else:
+            change = (base_val - fresh_val) / abs(base_val)
+
+        status = "FAIL" if change > args.tolerance else "ok"
+        print(
+            f"  {status:4s} {bench}:{metric} baseline={base_val:g} "
+            f"fresh={fresh_val:g} ({'regressed' if change > 0 else 'improved'} "
+            f"{abs(change) * 100:.1f}%, {direction} is better)"
+        )
+        if change > args.tolerance:
+            failures.append(
+                f"{bench}:{metric} regressed {change * 100:.1f}% "
+                f"(> {args.tolerance * 100:.0f}% allowed)"
+            )
+
+    if failures:
+        print("\nbench_check: REGRESSIONS DETECTED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_check: {checked} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
