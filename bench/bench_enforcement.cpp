@@ -4,6 +4,7 @@
 // that sits on every experiment packet.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -100,7 +101,7 @@ void BM_DataPlaneEnforcerLookup(benchmark::State& state) {
   for (int i = 0; i < 6; ++i) {
     enforce::ExperimentGrant grant = bench_grant();
     grant.experiment_id = "exp" + std::to_string(i);
-    enforcer.install(grant);
+    if (!enforcer.install(grant).ok()) std::abort();
   }
   ip::Ipv4Packet packet;
   packet.src = Ipv4Address(184, 164, 224, 5);

@@ -19,12 +19,14 @@
 // spare at 4000 updates/s.
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.h"
 #include "enforce/control_policy.h"
 #include "enforce/data_enforcer.h"
 #include "ip/fib_set.h"
 #include "netbase/rand.h"
+#include "obs/metrics.h"
 #include "vbgp/vrouter.h"
 
 using namespace peering;
@@ -35,7 +37,13 @@ constexpr std::size_t kUpdates = 50'000;
 
 /// Measures seconds of processing per update for one configuration.
 /// `multi_router` switches the update source to a backbone iBGP session.
-double measure_per_update_seconds(bool vbgp_mode, bool multi_router) {
+/// When `registry` is non-null it is installed for the run (telemetry on)
+/// and `out_snap` receives a deterministic snapshot taken before teardown.
+double measure_per_update_seconds(bool vbgp_mode, bool multi_router,
+                                  obs::Registry* registry = nullptr,
+                                  obs::Snapshot* out_snap = nullptr) {
+  std::optional<obs::Scope> scope;
+  if (registry) scope.emplace(registry);
   sim::EventLoop loop;
 
   vbgp::VRouterConfig config;
@@ -125,6 +133,7 @@ double measure_per_update_seconds(bool vbgp_mode, bool multi_router) {
   auto elapsed = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start)
                      .count();
+  if (registry && out_snap) *out_snap = registry->snapshot(loop.now());
   return elapsed / static_cast<double>(kUpdates);
 }
 
@@ -206,6 +215,30 @@ int main() {
               "vBGP %.1f us, multi-router vBGP %.1f us\n\n",
               accept * 1e6, single * 1e6, multi * 1e6);
 
+  // Telemetry cost: the same single-router run with an enabled registry
+  // installed. The snapshot's counters are deterministic (pure functions of
+  // the feed and the sim), so they double as a regression gate that the
+  // instrumented pipeline still processes every update.
+  obs::Registry telemetry_registry;
+  obs::Snapshot snap;
+  double single_obs =
+      measure_per_update_seconds(true, false, &telemetry_registry, &snap);
+  double overhead_pct = (single_obs - single) / single * 100.0;
+  std::printf("telemetry on: %.1f us/update (%+.1f%% vs off)\n",
+              single_obs * 1e6, overhead_pct);
+  obs::Labels speaker{{"speaker", "bench"}};
+  obs::Labels router{{"pop", "bench01"}, {"router", "bench"}};
+  std::int64_t obs_in = snap.value("bgp_updates_in_total", speaker);
+  std::int64_t obs_out = snap.value("bgp_updates_out_total", speaker);
+  std::int64_t obs_fanout =
+      snap.value("vbgp_addpath_fanout_exports_total", router);
+  std::int64_t obs_rewrites = snap.value("vbgp_nh_rewrites_total", router);
+  std::printf("telemetry counters: %lld updates in, %lld out, %lld fan-out "
+              "exports, %lld next-hop rewrites\n\n",
+              static_cast<long long>(obs_in), static_cast<long long>(obs_out),
+              static_cast<long long>(obs_fanout),
+              static_cast<long long>(obs_rewrites));
+
   std::printf("%12s %10s %22s %21s\n", "updates/sec", "accept(%)",
               "single-router vBGP(%)", "multi-router vBGP(%)");
   for (int rate : {250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000}) {
@@ -232,6 +265,12 @@ int main() {
   report.metric("updates_per_measurement", static_cast<double>(kUpdates));
   report.metric("lookup_legacy_ns", lookup.legacy_ns);
   report.metric("lookup_fibview_ns", lookup.fibview_ns);
+  report.metric("telemetry_on_us_per_update", single_obs * 1e6);
+  report.metric("telemetry_overhead_pct", overhead_pct);
+  report.metric("obs_updates_in", static_cast<double>(obs_in));
+  report.metric("obs_updates_out", static_cast<double>(obs_out));
+  report.metric("obs_fanout_exports", static_cast<double>(obs_fanout));
+  report.metric("obs_nh_rewrites", static_cast<double>(obs_rewrites));
   std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -31,4 +31,20 @@ python3 tools/bench_check.py --fresh-dir build/bench \
   --metric fig6a_memory:ablation_shared_bytes_per_route:lower \
   --metric fig6a_memory:ablation_dedup_factor:higher
 
+echo "=== bench regression gate: fig6b + attr_flow (deterministic metrics) ==="
+# Timing metrics are too noisy to gate; the telemetry counters and attribute
+# pool statistics are pure functions of the seeded feeds, so they must match
+# the committed baselines exactly.
+(cd build/bench && ./bench_fig6b_cpu)
+(cd build/bench && ./bench_attr_flow)
+python3 tools/bench_check.py --fresh-dir build/bench \
+  --metric fig6b_cpu:updates_per_measurement:exact \
+  --metric fig6b_cpu:obs_updates_in:exact \
+  --metric fig6b_cpu:obs_updates_out:exact \
+  --metric fig6b_cpu:obs_fanout_exports:exact \
+  --metric fig6b_cpu:obs_nh_rewrites:exact \
+  --metric attr_flow:pool_size:exact \
+  --metric attr_flow:intern_hit_rate:exact \
+  --metric attr_flow:encode_hit_rate:exact
+
 echo "=== CI: all green ==="

@@ -15,15 +15,15 @@
 // Run: ./build/examples/backup_routes
 #include <cstdio>
 
+#include "example_util.h"
 #include "inet/topology.h"
 #include "platform/peering.h"
 #include "toolkit/client.h"
 
 using namespace peering;
+using examples::check;
 
 namespace {
-
-Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
 
 platform::PlatformModel two_transit_model() {
   platform::PlatformModel model;
@@ -118,12 +118,12 @@ int main() {
   proposal.requested_prefixes = 1;
   proposal.requested_capabilities = {enforce::Capability::kAsPathPoisoning};
   proposal.requested_poisoned_asns = 2;
-  db.propose_experiment(proposal);
-  db.approve_experiment("backup-routes");
+  check(db.propose_experiment(proposal));
+  check(db.approve_experiment("backup-routes"));
 
   toolkit::ExperimentClient client(&loop, "backup-routes");
-  client.open_tunnel(peering, "probe01");
-  client.start_bgp("probe01");
+  check(client.open_tunnel(peering, "probe01"));
+  check(client.start_bgp("probe01"));
   peering.settle();
   Ipv4Prefix allocation = db.experiment("backup-routes")->allocated_prefixes[0];
 
@@ -134,7 +134,7 @@ int main() {
   }
 
   // --- Step 1: announce everywhere (baseline). ---
-  client.announce(allocation).send();
+  check(client.announce(allocation).send());
   peering.settle();
   auto baseline = observe(graph, kObserver, {kT1, kT2});
   std::printf("[1] baseline (announced via both transits):\n");
@@ -143,7 +143,7 @@ int main() {
 
   // --- Step 2: selective announcements reveal per-transit paths. ---
   std::printf("\n[2] selective announcements (whitelist communities):\n");
-  client.announce(allocation).announce_to(t1_id).send();
+  check(client.announce(allocation).announce_to(t1_id).send());
   peering.settle();
   auto* pop = peering.pop("probe01");
   bool t1_has = pop->neighbors[0]->speaker->loc_rib().best(allocation).has_value();
@@ -154,7 +154,7 @@ int main() {
   std::printf("    AS%u's path when only t1 carries the prefix: [%s]\n",
               kObserver, path_str(via_t1.path).c_str());
 
-  client.announce(allocation).announce_to(t2_id).send();
+  check(client.announce(allocation).announce_to(t2_id).send());
   peering.settle();
   auto via_t2 = observe(graph, kObserver, {kT2});
   std::printf("    AS%u's HIDDEN backup path via t2: [%s]\n", kObserver,
@@ -164,7 +164,7 @@ int main() {
 
   // --- Step 3: poisoning forces the remote AS off a path. ---
   std::printf("\n[3] AS-path poisoning (capability granted: 2 ASNs):\n");
-  client.announce(allocation).poison(kTier1A).send();
+  check(client.announce(allocation).poison(kTier1A).send());
   peering.settle();
   bool announced = pop->neighbors[0]
                        ->speaker->loc_rib()
@@ -185,14 +185,15 @@ int main() {
   platform::ExperimentProposal p2;
   p2.id = "no-poison";
   p2.requested_prefixes = 1;
-  db.propose_experiment(p2);
-  db.approve_experiment("no-poison");
+  check(db.propose_experiment(p2));
+  check(db.approve_experiment("no-poison"));
   toolkit::ExperimentClient other(&loop, "no-poison");
-  other.open_tunnel(peering, "probe01");
-  other.start_bgp("probe01");
+  check(other.open_tunnel(peering, "probe01"));
+  check(other.start_bgp("probe01"));
   peering.settle();
   Ipv4Prefix other_alloc = db.experiment("no-poison")->allocated_prefixes[0];
-  other.announce(other_alloc).poison(kTier1A).send();
+  // Expected to be blocked by enforcement — the status is the demo's point.
+  (void)other.announce(other_alloc).poison(kTier1A).send();
   peering.settle();
   bool blocked = !pop->neighbors[0]
                       ->speaker->loc_rib()

@@ -13,10 +13,12 @@
 #include <cstdio>
 #include <optional>
 
+#include "example_util.h"
 #include "platform/peering.h"
 #include "toolkit/client.h"
 
 using namespace peering;
+using examples::check;
 
 namespace {
 
@@ -102,7 +104,7 @@ class EgressController {
         best_nh = view.virtual_next_hop;
       }
     }
-    client_->select_egress(dest, "edge01", best_nh);
+    check(client_->select_egress(dest, "edge01", best_nh));
     std::printf("  -> programmed egress via %s (%.1f ms)\n",
                 best_neighbor.c_str(), best_rtt.to_seconds() * 1000);
   }
@@ -110,7 +112,7 @@ class EgressController {
  private:
   Duration probe_via(const Ipv4Prefix& dest, const toolkit::RouteView& view,
                      Ipv4Address target) {
-    client_->select_egress(dest, "edge01", view.virtual_next_hop);
+    check(client_->select_egress(dest, "edge01", view.virtual_next_hop));
     SimTime sent = platform_->loop()->now();
     std::optional<Duration> rtt;
     client_->host().on_packet([&](const ip::Ipv4Packet& packet, int,
@@ -154,7 +156,7 @@ int main() {
     inet::FeedRoute route;
     route.prefix = pfx("203.0.113.0/24");
     route.attrs.as_path = bgp::AsPath({nb.model.asn, 64999});
-    peering.feed_routes("edge01", static_cast<std::size_t>(i), {route});
+    check(peering.feed_routes("edge01", static_cast<std::size_t>(i), {route}));
     sites.push_back(attach_destination(&loop, nb, i, path_latency[i]));
   }
   peering.settle();
@@ -163,12 +165,12 @@ int main() {
   proposal.id = "espresso";
   proposal.description = "egress engineering controller";
   proposal.requested_prefixes = 1;
-  db.propose_experiment(proposal);
-  db.approve_experiment("espresso");
+  check(db.propose_experiment(proposal));
+  check(db.approve_experiment("espresso"));
 
   toolkit::ExperimentClient client(&loop, "espresso");
-  client.open_tunnel(peering, "edge01");
-  client.start_bgp("edge01");
+  check(client.open_tunnel(peering, "edge01"));
+  check(client.start_bgp("edge01"));
   peering.settle();
   std::printf("[controller] connected: %s", client.bgp_status().c_str());
 

@@ -1,0 +1,30 @@
+// Tiny helpers shared by the example programs: fail fast with the error
+// message when a fallible platform/toolkit call does not succeed, so the
+// examples stay readable while still consuming every [[nodiscard]] Status.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "netbase/result.h"
+
+namespace peering::examples {
+
+inline void check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "example failed: %s\n", status.error().message.c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T check(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "example failed: %s\n", result.error().message.c_str());
+    std::exit(1);
+  }
+  return std::move(result.value());
+}
+
+}  // namespace peering::examples

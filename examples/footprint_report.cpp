@@ -6,6 +6,7 @@
 // Run: ./build/examples/footprint_report
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "platform/footprint.h"
 #include "platform/templating.h"
 
@@ -15,29 +16,74 @@ int main() {
   platform::PlatformModel model = platform::build_footprint();
   platform::FootprintSummary summary = platform::summarize(model);
 
-  std::printf("== PEERING footprint (as of the CoNEXT'19 paper) ==\n\n");
-
-  std::printf("numbered resources: %zu ASNs, %zu IPv4 /24s, IPv6 %s\n",
-              model.resources.asns.size(), model.resources.prefix_pool.size(),
-              model.resources.v6_allocation.str().c_str());
-  std::printf("PoPs: %zu (%zu IXP, %zu university)\n", summary.pop_count,
-              summary.ixp_pops, summary.university_pops);
-  std::printf("transit interconnections: %zu\n", summary.transit_interconnects);
-  std::printf("unique peers: %zu (%zu bilateral, %zu route-server only)\n\n",
-              summary.unique_peers, summary.bilateral_peers,
-              summary.route_server_peers);
-
-  std::printf("%-14s %-28s %-11s %9s %10s %8s %9s\n", "pop", "location",
-              "type", "transits", "bilateral", "rs", "backbone");
+  // Publish the summary into a registry and render from the snapshot: the
+  // report doubles as a smoke test of the obs snapshot API.
+  obs::Registry registry;
+  auto i64 = [](std::size_t v) { return static_cast<std::int64_t>(v); };
+  registry.gauge("footprint_asns")->set(i64(model.resources.asns.size()));
+  registry.gauge("footprint_ipv4_slash24s")
+      ->set(i64(model.resources.prefix_pool.size()));
+  registry.gauge("footprint_pops")->set(i64(summary.pop_count));
+  registry.gauge("footprint_pops", {{"type", "ixp"}})
+      ->set(i64(summary.ixp_pops));
+  registry.gauge("footprint_pops", {{"type", "university"}})
+      ->set(i64(summary.university_pops));
+  registry.gauge("footprint_transit_interconnects")
+      ->set(i64(summary.transit_interconnects));
+  registry.gauge("footprint_unique_peers")->set(i64(summary.unique_peers));
+  registry.gauge("footprint_unique_peers", {{"kind", "bilateral"}})
+      ->set(i64(summary.bilateral_peers));
+  registry.gauge("footprint_unique_peers", {{"kind", "route-server"}})
+      ->set(i64(summary.route_server_peers));
   for (const auto& [id, pop] : model.pops) {
     std::size_t bilateral = 0, rs = 0;
     for (const auto& ic : pop.interconnects) {
       if (ic.type == platform::InterconnectType::kBilateralPeer) ++bilateral;
       if (ic.type == platform::InterconnectType::kRouteServer) ++rs;
     }
-    std::printf("%-14s %-28s %-11s %9zu %10zu %8zu %9s\n", id.c_str(),
+    registry.gauge("footprint_pop_transits", {{"pop", id}})
+        ->set(i64(pop.transit_count()));
+    registry.gauge("footprint_pop_bilateral_peers", {{"pop", id}})
+        ->set(i64(bilateral));
+    registry.gauge("footprint_pop_route_server_peers", {{"pop", id}})
+        ->set(i64(rs));
+  }
+  obs::Snapshot snap = registry.snapshot();
+
+  std::printf("== PEERING footprint (as of the CoNEXT'19 paper) ==\n\n");
+
+  std::printf("numbered resources: %lld ASNs, %lld IPv4 /24s, IPv6 %s\n",
+              static_cast<long long>(snap.value("footprint_asns")),
+              static_cast<long long>(snap.value("footprint_ipv4_slash24s")),
+              model.resources.v6_allocation.str().c_str());
+  std::printf("PoPs: %lld (%lld IXP, %lld university)\n",
+              static_cast<long long>(snap.value("footprint_pops")),
+              static_cast<long long>(
+                  snap.value("footprint_pops", {{"type", "ixp"}})),
+              static_cast<long long>(
+                  snap.value("footprint_pops", {{"type", "university"}})));
+  std::printf("transit interconnections: %lld\n",
+              static_cast<long long>(
+                  snap.value("footprint_transit_interconnects")));
+  std::printf("unique peers: %lld (%lld bilateral, %lld route-server only)\n\n",
+              static_cast<long long>(snap.value("footprint_unique_peers")),
+              static_cast<long long>(snap.value("footprint_unique_peers",
+                                                {{"kind", "bilateral"}})),
+              static_cast<long long>(snap.value("footprint_unique_peers",
+                                                {{"kind", "route-server"}})));
+
+  std::printf("%-14s %-28s %-11s %9s %10s %8s %9s\n", "pop", "location",
+              "type", "transits", "bilateral", "rs", "backbone");
+  for (const auto& [id, pop] : model.pops) {
+    obs::Labels labels{{"pop", id}};
+    std::printf("%-14s %-28s %-11s %9lld %10lld %8lld %9s\n", id.c_str(),
                 pop.location.c_str(), platform::pop_type_name(pop.type),
-                pop.transit_count(), bilateral, rs,
+                static_cast<long long>(
+                    snap.value("footprint_pop_transits", labels)),
+                static_cast<long long>(
+                    snap.value("footprint_pop_bilateral_peers", labels)),
+                static_cast<long long>(
+                    snap.value("footprint_pop_route_server_peers", labels)),
                 pop.on_backbone ? "yes" : "no");
   }
 
@@ -55,5 +101,15 @@ int main() {
                 id.c_str(), configs.bird_line_count(),
                 configs.network.rules.size());
   }
+
+  std::printf("\nsnapshot exposition (Prometheus text, first lines):\n");
+  std::string prom = snap.to_prometheus();
+  std::size_t pos = 0;
+  for (int line = 0; line < 6 && pos < prom.size(); ++line) {
+    std::size_t end = prom.find('\n', pos);
+    std::printf("  %s\n", prom.substr(pos, end - pos).c_str());
+    pos = end + 1;
+  }
+  std::printf("  ... (%zu series total)\n", snap.series.size());
   return 0;
 }

@@ -8,11 +8,13 @@
 // Run: ./build/examples/hijack_detection
 #include <cstdio>
 
+#include "example_util.h"
 #include "platform/artemis.h"
 #include "platform/peering.h"
 #include "toolkit/client.h"
 
 using namespace peering;
+using examples::check;
 
 namespace {
 
@@ -61,15 +63,15 @@ int main() {
   platform::ExperimentProposal vp;
   vp.id = "victim";
   vp.requested_prefixes = 1;
-  db.propose_experiment(vp);
-  db.approve_experiment("victim");
+  check(db.propose_experiment(vp));
+  check(db.approve_experiment("victim"));
   toolkit::ExperimentClient victim(&loop, "victim");
-  victim.open_tunnel(peering, "pop-east");
-  victim.start_bgp("pop-east");
+  check(victim.open_tunnel(peering, "pop-east"));
+  check(victim.start_bgp("pop-east"));
   peering.settle();
   Ipv4Prefix target = db.experiment("victim")->allocated_prefixes[0];
   bgp::Asn victim_asn = db.experiment("victim")->asn;
-  victim.announce(target).send();
+  check(victim.announce(target).send());
   peering.settle();
   std::printf("[victim] announced %s (origin AS%u) at pop-east\n",
               target.str().c_str(), victim_asn);
@@ -84,15 +86,15 @@ int main() {
   platform::ExperimentProposal ap;
   ap.id = "attacker";
   ap.requested_prefixes = 1;
-  db.propose_experiment(ap);
-  db.approve_experiment("attacker");
-  db.assign_prefixes("attacker", {target});
+  check(db.propose_experiment(ap));
+  check(db.approve_experiment("attacker"));
+  check(db.assign_prefixes("attacker", {target}));
   toolkit::ExperimentClient attacker(&loop, "attacker");
-  attacker.open_tunnel(peering, "pop-west");
-  attacker.start_bgp("pop-west");
+  check(attacker.open_tunnel(peering, "pop-west"));
+  check(attacker.start_bgp("pop-west"));
   peering.settle();
   SimTime t0 = loop.now();
-  attacker.announce(target).send();
+  check(attacker.announce(target).send());
   peering.settle();
   std::printf("\n[attacker] announced %s (origin AS%u) at pop-west\n",
               target.str().c_str(), db.experiment("attacker")->asn);
@@ -113,7 +115,7 @@ int main() {
   std::printf("\n[victim] mitigating with more-specifics:");
   for (const auto& prefix : mitigation) {
     std::printf(" %s", prefix.str().c_str());
-    victim.announce(prefix).send();
+    check(victim.announce(prefix).send());
   }
   std::printf("\n");
   peering.settle();

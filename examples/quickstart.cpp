@@ -6,15 +6,19 @@
 //   3. open the VPN tunnel and BGP session with the experiment toolkit;
 //   4. observe *all* routes for a destination with virtual next-hops
 //      (Figure 2a), pick an egress neighbor per packet (Figure 2b);
-//   5. announce the experiment prefix to the Internet and withdraw it.
+//   5. announce the experiment prefix to the Internet and withdraw it;
+//   6. dump the telemetry snapshot the whole run accumulated.
 //
 // Run: ./build/examples/quickstart
 #include <cstdio>
 
+#include "example_util.h"
+#include "obs/metrics.h"
 #include "platform/peering.h"
 #include "toolkit/client.h"
 
 using namespace peering;
+using examples::check;
 
 namespace {
 
@@ -51,6 +55,10 @@ platform::PlatformModel quickstart_model() {
 int main() {
   std::printf("== PEERING quickstart ==\n\n");
 
+  // Telemetry: install the registry before building the platform so every
+  // component constructed below registers its instruments with it.
+  obs::Registry registry;
+  obs::Scope obs_scope(&registry);
   sim::EventLoop loop;
   platform::ConfigDatabase db(quickstart_model());
   platform::Peering peering(&loop, &db);
@@ -63,9 +71,9 @@ int main() {
   inet::FeedRoute dest;
   dest.prefix = pfx("192.168.0.0/24");
   dest.attrs.as_path = bgp::AsPath({65001, 64999});
-  peering.feed_routes("demo-ixp01", 0, {dest});
+  check(peering.feed_routes("demo-ixp01", 0, {dest}));
   dest.attrs.as_path = bgp::AsPath({65002, 64999});
-  peering.feed_routes("demo-ixp01", 1, {dest});
+  check(peering.feed_routes("demo-ixp01", 1, {dest}));
   // Give each neighbor a host at the destination so pings terminate.
   auto* ixp = peering.pop("demo-ixp01");
   for (int i = 0; i < 2; ++i) {
@@ -81,7 +89,7 @@ int main() {
   proposal.description = "hello, interdomain routing";
   proposal.contact = "you@university.edu";
   proposal.requested_prefixes = 1;
-  db.propose_experiment(proposal);
+  check(db.propose_experiment(proposal));
   auto creds = db.approve_experiment("quickstart");
   if (!creds) {
     std::printf("approval failed: %s\n", creds.error().message.c_str());
@@ -93,8 +101,8 @@ int main() {
 
   // --- toolkit: connect (Table 1) ---
   toolkit::ExperimentClient client(&loop, "quickstart");
-  client.open_tunnel(peering, "demo-ixp01");
-  client.start_bgp("demo-ixp01");
+  check(client.open_tunnel(peering, "demo-ixp01"));
+  check(client.start_bgp("demo-ixp01"));
   peering.settle();
   std::printf("[toolkit] %s", client.bgp_status().c_str());
 
@@ -120,8 +128,8 @@ int main() {
       [&](const ip::Ipv4Packet&, int, const ether::EthernetFrame&) {
         ++beta_count;
       });
-  client.select_egress(pfx("192.168.0.0/24"), "demo-ixp01",
-                       via_beta->virtual_next_hop);
+  check(client.select_egress(pfx("192.168.0.0/24"), "demo-ixp01",
+                             via_beta->virtual_next_hop));
   client.host().ping(Ipv4Address(192, 168, 0, 1), 1, 1);
   peering.settle(Duration::seconds(2));
   std::printf("\n[data plane] ping via peer-beta: alpha saw %d, beta saw %d\n",
@@ -129,17 +137,44 @@ int main() {
 
   // --- announce and withdraw ---
   Ipv4Prefix allocation = db.experiment("quickstart")->allocated_prefixes[0];
-  client.announce(allocation).prepend(1).send();
+  check(client.announce(allocation).prepend(1).send());
   peering.settle();
   auto at_alpha = ixp->neighbors[0]->speaker->loc_rib().best(allocation);
   std::printf("\n[control plane] transit-alpha sees %s with as-path [%s]\n",
               allocation.str().c_str(),
               at_alpha ? at_alpha->attrs->as_path.str().c_str() : "nothing!");
-  client.withdraw(allocation);
+  check(client.withdraw(allocation));
   peering.settle();
   at_alpha = ixp->neighbors[0]->speaker->loc_rib().best(allocation);
   std::printf("[control plane] after withdraw, transit-alpha sees: %s\n",
               at_alpha ? "still there?!" : "nothing (withdrawn)");
+
+  // --- telemetry: what the run looked like, from one snapshot ---
+  obs::Snapshot snap = registry.snapshot(loop.now());
+  long long established = 0;
+  for (const auto& s : snap.series) {
+    if (s.name != "bgp_session_transitions_total") continue;
+    for (const auto& [key, value] : s.labels)
+      if (key == "state" && value == "Established") established += s.value;
+  }
+  std::printf("\n[telemetry] %zu series; platform-wide totals: %lld updates "
+              "in, %lld updates out, %lld session establishments\n",
+              snap.series.size(),
+              static_cast<long long>(snap.total("bgp_updates_in_total")),
+              static_cast<long long>(snap.total("bgp_updates_out_total")),
+              established);
+  std::printf("[telemetry] demo-ixp01 router: %lld frames demuxed, %lld "
+              "virtual-ARP replies, %lld next-hop rewrites\n",
+              static_cast<long long>(snap.total("vbgp_frames_demuxed_total")),
+              static_cast<long long>(
+                  snap.total("vbgp_arp_virtual_replies_total")),
+              static_cast<long long>(snap.total("vbgp_nh_rewrites_total")));
+  std::printf("[telemetry] enforcement verdicts: %lld accepted, %lld "
+              "rejected\n",
+              static_cast<long long>(snap.value("enforce_verdicts_total",
+                                                {{"action", "accept"}})),
+              static_cast<long long>(snap.value("enforce_verdicts_total",
+                                                {{"action", "reject"}})));
 
   std::printf("\nquickstart complete.\n");
   return 0;

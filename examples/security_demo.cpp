@@ -11,10 +11,12 @@
 // Run: ./build/examples/security_demo
 #include <cstdio>
 
+#include "example_util.h"
 #include "platform/peering.h"
 #include "toolkit/client.h"
 
 using namespace peering;
+using examples::check;
 
 namespace {
 
@@ -48,12 +50,12 @@ int main() {
   proposal.id = "mallory";
   proposal.description = "totally legitimate research";
   proposal.requested_prefixes = 1;
-  db.propose_experiment(proposal);
-  db.approve_experiment("mallory");
+  check(db.propose_experiment(proposal));
+  check(db.approve_experiment("mallory"));
 
   toolkit::ExperimentClient client(&loop, "mallory");
-  client.open_tunnel(peering, "sec01");
-  client.start_bgp("sec01");
+  check(client.open_tunnel(peering, "sec01"));
+  check(client.start_bgp("sec01"));
   peering.settle();
 
   auto* pop = peering.pop("sec01");
@@ -65,7 +67,7 @@ int main() {
 
   // 1. Hijack.
   std::printf("[1] announcing 8.8.8.0/24 (not mallory's space)...\n");
-  client.announce(pfx("8.8.8.0/24")).send();
+  (void)client.announce(pfx("8.8.8.0/24")).send();
   peering.settle();
   std::printf("    transit sees it: %s\n",
               seen_at_transit(pfx("8.8.8.0/24")) ? "YES (hijack!)"
@@ -74,7 +76,7 @@ int main() {
   // 2. Legit announcement for contrast.
   std::printf("[2] announcing the legitimate allocation %s...\n",
               allocation.str().c_str());
-  client.announce(allocation).send();
+  check(client.announce(allocation).send());
   peering.settle();
   std::printf("    transit sees it: %s\n",
               seen_at_transit(allocation) ? "yes (as intended)" : "NO (bug)");
@@ -82,7 +84,7 @@ int main() {
   // 3. Communities without the capability: stripped, not rejected.
   std::printf("[3] attaching community 3356:70 without the communities "
               "capability...\n");
-  client.announce(allocation).community(bgp::Community(3356, 70)).send();
+  (void)client.announce(allocation).community(bgp::Community(3356, 70)).send();
   peering.settle();
   auto at_transit = transit->speaker->loc_rib().best(allocation);
   bool leaked = at_transit && at_transit->attrs->has_community(
@@ -94,7 +96,7 @@ int main() {
   std::printf("[4] flapping the prefix past the daily budget...\n");
   int accepted_before = 0;
   for (int i = 0; i < 200; ++i) {
-    client.announce(allocation).med(static_cast<std::uint32_t>(i)).send();
+    (void)client.announce(allocation).med(static_cast<std::uint32_t>(i)).send();
     peering.settle(Duration::seconds(1));
   }
   const auto& enforcer = *pop->control;
@@ -112,7 +114,7 @@ int main() {
   auto views = client.routes(pfx("0.0.0.0/0"));
   // Steer anything toward the transit and spoof.
   for (const auto& nb : client.neighbors("sec01")) {
-    client.select_egress(pfx("198.51.100.0/24"), "sec01", nb.virtual_ip);
+    check(client.select_egress(pfx("198.51.100.0/24"), "sec01", nb.virtual_ip));
     break;
   }
   ip::Ipv4Packet spoof;
@@ -127,7 +129,7 @@ int main() {
   // 6. Fail-closed under overload.
   std::printf("[6] simulating enforcement-engine overload...\n");
   pop->control->set_overloaded(true);
-  client.announce(allocation).med(999).send();
+  (void)client.announce(allocation).med(999).send();
   peering.settle();
   at_transit = transit->speaker->loc_rib().best(allocation);
   bool updated = at_transit && at_transit->attrs->med == 999u;

@@ -6,6 +6,16 @@
 
 namespace peering::backbone {
 
+BackboneFabric::BackboneFabric(sim::EventLoop* loop)
+    : loop_(loop), metrics_(obs::Registry::global()) {
+  collector_token_ = metrics_->add_collector(
+      [this](obs::Registry& registry) { publish_metrics(registry); });
+}
+
+BackboneFabric::~BackboneFabric() {
+  metrics_->remove_collector(collector_token_);
+}
+
 Circuit& BackboneFabric::provision(vbgp::VRouter& a, vbgp::VRouter& b,
                                    std::uint64_t capacity_bps,
                                    Duration latency) {
@@ -76,6 +86,35 @@ vbgp::FibAccounting BackboneFabric::fib_accounting() const {
     }
   }
   return total;
+}
+
+void BackboneFabric::publish_metrics(obs::Registry& registry) const {
+  auto i64 = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  for (const auto& c : circuits_) {
+    const std::string name = c->pop_a + "<->" + c->pop_b;
+    struct End {
+      const char* dir;
+      sim::LinkDirection& link;
+    } ends[] = {{"ab", c->link->a_to_b()}, {"ba", c->link->b_to_a()}};
+    for (const End& end : ends) {
+      obs::Labels labels{{"circuit", name}, {"dir", end.dir}};
+      registry.gauge("backbone_link_frames_sent", labels)
+          ->set(i64(end.link.frames_sent()));
+      registry.gauge("backbone_link_frames_dropped", labels)
+          ->set(i64(end.link.frames_dropped()));
+      registry.gauge("backbone_link_bytes_sent", labels)
+          ->set(i64(end.link.bytes_sent()));
+    }
+    registry.gauge("backbone_circuit_capacity_bps",
+                   {{"circuit", name}})
+        ->set(i64(c->capacity_bps));
+  }
+  const vbgp::FibAccounting fa = fib_accounting();
+  registry.gauge("backbone_fib_shared_bytes")->set(i64(fa.shared_bytes));
+  registry.gauge("backbone_fib_flat_bytes")->set(i64(fa.flat_bytes));
+  registry.gauge("backbone_fib_routes")->set(i64(fa.routes));
+  registry.gauge("backbone_circuits")
+      ->set(static_cast<std::int64_t>(circuits_.size()));
 }
 
 TcpRunResult BackboneFabric::measure_tcp(const std::string& pop_a,

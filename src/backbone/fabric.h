@@ -11,6 +11,7 @@
 
 #include "backbone/tcp_model.h"
 #include "netbase/result.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "vbgp/vrouter.h"
@@ -38,7 +39,8 @@ struct Circuit {
 
 class BackboneFabric {
  public:
-  explicit BackboneFabric(sim::EventLoop* loop) : loop_(loop) {}
+  explicit BackboneFabric(sim::EventLoop* loop);
+  ~BackboneFabric();
 
   /// Provisions a VLAN circuit between two routers: creates the link,
   /// attaches promiscuous interfaces with point-to-point addressing from
@@ -65,11 +67,18 @@ class BackboneFabric {
   /// mesh: shared (deduplicated) vs flat (per-view-equivalent) FIB bytes.
   vbgp::FibAccounting fib_accounting() const;
 
+  /// Publishes per-circuit link load (frames/bytes sent, drops, per
+  /// direction) and mesh-wide FIB accounting into `registry` as gauges.
+  /// Registered as a snapshot-time collector on the fabric's registry.
+  void publish_metrics(obs::Registry& registry) const;
+
  private:
   sim::EventLoop* loop_;
   std::vector<std::unique_ptr<Circuit>> circuits_;
   std::uint16_t next_vlan_ = 100;
   std::uint8_t next_subnet_ = 1;
+  obs::Registry* metrics_;
+  std::uint64_t collector_token_ = 0;
 };
 
 }  // namespace peering::backbone

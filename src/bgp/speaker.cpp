@@ -64,6 +64,10 @@ struct BgpSpeaker::Session {
   /// still matches (reset/restart invalidates stale timers).
   std::uint64_t hold_gen = 0;
   std::uint64_t keepalive_gen = 0;
+
+  /// Per-peer telemetry handles (shared no-ops when telemetry is off).
+  obs::Counter* obs_updates_in = obs::Registry::nop_counter();
+  obs::Counter* obs_updates_out = obs::Registry::nop_counter();
   /// Lazy hold timer: receiving a message only refreshes the deadline; at
   /// most one expiry check sits in the event queue per session. Without
   /// this, a full-table burst enqueues one 90-second timer per UPDATE and
@@ -78,16 +82,41 @@ BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
       name_(std::move(name)),
       asn_(asn),
       router_id_(router_id),
-      loc_rib_([this](PeerId p) { return peer_decision_info(p); }) {}
+      loc_rib_([this](PeerId p) { return peer_decision_info(p); }),
+      metrics_(obs::Registry::global()) {
+  obs::Labels labels{{"speaker", name_}};
+  obs_updates_in_ = metrics_->counter("bgp_updates_in_total", labels);
+  obs_updates_out_ = metrics_->counter("bgp_updates_out_total", labels);
+  for (int i = 0; i < 4; ++i) {
+    obs::Labels tl = labels;
+    tl.emplace_back("state",
+                    session_state_name(static_cast<SessionState>(i)));
+    obs_transitions_[i] =
+        metrics_->counter("bgp_session_transitions_total", tl);
+  }
+  update_span_ = obs::SpanMeter(metrics_, "bgp_update_processing", labels);
+  collector_token_ = metrics_->add_collector(
+      [this](obs::Registry& registry) { publish_metrics(registry); });
+}
 
-BgpSpeaker::~BgpSpeaker() = default;
+BgpSpeaker::~BgpSpeaker() { metrics_->remove_collector(collector_token_); }
 
 PeerId BgpSpeaker::add_peer(PeerConfig config) {
   PeerId id = next_peer_id_++;
   auto session = std::make_unique<Session>();
   session->config = std::move(config);
+  obs::Labels labels{{"speaker", name_}, {"peer", session->config.name}};
+  session->obs_updates_in =
+      metrics_->counter("bgp_peer_updates_in_total", labels);
+  session->obs_updates_out =
+      metrics_->counter("bgp_peer_updates_out_total", labels);
   sessions_.emplace(id, std::move(session));
   return id;
+}
+
+void BgpSpeaker::note_transition(PeerId peer, SessionState state) {
+  obs_transitions_[static_cast<int>(state)]->inc();
+  if (session_event_) session_event_(peer, state);
 }
 
 PeerConfig& BgpSpeaker::peer_config(PeerId peer) {
@@ -157,6 +186,7 @@ void BgpSpeaker::connect_peer(PeerId peer,
     open.add_addpath_ipv4(s.config.addpath);
   send_message(peer, open);
   s.state = SessionState::kOpenSent;
+  obs_transitions_[static_cast<int>(s.state)]->inc();
   arm_hold_timer(peer);
 }
 
@@ -283,7 +313,7 @@ void BgpSpeaker::handle_open(PeerId peer, const OpenMessage& open) {
   s.open_received = true;
   send_message(peer, KeepaliveMessage{});
   s.state = SessionState::kOpenConfirm;
-  if (session_event_) session_event_(peer, s.state);
+  note_transition(peer, s.state);
 }
 
 void BgpSpeaker::handle_keepalive(PeerId peer) {
@@ -301,7 +331,9 @@ void BgpSpeaker::session_established(PeerId peer) {
   LOG_INFO("bgp", name_ << ": session with " << s.config.name
                         << " established (addpath tx=" << s.addpath_tx
                         << " rx=" << s.addpath_rx << ")");
-  if (session_event_) session_event_(peer, s.state);
+  metrics_->trace().emit(loop_->now(), "bgp", "session_up",
+                         {{"speaker", name_}, {"peer", s.config.name}});
+  note_transition(peer, s.state);
   send_initial_table(peer);
 }
 
@@ -324,6 +356,9 @@ void BgpSpeaker::handle_update(PeerId peer, const UpdateMessage& update) {
   }
   ++s.stats.updates_received;
   ++total_updates_rx_;
+  obs_updates_in_->inc();
+  s.obs_updates_in->inc();
+  obs::Span span(update_span_, nullptr);  // wall-clock CPU cost per UPDATE
 
   for (const auto& entry : update.withdrawn) withdraw_route(peer, entry);
   if (update.attributes) {
@@ -586,6 +621,8 @@ void BgpSpeaker::flush_exports(PeerId to) {
       }
       ++s.stats.updates_sent;
       ++total_updates_tx_;
+      obs_updates_out_->inc();
+      s.obs_updates_out->inc();
     }
     if (current.empty()) s.adj_out.erase(prefix);
   }
@@ -596,6 +633,8 @@ void BgpSpeaker::flush_exports(PeerId to) {
     send_message(to, update);
     ++s.stats.updates_sent;
     ++total_updates_tx_;
+    obs_updates_out_->inc();
+    s.obs_updates_out->inc();
   }
 }
 
@@ -721,7 +760,10 @@ void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
   // pins them, so drop it first or the sweep frees nothing.
   removed.clear();
   attr_pool_.sweep();
-  if (session_event_) session_event_(peer, SessionState::kIdle);
+  metrics_->trace().emit(
+      loop_->now(), "bgp", "session_down",
+      {{"speaker", name_}, {"peer", s.config.name}, {"reason", reason}});
+  note_transition(peer, SessionState::kIdle);
 }
 
 std::size_t BgpSpeaker::memory_bytes() const {
@@ -731,6 +773,50 @@ std::size_t BgpSpeaker::memory_bytes() const {
   bytes += originated_.size() * (sizeof(Ipv4Prefix) + sizeof(AttrsPtr) +
                                  4 * sizeof(void*));
   return bytes;
+}
+
+void BgpSpeaker::publish_metrics(obs::Registry& registry) const {
+  auto i64 = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  obs::Labels labels{{"speaker", name_}};
+  const AttrPool::Stats& pool = attr_pool_.stats();
+  registry.gauge("bgp_attr_pool_sets", labels)->set(i64(attr_pool_.size()));
+  registry.gauge("bgp_attr_pool_bytes", labels)
+      ->set(i64(attr_pool_.memory_bytes()));
+  registry.gauge("bgp_attr_encode_cache_bytes", labels)
+      ->set(i64(attr_pool_.encode_cache_bytes()));
+  registry.gauge("bgp_attr_intern_hits", labels)->set(i64(pool.intern_hits));
+  registry.gauge("bgp_attr_intern_misses", labels)
+      ->set(i64(pool.intern_misses));
+  registry.gauge("bgp_attr_encode_hits", labels)->set(i64(pool.encode_hits));
+  registry.gauge("bgp_attr_encode_misses", labels)
+      ->set(i64(pool.encode_misses));
+  registry.gauge("bgp_locrib_prefixes", labels)
+      ->set(i64(loc_rib_.prefix_count()));
+  registry.gauge("bgp_locrib_paths", labels)->set(i64(loc_rib_.route_count()));
+  registry.gauge("bgp_memory_bytes", labels)->set(i64(memory_bytes()));
+
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    const Session& s = *session;
+    obs::Labels peer_labels = labels;
+    peer_labels.emplace_back("peer", s.config.name);
+    registry.gauge("bgp_peer_session_up", peer_labels)
+        ->set(s.state == SessionState::kEstablished ? 1 : 0);
+    registry.gauge("bgp_peer_routes_rejected_import", peer_labels)
+        ->set(i64(s.stats.routes_rejected_import));
+    registry.gauge("bgp_peer_keepalives_in", peer_labels)
+        ->set(i64(s.stats.keepalives_received));
+    registry.gauge("bgp_peer_notifications_in", peer_labels)
+        ->set(i64(s.stats.notifications_received));
+    registry.gauge("bgp_peer_notifications_out", peer_labels)
+        ->set(i64(s.stats.notifications_sent));
+    registry.gauge("bgp_peer_encode_cache_hits", peer_labels)
+        ->set(i64(s.stats.attr_encode_cache_hits));
+    registry.gauge("bgp_peer_encode_cache_misses", peer_labels)
+        ->set(i64(s.stats.attr_encode_cache_misses));
+    registry.gauge("bgp_peer_adj_rib_in_routes", peer_labels)
+        ->set(i64(s.adj_in.size()));
+  }
 }
 
 }  // namespace peering::bgp

@@ -22,6 +22,8 @@
 #include "bgp/message.h"
 #include "bgp/policy.h"
 #include "bgp/rib.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/event_loop.h"
 #include "sim/stream.h"
 
@@ -179,6 +181,12 @@ class BgpSpeaker {
   std::uint64_t total_updates_received() const { return total_updates_rx_; }
   std::uint64_t total_updates_sent() const { return total_updates_tx_; }
 
+  /// Publishes derived control-plane state (attr pool, Loc-RIB, per-peer
+  /// stats) into `registry` as gauges. Registered as a collector on the
+  /// speaker's own registry; callable against any other registry so a
+  /// looking glass can render a one-off snapshot.
+  void publish_metrics(obs::Registry& registry) const;
+
  private:
   struct Session;
 
@@ -245,6 +253,16 @@ class BgpSpeaker {
 
   std::uint64_t total_updates_rx_ = 0;
   std::uint64_t total_updates_tx_ = 0;
+
+  /// Telemetry: handles resolved once at construction against the
+  /// process-global obs registry (no-ops when telemetry is off).
+  void note_transition(PeerId peer, SessionState state);
+  obs::Registry* metrics_;
+  obs::Counter* obs_updates_in_;
+  obs::Counter* obs_updates_out_;
+  obs::Counter* obs_transitions_[4];  // indexed by SessionState
+  obs::SpanMeter update_span_;
+  std::uint64_t collector_token_ = 0;
 };
 
 }  // namespace peering::bgp

@@ -136,7 +136,15 @@ Verdict TransitiveAttrRule::evaluate(const AnnouncementContext& ctx,
       "optional transitive attributes stripped: capability not granted");
 }
 
-ControlPlaneEnforcer::ControlPlaneEnforcer() = default;
+ControlPlaneEnforcer::ControlPlaneEnforcer()
+    : metrics_(obs::Registry::global()) {
+  obs_accepted_ = metrics_->counter("enforce_verdicts_total",
+                                    {{"action", "accept"}});
+  obs_rejected_ = metrics_->counter("enforce_verdicts_total",
+                                    {{"action", "reject"}});
+  obs_transformed_ = metrics_->counter("enforce_verdicts_total",
+                                       {{"action", "transform"}});
+}
 
 void ControlPlaneEnforcer::install_default_rules(
     std::vector<std::uint16_t> control_asns) {
@@ -161,9 +169,17 @@ Verdict ControlPlaneEnforcer::check(const AnnouncementContext& ctx) {
     switch (v.action) {
       case Verdict::Action::kAccept:
         ++accepted_;
+        obs_accepted_->inc();
         break;
       case Verdict::Action::kReject:
         ++rejected_;
+        obs_rejected_->inc();
+        metrics_->counter("enforce_rejects_total", {{"rule", v.rule}})->inc();
+        metrics_->trace().emit(ctx.now, "enforce", "reject",
+                               {{"experiment", ctx.experiment_id},
+                                {"pop", ctx.pop_id},
+                                {"prefix", ctx.prefix.str()},
+                                {"rule", v.rule}});
         LOG_INFO("enforce", ctx.experiment_id << "@" << ctx.pop_id << " "
                                               << ctx.prefix.str()
                                               << " REJECT [" << v.rule
@@ -171,6 +187,14 @@ Verdict ControlPlaneEnforcer::check(const AnnouncementContext& ctx) {
         break;
       case Verdict::Action::kTransform:
         ++transformed_;
+        obs_transformed_->inc();
+        metrics_->counter("enforce_transforms_total", {{"rule", v.rule}})
+            ->inc();
+        metrics_->trace().emit(ctx.now, "enforce", "transform",
+                               {{"experiment", ctx.experiment_id},
+                                {"pop", ctx.pop_id},
+                                {"prefix", ctx.prefix.str()},
+                                {"rule", v.rule}});
         break;
     }
     return v;

@@ -16,6 +16,7 @@
 #include "enforce/state_store.h"
 #include "netbase/prefix.h"
 #include "netbase/time.h"
+#include "obs/metrics.h"
 
 namespace peering::enforce {
 
@@ -194,6 +195,13 @@ class ControlPlaneEnforcer {
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t transformed_ = 0;
+  /// Telemetry: verdict totals by action are cached handles; per-rule
+  /// reject/transform counters are resolved on demand (off the accept
+  /// fast path) under the registry's label-cardinality cap.
+  obs::Registry* metrics_;
+  obs::Counter* obs_accepted_;
+  obs::Counter* obs_rejected_;
+  obs::Counter* obs_transformed_;
 };
 
 }  // namespace peering::enforce

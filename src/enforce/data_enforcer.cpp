@@ -2,6 +2,12 @@
 
 namespace peering::enforce {
 
+DataPlaneEnforcer::DataPlaneEnforcer() {
+  obs::Registry* metrics = obs::Registry::global();
+  obs_passed_ = metrics->counter("enforce_data_packets_passed_total");
+  obs_dropped_ = metrics->counter("enforce_data_packets_dropped_total");
+}
+
 Status DataPlaneEnforcer::install(const ExperimentGrant& grant) {
   const bool with_rate = grant.traffic_rate_bps > 0;
   auto filter = with_rate
@@ -28,13 +34,17 @@ FilterAction DataPlaneEnforcer::check(const std::string& experiment_id,
   auto it = filters_.find(experiment_id);
   if (it == filters_.end()) {
     ++dropped_;
+    obs_dropped_->inc();
     return FilterAction::kDrop;
   }
   FilterAction action = it->second.filter->run(packet, now, *it->second.state);
-  if (action == FilterAction::kPass)
+  if (action == FilterAction::kPass) {
     ++passed_;
-  else
+    obs_passed_->inc();
+  } else {
     ++dropped_;
+    obs_dropped_->inc();
+  }
   return action;
 }
 

@@ -10,11 +10,14 @@
 
 #include "enforce/capabilities.h"
 #include "enforce/packet_filter.h"
+#include "obs/metrics.h"
 
 namespace peering::enforce {
 
 class DataPlaneEnforcer {
  public:
+  DataPlaneEnforcer();
+
   /// Installs (or replaces) the filter for an experiment, compiled from its
   /// grant: source addresses must fall inside the allocation; when the
   /// grant carries a traffic_rate_bps, bytes are metered against a token
@@ -41,6 +44,8 @@ class DataPlaneEnforcer {
   std::map<std::string, Entry> filters_;
   std::uint64_t passed_ = 0;
   std::uint64_t dropped_ = 0;
+  obs::Counter* obs_passed_;
+  obs::Counter* obs_dropped_;
 };
 
 }  // namespace peering::enforce

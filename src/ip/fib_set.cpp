@@ -4,6 +4,13 @@
 
 namespace peering::ip {
 
+FibSet::FibSet() {
+  obs::Registry* metrics = obs::Registry::global();
+  obs_cow_growth_ = metrics->counter("fib_cow_slot_growth_total");
+  obs_lookup_misses_ = metrics->counter("fib_lpm_miss_total");
+  obs_lpm_depth_ = metrics->histogram("fib_lpm_match_len");
+}
+
 // ---------------------------------------------------------------------------
 // Slots
 // ---------------------------------------------------------------------------
@@ -100,7 +107,9 @@ bool FibSet::insert(ViewId view, const Route& route) {
   Trie::Node* node = trie_.ensure(route.prefix);
   std::uint32_t id =
       intern(Payload{route.next_hop, route.interface, route.metric});
+  std::uint16_t cap_before = node->payload.capacity();
   std::uint32_t prev = node->payload.set(view, id);
+  if (node->payload.capacity() != cap_before) obs_cow_growth_->inc();
   if (prev != 0) {
     deref(prev);
     return true;
@@ -131,7 +140,11 @@ std::optional<Route> FibSet::lookup(ViewId view, Ipv4Address addr) const {
       best_id = id;
     }
   });
-  if (!best) return std::nullopt;
+  if (!best) {
+    obs_lookup_misses_->inc();
+    return std::nullopt;
+  }
+  obs_lpm_depth_->record(best->len);
   return materialize(*best, best_id);
 }
 

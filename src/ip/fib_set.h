@@ -33,6 +33,7 @@
 #include "ip/routing_table.h"
 #include "netbase/ip.h"
 #include "netbase/prefix.h"
+#include "obs/metrics.h"
 
 namespace peering::ip {
 
@@ -43,7 +44,7 @@ class FibSet {
   using ViewId = std::uint16_t;
   static constexpr ViewId kNoView = 0xFFFF;
 
-  FibSet() = default;
+  FibSet();
   // Views hold a stable pointer to their set: neither copyable nor movable.
   FibSet(const FibSet&) = delete;
   FibSet& operator=(const FibSet&) = delete;
@@ -144,6 +145,8 @@ class FibSet {
         if (ids_[v] != 0) fn(v, ids_[v]);
     }
 
+    std::uint16_t capacity() const { return capacity_; }
+
    private:
     std::unique_ptr<std::uint32_t[]> ids_;
     std::uint16_t capacity_ = 0;
@@ -174,6 +177,13 @@ class FibSet {
   std::vector<std::size_t> view_sizes_;
   std::vector<std::uint8_t> view_live_;
   std::vector<ViewId> free_views_;
+
+  /// Telemetry handles, resolved once against the process-global registry.
+  /// All FibSets share the same platform-wide series (per-router memory
+  /// splits come from the owning component's collector).
+  obs::Counter* obs_cow_growth_;     // leaf slot-array CoW growths
+  obs::Counter* obs_lookup_misses_;  // LPM probes with no route
+  obs::Histogram* obs_lpm_depth_;    // matched prefix length per LPM hit
 };
 
 /// A per-neighbor window onto a FibSet, drop-in compatible with

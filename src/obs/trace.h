@@ -1,0 +1,75 @@
+// Bounded structured-event trace ring. Components emit small key/value
+// events (session transitions, enforcement verdicts, churn milestones)
+// stamped with the sim virtual clock and a monotone sequence number; the
+// ring keeps the most recent `capacity` events and counts what it dropped.
+// Export is JSON-lines, one event per line, in arrival order — and because
+// every field is either caller-provided or sim-derived, two same-seed runs
+// export byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netbase/time.h"
+
+namespace peering::obs {
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  // 1-based, monotone across the ring's lifetime
+  SimTime at;
+  std::string category;  // "bgp", "enforce", "vbgp", ...
+  std::string name;      // event name within the category
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+class EventTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit EventTrace(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Resizing clears the ring.
+  void set_capacity(std::size_t capacity);
+
+  void emit(SimTime at, std::string_view category, std::string_view name,
+            std::initializer_list<
+                std::pair<std::string_view, std::string_view>>
+                fields = {});
+
+  /// Events currently held, oldest first.
+  std::size_t size() const { return ring_.size(); }
+  /// Events evicted to honor the capacity bound.
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_emitted() const { return next_seq_ - 1; }
+
+  /// Visits held events oldest-first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i) fn(ring_[(head_ + i) % n]);
+  }
+
+  /// JSON-lines export, oldest event first.
+  std::string to_jsonl() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = true;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then cycles
+  std::size_t head_ = 0;          // index of the oldest event once full
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace peering::obs

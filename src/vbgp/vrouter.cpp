@@ -50,9 +50,32 @@ VRouter::VRouter(sim::EventLoop* loop, const VRouterConfig& config)
       speaker_(loop, config.name, config.asn, config.router_id),
       registry_(config.router_seed),
       mux_(registry_.fib_set().make_view()),
-      default_table_(registry_.fib_set().make_view()) {
+      default_table_(registry_.fib_set().make_view()),
+      metrics_(obs::Registry::global()) {
+  obs::Labels labels{{"pop", config_.pop_id}, {"router", config_.name}};
+  obs_frames_demuxed_ =
+      metrics_->counter("vbgp_frames_demuxed_total", labels);
+  obs_frames_to_exp_ =
+      metrics_->counter("vbgp_frames_to_experiments_total", labels);
+  obs_enforcement_drops_ =
+      metrics_->counter("vbgp_enforcement_drops_total", labels);
+  obs_no_route_ = metrics_->counter("vbgp_no_fib_route_total", labels);
+  obs_arp_replies_ =
+      metrics_->counter("vbgp_arp_virtual_replies_total", labels);
+  obs_demux_mac_hits_ =
+      metrics_->counter("vbgp_demux_mac_hits_total", labels);
+  obs_demux_mac_misses_ =
+      metrics_->counter("vbgp_demux_mac_misses_total", labels);
+  obs_fanout_exports_ =
+      metrics_->counter("vbgp_addpath_fanout_exports_total", labels);
+  obs_nh_rewrites_ = metrics_->counter("vbgp_nh_rewrites_total", labels);
+  obs_nh_memo_hits_ = metrics_->counter("vbgp_nh_memo_hits_total", labels);
+  collector_token_ = metrics_->add_collector(
+      [this](obs::Registry& registry) { publish_metrics(registry); });
   install_hooks();
 }
+
+VRouter::~VRouter() { metrics_->remove_collector(collector_token_); }
 
 void VRouter::install_hooks() {
   speaker_.set_import_hook([this](bgp::PeerId from,
@@ -245,19 +268,22 @@ bgp::AttrsPtr VRouter::remap_next_hop(const bgp::AttrsPtr& attrs,
   // find() before insert: the hit path (steady state) then never copies
   // the shared_ptr key, so no atomic refcount traffic.
   auto it = nh_memo_.find(attrs);
-  if (it == nh_memo_.end() || it->second->next_hop != nh) {
-    bgp::AttrBuilder b(attrs);
-    b.mutate().next_hop = nh;
-    auto result = b.commit(speaker_.attr_pool());
-    if (it == nh_memo_.end()) {
-      // A non-pooled source (e.g. a route transformed by a custom import
-      // policy) gets a fresh pointer per update, so its memo entry is dead
-      // weight; the cap bounds that pathology and pool pinning alike.
-      if (nh_memo_.size() > 65536) nh_memo_.clear();
-      it = nh_memo_.emplace(attrs, std::move(result)).first;
-    } else {
-      it->second = std::move(result);
-    }
+  if (it != nh_memo_.end() && it->second->next_hop == nh) {
+    obs_nh_memo_hits_->inc();
+    return it->second;
+  }
+  obs_nh_rewrites_->inc();
+  bgp::AttrBuilder b(attrs);
+  b.mutate().next_hop = nh;
+  auto result = b.commit(speaker_.attr_pool());
+  if (it == nh_memo_.end()) {
+    // A non-pooled source (e.g. a route transformed by a custom import
+    // policy) gets a fresh pointer per update, so its memo entry is dead
+    // weight; the cap bounds that pathology and pool pinning alike.
+    if (nh_memo_.size() > 65536) nh_memo_.clear();
+    it = nh_memo_.emplace(attrs, std::move(result)).first;
+  } else {
+    it->second = std::move(result);
   }
   return it->second;
 }
@@ -289,6 +315,7 @@ std::optional<bgp::AttrsPtr> VRouter::export_route(bgp::PeerId to,
         nh = rnb->virtual_ip;
       }
       // else: already a virtual IP (off-backbone PoP) or locally originated.
+      obs_fanout_exports_->inc();
       return remap_next_hop(route.attrs, nh);
     }
     case PeerKind::kNeighbor: {
@@ -393,29 +420,97 @@ std::string VRouter::show_route(const Ipv4Prefix& prefix) const {
   return out.str();
 }
 
+void VRouter::publish_metrics(obs::Registry& registry) const {
+  auto i64 = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  obs::Labels labels{{"pop", config_.pop_id}, {"router", config_.name}};
+  const FibAccounting fa = registry_.fib_accounting();
+  registry.gauge("vbgp_fib_shared_bytes", labels)->set(i64(fa.shared_bytes));
+  registry.gauge("vbgp_fib_flat_bytes", labels)->set(i64(fa.flat_bytes));
+  registry.gauge("vbgp_fib_routes", labels)->set(i64(fa.routes));
+  registry.gauge("vbgp_fib_unique_prefixes", labels)
+      ->set(i64(fa.unique_prefixes));
+  registry.gauge("vbgp_fib_views", labels)->set(i64(fa.views));
+  registry.gauge("vbgp_neighbors", labels)->set(i64(registry_.size()));
+  registry.gauge("vbgp_mux_entries", labels)->set(i64(mux_entries_.size()));
+  // Mirror the authoritative data-plane struct counters as gauges: the
+  // one-off snapshot path (telemetry off, show_summary) still sees them.
+  registry.gauge("vbgp_frames_demuxed", labels)
+      ->set(i64(stats_.frames_demuxed));
+  registry.gauge("vbgp_frames_to_experiments", labels)
+      ->set(i64(stats_.frames_to_experiments));
+  registry.gauge("vbgp_enforcement_drops", labels)
+      ->set(i64(stats_.packets_enforcement_drop));
+  registry.gauge("vbgp_no_fib_route", labels)
+      ->set(i64(stats_.packets_no_fib_route));
+  registry.gauge("vbgp_arp_virtual_replies", labels)
+      ->set(i64(stats_.arp_virtual_replies));
+  for (const auto& [experiment, account] : accounting_) {
+    obs::Labels exp_labels = labels;
+    exp_labels.emplace_back("experiment", experiment);
+    registry.gauge("vbgp_experiment_egress_bytes", exp_labels)
+        ->set(i64(account.egress_bytes));
+    registry.gauge("vbgp_experiment_ingress_bytes", exp_labels)
+        ->set(i64(account.ingress_bytes));
+  }
+}
+
+obs::Snapshot VRouter::metrics_snapshot() const {
+  // Telemetry on: the installed registry already holds the live counters
+  // and this router's (and its speaker's) collectors. Telemetry off: build
+  // the same document from the collectors alone against a local registry.
+  if (metrics_->enabled()) return metrics_->snapshot(loop_->now());
+  obs::Registry local;
+  speaker_.publish_metrics(local);
+  publish_metrics(local);
+  return local.snapshot(loop_->now());
+}
+
 std::string VRouter::show_summary() const {
+  // Rendered from the one snapshot API rather than by poking each
+  // subsystem: what the looking glass prints is exactly what a telemetry
+  // consumer would scrape.
+  const obs::Snapshot snap = metrics_snapshot();
+  const obs::Labels bgp{{"speaker", config_.name}};
+  const obs::Labels vr{{"pop", config_.pop_id}, {"router", config_.name}};
+  auto pct = [](std::int64_t hits, std::int64_t misses) {
+    std::int64_t total = hits + misses;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  };
+
   std::ostringstream out;
   out << config_.name << " (AS" << config_.asn << ", " << config_.pop_id
       << ")\n";
-  out << "  loc-rib: " << speaker_.loc_rib().route_count() << " paths, "
-      << speaker_.loc_rib().prefix_count() << " prefixes\n";
-  const bgp::AttrPool& pool = speaker_.attr_pool();
-  const auto& ps = pool.stats();
-  out << "  attr pool: " << pool.size() << " sets, "
-      << pool.memory_bytes() / 1024 << " KiB, " << std::fixed
-      << std::setprecision(1) << ps.intern_hit_rate() * 100.0 << "% hit\n";
-  out << "  encode cache: " << pool.encode_cache_bytes() / 1024 << " KiB, "
-      << std::fixed << std::setprecision(1) << ps.encode_hit_rate() * 100.0
+  out << "  loc-rib: " << snap.value("bgp_locrib_paths", bgp) << " paths, "
+      << snap.value("bgp_locrib_prefixes", bgp) << " prefixes\n";
+  out << "  attr pool: " << snap.value("bgp_attr_pool_sets", bgp) << " sets, "
+      << snap.value("bgp_attr_pool_bytes", bgp) / 1024 << " KiB, "
+      << std::fixed << std::setprecision(1)
+      << pct(snap.value("bgp_attr_intern_hits", bgp),
+             snap.value("bgp_attr_intern_misses", bgp))
       << "% hit\n";
-  const FibAccounting fa = registry_.fib_accounting();
-  out << "  neighbors: " << registry_.size() << " (" << fa.routes
-      << " FIB routes, " << fa.unique_prefixes << " unique prefixes)\n";
-  out << "  fib store: " << fa.shared_bytes / 1024 << " KiB shared, "
-      << fa.flat_bytes / 1024 << " KiB flat-equivalent, " << std::fixed
-      << std::setprecision(1) << fa.dedup_factor() << "x dedup\n";
-  out << "  data plane: " << stats_.frames_demuxed << " demuxed, "
-      << stats_.frames_to_experiments << " to experiments, "
-      << stats_.packets_enforcement_drop << " enforcement drops\n";
+  out << "  encode cache: "
+      << snap.value("bgp_attr_encode_cache_bytes", bgp) / 1024 << " KiB, "
+      << std::fixed << std::setprecision(1)
+      << pct(snap.value("bgp_attr_encode_hits", bgp),
+             snap.value("bgp_attr_encode_misses", bgp))
+      << "% hit\n";
+  const std::int64_t shared = snap.value("vbgp_fib_shared_bytes", vr);
+  const std::int64_t flat = snap.value("vbgp_fib_flat_bytes", vr);
+  out << "  neighbors: " << snap.value("vbgp_neighbors", vr) << " ("
+      << snap.value("vbgp_fib_routes", vr) << " FIB routes, "
+      << snap.value("vbgp_fib_unique_prefixes", vr)
+      << " unique prefixes)\n";
+  out << "  fib store: " << shared / 1024 << " KiB shared, " << flat / 1024
+      << " KiB flat-equivalent, " << std::fixed << std::setprecision(1)
+      << (shared == 0 ? 1.0
+                      : static_cast<double>(flat) /
+                            static_cast<double>(shared))
+      << "x dedup\n";
+  out << "  data plane: " << snap.value("vbgp_frames_demuxed", vr)
+      << " demuxed, " << snap.value("vbgp_frames_to_experiments", vr)
+      << " to experiments, " << snap.value("vbgp_enforcement_drops", vr)
+      << " enforcement drops\n";
   return out.str();
 }
 
@@ -456,6 +551,7 @@ void VRouter::handle_arp(int if_index, const ether::ArpMessage& msg) {
              ether::make_frame(msg.sender_mac, nb->virtual_mac,
                                ether::EtherType::kArp, reply.encode()));
   ++stats_.arp_virtual_replies;
+  obs_arp_replies_->inc();
 }
 
 void VRouter::handle_frame(int if_index, const ether::EthernetFrame& frame) {
@@ -475,6 +571,7 @@ void VRouter::handle_frame(int if_index, const ether::EthernetFrame& frame) {
   // Per-packet route delegation: the destination MAC selects the neighbor
   // whose routing table forwards this packet (§3.2.2).
   if (VirtualNeighbor* nb = registry_.by_mac(frame.dst)) {
+    obs_demux_mac_hits_->inc();
     egress_from_experiment(if_index, *nb, std::move(*packet));
     return;
   }
@@ -484,6 +581,7 @@ void VRouter::handle_frame(int if_index, const ether::EthernetFrame& frame) {
     return;
   }
 
+  obs_demux_mac_misses_->inc();
   deliver_toward_experiment(if_index, frame, std::move(*packet));
 }
 
@@ -497,6 +595,7 @@ void VRouter::egress_from_experiment(int in_if, VirtualNeighbor& neighbor,
         data_enforcer_->check(exp.value_or("<unknown>"), wire, loop_->now());
     if (action == enforce::FilterAction::kDrop) {
       ++stats_.packets_enforcement_drop;
+      obs_enforcement_drops_->inc();
       return;
     }
   }
@@ -511,10 +610,12 @@ void VRouter::egress_from_experiment(int in_if, VirtualNeighbor& neighbor,
   auto route = neighbor.fib.lookup(packet.dst);
   if (!route) {
     ++stats_.packets_no_fib_route;
+    obs_no_route_->inc();
     send_icmp_error(in_if, packet, ip::make_unreachable(packet, 0));
     return;
   }
   ++stats_.frames_demuxed;
+  obs_frames_demuxed_->inc();
   if (trace_) {
     trace_->record(loop_->now(), "demux",
                    exp.value_or("?") + " -> " + neighbor.name + " dst=" +
@@ -559,6 +660,7 @@ void VRouter::deliver_toward_experiment(int in_if,
     return;
   }
   ++stats_.frames_to_experiments;
+  obs_frames_to_exp_->inc();
   if (trace_) {
     trace_->record(loop_->now(), "deliver",
                    entry.experiment_id + " <- " + src_mac.str() + " dst=" +

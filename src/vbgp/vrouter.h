@@ -32,6 +32,7 @@
 #include "enforce/control_policy.h"
 #include "enforce/data_enforcer.h"
 #include "ip/host.h"
+#include "obs/metrics.h"
 #include "sim/trace.h"
 #include "vbgp/communities.h"
 #include "vbgp/neighbor_registry.h"
@@ -98,6 +99,7 @@ struct TrafficAccount {
 class VRouter : public ip::Host {
  public:
   VRouter(sim::EventLoop* loop, const VRouterConfig& config);
+  ~VRouter() override;
 
   const VRouterConfig& config() const { return config_; }
   bgp::BgpSpeaker& speaker() { return speaker_; }
@@ -177,6 +179,17 @@ class VRouter : public ip::Host {
   std::string show_neighbors() const;
   std::string show_route(const Ipv4Prefix& prefix) const;
   std::string show_summary() const;
+
+  /// Publishes this router's derived state (FIB accounting, per-experiment
+  /// traffic attribution, mux size) into `registry` as gauges. Registered
+  /// as a snapshot-time collector on the router's own registry; callable
+  /// against any registry for one-off renders (show_summary uses it).
+  void publish_metrics(obs::Registry& registry) const;
+
+  /// One deterministic snapshot covering this router and its speaker:
+  /// per-neighbor update counters, enforcement totals, FIB shared/flat
+  /// bytes — the §6 operational-load surface in a single document.
+  obs::Snapshot metrics_snapshot() const;
 
  protected:
   void handle_frame(int if_index, const ether::EthernetFrame& frame) override;
@@ -269,6 +282,20 @@ class VRouter : public ip::Host {
       real_next_hops_;
 
   VRouterStats stats_;
+
+  /// Telemetry handles, resolved once at construction (no-ops when off).
+  obs::Registry* metrics_;
+  obs::Counter* obs_frames_demuxed_;
+  obs::Counter* obs_frames_to_exp_;
+  obs::Counter* obs_enforcement_drops_;
+  obs::Counter* obs_no_route_;
+  obs::Counter* obs_arp_replies_;
+  obs::Counter* obs_demux_mac_hits_;
+  obs::Counter* obs_demux_mac_misses_;
+  obs::Counter* obs_fanout_exports_;
+  obs::Counter* obs_nh_rewrites_;
+  obs::Counter* obs_nh_memo_hits_;
+  std::uint64_t collector_token_ = 0;
 };
 
 }  // namespace peering::vbgp

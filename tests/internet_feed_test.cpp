@@ -125,8 +125,9 @@ TEST(InternetFeed, FeedsNeighborsWithPolicyCorrectTables) {
   EXPECT_EQ(outside[0].neighbor_name, "transit-3000");
   // The peer's path to the cone prefix is the direct customer route.
   for (const auto& view : client.routes(pfx("192.0.1.0/24"))) {
-    if (view.neighbor_name == "peer-4000")
+    if (view.neighbor_name == "peer-4000") {
       EXPECT_EQ(view.as_path.flatten(), (std::vector<bgp::Asn>{4000, 4001}));
+    }
   }
 }
 

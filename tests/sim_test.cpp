@@ -60,8 +60,9 @@ TEST(EventLoop, InterleavedTimesKeepPerTimestampFifo) {
   ASSERT_EQ(order.size(), 50u);
   for (std::size_t k = 1; k < order.size(); ++k) {
     EXPECT_LE(order[k - 1].first, order[k].first);
-    if (order[k - 1].first == order[k].first)
+    if (order[k - 1].first == order[k].first) {
       EXPECT_LT(order[k - 1].second, order[k].second);
+    }
   }
 }
 

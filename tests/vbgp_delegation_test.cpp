@@ -6,6 +6,8 @@
 // enforcement planes.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "bgp/speaker.h"
 #include "enforce/control_policy.h"
 #include "enforce/data_enforcer.h"
@@ -123,13 +125,13 @@ class DelegationTest : public ::testing::Test {
     g1.allocated_prefixes = {pfx("184.164.224.0/24")};
     g1.allowed_origin_asns = {kX1Asn};
     control_.set_grant(g1);
-    data_.install(g1);
+    if (!data_.install(g1).ok()) std::abort();
     enforce::ExperimentGrant g2;
     g2.experiment_id = "x2";
     g2.allocated_prefixes = {pfx("184.164.230.0/24")};
     g2.allowed_origin_asns = {kX2Asn};
     control_.set_grant(g2);
-    data_.install(g2);
+    if (!data_.install(g2).ok()) std::abort();
     e1_.set_control_enforcer(&control_);
     e1_.set_data_enforcer(&data_);
 

@@ -10,9 +10,12 @@ Metric specs say which direction is "worse":
 
     --metric fig6a_memory:ablation_dedup_factor:higher
     --metric fig6b_cpu:lookup_fibview_ns:lower
+    --metric fig6b_cpu:obs_updates_in:exact
 
 "higher" means larger values are better (a drop beyond tolerance fails);
-"lower" means smaller values are better (a rise beyond tolerance fails).
+"lower" means smaller values are better (a rise beyond tolerance fails);
+"exact" is for deterministic metrics (counts, not timings): any difference
+from the baseline fails regardless of tolerance.
 
 Usage:
     tools/bench_check.py --fresh-dir build/bench \\
@@ -36,12 +39,28 @@ def load_report(path):
         sys.exit(f"bench_check: malformed JSON in {path}: {exc}")
 
 
+def numeric_metrics(report):
+    """Names of the gateable (numeric, non-note) metrics in a report."""
+    return sorted(
+        key
+        for key, value in report.items()
+        if key != "bench" and isinstance(value, (int, float))
+    )
+
+
+def describe_available(kind, report):
+    names = numeric_metrics(report)
+    if not names:
+        return f"{kind} has no numeric metrics"
+    return f"{kind} metrics present: {', '.join(names)}"
+
+
 def parse_spec(spec):
     parts = spec.split(":")
-    if len(parts) != 3 or parts[2] not in ("higher", "lower"):
+    if len(parts) != 3 or parts[2] not in ("higher", "lower", "exact"):
         sys.exit(
             f"bench_check: bad --metric spec '{spec}' "
-            "(want <bench>:<metric>:higher|lower)"
+            "(want <bench>:<metric>:higher|lower|exact)"
         )
     return parts[0], parts[1], parts[2]
 
@@ -84,21 +103,57 @@ def main():
         baseline = load_report(os.path.join(args.baselines, fname))
         fresh = load_report(os.path.join(args.fresh_dir, fname))
         if baseline is None:
-            print(f"  SKIP {bench}:{metric} (no baseline snapshot)")
+            have = sorted(
+                name
+                for name in os.listdir(args.baselines)
+                if name.startswith("BENCH_") and name.endswith(".json")
+            ) if os.path.isdir(args.baselines) else []
+            failures.append(
+                f"{bench}: no baseline {fname} in {args.baselines} "
+                f"(snapshots present: {', '.join(have) if have else 'none'}; "
+                f"run the bench and commit its BENCH_{bench}.json there)"
+            )
             continue
         if fresh is None:
             failures.append(f"{bench}: fresh {fname} not found in {args.fresh_dir}")
             continue
         if metric not in baseline:
-            failures.append(f"{bench}: metric '{metric}' missing from baseline")
+            failures.append(
+                f"{bench}: metric '{metric}' not in baseline; "
+                + describe_available("baseline", baseline)
+            )
             continue
         if metric not in fresh:
-            failures.append(f"{bench}: metric '{metric}' missing from fresh run")
+            failures.append(
+                f"{bench}: metric '{metric}' not in fresh run; "
+                + describe_available("fresh", fresh)
+            )
             continue
 
-        base_val = float(baseline[metric])
-        fresh_val = float(fresh[metric])
+        try:
+            base_val = float(baseline[metric])
+            fresh_val = float(fresh[metric])
+        except (TypeError, ValueError):
+            failures.append(
+                f"{bench}: metric '{metric}' is not numeric "
+                f"(baseline={baseline[metric]!r}, fresh={fresh[metric]!r}); "
+                + describe_available("baseline", baseline)
+            )
+            continue
         checked += 1
+        if direction == "exact":
+            # Deterministic metrics (counts, not timings): any drift fails.
+            status = "ok" if fresh_val == base_val else "FAIL"
+            print(
+                f"  {status:4s} {bench}:{metric} baseline={base_val:g} "
+                f"fresh={fresh_val:g} (must match exactly)"
+            )
+            if status == "FAIL":
+                failures.append(
+                    f"{bench}:{metric} deterministic metric drifted: "
+                    f"baseline={base_val:g} fresh={fresh_val:g}"
+                )
+            continue
         if base_val == 0:
             print(f"  SKIP {bench}:{metric} (baseline is zero)")
             continue
