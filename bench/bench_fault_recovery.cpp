@@ -1,0 +1,183 @@
+// Fault-recovery benchmark: measures the control-plane cost of session
+// flap storms on a hub-and-spoke eBGP mesh with an ADD-PATH collector —
+// the same shape a PEERING PoP presents (many neighbor sessions feeding
+// one mux, full fan-out to experiments). Everything runs on the seeded
+// sim::EventLoop through faults::FaultInjector, so the UPDATE counts are
+// pure functions of the seed; the benchmark re-runs itself with the same
+// seed and exits non-zero if the two runs diverge, making it a
+// determinism check as well as a measurement.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bgp/speaker.h"
+#include "faults/injector.h"
+#include "sim/event_loop.h"
+
+namespace {
+
+using namespace peering;
+
+constexpr int kNeighbors = 24;
+constexpr int kPrefixesPerNeighbor = 8;
+constexpr int kStormFaults = 40;
+constexpr std::uint64_t kSeed = 20260806;
+
+struct Mesh {
+  sim::EventLoop loop;
+  bgp::BgpSpeaker hub;
+  bgp::BgpSpeaker collector;
+  std::vector<std::unique_ptr<bgp::BgpSpeaker>> neighbors;
+  faults::FaultInjector injector;
+  std::vector<bgp::BgpSpeaker*> all;
+
+  explicit Mesh(std::uint64_t seed)
+      : hub(&loop, "hub", 65000, Ipv4Address(10, 255, 0, 1)),
+        collector(&loop, "collector", 64999, Ipv4Address(10, 255, 0, 2)),
+        injector(&loop, seed) {
+    bgp::PeerId hc =
+        hub.add_peer({.name = "collector",
+                      .peer_asn = 64999,
+                      .addpath = bgp::AddPathMode::kBoth,
+                      .export_all_paths = true});
+    bgp::PeerId ch = collector.add_peer({.name = "hub",
+                                         .peer_asn = 65000,
+                                         .addpath = bgp::AddPathMode::kBoth});
+    injector.connect_session("collector", &hub, hc, &collector, ch);
+    for (int i = 0; i < kNeighbors; ++i) {
+      auto nb = std::make_unique<bgp::BgpSpeaker>(
+          &loop, "n" + std::to_string(i), bgp::Asn(65001 + i),
+          Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(1 + i)));
+      bgp::PeerId hn = hub.add_peer({.name = "n" + std::to_string(i),
+                                     .peer_asn = bgp::Asn(65001 + i)});
+      bgp::PeerId nh =
+          nb->add_peer({.name = "hub", .peer_asn = 65000});
+      injector.connect_session("n" + std::to_string(i), &hub, hn, nb.get(),
+                               nh);
+      for (int j = 0; j < kPrefixesPerNeighbor; ++j) {
+        bgp::PathAttributes attrs;
+        attrs.origin = bgp::Origin::kIgp;
+        nb->originate(
+            Ipv4Prefix(Ipv4Address(10, static_cast<std::uint8_t>(1 + i),
+                                   static_cast<std::uint8_t>(j), 0),
+                       24),
+            attrs);
+      }
+      neighbors.push_back(std::move(nb));
+    }
+    all.push_back(&hub);
+    all.push_back(&collector);
+    for (auto& nb : neighbors) all.push_back(nb.get());
+  }
+
+  bool quiesce() {
+    return faults::FaultInjector::await_quiescence(&loop, all);
+  }
+
+  std::uint64_t updates() const {
+    std::uint64_t total = 0;
+    for (const bgp::BgpSpeaker* s : all)
+      total += s->total_updates_received() + s->total_updates_sent();
+    return total;
+  }
+};
+
+struct RunResult {
+  std::uint64_t converge_updates = 0;
+  std::uint64_t flap_updates = 0;
+  std::uint64_t storm_updates = 0;
+  std::uint64_t faults_scheduled = 0;
+  std::uint64_t sim_ns = 0;
+  std::string schedule_log;
+  double wall_ms = 0;
+};
+
+RunResult run_once(std::uint64_t seed) {
+  auto wall_start = std::chrono::steady_clock::now();
+  Mesh mesh(seed);
+  RunResult r;
+
+  if (!mesh.quiesce()) {
+    std::fprintf(stderr, "FAIL: initial convergence did not quiesce\n");
+    std::exit(1);
+  }
+  r.converge_updates = mesh.updates();
+
+  // One graceful flap of a single neighbor session: the cost of losing and
+  // re-syncing one feed.
+  std::uint64_t before = mesh.updates();
+  mesh.injector.inject_session_flap("n0", mesh.loop.now(),
+                                    Duration::seconds(2),
+                                    faults::FlapKind::kGraceful);
+  if (!mesh.quiesce()) {
+    std::fprintf(stderr, "FAIL: single-flap recovery did not quiesce\n");
+    std::exit(1);
+  }
+  r.flap_updates = mesh.updates() - before;
+
+  // Randomized storm over every registered session.
+  before = mesh.updates();
+  mesh.injector.schedule_random_storm(mesh.loop.now(), Duration::seconds(60),
+                                      kStormFaults);
+  mesh.loop.run_for(Duration::seconds(60));
+  if (!mesh.quiesce()) {
+    std::fprintf(stderr, "FAIL: storm recovery did not quiesce\n");
+    std::exit(1);
+  }
+  r.storm_updates = mesh.updates() - before;
+  r.faults_scheduled = mesh.injector.faults_scheduled();
+  r.sim_ns = static_cast<std::uint64_t>(mesh.loop.now().ns());
+  r.schedule_log = mesh.injector.schedule_log();
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  RunResult first = run_once(kSeed);
+  RunResult second = run_once(kSeed);
+
+  const bool deterministic =
+      first.converge_updates == second.converge_updates &&
+      first.flap_updates == second.flap_updates &&
+      first.storm_updates == second.storm_updates &&
+      first.schedule_log == second.schedule_log;
+
+  std::printf("fault recovery bench: %d neighbors x %d prefixes, %d-fault storm\n",
+              kNeighbors, kPrefixesPerNeighbor, kStormFaults);
+  std::printf("  initial convergence   %8llu updates\n",
+              (unsigned long long)first.converge_updates);
+  std::printf("  single graceful flap  %8llu updates\n",
+              (unsigned long long)first.flap_updates);
+  std::printf("  storm + recovery      %8llu updates (%llu faults)\n",
+              (unsigned long long)first.storm_updates,
+              (unsigned long long)first.faults_scheduled);
+  std::printf("  sim time %.1fs, wall %.1fms, same-seed re-run %s\n",
+              first.sim_ns / 1e9, first.wall_ms,
+              deterministic ? "identical" : "DIVERGED");
+
+  peering::benchutil::JsonReport report("fault_recovery");
+  report.metric("neighbors", kNeighbors);
+  report.metric("prefixes_per_neighbor", kPrefixesPerNeighbor);
+  report.metric("converge_updates", (double)first.converge_updates);
+  report.metric("flap_recovery_updates", (double)first.flap_updates);
+  report.metric("storm_faults", (double)first.faults_scheduled);
+  report.metric("storm_updates", (double)first.storm_updates);
+  report.metric("sim_seconds", first.sim_ns / 1e9);
+  report.metric("deterministic", deterministic ? 1 : 0);
+  report.metric("wall_ms", first.wall_ms);
+  std::printf("  wrote %s\n", report.write().c_str());
+
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: same-seed runs diverged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,17 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo "=== ctest: asan-ubsan preset ==="
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 
+echo "=== faults-soak: chaos scenarios under 3 fixed seeds, both presets ==="
+# The chaos soak re-runs every fault scenario (and the flap-storm
+# differential check) per seed; the asan-ubsan pass catches lifetime bugs in
+# the sever/reconnect paths that a clean run would miss.
+PEERING_SOAK_SEEDS="11,23,37" ./build/tests/fault_injection_test
+PEERING_SOAK_SEEDS="11,23,37" ./build-asan/tests/fault_injection_test
+
+echo "=== bench: fault recovery (self-checking determinism) ==="
+# Exits non-zero if two same-seed runs diverge, so running it is the check.
+(cd build/bench && ./bench_fault_recovery)
+
 echo "=== bench regression gate: fig6a memory ==="
 # The ablation cross-checks FibView vs RoutingTable LPM answers and exits
 # non-zero below the 4x dedup target, so running it is itself a check.

@@ -18,7 +18,7 @@ BackboneFabric::~BackboneFabric() {
 
 Circuit& BackboneFabric::provision(vbgp::VRouter& a, vbgp::VRouter& b,
                                    std::uint64_t capacity_bps,
-                                   Duration latency) {
+                                   Duration latency, bool wire_bgp) {
   auto circuit = std::make_unique<Circuit>();
   circuit->pop_a = a.config().name;
   circuit->pop_b = b.config().name;
@@ -59,9 +59,11 @@ Circuit& BackboneFabric::provision(vbgp::VRouter& a, vbgp::VRouter& b,
                                             .local_address = circuit->addr_b,
                                             .remote_address = circuit->addr_a,
                                             .interface = circuit->if_b});
-  auto streams = sim::StreamChannel::make(loop_, latency);
-  a.speaker().connect_peer(circuit->peer_at_a, streams.a);
-  b.speaker().connect_peer(circuit->peer_at_b, streams.b);
+  if (wire_bgp) {
+    auto streams = sim::StreamChannel::make(loop_, latency);
+    a.speaker().connect_peer(circuit->peer_at_a, streams.a);
+    b.speaker().connect_peer(circuit->peer_at_b, streams.b);
+  }
 
   circuits_.push_back(std::move(circuit));
   return *circuits_.back();

@@ -46,8 +46,12 @@ class BackboneFabric {
   /// attaches promiscuous interfaces with point-to-point addressing from
   /// 10.100.<circuit>.0/30, establishes the iBGP session over a stream, and
   /// records path properties. Routers are keyed by their config name.
+  /// With `wire_bgp` false the iBGP peers are registered but no transport
+  /// is connected — the caller owns the session wiring (the fault harness
+  /// does this so it can sever and rebuild backbone sessions).
   Circuit& provision(vbgp::VRouter& a, vbgp::VRouter& b,
-                     std::uint64_t capacity_bps, Duration latency);
+                     std::uint64_t capacity_bps, Duration latency,
+                     bool wire_bgp = true);
 
   const std::vector<std::unique_ptr<Circuit>>& circuits() const {
     return circuits_;

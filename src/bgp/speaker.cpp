@@ -73,6 +73,7 @@ struct BgpSpeaker::Session {
   /// this, a full-table burst enqueues one 90-second timer per UPDATE and
   /// the event heap drowns in stale no-ops.
   SimTime hold_deadline;
+  SimTime hold_check_at;
   bool hold_scheduled = false;
 };
 
@@ -133,6 +134,13 @@ SessionState BgpSpeaker::session_state(PeerId peer) const {
 
 bool BgpSpeaker::is_ibgp(PeerId peer) const {
   return sessions_.at(peer)->config.peer_asn == asn_;
+}
+
+std::vector<PeerId> BgpSpeaker::peer_ids() const {
+  std::vector<PeerId> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
 }
 
 const AdjRibIn& BgpSpeaker::adj_rib_in(PeerId peer) const {
@@ -682,13 +690,19 @@ void BgpSpeaker::arm_hold_timer(PeerId peer) {
     return;
   }
   s.hold_deadline = loop_->now() + Duration::seconds(s.negotiated_hold);
-  if (s.hold_scheduled) return;  // the live check below honors the refresh
+  // A pending check that fires at or after the deadline honors the refresh
+  // by chasing. A check queued for *later* than the new deadline cannot —
+  // that happens when OPEN negotiation shrinks the hold time below the
+  // pre-negotiation default — so supersede it with an earlier one.
+  if (s.hold_scheduled && s.hold_check_at <= s.hold_deadline) return;
   s.hold_scheduled = true;
   schedule_hold_check(peer, ++s.hold_gen);
 }
 
 void BgpSpeaker::schedule_hold_check(PeerId peer, std::uint64_t gen) {
-  loop_->schedule_at(sessions_.at(peer)->hold_deadline, [this, peer, gen]() {
+  Session& s = *sessions_.at(peer);
+  s.hold_check_at = s.hold_deadline;
+  loop_->schedule_at(s.hold_deadline, [this, peer, gen]() {
     auto it = sessions_.find(peer);
     if (it == sessions_.end()) return;
     Session& session = *it->second;

@@ -131,6 +131,10 @@ class BgpSpeaker {
   SessionState session_state(PeerId peer) const;
   bool is_ibgp(PeerId peer) const;
 
+  /// Every registered peer id, ascending. The fault harness iterates this
+  /// to sweep session state without knowing how peers were created.
+  std::vector<PeerId> peer_ids() const;
+
   /// Binds an established transport to the peer and starts the FSM (sends
   /// OPEN immediately).
   void connect_peer(PeerId peer, std::shared_ptr<sim::StreamEndpoint> stream);

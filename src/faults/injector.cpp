@@ -1,0 +1,346 @@
+#include "faults/injector.h"
+
+#include <sstream>
+
+#include "netbase/log.h"
+
+namespace peering::faults {
+
+namespace {
+
+std::string ns_str(Duration d) { return std::to_string(d.ns()); }
+
+}  // namespace
+
+const char* flap_kind_name(FlapKind kind) {
+  switch (kind) {
+    case FlapKind::kGraceful:
+      return "graceful";
+    case FlapKind::kTcpReset:
+      return "tcp_reset";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(sim::EventLoop* loop, std::uint64_t seed)
+    : loop_(loop), rng_(seed), metrics_(obs::Registry::global()) {}
+
+void FaultInjector::register_link(const std::string& name, sim::Link* link) {
+  if (links_.emplace(name, link).second) link_names_.push_back(name);
+}
+
+void FaultInjector::connect_session(const std::string& name,
+                                    bgp::BgpSpeaker* speaker_a,
+                                    bgp::PeerId peer_a,
+                                    bgp::BgpSpeaker* speaker_b,
+                                    bgp::PeerId peer_b, Duration latency) {
+  SessionTarget target;
+  target.name = name;
+  target.speaker_a = speaker_a;
+  target.peer_a = peer_a;
+  target.speaker_b = speaker_b;
+  target.peer_b = peer_b;
+  target.latency = latency;
+  target.ends = sim::StreamChannel::make(loop_, latency);
+  speaker_a->connect_peer(peer_a, target.ends.a);
+  speaker_b->connect_peer(peer_b, target.ends.b);
+  if (sessions_.emplace(name, std::move(target)).second)
+    session_names_.push_back(name);
+}
+
+void FaultInjector::register_router(const std::string& name,
+                                    vbgp::VRouter* router) {
+  if (routers_.emplace(name, router).second) router_names_.push_back(name);
+}
+
+FaultInjector::SessionTarget& FaultInjector::session(const std::string& name) {
+  return sessions_.at(name);
+}
+
+sim::Link& FaultInjector::link(const std::string& name) {
+  return *links_.at(name);
+}
+
+std::uint64_t FaultInjector::sever(SessionTarget& target, FlapKind kind,
+                                   bool reset_side_a) {
+  ++target.generation;
+  switch (kind) {
+    case FlapKind::kGraceful:
+      target.speaker_a->disconnect_peer(target.peer_a);
+      target.speaker_b->disconnect_peer(target.peer_b);
+      break;
+    case FlapKind::kTcpReset: {
+      // Closing one endpoint notifies only the remote side; the speaker
+      // holding the closed end keeps believing the session is up until its
+      // hold timer expires (or the reconnect below resets it).
+      auto& end = reset_side_a ? target.ends.a : target.ends.b;
+      if (end && end->open()) end->close();
+      break;
+    }
+  }
+  return target.generation;
+}
+
+void FaultInjector::reconnect(SessionTarget& target) {
+  // Flush any half-open state first (no-op on an Idle session); the old
+  // stream is gone, so the CEASE goes nowhere.
+  target.speaker_a->disconnect_peer(target.peer_a);
+  target.speaker_b->disconnect_peer(target.peer_b);
+  target.ends = sim::StreamChannel::make(loop_, target.latency);
+  target.speaker_a->connect_peer(target.peer_a, target.ends.a);
+  target.speaker_b->connect_peer(target.peer_b, target.ends.b);
+}
+
+void FaultInjector::fired(const char* kind, const std::string& target) {
+  metrics_->counter("faults_injected_total", {{"kind", kind}})->inc();
+  metrics_->trace().emit(loop_->now(), "faults", kind, {{"target", target}});
+}
+
+void FaultInjector::log_scheduled(SimTime at, const std::string& kind,
+                                  const std::string& target,
+                                  const std::string& params) {
+  std::ostringstream line;
+  line << "t=" << at.ns() << " kind=" << kind << " target=" << target;
+  if (!params.empty()) line << " " << params;
+  line << "\n";
+  schedule_log_ += line.str();
+  ++faults_scheduled_;
+}
+
+void FaultInjector::inject_link_loss(const std::string& name, SimTime at,
+                                     Duration duration, double probability) {
+  const std::uint64_t seed_a = rng_.next();
+  const std::uint64_t seed_b = rng_.next();
+  const std::uint64_t gen = ++link_gen_[name];
+  log_scheduled(at, "link_loss", name,
+                "p=" + std::to_string(probability) +
+                    " dur=" + ns_str(duration));
+  loop_->schedule_at(at, [this, name, probability, seed_a, seed_b]() {
+    sim::Link& l = link(name);
+    sim::LinkImpairments imp;
+    imp.drop_probability = probability;
+    imp.seed = seed_a;
+    l.a_to_b().set_impairments(imp);
+    imp.seed = seed_b;
+    l.b_to_a().set_impairments(imp);
+    fired("link_loss", name);
+  });
+  loop_->schedule_at(at + duration, [this, name, gen]() {
+    if (link_gen_[name] != gen) return;
+    link(name).a_to_b().clear_impairments();
+    link(name).b_to_a().clear_impairments();
+    fired("link_restore", name);
+  });
+}
+
+void FaultInjector::inject_link_corruption(const std::string& name, SimTime at,
+                                           Duration duration,
+                                           double probability) {
+  const std::uint64_t seed_a = rng_.next();
+  const std::uint64_t seed_b = rng_.next();
+  const std::uint64_t gen = ++link_gen_[name];
+  log_scheduled(at, "link_corrupt", name,
+                "p=" + std::to_string(probability) +
+                    " dur=" + ns_str(duration));
+  loop_->schedule_at(at, [this, name, probability, seed_a, seed_b]() {
+    sim::Link& l = link(name);
+    sim::LinkImpairments imp;
+    imp.corrupt_probability = probability;
+    imp.seed = seed_a;
+    l.a_to_b().set_impairments(imp);
+    imp.seed = seed_b;
+    l.b_to_a().set_impairments(imp);
+    fired("link_corrupt", name);
+  });
+  loop_->schedule_at(at + duration, [this, name, gen]() {
+    if (link_gen_[name] != gen) return;
+    link(name).a_to_b().clear_impairments();
+    link(name).b_to_a().clear_impairments();
+    fired("link_restore", name);
+  });
+}
+
+void FaultInjector::inject_link_jitter(const std::string& name, SimTime at,
+                                       Duration duration, Duration jitter) {
+  const std::uint64_t seed_a = rng_.next();
+  const std::uint64_t seed_b = rng_.next();
+  const std::uint64_t gen = ++link_gen_[name];
+  log_scheduled(at, "link_jitter", name,
+                "jitter=" + ns_str(jitter) + " dur=" + ns_str(duration));
+  loop_->schedule_at(at, [this, name, jitter, seed_a, seed_b]() {
+    sim::Link& l = link(name);
+    sim::LinkImpairments imp;
+    imp.jitter = jitter;
+    imp.seed = seed_a;
+    l.a_to_b().set_impairments(imp);
+    imp.seed = seed_b;
+    l.b_to_a().set_impairments(imp);
+    fired("link_jitter", name);
+  });
+  loop_->schedule_at(at + duration, [this, name, gen]() {
+    if (link_gen_[name] != gen) return;
+    link(name).a_to_b().clear_impairments();
+    link(name).b_to_a().clear_impairments();
+    fired("link_restore", name);
+  });
+}
+
+void FaultInjector::inject_queue_shrink(const std::string& name, SimTime at,
+                                        Duration duration,
+                                        std::size_t queue_bytes) {
+  const std::uint64_t gen = ++link_gen_[name];
+  log_scheduled(at, "queue_shrink", name,
+                "bytes=" + std::to_string(queue_bytes) +
+                    " dur=" + ns_str(duration));
+  loop_->schedule_at(at, [this, name, queue_bytes]() {
+    sim::Link& l = link(name);
+    l.a_to_b().set_queue_limit(queue_bytes);
+    l.b_to_a().set_queue_limit(queue_bytes);
+    fired("queue_shrink", name);
+  });
+  loop_->schedule_at(at + duration, [this, name, gen]() {
+    if (link_gen_[name] != gen) return;
+    sim::Link& l = link(name);
+    l.a_to_b().set_queue_limit(l.config().queue_limit_bytes);
+    l.b_to_a().set_queue_limit(l.config().queue_limit_bytes);
+    fired("link_restore", name);
+  });
+}
+
+void FaultInjector::inject_session_flap(const std::string& name, SimTime at,
+                                        Duration down_for, FlapKind kind) {
+  const bool reset_side_a = rng_.chance(0.5);
+  log_scheduled(at, std::string("flap_") + flap_kind_name(kind), name,
+                "down_for=" + ns_str(down_for) +
+                    " side=" + (reset_side_a ? "a" : "b"));
+  loop_->schedule_at(at, [this, name, down_for, kind, reset_side_a]() {
+    SessionTarget& target = session(name);
+    const std::uint64_t gen = sever(target, kind, reset_side_a);
+    fired(kind == FlapKind::kGraceful ? "flap_graceful" : "flap_tcp_reset",
+          name);
+    loop_->schedule_after(down_for, [this, name, gen]() {
+      SessionTarget& t = session(name);
+      if (t.generation != gen) return;  // superseded by a later fault
+      reconnect(t);
+      fired("session_reconnect", name);
+    });
+  });
+}
+
+void FaultInjector::inject_router_restart(const std::string& name, SimTime at,
+                                          Duration down_for) {
+  log_scheduled(at, "router_restart", name, "down_for=" + ns_str(down_for));
+  loop_->schedule_at(at, [this, name, down_for]() {
+    vbgp::VRouter* router = routers_.at(name);
+    bgp::BgpSpeaker* speaker = &router->speaker();
+    std::vector<std::pair<std::string, std::uint64_t>> severed;
+    for (const std::string& sname : session_names_) {
+      SessionTarget& target = session(sname);
+      if (target.speaker_a != speaker && target.speaker_b != speaker)
+        continue;
+      // A crash resets the router's own TCP end: the surviving speaker
+      // observes its stream close one latency later (closing both ends
+      // would suppress the remote close notification entirely).
+      ++target.generation;
+      auto& own_end =
+          target.speaker_a == speaker ? target.ends.a : target.ends.b;
+      if (own_end && own_end->open()) own_end->close();
+      // The restarting router forgets its sessions immediately.
+      bgp::PeerId own = target.speaker_a == speaker ? target.peer_a
+                                                    : target.peer_b;
+      speaker->disconnect_peer(own);
+      severed.emplace_back(sname, target.generation);
+    }
+    fired("router_restart", name);
+    loop_->schedule_after(down_for, [this, name, severed]() {
+      for (const auto& [sname, gen] : severed) {
+        SessionTarget& t = session(sname);
+        if (t.generation != gen) continue;
+        reconnect(t);
+        fired("session_reconnect", sname);
+      }
+      fired("router_up", name);
+    });
+  });
+}
+
+void FaultInjector::schedule_random_storm(SimTime start, Duration window,
+                                          int count) {
+  enum Kind {
+    kLoss,
+    kCorrupt,
+    kJitter,
+    kQueue,
+    kFlapGraceful,
+    kFlapReset,
+    kRestart
+  };
+  std::vector<Kind> kinds;
+  if (!link_names_.empty()) {
+    kinds.insert(kinds.end(), {kLoss, kCorrupt, kJitter, kQueue});
+  }
+  if (!session_names_.empty()) {
+    kinds.insert(kinds.end(), {kFlapGraceful, kFlapReset});
+  }
+  if (!router_names_.empty()) kinds.push_back(kRestart);
+  if (kinds.empty() || count <= 0) return;
+
+  for (int i = 0; i < count; ++i) {
+    const SimTime at =
+        start + Duration::nanos(static_cast<std::int64_t>(
+                    rng_.below(static_cast<std::uint64_t>(window.ns()))));
+    switch (kinds[rng_.below(kinds.size())]) {
+      case kLoss:
+        inject_link_loss(link_names_[rng_.below(link_names_.size())], at,
+                         Duration::seconds(1 + rng_.below(10)),
+                         0.05 + rng_.uniform() * 0.4);
+        break;
+      case kCorrupt:
+        inject_link_corruption(link_names_[rng_.below(link_names_.size())],
+                               at, Duration::seconds(1 + rng_.below(10)),
+                               0.02 + rng_.uniform() * 0.2);
+        break;
+      case kJitter:
+        inject_link_jitter(link_names_[rng_.below(link_names_.size())], at,
+                           Duration::seconds(1 + rng_.below(10)),
+                           Duration::millis(1 + rng_.below(50)));
+        break;
+      case kQueue:
+        inject_queue_shrink(link_names_[rng_.below(link_names_.size())], at,
+                            Duration::seconds(1 + rng_.below(10)),
+                            512 * (1 + rng_.below(8)));
+        break;
+      case kFlapGraceful:
+        inject_session_flap(session_names_[rng_.below(session_names_.size())],
+                            at, Duration::seconds(1 + rng_.below(20)),
+                            FlapKind::kGraceful);
+        break;
+      case kFlapReset:
+        inject_session_flap(session_names_[rng_.below(session_names_.size())],
+                            at, Duration::seconds(1 + rng_.below(20)),
+                            FlapKind::kTcpReset);
+        break;
+      case kRestart:
+        inject_router_restart(router_names_[rng_.below(router_names_.size())],
+                              at, Duration::seconds(1 + rng_.below(20)));
+        break;
+    }
+  }
+}
+
+bool FaultInjector::await_quiescence(
+    sim::EventLoop* loop, const std::vector<bgp::BgpSpeaker*>& speakers,
+    Duration window, int max_windows) {
+  std::uint64_t previous = ~0ull;
+  for (int i = 0; i < max_windows; ++i) {
+    loop->run_for(window);
+    std::uint64_t total = 0;
+    for (const bgp::BgpSpeaker* s : speakers)
+      total += s->total_updates_received() + s->total_updates_sent();
+    if (total == previous) return true;
+    previous = total;
+  }
+  return false;
+}
+
+}  // namespace peering::faults

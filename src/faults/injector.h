@@ -1,0 +1,162 @@
+// Seeded, deterministic fault injection for the simulated PEERING platform.
+// The injector owns the mapping from names to fault targets — links, BGP
+// sessions (whose stream transports it wires itself, so it can sever and
+// rebuild them), and whole vBGP routers — and schedules scripted or
+// randomized fault scenarios on the shared sim::EventLoop:
+//
+//   * per-direction link loss / corruption / latency jitter (sim::Link
+//     impairments), drop-tail queue shrink;
+//   * BGP session flaps: graceful (CEASE + reconnect) and abrupt TCP reset
+//     (one side's stream closes; the surviving side learns via its hold
+//     timer — the lazy hold-timer path from bgp::BgpSpeaker);
+//   * backbone vBGP router restart: every registered session touching the
+//     router drops at once and reconnects after the outage.
+//
+// Determinism contract: every random draw happens at *schedule* time from
+// one splitmix64 stream seeded by the constructor, so the full fault
+// schedule — and therefore the whole run, timers and all — is a pure
+// function of (seed, registration order). Each scheduled fault appends one
+// line to schedule_log(); each fired fault emits an obs trace event and
+// bumps faults_injected_total{kind=...}. Two same-seed runs produce
+// byte-identical logs and traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/speaker.h"
+#include "netbase/rand.h"
+#include "netbase/time.h"
+#include "obs/metrics.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/stream.h"
+#include "vbgp/vrouter.h"
+
+namespace peering::faults {
+
+/// How a session flap tears the transport down.
+enum class FlapKind : std::uint8_t {
+  /// Administrative shutdown: CEASE notification, both sides drop cleanly.
+  kGraceful,
+  /// Abrupt TCP reset of one endpoint: the remote side sees the stream
+  /// close; the closing side gets no callback and discovers the outage via
+  /// hold-timer expiry.
+  kTcpReset,
+};
+
+const char* flap_kind_name(FlapKind kind);
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::EventLoop* loop, std::uint64_t seed);
+
+  /// Registers a link as a fault target. The injector never owns links.
+  void register_link(const std::string& name, sim::Link* link);
+
+  /// Creates the stream transport for an already-configured peer pair and
+  /// connects both speakers over it. The injector keeps the wiring so flap
+  /// and restart faults can sever and rebuild the session.
+  void connect_session(const std::string& name, bgp::BgpSpeaker* speaker_a,
+                       bgp::PeerId peer_a, bgp::BgpSpeaker* speaker_b,
+                       bgp::PeerId peer_b,
+                       Duration latency = Duration::millis(1));
+
+  /// Registers a vBGP router; a restart fault severs every session
+  /// registered via connect_session whose either side is this router's
+  /// speaker, then reconnects them all after the outage.
+  void register_router(const std::string& name, vbgp::VRouter* router);
+
+  // --- Scripted faults (absolute sim times; `at` may be in the future or
+  // now). Each draws any randomness it needs immediately.
+
+  /// Random loss on both directions of `link` during [at, at+duration).
+  void inject_link_loss(const std::string& link, SimTime at, Duration duration,
+                        double probability);
+  /// Random single-byte corruption on both directions.
+  void inject_link_corruption(const std::string& link, SimTime at,
+                              Duration duration, double probability);
+  /// Uniform extra per-frame delay in [0, jitter] on both directions.
+  void inject_link_jitter(const std::string& link, SimTime at,
+                          Duration duration, Duration jitter);
+  /// Shrinks the drop-tail queue bound on both directions.
+  void inject_queue_shrink(const std::string& link, SimTime at,
+                           Duration duration, std::size_t queue_bytes);
+  /// Tears the session down at `at` and reconnects it `down_for` later.
+  void inject_session_flap(const std::string& session, SimTime at,
+                           Duration down_for, FlapKind kind);
+  /// Severs every registered session touching the router at `at`; all of
+  /// them reconnect `down_for` later.
+  void inject_router_restart(const std::string& router, SimTime at,
+                             Duration down_for);
+
+  /// Draws `count` random faults across all registered targets, uniformly
+  /// placed in [start, start+window). All randomness is consumed here, so
+  /// the storm is reproducible from the constructor seed alone.
+  void schedule_random_storm(SimTime start, Duration window, int count);
+
+  /// One line per scheduled fault: "t=<ns> kind=<k> target=<t> <params>".
+  /// A pure function of (seed, registration order, inject calls).
+  const std::string& schedule_log() const { return schedule_log_; }
+  std::uint64_t faults_scheduled() const { return faults_scheduled_; }
+
+  /// Session names registered so far, in registration order.
+  const std::vector<std::string>& session_names() const {
+    return session_names_;
+  }
+
+  /// Runs the loop in `window`-sized slices until the speakers' aggregate
+  /// update counters are stable across one full window (the queue never
+  /// empties while keepalive timers re-arm, so "no update traffic" is the
+  /// quiescence signal). Returns false if `max_windows` elapse first.
+  static bool await_quiescence(sim::EventLoop* loop,
+                               const std::vector<bgp::BgpSpeaker*>& speakers,
+                               Duration window = Duration::seconds(5),
+                               int max_windows = 200);
+
+ private:
+  struct SessionTarget {
+    std::string name;
+    bgp::BgpSpeaker* speaker_a = nullptr;
+    bgp::PeerId peer_a = 0;
+    bgp::BgpSpeaker* speaker_b = nullptr;
+    bgp::PeerId peer_b = 0;
+    Duration latency;
+    sim::StreamChannel::Pair ends;
+    /// Bumped on every sever; a scheduled reconnect only fires if its
+    /// captured generation is still current (a later fault supersedes it).
+    std::uint64_t generation = 0;
+  };
+
+  SessionTarget& session(const std::string& name);
+  sim::Link& link(const std::string& name);
+  /// Tears the transport down. kGraceful drops both sides now; kTcpReset
+  /// closes one endpoint (chosen by `reset_side_a`) and leaves the other
+  /// speaker to its hold timer. Returns the new generation.
+  std::uint64_t sever(SessionTarget& target, FlapKind kind, bool reset_side_a);
+  void reconnect(SessionTarget& target);
+  void fired(const char* kind, const std::string& target);
+  void log_scheduled(SimTime at, const std::string& kind,
+                     const std::string& target, const std::string& params);
+
+  sim::EventLoop* loop_;
+  Rng rng_;
+  std::map<std::string, sim::Link*> links_;
+  std::map<std::string, SessionTarget> sessions_;
+  std::map<std::string, vbgp::VRouter*> routers_;
+  // Registration order (storm target selection indexes these).
+  std::vector<std::string> link_names_;
+  std::vector<std::string> session_names_;
+  std::vector<std::string> router_names_;
+  /// Per-link fault generation: restoring impairments/queue only applies if
+  /// no later fault re-degraded the link in the meantime.
+  std::map<std::string, std::uint64_t> link_gen_;
+  std::string schedule_log_;
+  std::uint64_t faults_scheduled_ = 0;
+  obs::Registry* metrics_;
+};
+
+}  // namespace peering::faults

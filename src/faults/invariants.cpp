@@ -1,0 +1,264 @@
+#include "faults/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netbase/rand.h"
+#include "vbgp/communities.h"
+#include "vbgp/neighbor_registry.h"
+
+namespace peering::faults {
+
+namespace {
+
+const Ipv4Prefix kLocalPool(vbgp::kLocalPoolBase, 16);
+const Ipv4Prefix kGlobalPool(vbgp::kGlobalPoolBase, 16);
+
+std::string series_key(const obs::SeriesData& series) {
+  std::string key = series.name;
+  for (const auto& [k, v] : series.labels) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+void InvariantReport::merge(const InvariantReport& other) {
+  checks += other.checks;
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+std::string InvariantReport::str() const {
+  std::ostringstream out;
+  out << checks << " checks, " << violations.size() << " violations";
+  for (const std::string& v : violations) out << "\n  " << v;
+  return out.str();
+}
+
+InvariantChecker::InvariantChecker(sim::EventLoop* loop)
+    : loop_(loop), metrics_(obs::Registry::global()) {}
+
+void InvariantChecker::add_router(vbgp::VRouter* router) {
+  routers_.push_back(router);
+}
+
+void InvariantChecker::add_experiment(const std::string& name,
+                                      bgp::BgpSpeaker* speaker,
+                                      bgp::PeerId peer,
+                                      vbgp::VRouter* attached) {
+  experiments_.push_back(Experiment{name, speaker, peer, attached});
+}
+
+void InvariantChecker::set_enforcer(
+    const enforce::ControlPlaneEnforcer* enforcer) {
+  enforcer_ = enforcer;
+}
+
+InvariantReport InvariantChecker::check_fib_liveness() {
+  InvariantReport report;
+  for (vbgp::VRouter* router : routers_) {
+    const std::string& rname = router->config().name;
+    const bgp::BgpSpeaker& speaker = router->speaker();
+
+    for (vbgp::VirtualNeighbor* nb : router->registry().all()) {
+      const bool established =
+          speaker.session_state(nb->peer) == bgp::SessionState::kEstablished;
+      ++report.checks;
+      if (!established && !nb->fib.empty()) {
+        report.violations.push_back(
+            rname + ": neighbor " + nb->name + " is down but its FIB holds " +
+            std::to_string(nb->fib.size()) + " routes");
+      }
+      nb->fib.visit([&](const ip::Route& route) {
+        ++report.checks;
+        if (route.interface != nb->interface) {
+          report.violations.push_back(
+              rname + ": neighbor " + nb->name + " FIB route " +
+              route.prefix.str() + " egresses via interface " +
+              std::to_string(route.interface) + ", expected " +
+              std::to_string(nb->interface));
+        }
+      });
+    }
+
+    // Loc-RIB sweep: every candidate must come from a live session, and
+    // every virtual-pool next-hop must resolve to a registered neighbor.
+    const bgp::Asn asn = router->config().asn;
+    const auto& experiment_peers = router->experiment_peers();
+    speaker.loc_rib().visit_all([&](const bgp::RibRoute& route) {
+      ++report.checks;
+      if (route.peer != bgp::kLocalRoutes &&
+          speaker.session_state(route.peer) !=
+              bgp::SessionState::kEstablished) {
+        report.violations.push_back(
+            rname + ": Loc-RIB candidate " + route.prefix.str() +
+            " from down session peer=" + std::to_string(route.peer));
+      }
+      if (route.peer == bgp::kLocalRoutes) return;
+      if (vbgp::has_experiment_marker(*route.attrs, asn)) return;
+      if (experiment_peers.count(route.peer) != 0) return;
+      const Ipv4Address nh = route.attrs->next_hop;
+      if (kLocalPool.contains(nh)) {
+        if (router->registry().by_virtual_ip(nh) == nullptr) {
+          report.violations.push_back(
+              rname + ": Loc-RIB route " + route.prefix.str() +
+              " has unregistered local virtual next-hop " + nh.str());
+        }
+      } else if (kGlobalPool.contains(nh)) {
+        if (router->registry().local_by_global_ip(nh) == nullptr &&
+            router->registry().remote_by_global_ip(nh) == nullptr) {
+          report.violations.push_back(
+              rname + ": Loc-RIB route " + route.prefix.str() +
+              " has unregistered global-pool next-hop " + nh.str());
+        }
+      }
+    });
+  }
+  return report;
+}
+
+InvariantReport InvariantChecker::check_addpath_fanout() {
+  InvariantReport report;
+  for (const Experiment& exp : experiments_) {
+    // A re-establishing session legitimately lags the router; only a
+    // converged, established session must show the full fan-out.
+    if (exp.speaker->session_state(exp.peer) !=
+        bgp::SessionState::kEstablished)
+      continue;
+    vbgp::VRouter* router = exp.attached;
+    const bgp::Asn asn = router->config().asn;
+    const auto& experiment_peers = router->experiment_peers();
+
+    // Exportable candidates per prefix at the router: everything except
+    // experiment-originated routes (isolation strips those from the fan-out).
+    std::map<Ipv4Prefix, std::uint64_t> exportable;
+    router->speaker().loc_rib().visit_all([&](const bgp::RibRoute& route) {
+      if (vbgp::has_experiment_marker(*route.attrs, asn)) return;
+      if (route.peer != bgp::kLocalRoutes &&
+          experiment_peers.count(route.peer) != 0)
+        return;
+      ++exportable[route.prefix];
+    });
+
+    // Received candidates per prefix at the experiment (its own
+    // originations are locally sourced, not received).
+    std::map<Ipv4Prefix, std::uint64_t> received;
+    exp.speaker->loc_rib().visit_all([&](const bgp::RibRoute& route) {
+      if (route.peer == bgp::kLocalRoutes) return;
+      ++received[route.prefix];
+    });
+
+    for (const auto& [prefix, want] : exportable) {
+      ++report.checks;
+      auto it = received.find(prefix);
+      const std::uint64_t got = it == received.end() ? 0 : it->second;
+      if (got != want) {
+        report.violations.push_back(
+            "experiment " + exp.name + ": ADD-PATH fan-out for " +
+            prefix.str() + " is " + std::to_string(got) + " paths, router " +
+            router->config().name + " has " + std::to_string(want) +
+            " exportable candidates");
+      }
+    }
+    for (const auto& [prefix, got] : received) {
+      ++report.checks;
+      if (exportable.find(prefix) == exportable.end()) {
+        report.violations.push_back(
+            "experiment " + exp.name + ": holds " + std::to_string(got) +
+            " paths for " + prefix.str() + " absent from router " +
+            router->config().name + " Loc-RIB (stale fan-out)");
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport InvariantChecker::check_monotonic_counters() {
+  InvariantReport report;
+  obs::Snapshot snap = metrics_->snapshot(loop_->now());
+  for (const obs::SeriesData& series : snap.series) {
+    if (series.kind != obs::SeriesData::Kind::kCounter) continue;
+    ++report.checks;
+    const std::string key = series_key(series);
+    auto it = counter_baseline_.find(key);
+    if (it != counter_baseline_.end() && series.value < it->second) {
+      report.violations.push_back("counter " + series.name + " went from " +
+                                  std::to_string(it->second) + " to " +
+                                  std::to_string(series.value));
+    }
+    counter_baseline_[key] = series.value;
+  }
+  if (enforcer_ != nullptr) {
+    report.checks += 3;
+    if (enforcer_->accepted() < enforcer_accepted_ ||
+        enforcer_->rejected() < enforcer_rejected_ ||
+        enforcer_->transformed() < enforcer_transformed_) {
+      report.violations.push_back("enforcement verdict counters regressed");
+    }
+    enforcer_accepted_ = enforcer_->accepted();
+    enforcer_rejected_ = enforcer_->rejected();
+    enforcer_transformed_ = enforcer_->transformed();
+  }
+  return report;
+}
+
+InvariantReport InvariantChecker::check_all() {
+  InvariantReport report = check_fib_liveness();
+  report.merge(check_addpath_fanout());
+  report.merge(check_monotonic_counters());
+  metrics_->trace().emit(
+      loop_->now(), "faults", "invariant_check",
+      {{"checks", std::to_string(report.checks)},
+       {"violations", std::to_string(report.violations.size())}});
+  return report;
+}
+
+void InvariantChecker::diff_lpm(const ip::FibView& got,
+                                const ip::FibView& want, std::uint64_t seed,
+                                int random_probes, const std::string& label,
+                                InvariantReport& report) {
+  std::vector<Ipv4Address> probes;
+  const auto collect = [&probes](const ip::Route& route) {
+    probes.push_back(route.prefix.address());
+    // One address deeper inside the prefix exercises non-exact matches.
+    const std::uint32_t span = route.prefix.length() >= 32
+                                   ? 0
+                                   : (~route.prefix.mask()) >> 1;
+    probes.push_back(Ipv4Address(route.prefix.address().value() + span));
+  };
+  got.visit(collect);
+  want.visit(collect);
+  Rng rng(seed);
+  for (int i = 0; i < random_probes; ++i) {
+    // Same mask mix as tests/fib_set_test.cpp: half the probes cluster so
+    // they actually hit installed prefixes.
+    const std::uint32_t mask =
+        rng.chance(0.5) ? 0x0a0fffffu : 0xffffffffu;
+    probes.push_back(Ipv4Address(static_cast<std::uint32_t>(rng.next()) & mask));
+  }
+
+  for (const Ipv4Address probe : probes) {
+    ++report.checks;
+    const auto got_route = got.lookup(probe);
+    const auto want_route = want.lookup(probe);
+    if (got_route.has_value() != want_route.has_value() ||
+        (got_route.has_value() && !(*got_route == *want_route))) {
+      report.violations.push_back(
+          label + ": LPM(" + probe.str() + ") = " +
+          (got_route ? got_route->prefix.str() + " via " +
+                           got_route->next_hop.str()
+                     : "miss") +
+          ", reference = " +
+          (want_route ? want_route->prefix.str() + " via " +
+                            want_route->next_hop.str()
+                      : "miss"));
+    }
+  }
+}
+
+}  // namespace peering::faults

@@ -2,17 +2,59 @@
 
 namespace peering::sim {
 
+LinkDirection::LinkDirection(EventLoop* loop, const LinkConfig& config,
+                             const std::string& direction)
+    : loop_(loop), config_(config), impairment_rng_(1) {
+  obs::Registry* registry = obs::Registry::global();
+  const obs::Labels labels = {{"link", config_.name}, {"dir", direction}};
+  dropped_counter_ =
+      registry->counter("sim_link_frames_dropped_total", labels);
+  corrupted_counter_ =
+      registry->counter("sim_link_frames_corrupted_total", labels);
+}
+
+void LinkDirection::set_impairments(const LinkImpairments& imp) {
+  impairments_ = imp;
+  impairment_rng_ = Rng(imp.seed);
+}
+
+void LinkDirection::clear_impairments() { impairments_ = LinkImpairments{}; }
+
+void LinkDirection::count_drop() {
+  ++frames_dropped_;
+  dropped_counter_->inc();
+}
+
 bool LinkDirection::send(Bytes frame) {
   if (!receiver_) {
-    ++frames_dropped_;
+    count_drop();
     return false;
   }
+  if (impairments_.drop_probability > 0.0 &&
+      impairment_rng_.chance(impairments_.drop_probability)) {
+    count_drop();
+    return false;
+  }
+  if (!frame.empty() && impairments_.corrupt_probability > 0.0 &&
+      impairment_rng_.chance(impairments_.corrupt_probability)) {
+    frame[impairment_rng_.below(frame.size())] ^= 0xFF;
+    ++frames_corrupted_;
+    corrupted_counter_->inc();
+  }
+  Duration latency = config_.latency;
+  if (impairments_.jitter.ns() > 0) {
+    latency = latency + Duration::nanos(static_cast<std::int64_t>(
+                  impairment_rng_.below(
+                      static_cast<std::uint64_t>(impairments_.jitter.ns()) +
+                      1)));
+  }
+
   const std::size_t size = frame.size();
   if (config_.bandwidth_bps == 0) {
     // Infinite bandwidth: only propagation latency applies.
     ++frames_sent_;
     bytes_sent_ += size;
-    loop_->schedule_after(config_.latency,
+    loop_->schedule_after(latency,
                           [this, f = std::move(frame)]() { receiver_(f); });
     return true;
   }
@@ -24,7 +66,7 @@ bool LinkDirection::send(Bytes frame) {
     queued_bytes_ = 0;
   }
   if (queued_bytes_ + size > config_.queue_limit_bytes) {
-    ++frames_dropped_;
+    count_drop();
     return false;
   }
 
@@ -40,7 +82,7 @@ bool LinkDirection::send(Bytes frame) {
   loop_->schedule_at(tx_free_, [this, size]() {
     if (queued_bytes_ >= size) queued_bytes_ -= size;
   });
-  loop_->schedule_at(tx_free_ + config_.latency,
+  loop_->schedule_at(tx_free_ + latency,
                      [this, f = std::move(frame)]() { receiver_(f); });
   return true;
 }

@@ -5,6 +5,7 @@
 // Internet.
 #pragma once
 
+#include "bgp/attributes.h"
 #include "bgp/types.h"
 
 namespace peering::vbgp {
@@ -29,6 +30,24 @@ inline bgp::Community no_announce_to(std::uint16_t neighbor_id) {
 
 inline bool is_control_community(bgp::Community c) {
   return c.asn() == kWhitelistAsn || c.asn() == kBlacklistAsn;
+}
+
+/// Internal large-community marker attached to experiment announcements at
+/// import so every vBGP router (including across the backbone) can recognize
+/// them as experiment-originated. Stripped on every egress toward a real
+/// neighbor. Public so the fault harness's invariant checker can separate
+/// experiment routes from Internet routes when counting ADD-PATH fan-out.
+constexpr std::uint32_t kExperimentMarker = 0xFFFF0001;
+
+inline bgp::LargeCommunity experiment_marker(bgp::Asn asn) {
+  return bgp::LargeCommunity{asn, kExperimentMarker, 0};
+}
+
+inline bool has_experiment_marker(const bgp::PathAttributes& attrs,
+                                  bgp::Asn asn) {
+  for (const auto& lc : attrs.large_communities)
+    if (lc.global == asn && lc.local1 == kExperimentMarker) return true;
+  return false;
 }
 
 /// Export decision for one (announcement, neighbor) pair given the

@@ -9,16 +9,8 @@
 namespace peering::vbgp {
 
 namespace {
-/// Internal marker attached to experiment announcements at import so every
-/// vBGP router (including across the backbone) can recognize them as
-/// experiment-originated. Stripped on every egress.
-constexpr std::uint32_t kExperimentMarker = 0xFFFF0001;
-
-bool has_experiment_marker(const bgp::PathAttributes& attrs, bgp::Asn asn) {
-  for (const auto& lc : attrs.large_communities)
-    if (lc.global == asn && lc.local1 == kExperimentMarker) return true;
-  return false;
-}
+// Experiment-marker constant and predicate live in communities.h so the
+// fault harness's invariant checker shares the exact definitions.
 
 void strip_control(bgp::PathAttributes& attrs, bgp::Asn asn) {
   auto& cs = attrs.communities;
@@ -257,8 +249,7 @@ std::optional<bgp::AttrsPtr> VRouter::import_from_experiment(
     }
   }
   bgp::AttrBuilder b(std::move(working));
-  b.mutate().large_communities.push_back(
-      bgp::LargeCommunity{config_.asn, kExperimentMarker, 0});
+  b.mutate().large_communities.push_back(experiment_marker(config_.asn));
   return b.commit(speaker_.attr_pool());
 }
 

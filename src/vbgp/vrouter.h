@@ -142,6 +142,18 @@ class VRouter : public ip::Host {
   /// Experiment id served by the given tunnel interface, if any.
   std::optional<std::string> experiment_for_interface(int if_index) const;
 
+  /// Peer id -> experiment id for every registered experiment session. The
+  /// invariant checker uses this to separate experiment sessions (which see
+  /// full ADD-PATH fan-out) from neighbor/backbone sessions.
+  const std::map<bgp::PeerId, std::string>& experiment_peers() const {
+    return experiments_by_peer_;
+  }
+
+  /// True when `peer` is a registered backbone iBGP session.
+  bool is_backbone_peer(bgp::PeerId peer) const {
+    return backbone_interfaces_.count(peer) != 0;
+  }
+
   /// True if `prefix` already has a local (tunnel) mux entry; used by the
   /// platform to avoid shadowing a local attachment with a backbone route.
   bool has_local_experiment_route(const Ipv4Prefix& prefix) const {

@@ -335,6 +335,69 @@ TEST(Session, IbgpDoesNotReExportIbgpRoutes) {
   EXPECT_EQ(at_b->attrs->local_pref, 100u);
 }
 
+TEST(Session, AbruptFlapReestablishesAndResyncsAddPath) {
+  // Regression for the fault-injection flap path: an abrupt transport loss
+  // (stream closed under one speaker, no CEASE) leaves that speaker a
+  // zombie until its hold timer expires; a later reconnect must rebuild the
+  // session and re-sync the full ADD-PATH fan-out from the attribute pool's
+  // cached encodings, without leaking pooled attributes.
+  Net net;
+  BgpSpeaker a(&net.loop, "a", 65001, Ipv4Address(1, 1, 1, 1));
+  BgpSpeaker b(&net.loop, "b", 65002, Ipv4Address(2, 2, 2, 2));
+  BgpSpeaker c(&net.loop, "c", 65003, Ipv4Address(3, 3, 3, 3));
+  BgpSpeaker d(&net.loop, "d", 65004, Ipv4Address(4, 4, 4, 4));
+  net.connect(a, c, {.name = "to-c", .peer_asn = 65003},
+              {.name = "to-a", .peer_asn = 65001});
+  net.connect(b, c, {.name = "to-c", .peer_asn = 65003},
+              {.name = "to-b", .peer_asn = 65002});
+  // The c<->d transport is managed by hand so it can be yanked abruptly.
+  PeerId cd = c.add_peer({.name = "to-d", .peer_asn = 65004, .hold_time = 9,
+                          .addpath = AddPathMode::kBoth,
+                          .export_all_paths = true});
+  PeerId dc = d.add_peer({.name = "to-c", .peer_asn = 65003, .hold_time = 9,
+                          .addpath = AddPathMode::kBoth});
+  auto wire = sim::StreamChannel::make(&net.loop, Duration::millis(1));
+  c.connect_peer(cd, wire.a);
+  d.connect_peer(dc, wire.b);
+  net.settle();
+  a.originate(pfx("203.0.113.0/24"), originate_attrs());
+  b.originate(pfx("203.0.113.0/24"), originate_attrs());
+  net.settle();
+  ASSERT_EQ(d.loc_rib().candidates(pfx("203.0.113.0/24")).size(), 2u);
+  const std::size_t pool_before = c.attr_pool().size();
+
+  // Yank c's own endpoint: d sees the close and drops immediately; c gets
+  // no callback (a crash, not a CEASE) and must rely on its hold timer.
+  wire.a->close();
+  net.loop.run_for(Duration::seconds(2));
+  EXPECT_EQ(c.session_state(cd), SessionState::kEstablished) << "zombie side";
+  EXPECT_EQ(d.session_state(dc), SessionState::kIdle);
+  EXPECT_EQ(d.loc_rib().candidates(pfx("203.0.113.0/24")).size(), 0u)
+      << "session loss must flush the fan-out";
+
+  net.loop.run_for(Duration::seconds(10));  // past the 9s hold time
+  EXPECT_EQ(c.session_state(cd), SessionState::kIdle);
+
+  // Reconnect over a fresh transport: full ADD-PATH table re-sync.
+  const std::uint64_t hits_before = c.peer_stats(cd).attr_encode_cache_hits;
+  wire = sim::StreamChannel::make(&net.loop, Duration::millis(1));
+  c.connect_peer(cd, wire.a);
+  d.connect_peer(dc, wire.b);
+  net.settle();
+  EXPECT_EQ(c.session_state(cd), SessionState::kEstablished);
+  EXPECT_EQ(d.session_state(dc), SessionState::kEstablished);
+  EXPECT_EQ(d.loc_rib().candidates(pfx("203.0.113.0/24")).size(), 2u);
+  // The re-advertised paths still reference live pooled attributes, so the
+  // encode cache serves them and the pool does not grow across the flap.
+  EXPECT_GT(c.peer_stats(cd).attr_encode_cache_hits, hits_before);
+  EXPECT_EQ(c.attr_pool().size(), pool_before);
+
+  // Keepalives resume on the rebuilt session (hold 9 => interval 3s).
+  const std::uint64_t ka_before = c.peer_stats(cd).keepalives_received;
+  net.loop.run_for(Duration::seconds(10));
+  EXPECT_GE(c.peer_stats(cd).keepalives_received, ka_before + 2);
+}
+
 TEST(Session, ExportPolicyFiltersPrefixes) {
   Net net;
   BgpSpeaker a(&net.loop, "a", 65001, Ipv4Address(1, 1, 1, 1));
