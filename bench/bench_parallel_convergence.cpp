@@ -1,0 +1,206 @@
+// Parallel convergence benchmark: full-table load through the pipelined
+// speaker at 1/2/4/8 RIB partitions, measuring wall-clock convergence and
+// self-checking that every parallel run converges to exactly the state of
+// the deterministic serial reference.
+//
+// Scaling caveat: near-linear decision-stage speedup needs real cores. The
+// report records hardware_threads; the CI wrapper arms the minimum-speedup
+// gate (>= 1.6x at N=2, >= 2.5x at N=4) only where the hardware can
+// deliver it. The correctness self-check — parallel RIB state must be
+// byte-identical to the serial reference — runs everywhere and exits
+// non-zero on divergence, so running this binary is itself a test.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "bgp/speaker.h"
+#include "inet/route_feed.h"
+#include "sim/event_loop.h"
+#include "sim/stream.h"
+
+namespace {
+
+using namespace peering;
+using namespace peering::bgp;
+
+constexpr int kFeeders = 4;
+constexpr std::size_t kRoutesPerFeeder = 50'000;
+constexpr std::size_t kChurnPerFeeder = 10'000;
+/// Injected UPDATEs per drain: models one coalesced TCP segment's worth of
+/// decode output handed to the decision stage at once.
+constexpr std::size_t kBatch = 4'096;
+
+struct Fixture {
+  sim::EventLoop loop;
+  BgpSpeaker dut;
+  std::vector<std::unique_ptr<BgpSpeaker>> feeders;
+  std::vector<PeerId> feeder_peers;
+  BgpSpeaker sink;
+
+  explicit Fixture(PipelineConfig pipeline)
+      : dut(&loop, "dut", 47065, Ipv4Address(1, 1, 1, 1), pipeline),
+        sink(&loop, "sink", 65099, Ipv4Address(9, 9, 9, 9)) {
+    for (int i = 0; i < kFeeders; ++i) {
+      Asn asn = static_cast<Asn>(65001 + i);
+      auto feeder = std::make_unique<BgpSpeaker>(
+          &loop, "feeder" + std::to_string(i), asn,
+          Ipv4Address(2, 2, 2, static_cast<std::uint8_t>(1 + i)));
+      PeerId dut_side = dut.add_peer(
+          {.name = "feeder" + std::to_string(i), .peer_asn = asn,
+           .local_address = Ipv4Address(10, 0, static_cast<std::uint8_t>(i), 1),
+           .peer_address =
+               Ipv4Address(10, 0, static_cast<std::uint8_t>(i), 2)});
+      PeerId far_side = feeder->add_peer(
+          {.name = "dut", .peer_asn = 47065,
+           .local_address = Ipv4Address(10, 0, static_cast<std::uint8_t>(i), 2),
+           .peer_address =
+               Ipv4Address(10, 0, static_cast<std::uint8_t>(i), 1)});
+      auto pair = sim::StreamChannel::make(&loop, Duration::millis(1));
+      dut.connect_peer(dut_side, pair.a);
+      feeder->connect_peer(far_side, pair.b);
+      feeder_peers.push_back(dut_side);
+      feeders.push_back(std::move(feeder));
+    }
+    PeerId dut_sink = dut.add_peer({.name = "sink", .peer_asn = 65099,
+                                    .local_address = Ipv4Address(10, 9, 0, 1),
+                                    .peer_address = Ipv4Address(10, 9, 0, 2),
+                                    .mrai = Duration::seconds(5)});
+    PeerId sink_side = sink.add_peer({.name = "dut", .peer_asn = 47065,
+                                      .local_address = Ipv4Address(10, 9, 0, 2),
+                                      .peer_address = Ipv4Address(10, 9, 0, 1)});
+    auto pair = sim::StreamChannel::make(&loop, Duration::millis(1));
+    dut.connect_peer(dut_sink, pair.a);
+    sink.connect_peer(sink_side, pair.b);
+    loop.run_for(Duration::seconds(5));
+  }
+
+  /// Injects the full feed plus churn in kBatch-sized drains; returns the
+  /// wall-clock seconds spent in inject + drain (decision + encode work),
+  /// excluding feed generation and session establishment.
+  double converge(const std::vector<std::vector<inet::FeedRoute>>& feeds,
+                  const std::vector<std::vector<inet::FeedRoute>>& churns) {
+    auto start = std::chrono::steady_clock::now();
+    std::size_t staged = 0;
+    auto flush = [&](bool force) {
+      if (staged >= kBatch || (force && staged > 0)) {
+        dut.drain_pipeline();
+        staged = 0;
+      }
+    };
+    auto inject_all = [&](const std::vector<std::vector<inet::FeedRoute>>&
+                              per_feeder) {
+      // Round-robin across feeders so every drain carries a realistic mix
+      // of sessions, not one peer's burst.
+      std::size_t longest = 0;
+      for (const auto& f : per_feeder)
+        longest = std::max(longest, f.size());
+      for (std::size_t i = 0; i < longest; ++i) {
+        for (int f = 0; f < kFeeders; ++f) {
+          const auto& feed = per_feeder[static_cast<std::size_t>(f)];
+          if (i >= feed.size()) continue;
+          UpdateMessage update;
+          update.attributes = feed[i].attrs;
+          update.nlri.push_back({0, feed[i].prefix});
+          dut.inject_update(feeder_peers[static_cast<std::size_t>(f)], update);
+          ++staged;
+        }
+        flush(false);
+      }
+      flush(true);
+    };
+    inject_all(feeds);
+    inject_all(churns);
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    // Drain the export side (MRAI flushes to the sink) outside the window:
+    // sim-time settling is not a wall-clock cost of the decision stage.
+    loop.run_for(Duration::seconds(60));
+    return elapsed;
+  }
+
+  std::string fingerprint() const {
+    std::ostringstream out;
+    dut.loc_rib().visit_all([&](const RibRoute& route) {
+      out << route.prefix.str() << '|' << route.peer << '|' << route.path_id
+          << '|' << route.attrs->as_path.flatten().size() << '|'
+          << route.attrs->next_hop.str() << '\n';
+    });
+    out << "#best\n";
+    dut.loc_rib().visit_best([&](const RibRoute& route) {
+      out << route.prefix.str() << '|' << route.peer << '\n';
+    });
+    return out.str();
+  }
+};
+
+}  // namespace
+
+int main() {
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("parallel convergence: %d feeders x %zu routes (+%zu churn), "
+              "%u hardware threads\n",
+              kFeeders, kRoutesPerFeeder, kChurnPerFeeder, hw);
+
+  // Per-feeder feeds: distinct prefix spaces per feeder except feeder 0/1,
+  // which overlap so best-path tie-breaks run against real competition.
+  std::vector<std::vector<inet::FeedRoute>> feeds, churns;
+  for (int f = 0; f < kFeeders; ++f) {
+    inet::RouteFeedConfig config;
+    config.route_count = kRoutesPerFeeder;
+    config.neighbor_asn = static_cast<bgp::Asn>(65001 + f);
+    config.seed = (f <= 1) ? 11 : static_cast<std::uint64_t>(11 + f);
+    feeds.push_back(inet::generate_feed(config));
+    churns.push_back(inet::generate_churn(
+        feeds.back(), kChurnPerFeeder, 100 + static_cast<std::uint64_t>(f)));
+  }
+
+  benchutil::JsonReport report("parallel_convergence");
+  report.metric("hardware_threads", hw);
+  report.metric("routes_injected",
+                static_cast<double>(kFeeders) *
+                    static_cast<double>(kRoutesPerFeeder + kChurnPerFeeder));
+
+  // Serial deterministic reference: the correctness yardstick AND the
+  // speedup denominator.
+  double t_serial = 0.0;
+  std::string reference;
+  std::size_t reference_paths = 0;
+  {
+    Fixture fx(PipelineConfig{.partitions = 1, .workers = 0});
+    t_serial = fx.converge(feeds, churns);
+    reference = fx.fingerprint();
+    reference_paths = fx.dut.loc_rib().route_count();
+    std::printf("  N=1 (serial reference): %.3fs, %zu Loc-RIB paths\n",
+                t_serial, reference_paths);
+  }
+  report.metric("convergence_s_n1", t_serial);
+  report.metric("locrib_paths", static_cast<double>(reference_paths));
+
+  bool all_match = true;
+  for (std::uint32_t n : {2u, 4u, 8u}) {
+    Fixture fx(PipelineConfig{.partitions = n, .workers = n});
+    double t = fx.converge(feeds, churns);
+    bool match = fx.fingerprint() == reference;
+    all_match = all_match && match;
+    double speedup = t > 0 ? t_serial / t : 0.0;
+    std::printf("  N=%u (%u workers): %.3fs, speedup %.2fx, state %s\n", n, n,
+                t, speedup, match ? "MATCHES reference" : "DIVERGED");
+    std::string suffix = "_n" + std::to_string(n);
+    report.metric("convergence_s" + suffix, t);
+    report.metric("speedup" + suffix, speedup);
+  }
+  report.metric("parallel_state_matches_serial", all_match ? 1 : 0);
+  std::printf("wrote %s\n", report.write().c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: a parallel run diverged from the serial reference\n");
+    return 1;
+  }
+  return 0;
+}

@@ -15,11 +15,24 @@ echo "=== configure + build: asan-ubsan preset ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 
+echo "=== configure + build: tsan preset (concurrency suite only) ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" \
+  --target exec_test concurrency_test pipeline_test
+
 echo "=== ctest: default preset ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "=== ctest: asan-ubsan preset ==="
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "=== tsan: concurrency suite (races fail even on one core) ==="
+# ThreadSanitizer checks happens-before relationships, not schedules, so a
+# missing lock/atomic in the pipeline hot paths is caught regardless of how
+# many cores the CI host has.
+./build-tsan/tests/exec_test
+./build-tsan/tests/concurrency_test
+./build-tsan/tests/pipeline_test
 
 echo "=== faults-soak: chaos scenarios under 3 fixed seeds, both presets ==="
 # The chaos soak re-runs every fault scenario (and the flap-storm
@@ -57,5 +70,24 @@ python3 tools/bench_check.py --fresh-dir build/bench \
   --metric attr_flow:pool_size:exact \
   --metric attr_flow:intern_hit_rate:exact \
   --metric attr_flow:encode_hit_rate:exact
+
+echo "=== bench regression gate: parallel convergence ==="
+# The binary self-checks that every parallel run converges to exactly the
+# serial reference state (exits non-zero on divergence). Deterministic
+# metrics gate against the committed baseline everywhere; the wall-clock
+# speedup floors (>= 1.6x at N=2, >= 2.5x at N=4) are meaningful only with
+# real cores, so they arm conditionally on the host.
+(cd build/bench && ./bench_parallel_convergence)
+python3 tools/bench_check.py --fresh-dir build/bench \
+  --metric parallel_convergence:routes_injected:exact \
+  --metric parallel_convergence:locrib_paths:exact \
+  --metric parallel_convergence:parallel_state_matches_serial:exact
+if [ "$(nproc)" -ge 4 ]; then
+  python3 tools/bench_check.py --fresh-dir build/bench \
+    --min parallel_convergence:speedup_n2:1.6 \
+    --min parallel_convergence:speedup_n4:2.5
+else
+  echo "  (skipping speedup floors: only $(nproc) core(s) on this host)"
+fi
 
 echo "=== CI: all green ==="

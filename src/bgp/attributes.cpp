@@ -379,7 +379,7 @@ AttrsPtr AttrPool::insert(AttrsPtr ptr) {
   return it->first;
 }
 
-AttrsPtr AttrPool::intern(const PathAttributes& attrs) {
+AttrsPtr AttrPool::intern_impl(const PathAttributes& attrs) {
   auto it = pool_.find(attrs);
   if (it != pool_.end()) {
     ++stats_.intern_hits;
@@ -389,7 +389,7 @@ AttrsPtr AttrPool::intern(const PathAttributes& attrs) {
   return insert(std::make_shared<const PathAttributes>(attrs));
 }
 
-AttrsPtr AttrPool::intern(PathAttributes&& attrs) {
+AttrsPtr AttrPool::intern_impl(PathAttributes&& attrs) {
   auto it = pool_.find(attrs);
   if (it != pool_.end()) {
     ++stats_.intern_hits;
@@ -399,24 +399,38 @@ AttrsPtr AttrPool::intern(PathAttributes&& attrs) {
   return insert(std::make_shared<const PathAttributes>(std::move(attrs)));
 }
 
+AttrsPtr AttrPool::intern(const PathAttributes& attrs) {
+  auto lock = maybe_lock();
+  return intern_impl(attrs);
+}
+
+AttrsPtr AttrPool::intern(PathAttributes&& attrs) {
+  auto lock = maybe_lock();
+  return intern_impl(std::move(attrs));
+}
+
 AttrsPtr AttrPool::adopt(const AttrsPtr& attrs) {
   if (!attrs) return attrs;
+  auto lock = maybe_lock();
   if (by_ptr_.count(attrs.get()) > 0) {
     ++stats_.intern_hits;
     return attrs;
   }
-  return intern(*attrs);
+  return intern_impl(*attrs);
 }
 
 const Bytes& AttrPool::encoded(const AttrsPtr& attrs,
-                               const AttrCodecOptions& options) {
+                               const AttrCodecOptions& options, bool* hit) {
+  auto lock = maybe_lock();
   const std::size_t slot = options.four_byte_asn ? 1 : 0;
+  if (hit) *hit = false;
   if (encode_cache_enabled_) {
     auto it = by_ptr_.find(attrs.get());
     if (it != by_ptr_.end()) {
       auto& wire = it->second->wire[slot];
       if (wire) {
         ++stats_.encode_hits;
+        if (hit) *hit = true;
         return *wire;
       }
       ++stats_.encode_misses;

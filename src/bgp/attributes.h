@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -172,6 +173,13 @@ class AttrBuilder {
 /// memoizes the wire encoding per (attribute set, codec options) so an
 /// ADD-PATH fan-out to N sessions with identical negotiated options
 /// serializes the update body once, not N times.
+///
+/// Thread safety: single-threaded by default. set_concurrent(true) puts
+/// intern/adopt/owns/encoded behind a mutex so the pipelined speaker's
+/// decision and encode workers can share one pool (refcounts are already
+/// atomic via shared_ptr; returned Bytes&/AttrsPtr stay valid because
+/// unordered_map nodes never move). sweep() and the size/stats accessors
+/// remain serial-point-only either way.
 class AttrPool {
  public:
   struct Stats {
@@ -200,15 +208,25 @@ class AttrPool {
 
   /// True if this exact pointer came from this pool.
   bool owns(const AttrsPtr& attrs) const {
+    auto lock = maybe_lock();
     return attrs && by_ptr_.count(attrs.get()) > 0;
   }
+
+  /// Toggles the internal mutex. Flip only at a serial point (no concurrent
+  /// callers in flight).
+  void set_concurrent(bool on) { concurrent_ = on; }
+  bool concurrent() const { return concurrent_; }
 
   /// Cached wire encoding of an interned set for the given codec options.
   /// Encoded at most once per (set, options); all sessions with identical
   /// negotiated options share the bytes. Foreign (non-pool) pointers fall
   /// back to a direct encode into a scratch buffer. The reference is valid
-  /// until the next encoded() call or sweep().
-  const Bytes& encoded(const AttrsPtr& attrs, const AttrCodecOptions& options);
+  /// until the next encoded() call or sweep(). When `hit` is non-null it
+  /// reports whether this call was served from the cache — callers must use
+  /// it (not a stats() delta) for attribution, because in concurrent mode
+  /// other threads advance the shared counters between reads.
+  const Bytes& encoded(const AttrsPtr& attrs, const AttrCodecOptions& options,
+                       bool* hit = nullptr);
 
   /// Ablation toggle: with the cache disabled every encoded() call
   /// serializes from scratch (the pre-refactor behaviour).
@@ -257,6 +275,13 @@ class AttrPool {
 
   static std::size_t attrs_footprint(const PathAttributes& attrs);
   AttrsPtr insert(AttrsPtr ptr);
+  AttrsPtr intern_impl(const PathAttributes& attrs);
+  AttrsPtr intern_impl(PathAttributes&& attrs);
+
+  std::unique_lock<std::mutex> maybe_lock() const {
+    return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                       : std::unique_lock<std::mutex>();
+  }
 
   std::unordered_map<AttrsPtr, Entry, Hash, Eq> pool_;
   /// Pointer index for O(1) encoded()/owns() lookups; values are stable
@@ -265,6 +290,8 @@ class AttrPool {
   std::size_t attr_bytes_ = 0;
   std::size_t wire_bytes_ = 0;
   bool encode_cache_enabled_ = true;
+  bool concurrent_ = false;
+  mutable std::mutex mu_;
   Stats stats_;
   Bytes scratch_;
 };

@@ -42,8 +42,8 @@ struct BgpSpeaker::Session {
   AdjRibIn adj_in;
 
   /// Adj-RIB-Out: prefix -> local path id -> what we advertised. Hashed on
-  /// the prefix: flush_exports probes it once per advert and nothing needs
-  /// prefix order (full-table walks dump into a std::set first).
+  /// the prefix: encode probes it once per advert and nothing needs
+  /// prefix order (full-table walks dump into a sorted vector first).
   std::unordered_map<Ipv4Prefix, std::map<std::uint32_t, OutRoute>> adj_out;
   /// Local path-id allocation per prefix, keyed by origin (peer, path id).
   std::unordered_map<Ipv4Prefix,
@@ -51,13 +51,13 @@ struct BgpSpeaker::Session {
       out_ids;
   std::uint32_t next_out_id = 1;
 
-  /// MRAI batching state.
-  /// Prefixes awaiting export. Appended without dedup (duplicate flushes
-  /// are no-ops against the Adj-RIB-Out diff); flush_exports sorts and
-  /// uniques, so the wire order matches the old std::set behavior without
-  /// a tree-node allocation per scheduled prefix.
-  std::vector<Ipv4Prefix> pending_export;
+  /// MRAI batching state: the bounded per-peer export queue the encode
+  /// stage drains. Appended without dedup (encode sorts and uniques);
+  /// overflow discards the delta log and the next flush reevaluates the
+  /// whole table against the Adj-RIB-Out instead.
+  exec::OverflowBatch<Ipv4Prefix> pending_export;
   bool flush_scheduled = false;
+  SimTime flush_at;
   SimTime next_flush_allowed;
 
   /// Timer generations: a scheduled callback fires only if its generation
@@ -78,16 +78,26 @@ struct BgpSpeaker::Session {
 };
 
 BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
-                       Ipv4Address router_id)
+                       Ipv4Address router_id, PipelineConfig pipeline)
     : loop_(loop),
       name_(std::move(name)),
       asn_(asn),
       router_id_(router_id),
-      loc_rib_([this](PeerId p) { return peer_decision_info(p); }),
+      pipeline_(pipeline),
+      pmap_(pipeline.partitions),
+      loc_rib_([this](PeerId p) { return peer_decision_info(p); }, pmap_),
+      stage_in_(pmap_.partitions()),
+      stage_out_(pmap_.partitions()),
       metrics_(obs::Registry::global()) {
+  if (pipeline_.workers > 0) {
+    scheduler_ = std::make_unique<exec::Scheduler>(pipeline_.workers);
+    // Decision/encode workers intern and serialize through the shared pool.
+    attr_pool_.set_concurrent(true);
+  }
   obs::Labels labels{{"speaker", name_}};
   obs_updates_in_ = metrics_->counter("bgp_updates_in_total", labels);
   obs_updates_out_ = metrics_->counter("bgp_updates_out_total", labels);
+  obs_pipeline_runs_ = metrics_->counter("bgp_pipeline_runs_total", labels);
   for (int i = 0; i < 4; ++i) {
     obs::Labels tl = labels;
     tl.emplace_back("state",
@@ -106,6 +116,8 @@ PeerId BgpSpeaker::add_peer(PeerConfig config) {
   PeerId id = next_peer_id_++;
   auto session = std::make_unique<Session>();
   session->config = std::move(config);
+  session->adj_in = AdjRibIn(pmap_);
+  session->pending_export.set_capacity(pipeline_.peer_queue_capacity);
   obs::Labels labels{{"speaker", name_}, {"peer", session->config.name}};
   session->obs_updates_in =
       metrics_->counter("bgp_peer_updates_in_total", labels);
@@ -219,19 +231,29 @@ void BgpSpeaker::handle_bytes(PeerId peer, const Bytes& data) {
       session_down(peer, "decode error");
       return;
     }
-    if (!result->has_value()) return;
+    if (!result->has_value()) break;
     handle_message(peer, std::move(**result));
-    // The session may have gone down while handling the message.
+    // The session may have gone down while handling the message (which
+    // drains the pipeline before tearing state down).
     if (sessions_.at(peer)->state == SessionState::kIdle) return;
   }
+  // Event-granularity barrier: everything this delivery staged is decided,
+  // applied, and scheduled for export before the event returns.
+  drain_pipeline();
 }
 
 void BgpSpeaker::handle_message(PeerId peer, BgpMessage message) {
   arm_hold_timer(peer);
+  if (auto* update = std::get_if<UpdateMessage>(&message)) {
+    handle_update(peer, *update);
+    return;
+  }
+  // Non-UPDATE messages observe RIB state: flush staged route work first so
+  // e.g. a NOTIFICATION-triggered teardown sees every preceding UPDATE
+  // applied, exactly as in the serial message-at-a-time ordering.
+  drain_pipeline();
   if (auto* open = std::get_if<OpenMessage>(&message)) {
     handle_open(peer, *open);
-  } else if (auto* update = std::get_if<UpdateMessage>(&message)) {
-    handle_update(peer, *update);
   } else if (auto* notification = std::get_if<NotificationMessage>(&message)) {
     handle_notification(peer, *notification);
   } else if (std::get_if<RouteRefreshMessage>(&message)) {
@@ -256,23 +278,15 @@ void BgpSpeaker::request_refresh(PeerId peer) {
 }
 
 void BgpSpeaker::reevaluate_exports(PeerId peer) {
+  drain_pipeline();
   Session& s = *sessions_.at(peer);
   if (s.state != SessionState::kEstablished) return;
-  // Re-run export computation for every prefix we know about; flush_exports
-  // diffs against the Adj-RIB-Out, so only real changes hit the wire.
+  // Re-run export computation for every prefix we know about; the encode
+  // stage diffs against the Adj-RIB-Out, so only real changes hit the wire.
   loc_rib_.visit_all(
-      [&](const RibRoute& route) { s.pending_export.push_back(route.prefix); });
-  for (const auto& [prefix, out] : s.adj_out) s.pending_export.push_back(prefix);
-  if (!s.pending_export.empty() && !s.flush_scheduled) {
-    s.flush_scheduled = true;
-    loop_->schedule_after(Duration::nanos(0), [this, peer]() {
-      auto it = sessions_.find(peer);
-      if (it == sessions_.end()) return;
-      it->second->flush_scheduled = false;
-      if (it->second->state != SessionState::kEstablished) return;
-      flush_exports(peer);
-    });
-  }
+      [&](const RibRoute& route) { s.pending_export.push(route.prefix); });
+  for (const auto& [prefix, out] : s.adj_out) s.pending_export.push(prefix);
+  schedule_flush(peer, /*immediate=*/true);
 }
 
 void BgpSpeaker::handle_open(PeerId peer, const OpenMessage& open) {
@@ -367,33 +381,113 @@ void BgpSpeaker::handle_update(PeerId peer, const UpdateMessage& update) {
   obs_updates_in_->inc();
   s.obs_updates_in->inc();
   obs::Span span(update_span_, nullptr);  // wall-clock CPU cost per UPDATE
+  stage_update(peer, update);
+}
 
-  for (const auto& entry : update.withdrawn) withdraw_route(peer, entry);
+void BgpSpeaker::inject_update(PeerId peer, const UpdateMessage& update) {
+  Session& s = *sessions_.at(peer);
+  if (s.state != SessionState::kEstablished) return;
+  ++s.stats.updates_received;
+  ++total_updates_rx_;
+  obs_updates_in_->inc();
+  s.obs_updates_in->inc();
+  stage_update(peer, update);
+}
+
+void BgpSpeaker::stage_update(PeerId peer, const UpdateMessage& update) {
+  for (const auto& entry : update.withdrawn) stage_route(peer, entry, nullptr);
   if (update.attributes) {
     // Intern once per UPDATE: every NLRI shares the AttrsPtr, repeated
     // announcements of the same set hit the pool, and downstream
     // pointer-keyed caches (vBGP's next-hop rewrite memo) get a stable key.
     AttrsPtr attrs = attr_pool_.intern(*update.attributes);
-    for (const auto& entry : update.nlri) import_route(peer, entry, attrs);
+    for (const auto& entry : update.nlri) stage_route(peer, entry, attrs);
   }
 }
 
-void BgpSpeaker::import_route(PeerId from, const NlriEntry& entry,
-                              const AttrsPtr& attrs) {
+void BgpSpeaker::stage_route(PeerId from, const NlriEntry& entry,
+                             AttrsPtr attrs) {
+  stage_in_[pmap_.of(entry.prefix)].push_back(
+      RouteWork{from, entry, std::move(attrs)});
+  ++stage_pending_;
+}
+
+void BgpSpeaker::drain_pipeline() {
+  if (stage_pending_ == 0 || in_pipeline_) return;
+  in_pipeline_ = true;
+  const std::uint32_t n = pmap_.partitions();
+  // Seeded visit order: deterministic per (seed, epoch), and deliberately
+  // not ascending so nothing comes to depend on partition index order.
+  auto order =
+      exec::seeded_order(n, exec::mix64(pipeline_.seed ^ ++pipeline_epoch_));
+
+  // Decision stage. Parallel only when a worker pool exists and any
+  // installed import hook is declared thread-safe.
+  const bool parallel = scheduler_ != nullptr &&
+                        (!import_hook_ || import_hook_thread_safe_) && n > 1;
+  if (parallel) {
+    scheduler_->parallel_for(
+        n, [this](std::size_t p) {
+          process_partition(static_cast<std::uint32_t>(p));
+        });
+  } else {
+    for (std::uint32_t p : order) process_partition(p);
+  }
+  stage_pending_ = 0;
+
+  // Serial effect application in the seeded partition order: per-peer
+  // stats, route events, export fan-out. Totals are order-independent;
+  // the fixed order keeps event sequences reproducible.
+  for (std::uint32_t p : order) {
+    PartitionOut& out = stage_out_[p];
+    for (PeerId rejected : out.rejects)
+      ++sessions_.at(rejected)->stats.routes_rejected_import;
+    for (RouteEffect& effect : out.effects) {
+      if (route_event_) route_event_(effect.route, effect.withdrawn);
+      for (auto& [to, session] : sessions_) {
+        if (to == effect.route.peer) continue;
+        schedule_export(to, effect.route.prefix);
+      }
+    }
+    out.effects.clear();
+    out.rejects.clear();
+  }
+  obs_pipeline_runs_->inc();
+  in_pipeline_ = false;
+}
+
+void BgpSpeaker::process_partition(std::uint32_t part) {
+  auto& work = stage_in_[part];
+  PartitionOut& out = stage_out_[part];
+  for (RouteWork& w : work) {
+    if (w.attrs) {
+      decide_import(part, w, out);
+    } else {
+      decide_withdraw(w.from, w.entry, out);
+    }
+  }
+  work.clear();
+}
+
+void BgpSpeaker::decide_import(std::uint32_t part, RouteWork& work,
+                               PartitionOut& out) {
+  (void)part;
+  PeerId from = work.from;
   Session& s = *sessions_.at(from);
   const bool ibgp = s.config.peer_asn == asn_;
 
   // eBGP loop detection: drop routes carrying our own ASN.
-  if (!ibgp && !s.config.allow_own_asn_in && attrs->as_path.contains(asn_)) {
-    ++s.stats.routes_rejected_import;
+  if (!ibgp && !s.config.allow_own_asn_in &&
+      work.attrs->as_path.contains(asn_)) {
+    out.rejects.push_back(from);
     return;
   }
 
-  AttrBuilder builder(attrs);
-  if (!s.config.import_policy.apply(entry.prefix, builder)) {
-    ++s.stats.routes_rejected_import;
+  AttrBuilder builder(work.attrs);
+  if (!s.config.import_policy.apply(work.entry.prefix, builder)) {
+    out.rejects.push_back(from);
     // An implicit withdraw may be needed if a previous version was accepted.
-    withdraw_route(from, entry);
+    decide_withdraw(from, work.entry, out);
     return;
   }
   // Hand the hook an uninterned candidate and intern only its final answer:
@@ -401,10 +495,10 @@ void BgpSpeaker::import_route(PeerId from, const NlriEntry& entry,
   // intermediate policy result never pays for a pool insertion.
   AttrsPtr working;
   if (import_hook_) {
-    auto hooked = import_hook_(from, entry, builder.release());
+    auto hooked = import_hook_(from, work.entry, builder.release());
     if (!hooked) {
-      ++s.stats.routes_rejected_import;
-      withdraw_route(from, entry);
+      out.rejects.push_back(from);
+      decide_withdraw(from, work.entry, out);
       return;
     }
     working = attr_pool_.adopt(*hooked);
@@ -413,35 +507,27 @@ void BgpSpeaker::import_route(PeerId from, const NlriEntry& entry,
   }
 
   RibRoute route;
-  route.prefix = entry.prefix;
-  route.path_id = entry.path_id;
+  route.prefix = work.entry.prefix;
+  route.path_id = work.entry.path_id;
   route.peer = from;
   route.attrs = std::move(working);
 
   if (!s.adj_in.update(route)) return;  // no change
   loc_rib_.update(route);
-  if (route_event_) route_event_(route, /*withdrawn=*/false);
-
-  for (auto& [to, session] : sessions_) {
-    if (to == from) continue;
-    schedule_export(to, entry.prefix);
-  }
+  out.effects.push_back(RouteEffect{std::move(route), /*withdrawn=*/false});
 }
 
-void BgpSpeaker::withdraw_route(PeerId from, const NlriEntry& entry) {
+void BgpSpeaker::decide_withdraw(PeerId from, const NlriEntry& entry,
+                                 PartitionOut& out) {
   Session& s = *sessions_.at(from);
   auto removed = s.adj_in.withdraw(entry.prefix, entry.path_id);
   if (!removed) return;
   loc_rib_.withdraw(entry.prefix, from, entry.path_id);
-  if (route_event_) route_event_(*removed, /*withdrawn=*/true);
-
-  for (auto& [to, session] : sessions_) {
-    if (to == from) continue;
-    schedule_export(to, entry.prefix);
-  }
+  out.effects.push_back(RouteEffect{std::move(*removed), /*withdrawn=*/true});
 }
 
 void BgpSpeaker::originate(const Ipv4Prefix& prefix, PathAttributes attrs) {
+  drain_pipeline();
   RibRoute route;
   route.prefix = prefix;
   route.path_id = 0;
@@ -454,6 +540,7 @@ void BgpSpeaker::originate(const Ipv4Prefix& prefix, PathAttributes attrs) {
 }
 
 void BgpSpeaker::withdraw_originated(const Ipv4Prefix& prefix) {
+  drain_pipeline();
   auto it = originated_.find(prefix);
   if (it == originated_.end()) return;
   RibRoute route;
@@ -560,32 +647,109 @@ std::vector<std::pair<std::uint32_t, AttrsPtr>> BgpSpeaker::desired_adverts(
 void BgpSpeaker::schedule_export(PeerId to, const Ipv4Prefix& prefix) {
   Session& s = *sessions_.at(to);
   if (s.state != SessionState::kEstablished) return;
-  s.pending_export.push_back(prefix);
+  s.pending_export.push(prefix);
+  schedule_flush(to);
+}
+
+void BgpSpeaker::schedule_flush(PeerId to, bool immediate) {
+  Session& s = *sessions_.at(to);
+  if (s.state != SessionState::kEstablished) return;
+  if (s.pending_export.empty()) return;
   if (s.flush_scheduled) return;
   s.flush_scheduled = true;
 
-  SimTime earliest = s.next_flush_allowed;
   SimTime now = loop_->now();
-  SimTime at = earliest > now ? earliest : now;
-  loop_->schedule_at(at, [this, to]() {
-    auto it = sessions_.find(to);
-    if (it == sessions_.end()) return;
-    it->second->flush_scheduled = false;
-    if (it->second->state != SessionState::kEstablished) return;
-    flush_exports(to);
-  });
+  SimTime at = now;
+  if (!immediate && s.next_flush_allowed > now) at = s.next_flush_allowed;
+  s.flush_at = at;
+  auto [it, inserted] = flush_batches_.try_emplace(at);
+  it->second.push_back(to);
+  // One drain event per distinct flush instant: every peer due then shares
+  // the event — and the encode stage's parallel fan-out.
+  if (inserted)
+    loop_->schedule_at(at, [this, at]() { drain_flush_batch(at); });
 }
 
-void BgpSpeaker::flush_exports(PeerId to) {
+void BgpSpeaker::drain_flush_batch(SimTime at) {
+  auto node = flush_batches_.extract(at);
+  if (node.empty()) return;
+  std::vector<PeerId> peers = std::move(node.mapped());
+  // Ascending peer order — the order the per-peer flush events fired in
+  // before batching, and independent of how the batch was filled.
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+
+  std::vector<PeerId> due;
+  due.reserve(peers.size());
+  for (PeerId peer : peers) {
+    auto it = sessions_.find(peer);
+    if (it == sessions_.end()) continue;
+    Session& s = *it->second;
+    // flush_at distinguishes this batch from a newer one scheduled after a
+    // session bounce; stale memberships are simply skipped.
+    if (!s.flush_scheduled || s.flush_at != at) continue;
+    s.flush_scheduled = false;
+    if (s.state != SessionState::kEstablished) continue;
+    due.push_back(peer);
+  }
+  if (due.empty()) return;
+
+  // Encode stage: per-peer Adj-RIB-Out diff + serialization. Sessions are
+  // disjoint and the attr pool is concurrent-safe, so peers fan out across
+  // the worker pool (unless a non-thread-safe export hook is installed).
+  std::vector<EncodeResult> results(due.size());
+  const bool parallel = scheduler_ != nullptr && due.size() > 1 &&
+                        (!export_hook_ || export_hook_thread_safe_);
+  auto encode_one = [&](std::size_t i) {
+    results[i] = encode_exports(due[i]);
+  };
+  if (parallel) {
+    scheduler_->parallel_for(due.size(), encode_one);
+  } else {
+    for (std::size_t i = 0; i < due.size(); ++i) encode_one(i);
+  }
+
+  // Serial transmit + stats, ascending peer order: one coalesced stream
+  // send per peer (the decoder reassembles message-by-message).
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    Session& s = *sessions_.at(due[i]);
+    EncodeResult& r = results[i];
+    if (s.config.mrai > Duration::nanos(0))
+      s.next_flush_allowed = loop_->now() + s.config.mrai;
+    if (!r.wire.empty() && s.stream && s.stream->open())
+      s.stream->send(std::move(r.wire));
+    s.stats.updates_sent += r.updates;
+    total_updates_tx_ += r.updates;
+    s.stats.attr_encode_cache_hits += r.cache_hits;
+    s.stats.attr_encode_cache_misses += r.cache_misses;
+    if (r.updates > 0) {
+      obs_updates_out_->add(r.updates);
+      s.obs_updates_out->add(r.updates);
+    }
+  }
+}
+
+BgpSpeaker::EncodeResult BgpSpeaker::encode_exports(PeerId to) {
   Session& s = *sessions_.at(to);
-  auto prefixes = std::move(s.pending_export);
-  s.pending_export.clear();
+  EncodeResult r;
+
+  std::vector<Ipv4Prefix> prefixes;
+  if (s.pending_export.overflowed()) {
+    // The bounded delta log gave up: reevaluate the full table (every
+    // Loc-RIB prefix plus everything currently advertised, so stale
+    // adverts are withdrawn too).
+    loc_rib_.visit_all(
+        [&](const RibRoute& route) { prefixes.push_back(route.prefix); });
+    for (const auto& [prefix, out] : s.adj_out) prefixes.push_back(prefix);
+    s.pending_export.clear();
+  } else {
+    prefixes = s.pending_export.take();
+  }
   std::sort(prefixes.begin(), prefixes.end());
   prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
                  prefixes.end());
-  if (s.config.mrai > Duration::nanos(0))
-    s.next_flush_allowed = loop_->now() + s.config.mrai;
 
+  const bool stream_open = s.stream && s.stream->open();
   std::vector<NlriEntry> withdrawals;
 
   for (const Ipv4Prefix& prefix : prefixes) {
@@ -616,21 +780,19 @@ void BgpSpeaker::flush_exports(PeerId to) {
       auto it = current.find(id);
       if (it != current.end() && it->second.attrs == attrs) continue;
       current[id] = OutRoute{0, 0, attrs};
-      if (s.stream && s.stream->open()) {
-        std::uint64_t hits = attr_pool_.stats().encode_hits;
-        const Bytes& attr_bytes = attr_pool_.encoded(attrs, s.tx_options.attrs);
-        if (attr_pool_.stats().encode_hits != hits)
-          ++s.stats.attr_encode_cache_hits;
+      if (stream_open) {
+        bool hit = false;
+        const Bytes& attr_bytes =
+            attr_pool_.encoded(attrs, s.tx_options.attrs, &hit);
+        if (hit)
+          ++r.cache_hits;
         else
-          ++s.stats.attr_encode_cache_misses;
+          ++r.cache_misses;
         std::vector<NlriEntry> nlri{{id, prefix}};
-        s.stream->send(
-            encode_update_from_cached(attr_bytes, nlri, s.tx_options));
+        Bytes msg = encode_update_from_cached(attr_bytes, nlri, s.tx_options);
+        r.wire.insert(r.wire.end(), msg.begin(), msg.end());
       }
-      ++s.stats.updates_sent;
-      ++total_updates_tx_;
-      obs_updates_out_->inc();
-      s.obs_updates_out->inc();
+      ++r.updates;
     }
     if (current.empty()) s.adj_out.erase(prefix);
   }
@@ -638,30 +800,20 @@ void BgpSpeaker::flush_exports(PeerId to) {
   if (!withdrawals.empty()) {
     UpdateMessage update;
     update.withdrawn = std::move(withdrawals);
-    send_message(to, update);
-    ++s.stats.updates_sent;
-    ++total_updates_tx_;
-    obs_updates_out_->inc();
-    s.obs_updates_out->inc();
+    if (stream_open) {
+      Bytes msg = encode_message(update, s.tx_options);
+      r.wire.insert(r.wire.end(), msg.begin(), msg.end());
+    }
+    ++r.updates;
   }
+  return r;
 }
 
 void BgpSpeaker::send_initial_table(PeerId to) {
   Session& s = *sessions_.at(to);
-  std::set<Ipv4Prefix> prefixes;
   loc_rib_.visit_all(
-      [&](const RibRoute& route) { prefixes.insert(route.prefix); });
-  for (const auto& prefix : prefixes) s.pending_export.push_back(prefix);
-  if (!s.pending_export.empty() && !s.flush_scheduled) {
-    s.flush_scheduled = true;
-    loop_->schedule_after(Duration::nanos(0), [this, to]() {
-      auto it = sessions_.find(to);
-      if (it == sessions_.end()) return;
-      it->second->flush_scheduled = false;
-      if (it->second->state != SessionState::kEstablished) return;
-      flush_exports(to);
-    });
-  }
+      [&](const RibRoute& route) { s.pending_export.push(route.prefix); });
+  schedule_flush(to, /*immediate=*/true);
 }
 
 void BgpSpeaker::send_message(PeerId peer, const BgpMessage& message) {
@@ -737,6 +889,9 @@ void BgpSpeaker::arm_keepalive_timer(PeerId peer) {
 }
 
 void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
+  // Apply anything the dying session's last messages staged before tearing
+  // its state down — otherwise the clear below would race stale work.
+  drain_pipeline();
   Session& s = *sessions_.at(peer);
   if (s.state == SessionState::kIdle) return;
   LOG_INFO("bgp", name_ << ": session with " << s.config.name << " down: "
@@ -808,6 +963,10 @@ void BgpSpeaker::publish_metrics(obs::Registry& registry) const {
       ->set(i64(loc_rib_.prefix_count()));
   registry.gauge("bgp_locrib_paths", labels)->set(i64(loc_rib_.route_count()));
   registry.gauge("bgp_memory_bytes", labels)->set(i64(memory_bytes()));
+  registry.gauge("bgp_pipeline_partitions", labels)
+      ->set(static_cast<std::int64_t>(pmap_.partitions()));
+  registry.gauge("bgp_pipeline_workers", labels)
+      ->set(static_cast<std::int64_t>(pipeline_.workers));
 
   for (const auto& [id, session] : sessions_) {
     (void)id;

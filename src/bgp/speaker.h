@@ -1,11 +1,33 @@
-// BgpSpeaker: a complete single-threaded BGP-4 speaker — session FSMs over
-// simulated TCP streams, OPEN capability negotiation (4-byte ASN, ADD-PATH),
-// per-peer Adj-RIB-In, Loc-RIB with the standard decision process,
-// policy-driven export with MRAI batching, and hook points at import/export
-// where vBGP interposes (next-hop rewriting, security enforcement).
+// BgpSpeaker: a complete BGP-4 speaker — session FSMs over simulated TCP
+// streams, OPEN capability negotiation (4-byte ASN, ADD-PATH), per-peer
+// Adj-RIB-In, Loc-RIB with the standard decision process, policy-driven
+// export with MRAI batching, and hook points at import/export where vBGP
+// interposes (next-hop rewriting, security enforcement).
 //
-// This is the role BIRD plays in the authors' deployment; like BIRD, the
-// speaker is single-threaded and event-driven (§6 evaluates exactly that).
+// This is the role BIRD plays in the authors' deployment. Unlike BIRD, the
+// route-processing core is organized as a three-stage pipeline over an
+// N-way prefix-hash partitioning of the RIBs (the Contrail control-node
+// decomposition):
+//
+//   stage 1, input decode  — the message path parses UPDATEs and stages
+//       RouteWork items into per-partition queues (serial, cheap);
+//   stage 2, decision      — per partition: loop check, import policy,
+//       import hook, interning, Adj-RIB-In + Loc-RIB update. Partitions
+//       touch disjoint RIB shards, so this stage fans out across a
+//       exec::Scheduler worker pool;
+//   stage 3, update encode — peers due for an MRAI flush at the same
+//       instant are drained as one batch; per-peer Adj-RIB-Out diffing and
+//       wire encoding (through the AttrPool encode cache) run in parallel,
+//       transmission stays serial.
+//
+// Determinism contract: the pipeline runs to completion inside the
+// sim::EventLoop event that produced the work (the barrier is event
+// granularity — staged work never spans events), route effects are applied
+// in a seeded partition visit order, RIB iteration merges shards back into
+// global prefix order, and per-prefix candidate order is partition-local
+// FIFO. With workers == 0 (deterministic mode, the default) every stage
+// runs inline on the event-loop thread and a run is byte-identical to the
+// same seed at any partition count.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +44,9 @@
 #include "bgp/message.h"
 #include "bgp/policy.h"
 #include "bgp/rib.h"
+#include "exec/partition.h"
+#include "exec/scheduler.h"
+#include "exec/work_queue.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/event_loop.h"
@@ -43,6 +68,24 @@ const char* session_state_name(SessionState state);
 
 /// Pseudo peer id for locally originated routes.
 constexpr PeerId kLocalRoutes = 0;
+
+/// Concurrency shape of one speaker. The default (1 partition, 0 workers)
+/// is the fully serial, deterministic configuration every existing test and
+/// the fault-injection differential reference run under.
+struct PipelineConfig {
+  /// RIB shards / decision-stage parallelism. Must be >= 1.
+  std::uint32_t partitions = 1;
+  /// Worker threads in the exec::Scheduler. 0 = no threads: all stages run
+  /// inline on the event-loop thread in deterministic order.
+  std::uint32_t workers = 0;
+  /// Seed for the deterministic-mode partition visit order.
+  std::uint64_t seed = 0x9ee71a6ull;
+  /// Bound on each peer's pending-export delta log; overflow falls back to
+  /// a full-table reevaluation at the next flush.
+  std::size_t peer_queue_capacity = 1 << 16;
+
+  bool deterministic() const { return workers == 0; }
+};
 
 struct PeerConfig {
   std::string name;
@@ -104,7 +147,9 @@ class BgpSpeaker {
       PeerId to, const RibRoute& route, const AttrsPtr& attrs)>;
 
   /// Route event: fired when the post-import route set changes (install or
-  /// withdraw). vBGP synchronizes per-neighbor FIBs from this.
+  /// withdraw). vBGP synchronizes per-neighbor FIBs from this. Always
+  /// invoked from the event-loop thread (post-barrier), in seeded partition
+  /// order, never from a worker.
   using RouteEventHandler =
       std::function<void(const RibRoute& route, bool withdrawn)>;
 
@@ -113,7 +158,7 @@ class BgpSpeaker {
       std::function<void(PeerId peer, SessionState state)>;
 
   BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
-             Ipv4Address router_id);
+             Ipv4Address router_id, PipelineConfig pipeline = {});
   ~BgpSpeaker();
 
   BgpSpeaker(const BgpSpeaker&) = delete;
@@ -122,6 +167,7 @@ class BgpSpeaker {
   const std::string& name() const { return name_; }
   Asn asn() const { return asn_; }
   Ipv4Address router_id() const { return router_id_; }
+  const PipelineConfig& pipeline() const { return pipeline_; }
 
   /// Registers a peer; returns its id (>= 1).
   PeerId add_peer(PeerConfig config);
@@ -158,8 +204,30 @@ class BgpSpeaker {
   /// Withdraws a locally originated route.
   void withdraw_originated(const Ipv4Prefix& prefix);
 
-  void set_import_hook(ImportHook hook) { import_hook_ = std::move(hook); }
-  void set_export_hook(ExportHook hook) { export_hook_ = std::move(hook); }
+  /// Stages an UPDATE as if it had arrived (already decoded) on `peer`'s
+  /// established session, without the wire framing. Work accumulates until
+  /// drain_pipeline() — callers batching many injected UPDATEs into one
+  /// "event" (as a coalesced TCP segment would) maximize decision-stage
+  /// parallelism. No-op unless the session is Established.
+  void inject_update(PeerId peer, const UpdateMessage& update);
+
+  /// Runs the decision stage over all staged work and applies its effects.
+  /// No-op when nothing is staged. Called automatically at event
+  /// granularity by the message path; public for inject_update() users.
+  void drain_pipeline();
+
+  /// `thread_safe` promises the hook may be invoked concurrently from
+  /// decision-stage workers; otherwise that stage degrades to serial while
+  /// the hook is installed (the hook itself still only ever runs on one
+  /// route at a time per partition).
+  void set_import_hook(ImportHook hook, bool thread_safe = false) {
+    import_hook_ = std::move(hook);
+    import_hook_thread_safe_ = thread_safe;
+  }
+  void set_export_hook(ExportHook hook, bool thread_safe = false) {
+    export_hook_ = std::move(hook);
+    export_hook_thread_safe_ = thread_safe;
+  }
   void on_route_event(RouteEventHandler handler) {
     route_event_ = std::move(handler);
   }
@@ -194,6 +262,35 @@ class BgpSpeaker {
  private:
   struct Session;
 
+  /// Stage-1 output: one staged route change. Null attrs = withdraw.
+  struct RouteWork {
+    PeerId from = 0;
+    NlriEntry entry;
+    AttrsPtr attrs;
+  };
+
+  /// Stage-2 output: a post-import route-set change awaiting serial effect
+  /// application (route event + export fan-out).
+  struct RouteEffect {
+    RibRoute route;
+    bool withdrawn = false;
+  };
+
+  struct PartitionOut {
+    std::vector<RouteEffect> effects;
+    /// One entry per rejected route, naming the session it arrived on.
+    std::vector<PeerId> rejects;
+  };
+
+  /// Stage-3 output for one peer: concatenated wire messages plus the stat
+  /// deltas to apply serially.
+  struct EncodeResult {
+    Bytes wire;
+    std::uint64_t updates = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+  };
+
   void handle_bytes(PeerId peer, const Bytes& data);
   void handle_message(PeerId peer, BgpMessage message);
   void handle_open(PeerId peer, const OpenMessage& open);
@@ -209,17 +306,31 @@ class BgpSpeaker {
   void schedule_hold_check(PeerId peer, std::uint64_t gen);
   void arm_keepalive_timer(PeerId peer);
 
-  /// Applies import processing for one received route; updates RIBs and
-  /// schedules exports. `attrs` is the already-interned attribute set of
-  /// the enclosing UPDATE (interned once, shared across its NLRI).
-  void import_route(PeerId from, const NlriEntry& entry,
-                    const AttrsPtr& attrs);
-  void withdraw_route(PeerId from, const NlriEntry& entry);
+  /// Stage 1: appends one route change to its partition's work queue.
+  void stage_route(PeerId from, const NlriEntry& entry, AttrsPtr attrs);
+  /// Stages all of `update`'s withdrawals and announcements.
+  void stage_update(PeerId peer, const UpdateMessage& update);
 
-  /// Recomputes what `to` should be told about `prefix` and queues the
-  /// delta through the peer's MRAI batcher.
+  /// Stage 2 for one partition: runs decision-process work against that
+  /// partition's RIB shards only. Safe to call concurrently for distinct
+  /// partitions.
+  void process_partition(std::uint32_t part);
+  void decide_import(std::uint32_t part, RouteWork& work, PartitionOut& out);
+  void decide_withdraw(PeerId from, const NlriEntry& entry, PartitionOut& out);
+
+  /// Queues `prefix` into the peer's pending-export batch and ensures a
+  /// flush is scheduled.
   void schedule_export(PeerId to, const Ipv4Prefix& prefix);
-  void flush_exports(PeerId to);
+  /// Ensures the peer is in a flush batch ('immediate' bypasses MRAI, the
+  /// historical behavior of refresh/initial-table flushes).
+  void schedule_flush(PeerId to, bool immediate = false);
+  /// Stage-3 event: drains every peer whose flush came due at `at` —
+  /// encode in parallel, transmit serially in ascending peer order.
+  void drain_flush_batch(SimTime at);
+  /// Diffs desired vs. advertised state for one peer and encodes the delta.
+  /// Mutates only session-local state (adj_out/out_ids); safe to run
+  /// concurrently for distinct peers.
+  EncodeResult encode_exports(PeerId to);
   /// Sends the full table to a newly established peer.
   void send_initial_table(PeerId to);
 
@@ -242,6 +353,9 @@ class BgpSpeaker {
   std::string name_;
   Asn asn_;
   Ipv4Address router_id_;
+  PipelineConfig pipeline_;
+  exec::PartitionMap pmap_;
+  std::unique_ptr<exec::Scheduler> scheduler_;
 
   std::map<PeerId, std::unique_ptr<Session>> sessions_;
   PeerId next_peer_id_ = 1;
@@ -250,8 +364,22 @@ class BgpSpeaker {
   LocRib loc_rib_;
   std::map<Ipv4Prefix, AttrsPtr> originated_;
 
+  /// Stage-1 -> stage-2 handoff, one queue per partition. Non-empty only
+  /// while the event that staged the work is still executing.
+  std::vector<std::vector<RouteWork>> stage_in_;
+  std::vector<PartitionOut> stage_out_;
+  std::size_t stage_pending_ = 0;
+  bool in_pipeline_ = false;
+  std::uint64_t pipeline_epoch_ = 0;
+
+  /// Stage-3 batches: peers whose pending exports come due at the same
+  /// instant share one drain event (and one parallel encode fan-out).
+  std::map<SimTime, std::vector<PeerId>> flush_batches_;
+
   ImportHook import_hook_;
   ExportHook export_hook_;
+  bool import_hook_thread_safe_ = false;
+  bool export_hook_thread_safe_ = false;
   RouteEventHandler route_event_;
   SessionEventHandler session_event_;
 
@@ -264,6 +392,7 @@ class BgpSpeaker {
   obs::Registry* metrics_;
   obs::Counter* obs_updates_in_;
   obs::Counter* obs_updates_out_;
+  obs::Counter* obs_pipeline_runs_;
   obs::Counter* obs_transitions_[4];  // indexed by SessionState
   obs::SpanMeter update_span_;
   std::uint64_t collector_token_ = 0;

@@ -1,0 +1,70 @@
+// Prefix-hash partitioning for the multicore speaker (Contrail-style DB
+// table partitions). A PartitionMap deterministically assigns every
+// Ipv4Prefix to one of N partitions; all RIB state for a prefix lives in
+// exactly one partition, so decision-process work on different partitions
+// never touches the same route entries. The assignment depends only on
+// (prefix, partition count) — never on build, seed, or thread schedule —
+// which is what lets a deterministic N=1 run and a deterministic N=4 run
+// produce identical outputs.
+//
+// seeded_order() supplies the deterministic-mode visit permutation: the
+// serial scheduler walks partitions in a seeded shuffle rather than 0..N-1
+// so tests cannot accidentally depend on ascending partition order (the
+// parallel scheduler provides no order at all).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace peering::exec {
+
+/// splitmix64: the same finalizer the fault injector uses; full-avalanche,
+/// so consecutive /24s spread evenly over any partition count.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class PartitionMap {
+ public:
+  explicit PartitionMap(std::uint32_t partitions = 1)
+      : partitions_(partitions == 0 ? 1 : partitions) {}
+
+  std::uint32_t partitions() const { return partitions_; }
+
+  /// Partition owning `prefix`. Hash covers address AND length so a /16 and
+  /// a /24 at the same base address can land apart.
+  std::uint32_t of(const Ipv4Prefix& prefix) const {
+    if (partitions_ == 1) return 0;
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(prefix.address().value()) << 8) |
+        prefix.length();
+    return static_cast<std::uint32_t>(mix64(key) % partitions_);
+  }
+
+  bool operator==(const PartitionMap&) const = default;
+
+ private:
+  std::uint32_t partitions_;
+};
+
+/// Seeded Fisher–Yates permutation of [0, n): the deterministic-mode
+/// partition visit order. Same (n, seed) always yields the same order.
+inline std::vector<std::uint32_t> seeded_order(std::uint32_t n,
+                                               std::uint64_t seed) {
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::uint64_t state = seed;
+  for (std::uint32_t i = n; i > 1; --i) {
+    state = mix64(state);
+    std::uint32_t j = static_cast<std::uint32_t>(state % i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace peering::exec

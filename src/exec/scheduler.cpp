@@ -1,0 +1,75 @@
+#include "exec/scheduler.h"
+
+namespace peering::exec {
+
+namespace {
+// Queue depth for pending task indices. parallel_for blocks producing once
+// this fills, which is harmless: workers are draining the same queue.
+constexpr std::size_t kTaskQueueDepth = 1024;
+}  // namespace
+
+Scheduler::Scheduler(std::size_t workers) : tasks_(kTaskQueueDepth) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  tasks_.close();
+  for (auto& t : threads_) t.join();
+}
+
+void Scheduler::parallel_for(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    // Deterministic / degenerate path: inline, in index order.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_.fn = &fn;
+    batch_.remaining = count;
+  }
+  // Feed the queue while helping drain it, so the caller never deadlocks on
+  // a full queue and contributes a core to the batch.
+  std::size_t next_to_push = 0;
+  while (next_to_push < count) {
+    if (tasks_.try_push(next_to_push)) {
+      ++next_to_push;
+      continue;
+    }
+    if (auto index = tasks_.try_pop()) {
+      fn(*index);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--batch_.remaining == 0) done_.notify_all();
+    }
+  }
+  // All indices queued; keep helping until the batch completes.
+  while (auto index = tasks_.try_pop()) {
+    fn(*index);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--batch_.remaining == 0) done_.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return batch_.remaining == 0; });
+  batch_.fn = nullptr;
+}
+
+void Scheduler::worker_loop() {
+  while (auto index = tasks_.pop()) {
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn = batch_.fn;
+    }
+    (*fn)(*index);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--batch_.remaining == 0) done_.notify_all();
+  }
+}
+
+}  // namespace peering::exec

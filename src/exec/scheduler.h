@@ -1,0 +1,61 @@
+// Work-queue partition scheduler for the pipelined speaker.
+//
+// A Scheduler owns a fixed pool of worker threads fed through a
+// BoundedQueue of task indices. parallel_for(count, fn) is the only
+// synchronization primitive the pipeline needs: it runs fn(0..count-1)
+// across the pool, the calling thread participates (so workers=0 degrades
+// to a plain inline loop with zero thread overhead — the deterministic
+// mode), and it returns only after every index has finished. That return
+// is the stage barrier.
+//
+// fn must be safe to call concurrently for distinct indices; the pipeline
+// guarantees distinct indices touch disjoint RIB partitions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "exec/work_queue.h"
+
+namespace peering::exec {
+
+class Scheduler {
+ public:
+  /// workers == 0: no threads are spawned and parallel_for runs inline in
+  /// index order — the deterministic single-threaded mode.
+  explicit Scheduler(std::size_t workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), distributing across the worker
+  /// pool; the caller participates. Returns after all calls complete
+  /// (barrier). Exceptions thrown by fn terminate (noexcept contract) —
+  /// pipeline stages report errors through their results, never by throw.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t remaining = 0;  // guarded by mu_
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  BoundedQueue<std::size_t> tasks_;
+
+  // Completion accounting for the in-flight batch. Only one batch runs at
+  // a time (parallel_for is not reentrant).
+  std::mutex mu_;
+  std::condition_variable done_;
+  Batch batch_;
+};
+
+}  // namespace peering::exec

@@ -15,18 +15,30 @@ FibSet::FibSet() {
 // Slots
 // ---------------------------------------------------------------------------
 
-std::uint32_t FibSet::Slots::set(ViewId view, std::uint32_t id) {
-  if (view >= capacity_) {
+std::uint32_t FibSet::Slots::set(ViewId view, std::uint32_t id,
+                                 RetiredArrays& retired) {
+  Slot* cur = ids_.load(std::memory_order_relaxed);
+  std::uint32_t cap = cur == nullptr ? 0 : cap_of(cur);
+  if (view >= cap) {
     if (id == 0) return 0;  // clearing an absent slot: nothing to do
-    std::uint16_t new_cap = capacity_ ? capacity_ : 2;
-    while (new_cap <= view) new_cap = static_cast<std::uint16_t>(new_cap * 2);
-    auto grown = std::make_unique<std::uint32_t[]>(new_cap);  // zeroed
-    std::copy(ids_.get(), ids_.get() + capacity_, grown.get());
-    ids_ = std::move(grown);
-    capacity_ = new_cap;
+    std::uint32_t new_cap = cap != 0 ? cap : 2;
+    while (new_cap <= view) new_cap *= 2;
+    // Header word [0] carries the capacity so readers pair a pointer with
+    // its bound through one acquire load; slots live at [1..new_cap].
+    auto grown = std::make_unique<Slot[]>(new_cap + 1);  // value-init: zeroed
+    grown[0].store(new_cap, std::memory_order_relaxed);
+    for (std::uint32_t v = 0; v < cap; ++v) {
+      grown[1 + v].store(cur[1 + v].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+    ids_.store(grown.release(), std::memory_order_release);
+    if (cur != nullptr) retired.emplace_back(cur);
+    cur = ids_.load(std::memory_order_relaxed);
   }
-  std::uint32_t prev = ids_[view];
-  ids_[view] = id;
+  std::uint32_t prev = cur[1 + view].load(std::memory_order_relaxed);
+  // Release so a reader that observes the new id also observes the pool
+  // entry it names (interned before the slot write).
+  cur[1 + view].store(id, std::memory_order_release);
   if (prev == 0 && id != 0)
     ++used_;
   else if (prev != 0 && id == 0)
@@ -108,7 +120,7 @@ bool FibSet::insert(ViewId view, const Route& route) {
   std::uint32_t id =
       intern(Payload{route.next_hop, route.interface, route.metric});
   std::uint16_t cap_before = node->payload.capacity();
-  std::uint32_t prev = node->payload.set(view, id);
+  std::uint32_t prev = node->payload.set(view, id, retired_slot_arrays_);
   if (node->payload.capacity() != cap_before) obs_cow_growth_->inc();
   if (prev != 0) {
     deref(prev);
@@ -122,7 +134,7 @@ bool FibSet::remove(ViewId view, const Ipv4Prefix& prefix) {
   if (!view_live(view)) return false;
   Trie::Node* node = trie_.find(prefix);
   if (!node) return false;
-  std::uint32_t prev = node->payload.set(view, 0);
+  std::uint32_t prev = node->payload.set(view, 0, retired_slot_arrays_);
   if (prev == 0) return false;  // node exists but is another view's (or structural)
   deref(prev);
   --view_sizes_[view];
@@ -167,7 +179,7 @@ void FibSet::visit(ViewId view,
 void FibSet::clear(ViewId view) {
   if (!view_live(view) || view_sizes_[view] == 0) return;
   trie_.visit_mut([&](Trie::Node& node) {
-    std::uint32_t prev = node.payload.set(view, 0);
+    std::uint32_t prev = node.payload.set(view, 0, retired_slot_arrays_);
     if (prev != 0) deref(prev);
   });
   view_sizes_[view] = 0;

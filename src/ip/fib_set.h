@@ -22,6 +22,7 @@
 // per-neighbor RoutingTables ("flat") — the fig6a ablation compares the two.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -100,6 +101,14 @@ class FibSet {
   /// per-neighbor-table implementation would need for the same state.
   std::size_t flat_equivalent_bytes() const;
 
+  /// Frees slot arrays displaced by CoW growth. Retired arrays must
+  /// outlive any lock-free reader that might still hold one, so this is
+  /// only safe at a caller-asserted quiescent point (no concurrent LPM
+  /// readers in flight). Skipping it entirely is also fine: geometric
+  /// growth bounds the parked bytes per leaf below the live array, and
+  /// everything is freed on destruction.
+  void collect_retired() { retired_slot_arrays_.clear(); }
+
  private:
   /// Interned route payload: everything of a Route except the prefix
   /// (implied by the leaf). Ids are 1-based; 0 means "no route".
@@ -119,37 +128,80 @@ class FibSet {
     }
   };
 
-  /// Per-leaf slot array: ids_[view] is the view's interned payload id
+  /// One slot cell. Atomic so an LPM reader on another thread can race the
+  /// writer's store without UB; all hot-path accesses are relaxed/acquire
+  /// loads and release stores — no locks, no RMW.
+  using Slot = std::atomic<std::uint32_t>;
+
+  /// Arrays replaced by slot growth, parked until a quiescent point. With
+  /// geometric growth the parked bytes per leaf sum to less than the live
+  /// array, so retention is bounded even if the owner never drains; the
+  /// owning FibSet frees the list in collect_retired() (caller asserts
+  /// reader quiescence) and on destruction.
+  using RetiredArrays = std::vector<std::unique_ptr<Slot[]>>;
+
+  /// Per-leaf slot array: slot `view` is the view's interned payload id
   /// (0 = absent). Starts empty; grows geometrically on the first write by
   /// a view beyond the current capacity — the copy-on-write step, confined
   /// to this leaf.
+  ///
+  /// Readers may race slot growth: the array is published through one
+  /// acquire/release atomic pointer whose allocation carries its own
+  /// capacity in a 4-byte header word (`arr[0]`; slots start at `arr[1]`),
+  /// so a reader always pairs a pointer with the matching capacity. The
+  /// displaced array is retired, not freed, keeping in-flight readers
+  /// valid. Concurrent readers of a *stale* array simply miss the newest
+  /// write — the usual relaxed-FIB contract. Writes are single-threaded
+  /// (serial effect-application points only).
   class Slots {
    public:
+    Slots() = default;
+    Slots(const Slots&) = delete;
+    Slots& operator=(const Slots&) = delete;
+    ~Slots() { delete[] ids_.load(std::memory_order_relaxed); }
+
     bool empty() const { return used_ == 0; }
     std::uint16_t used() const { return used_; }
     std::size_t heap_bytes() const {
-      return capacity_ * sizeof(std::uint32_t);
+      const Slot* p = ids_.load(std::memory_order_relaxed);
+      return p == nullptr ? 0 : (cap_of(p) + 1) * sizeof(Slot);
     }
 
     std::uint32_t get(ViewId view) const {
-      return view < capacity_ ? ids_[view] : 0;
+      const Slot* p = ids_.load(std::memory_order_acquire);
+      if (p == nullptr || view >= cap_of(p)) return 0;
+      return p[1 + view].load(std::memory_order_acquire);
     }
 
-    /// Stores `id` for `view` (growing if needed) and returns the previous
-    /// id. Storing 0 into a view beyond capacity is a no-op.
-    std::uint32_t set(ViewId view, std::uint32_t id);
+    /// Stores `id` for `view` (growing if needed, parking any displaced
+    /// array in `retired`) and returns the previous id. Storing 0 into a
+    /// view beyond capacity is a no-op.
+    std::uint32_t set(ViewId view, std::uint32_t id, RetiredArrays& retired);
 
     template <typename Fn>
     void for_each(Fn&& fn) const {  // fn(view, payload id), non-zero only
-      for (std::uint16_t v = 0; v < capacity_; ++v)
-        if (ids_[v] != 0) fn(v, ids_[v]);
+      const Slot* p = ids_.load(std::memory_order_acquire);
+      if (p == nullptr) return;
+      std::uint32_t cap = cap_of(p);
+      for (std::uint32_t v = 0; v < cap; ++v) {
+        std::uint32_t id = p[1 + v].load(std::memory_order_acquire);
+        if (id != 0) fn(static_cast<ViewId>(v), id);
+      }
     }
 
-    std::uint16_t capacity() const { return capacity_; }
+    std::uint16_t capacity() const {
+      const Slot* p = ids_.load(std::memory_order_relaxed);
+      return p == nullptr ? 0 : static_cast<std::uint16_t>(cap_of(p));
+    }
 
    private:
-    std::unique_ptr<std::uint32_t[]> ids_;
-    std::uint16_t capacity_ = 0;
+    /// The header word written once before publication; immutable after,
+    /// so a relaxed read under the acquire on the pointer suffices.
+    static std::uint32_t cap_of(const Slot* p) {
+      return p[0].load(std::memory_order_relaxed);
+    }
+
+    std::atomic<Slot*> ids_{nullptr};
     std::uint16_t used_ = 0;
   };
 
@@ -177,6 +229,9 @@ class FibSet {
   std::vector<std::size_t> view_sizes_;
   std::vector<std::uint8_t> view_live_;
   std::vector<ViewId> free_views_;
+  // Slot arrays displaced by CoW growth, freed at the next serial mutation
+  // (a quiescent point for lock-free readers).
+  RetiredArrays retired_slot_arrays_;
 
   /// Telemetry handles, resolved once against the process-global registry.
   /// All FibSets share the same platform-wide series (per-router memory

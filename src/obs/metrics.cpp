@@ -275,30 +275,26 @@ Registry* Registry::install(Registry* registry) {
   return previous;
 }
 
+// The shared no-op instruments are constructed in place (atomics make the
+// types immovable) and demoted to dead before first use.
 Counter* Registry::nop_counter() {
-  static Counter c = [] {
-    Counter v;
-    v.live_ = false;
-    return v;
-  }();
+  static Counter c;
+  static const bool dead = ((c.live_ = false), true);
+  (void)dead;
   return &c;
 }
 
 Gauge* Registry::nop_gauge() {
-  static Gauge g = [] {
-    Gauge v;
-    v.live_ = false;
-    return v;
-  }();
+  static Gauge g;
+  static const bool dead = ((g.live_ = false), true);
+  (void)dead;
   return &g;
 }
 
 Histogram* Registry::nop_histogram() {
-  static Histogram h = [] {
-    Histogram v;
-    v.live_ = false;
-    return v;
-  }();
+  static Histogram h;
+  static const bool dead = ((h.live_ = false), true);
+  (void)dead;
   return &h;
 }
 

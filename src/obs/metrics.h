@@ -3,8 +3,12 @@
 // log-bucketed Histogram — are registered under a metric name plus a small
 // label set (pop / peer / experiment / rule / ...). Call sites resolve an
 // instrument ONCE (a map lookup) and keep the returned pointer; the hot
-// path is then a single add on a plain integer, no hashing, no locking
-// (the whole platform is single-threaded by design, like BIRD).
+// path is then a single relaxed atomic add, no hashing, no locking.
+// Relaxed ordering is enough: instruments are monotone totals with no
+// cross-metric invariants, and every reader (snapshot, tests) runs at a
+// serial point. This is what lets the pipelined BgpSpeaker's decision and
+// encode workers bump shared counters without a data race. Registration
+// (counter()/gauge()/histogram()) remains serial-point-only.
 //
 // Determinism contract: every instrument value is an integer, instruments
 // are snapshotted in canonical (kind, name, sorted-labels) order, and
@@ -29,6 +33,7 @@
 // cannot balloon the registry.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <deque>
@@ -54,50 +59,58 @@ inline constexpr bool kCompiledIn = true;
 /// registration; order given by the caller does not matter.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-/// Monotone event count. `add` on a live counter is one integer add.
+/// Monotone event count. `add` on a live counter is one relaxed atomic
+/// add (thread-safe); on the shared no-op instrument it is a predictable
+/// branch and nothing else.
 class Counter {
  public:
   void add(std::uint64_t n) {
 #ifndef PEERING_OBS_DISABLED
-    if (live_) value_ += n;
+    if (live_) value_.fetch_add(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif
   }
   void inc() { add(1); }
-  std::uint64_t value() const { return value_; }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
   /// False only for the shared no-op instrument of a disabled registry.
   bool live() const { return live_; }
 
  private:
   friend class Registry;
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
   bool live_ = true;
 };
 
-/// Point-in-time level (bytes held, sessions up, ...). Signed.
+/// Point-in-time level (bytes held, sessions up, ...). Signed. set/add are
+/// relaxed atomics; concurrent set() races resolve to one of the written
+/// values, which is the usual gauge semantics.
 class Gauge {
  public:
   void set(std::int64_t v) {
 #ifndef PEERING_OBS_DISABLED
-    if (live_) value_ = v;
+    if (live_) value_.store(v, std::memory_order_relaxed);
 #else
     (void)v;
 #endif
   }
   void add(std::int64_t n) {
 #ifndef PEERING_OBS_DISABLED
-    if (live_) value_ += n;
+    if (live_) value_.fetch_add(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif
   }
-  std::int64_t value() const { return value_; }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
   bool live() const { return live_; }
 
  private:
   friend class Registry;
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
   bool live_ = true;
 };
 
@@ -122,17 +135,21 @@ class Histogram {
   void record(std::uint64_t v) {
 #ifndef PEERING_OBS_DISABLED
     if (!live_) return;
-    ++count_;
-    sum_ += v;
-    ++buckets_[bucket_index(v)];
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
 #else
     (void)v;
 #endif
   }
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t bucket(int i) const { return buckets_[i]; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
   bool live() const { return live_; }
   /// True for wall-clock-valued histograms: excluded from deterministic
   /// snapshots (see SnapshotOptions::include_timing).
@@ -140,9 +157,9 @@ class Histogram {
 
  private:
   friend class Registry;
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
   bool live_ = true;
   bool timing_ = false;
 };

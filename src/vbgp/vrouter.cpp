@@ -39,7 +39,8 @@ bool has_control(const bgp::PathAttributes& attrs, bgp::Asn asn) {
 VRouter::VRouter(sim::EventLoop* loop, const VRouterConfig& config)
     : ip::Host(loop, config.name),
       config_(config),
-      speaker_(loop, config.name, config.asn, config.router_id),
+      speaker_(loop, config.name, config.asn, config.router_id,
+               config.pipeline),
       registry_(config.router_seed),
       mux_(registry_.fib_set().make_view()),
       default_table_(registry_.fib_set().make_view()),

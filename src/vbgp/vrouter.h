@@ -46,6 +46,10 @@ struct VRouterConfig {
   Ipv4Address router_id;
   /// Seed for virtual-MAC derivation; must differ between routers.
   std::uint32_t router_seed = 1;
+  /// Concurrency shape of the embedded speaker. The default (1 partition,
+  /// 0 workers) is fully serial and deterministic; differential-reference
+  /// runs (the fault-injection soak) must keep it that way.
+  bgp::PipelineConfig pipeline;
 };
 
 /// Parameters for a real BGP neighbor at this PoP.

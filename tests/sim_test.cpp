@@ -66,6 +66,25 @@ TEST(EventLoop, InterleavedTimesKeepPerTimestampFifo) {
   }
 }
 
+TEST(EventLoop, PastTimesClampToNowAndKeepSchedulingOrder) {
+  // schedule_at with a timestamp in the past must run at now(), after
+  // events already queued for now — the pipelined speaker's flush batches
+  // key events by their nominal SimTime and depend on this (time, seq)
+  // FIFO contract even when the nominal time has passed.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(Duration::seconds(2), [&] {
+    order.push_back(0);
+    loop.schedule_at(SimTime() + Duration::seconds(1),  // already past
+                     [&] { order.push_back(2); });
+    loop.schedule_at(loop.now(), [&] { order.push_back(3); });
+  });
+  loop.schedule_after(Duration::seconds(2), [&] { order.push_back(1); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime() + Duration::seconds(2));
+}
+
 TEST(EventLoop, EventsCanScheduleEvents) {
   EventLoop loop;
   int count = 0;
