@@ -18,7 +18,7 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 echo "=== configure + build: tsan preset (concurrency suite only) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
-  --target exec_test concurrency_test pipeline_test
+  --target exec_test concurrency_test pipeline_test update_group_test
 
 echo "=== ctest: default preset ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
@@ -33,6 +33,9 @@ echo "=== tsan: concurrency suite (races fail even on one core) ==="
 ./build-tsan/tests/exec_test
 ./build-tsan/tests/concurrency_test
 ./build-tsan/tests/pipeline_test
+# The update-group suite drives the parallel encode path (Phase B fans
+# members across the scheduler), so it runs under tsan as well.
+./build-tsan/tests/update_group_test
 
 echo "=== faults-soak: chaos scenarios under 3 fixed seeds, both presets ==="
 # The chaos soak re-runs every fault scenario (and the flap-storm
@@ -70,6 +73,18 @@ python3 tools/bench_check.py --fresh-dir build/bench \
   --metric attr_flow:pool_size:exact \
   --metric attr_flow:intern_hit_rate:exact \
   --metric attr_flow:encode_hit_rate:exact
+
+echo "=== bench regression gate: update-group fan-out ==="
+# The binary self-checks that grouping reduces per-session export cost at
+# 1000 sessions and that grouped/ungrouped send identical update counts
+# (exits non-zero otherwise); the deterministic counters gate on baseline.
+(cd build/bench && ./bench_fanout)
+python3 tools/bench_check.py --fresh-dir build/bench \
+  --metric fanout:sessions_grouped_1000:exact \
+  --metric fanout:groups_grouped_1000:exact \
+  --metric fanout:groups_ungrouped_1000:exact \
+  --metric fanout:updates_sent_grouped_1000:exact \
+  --metric fanout:updates_sent_ungrouped_1000:exact
 
 echo "=== bench regression gate: parallel convergence ==="
 # The binary self-checks that every parallel run converges to exactly the

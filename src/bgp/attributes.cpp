@@ -95,7 +95,9 @@ AsPath merge_as4_path(const AsPath& two_byte, const AsPath& as4) {
 
 Bytes encode_attributes(const PathAttributes& attrs,
                         const AttrCodecOptions& options) {
-  ByteWriter w;
+  // Typical sets (origin + path + next-hop + a few communities) fit in one
+  // up-front allocation instead of three doubling steps.
+  ByteWriter w(128);
 
   {
     Bytes v{static_cast<std::uint8_t>(attrs.origin)};
@@ -171,6 +173,30 @@ Bytes encode_attributes(const PathAttributes& attrs,
               static_cast<AttrType>(raw.type), raw.value);
   }
   return w.take();
+}
+
+std::size_t next_hop_value_offset(std::span<const std::uint8_t> attr_bytes) {
+  std::size_t pos = 0;
+  while (pos + 3 <= attr_bytes.size()) {
+    const std::uint8_t flags = attr_bytes[pos];
+    const std::uint8_t type = attr_bytes[pos + 1];
+    std::size_t length;
+    std::size_t header;
+    if (flags & kFlagExtendedLength) {
+      if (pos + 4 > attr_bytes.size()) return kNoNextHopOffset;
+      length = (static_cast<std::size_t>(attr_bytes[pos + 2]) << 8) |
+               attr_bytes[pos + 3];
+      header = 4;
+    } else {
+      length = attr_bytes[pos + 2];
+      header = 3;
+    }
+    if (pos + header + length > attr_bytes.size()) return kNoNextHopOffset;
+    if (static_cast<AttrType>(type) == AttrType::kNextHop && length == 4)
+      return pos + header;
+    pos += header + length;
+  }
+  return kNoNextHopOffset;
 }
 
 Result<PathAttributes> decode_attributes(std::span<const std::uint8_t> data,
@@ -420,7 +446,8 @@ AttrsPtr AttrPool::adopt(const AttrsPtr& attrs) {
 }
 
 const Bytes& AttrPool::encoded(const AttrsPtr& attrs,
-                               const AttrCodecOptions& options, bool* hit) {
+                               const AttrCodecOptions& options, bool* hit,
+                               std::size_t* nh_offset) {
   auto lock = maybe_lock();
   const std::size_t slot = options.four_byte_asn ? 1 : 0;
   if (hit) *hit = false;
@@ -431,16 +458,20 @@ const Bytes& AttrPool::encoded(const AttrsPtr& attrs,
       if (wire) {
         ++stats_.encode_hits;
         if (hit) *hit = true;
+        if (nh_offset) *nh_offset = it->second->nh_offset[slot];
         return *wire;
       }
       ++stats_.encode_misses;
       wire = encode_attributes(*attrs, options);
       wire_bytes_ += wire->size();
+      it->second->nh_offset[slot] = next_hop_value_offset(*wire);
+      if (nh_offset) *nh_offset = it->second->nh_offset[slot];
       return *wire;
     }
   }
   ++stats_.encode_misses;
   scratch_ = encode_attributes(*attrs, options);
+  if (nh_offset) *nh_offset = next_hop_value_offset(scratch_);
   return scratch_;
 }
 

@@ -101,6 +101,15 @@ struct AttrCodecOptions {
 Bytes encode_attributes(const PathAttributes& attrs,
                         const AttrCodecOptions& options);
 
+/// Sentinel for "this encoded attribute block carries no NEXT_HOP".
+inline constexpr std::size_t kNoNextHopOffset = static_cast<std::size_t>(-1);
+
+/// Offset of the 4-byte NEXT_HOP value inside an encoded attribute block
+/// (as produced by encode_attributes), or kNoNextHopOffset when absent.
+/// The update-group export path uses this to splice a per-neighbor
+/// next-hop into a cached wire template instead of re-encoding.
+std::size_t next_hop_value_offset(std::span<const std::uint8_t> attr_bytes);
+
 /// Parses the path-attributes portion of an UPDATE body. Reconstructs
 /// 4-byte paths from AS4_PATH when the session is 2-byte.
 Result<PathAttributes> decode_attributes(std::span<const std::uint8_t> data,
@@ -226,7 +235,7 @@ class AttrPool {
   /// it (not a stats() delta) for attribution, because in concurrent mode
   /// other threads advance the shared counters between reads.
   const Bytes& encoded(const AttrsPtr& attrs, const AttrCodecOptions& options,
-                       bool* hit = nullptr);
+                       bool* hit = nullptr, std::size_t* nh_offset = nullptr);
 
   /// Ablation toggle: with the cache disabled every encoded() call
   /// serializes from scratch (the pre-refactor behaviour).
@@ -252,6 +261,10 @@ class AttrPool {
   /// four_byte_asn (the only codec option that changes attribute bytes).
   struct Entry {
     std::array<std::optional<Bytes>, 2> wire;
+    /// NEXT_HOP value offset within wire[slot]; valid iff wire[slot] is
+    /// engaged (computed once at encode time).
+    std::array<std::size_t, 2> nh_offset = {kNoNextHopOffset,
+                                            kNoNextHopOffset};
   };
   struct Hash {
     using is_transparent = void;

@@ -265,6 +265,39 @@ Bytes encode_update_from_cached(const Bytes& attr_bytes,
   return w.take();
 }
 
+Bytes encode_update_spliced(const Bytes& attr_bytes, std::size_t nh_offset,
+                            Ipv4Address next_hop,
+                            const std::vector<NlriEntry>& nlri,
+                            const UpdateCodecOptions& options) {
+  Bytes wire;
+  encode_update_spliced_into(wire, attr_bytes, nh_offset, next_hop, nlri,
+                             options);
+  return wire;
+}
+
+void encode_update_spliced_into(Bytes& out, const Bytes& attr_bytes,
+                                std::size_t nh_offset, Ipv4Address next_hop,
+                                const std::vector<NlriEntry>& nlri,
+                                const UpdateCodecOptions& options) {
+  ByteWriter w(std::move(out));
+  const std::size_t start = w.size();
+  for (int i = 0; i < 16; ++i) w.u8(0xff);
+  std::size_t length_at = w.reserve_u16();
+  w.u8(static_cast<std::uint8_t>(MessageType::kUpdate));
+  w.u16(0);  // no withdrawn routes
+  w.u16(static_cast<std::uint16_t>(attr_bytes.size()));
+  w.raw(attr_bytes);
+  if (nh_offset != kNoNextHopOffset) {
+    // Layout: header (19) + withdrawn-len (2) + attr-len (2) + attrs.
+    const std::size_t at = start + kHeaderSize + 4 + nh_offset;
+    w.patch_u16(at, static_cast<std::uint16_t>(next_hop.value() >> 16));
+    w.patch_u16(at + 2, static_cast<std::uint16_t>(next_hop.value()));
+  }
+  for (const auto& entry : nlri) encode_nlri_entry(w, entry, options.add_path);
+  w.patch_u16(length_at, static_cast<std::uint16_t>(w.size() - start));
+  out = w.take();
+}
+
 Bytes encode_message(const BgpMessage& message,
                      const UpdateCodecOptions& options) {
   if (const auto* open = std::get_if<OpenMessage>(&message))

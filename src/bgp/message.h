@@ -163,6 +163,24 @@ Bytes encode_update_from_cached(const Bytes& attr_bytes,
                                 const std::vector<NlriEntry>& nlri,
                                 const UpdateCodecOptions& options);
 
+/// Like encode_update_from_cached, but patches a per-neighbor next-hop
+/// into the framed message at `nh_offset` (the NEXT_HOP value offset
+/// inside `attr_bytes`, from AttrPool::encoded). The cached template is
+/// never modified — the splice lands in the freshly framed copy. Pass
+/// bgp::kNoNextHopOffset to skip the patch.
+Bytes encode_update_spliced(const Bytes& attr_bytes, std::size_t nh_offset,
+                            Ipv4Address next_hop,
+                            const std::vector<NlriEntry>& nlri,
+                            const UpdateCodecOptions& options);
+
+/// Appends the spliced UPDATE directly onto `out` — the flush path
+/// accumulates every message for a peer into one coalesced send buffer,
+/// so the intermediate per-message allocation is pure overhead.
+void encode_update_spliced_into(Bytes& out, const Bytes& attr_bytes,
+                                std::size_t nh_offset, Ipv4Address next_hop,
+                                const std::vector<NlriEntry>& nlri,
+                                const UpdateCodecOptions& options);
+
 /// Serializes a full message.
 Bytes encode_message(const BgpMessage& message,
                      const UpdateCodecOptions& options);

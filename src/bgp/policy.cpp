@@ -46,6 +46,75 @@ void PolicyActions::apply(PathAttributes& attrs) const {
     attrs.as_path = attrs.as_path.prepended(prepend_asn, prepend_count);
 }
 
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  return h * 0xff51afd7ed558ccdull;
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s) {
+  h = mix(h, s.size());
+  for (char c : s) h = mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint64_t mix_match(std::uint64_t h, const MatchSpec& m) {
+  h = mix(h, m.prefix ? 1 : 0);
+  if (m.prefix) {
+    h = mix(h, m.prefix->address().value());
+    h = mix(h, m.prefix->length());
+  }
+  h = mix(h, m.or_longer ? 1 : 0);
+  h = mix(h, m.any_community.size());
+  for (Community c : m.any_community) h = mix(h, c.raw);
+  h = mix(h, m.as_path_contains ? 1 + static_cast<std::uint64_t>(
+                                          *m.as_path_contains)
+                                : 0);
+  h = mix(h, m.origin_asn ? 1 + static_cast<std::uint64_t>(*m.origin_asn) : 0);
+  return h;
+}
+
+std::uint64_t mix_actions(std::uint64_t h, const PolicyActions& a) {
+  h = mix(h, a.deny ? 1 : 0);
+  h = mix(h, a.set_local_pref ? 1 + static_cast<std::uint64_t>(
+                                        *a.set_local_pref)
+                              : 0);
+  h = mix(h, a.set_med ? 1 + static_cast<std::uint64_t>(*a.set_med) : 0);
+  h = mix(h, a.set_next_hop
+                 ? 1 + static_cast<std::uint64_t>(a.set_next_hop->value())
+                 : 0);
+  h = mix(h, a.add_communities.size());
+  for (Community c : a.add_communities) h = mix(h, c.raw);
+  h = mix(h, a.remove_communities.size());
+  for (Community c : a.remove_communities) h = mix(h, c.raw);
+  h = mix(h, a.strip_all_communities ? 1 : 0);
+  h = mix(h, a.prepend_count);
+  h = mix(h, a.prepend_asn);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t RoutePolicy::fingerprint() const {
+  std::uint64_t h = 0x5ee71a6e0bu;
+  h = mix(h, default_accept_ ? 1 : 0);
+  h = mix(h, terms_.size());
+  for (const auto& term : terms_) {
+    h = mix_str(h, term.name);
+    h = mix_match(h, term.match);
+    h = mix_actions(h, term.actions);
+    h = mix(h, term.final_term ? 1 : 0);
+  }
+  return h;
+}
+
+bool RoutePolicy::prefix_independent() const {
+  for (const auto& term : terms_)
+    if (term.match.prefix) return false;
+  return true;
+}
+
 bool RoutePolicy::apply(const Ipv4Prefix& prefix, AttrBuilder& attrs) const {
   for (const auto& term : terms_) {
     if (!term.match.matches(prefix, attrs.view())) continue;

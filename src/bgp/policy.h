@@ -31,6 +31,8 @@ struct MatchSpec {
 
   bool matches(const Ipv4Prefix& route_prefix,
                const PathAttributes& attrs) const;
+
+  bool operator==(const MatchSpec&) const = default;
 };
 
 /// Transformations applied when a term matches.
@@ -60,6 +62,8 @@ struct PolicyActions {
   void apply(AttrBuilder& attrs) const {
     if (!is_noop()) apply(attrs.mutate());
   }
+
+  bool operator==(const PolicyActions&) const = default;
 };
 
 struct PolicyTerm {
@@ -69,6 +73,8 @@ struct PolicyTerm {
   /// When false, evaluation continues with the next term after applying
   /// this term's actions (accumulating transforms).
   bool final_term = true;
+
+  bool operator==(const PolicyTerm&) const = default;
 };
 
 /// An ordered policy. A route is evaluated against terms in order; the
@@ -101,6 +107,19 @@ class RoutePolicy {
   bool apply(const Ipv4Prefix& prefix, AttrBuilder& attrs) const;
 
   std::size_t term_count() const { return terms_.size(); }
+
+  /// Structural identity hash over terms and the default disposition.
+  /// Two policies with equal content always produce the same fingerprint;
+  /// the (rare) converse collision is disambiguated with `operator==` by
+  /// callers that key on the fingerprint (export grouping).
+  std::uint64_t fingerprint() const;
+
+  /// True when no term matches on a prefix, i.e. the policy's outcome for
+  /// a route depends only on its path attributes. Gates the per-group
+  /// export transform memo.
+  bool prefix_independent() const;
+
+  bool operator==(const RoutePolicy&) const = default;
 
  private:
   std::vector<PolicyTerm> terms_;

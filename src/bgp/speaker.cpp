@@ -20,11 +20,27 @@ const char* session_state_name(SessionState state) {
   return "?";
 }
 
-/// An advertisement currently installed in the Adj-RIB-Out toward a peer.
+/// Next-hop placeholder the group-level export transform writes into eBGP
+/// templates; members splice their own address over it at send time. Must
+/// be non-zero: a zero next-hop would be omitted from the encoded template
+/// entirely, leaving nothing to patch.
+const Ipv4Address kNhPlaceholder(255, 255, 255, 255);
+
+/// An advertisement currently installed in the Adj-RIB-Out toward a peer:
+/// the shared group template plus the final (post-splice) next-hop that
+/// actually went on the wire.
 struct OutRoute {
   PeerId origin_peer = 0;
   std::uint32_t origin_path_id = 0;
   AttrsPtr attrs;
+  Ipv4Address next_hop;
+};
+
+/// One (prefix, origin) delta in a group's export log. Split horizon is a
+/// member-level concern: each member skips entries whose origin is itself.
+struct GroupLogEntry {
+  Ipv4Prefix prefix;
+  PeerId origin = 0;
 };
 
 struct BgpSpeaker::Session {
@@ -41,21 +57,38 @@ struct BgpSpeaker::Session {
   std::uint16_t negotiated_hold = 90;
   AdjRibIn adj_in;
 
-  /// Adj-RIB-Out: prefix -> local path id -> what we advertised. Hashed on
-  /// the prefix: encode probes it once per advert and nothing needs
-  /// prefix order (full-table walks dump into a sorted vector first).
-  std::unordered_map<Ipv4Prefix, std::map<std::uint32_t, OutRoute>> adj_out;
-  /// Local path-id allocation per prefix, keyed by origin (peer, path id).
-  std::unordered_map<Ipv4Prefix,
-                     std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t>>
-      out_ids;
+  /// Adj-RIB-Out bookkeeping for one prefix: one entry per local path id
+  /// ever allocated, holding both the origin key (for RFC 7911 id-stable
+  /// reallocation) and the currently advertised state. A withdrawn path
+  /// keeps its entry with active=false so a re-advertisement of the same
+  /// origin path reuses its local id. One flat vector — a prefix carries a
+  /// handful of paths, so linear scans beat node-based maps and their
+  /// per-entry allocations. Entries stay sorted by ascending local id: ids
+  /// are allocated monotonically, so new entries append at the back.
+  struct OutPath {
+    PeerId origin = 0;
+    std::uint32_t origin_path_id = 0;
+    std::uint32_t local_id = 0;
+    bool active = false;
+    OutRoute route;
+  };
+  struct PrefixOut {
+    std::vector<OutPath> paths;
+  };
+  /// Hashed on the prefix: encode probes it once per prefix and nothing
+  /// needs prefix order (full-table walks dump into a sorted vector first).
+  std::unordered_map<Ipv4Prefix, PrefixOut> adj_out;
   std::uint32_t next_out_id = 1;
 
-  /// MRAI batching state: the bounded per-peer export queue the encode
-  /// stage drains. Appended without dedup (encode sorts and uniques);
-  /// overflow discards the delta log and the next flush reevaluates the
-  /// whole table against the Adj-RIB-Out instead.
-  exec::OverflowBatch<Ipv4Prefix> pending_export;
+  /// Export-group membership: the group this established session belongs
+  /// to (0 = none), the member's cursor into the group's delta log, and
+  /// whether the next flush must reevaluate the full table (initial sync,
+  /// refresh, rejoin after migration, or cursor lost to log trimming).
+  std::uint64_t group = 0;
+  std::uint64_t group_cursor = 0;
+  bool needs_full = false;
+  /// Export-hook class registered via set_peer_export_class (0 = opaque).
+  std::uint64_t export_class = 0;
   bool flush_scheduled = false;
   SimTime flush_at;
   SimTime next_flush_allowed;
@@ -75,6 +108,62 @@ struct BgpSpeaker::Session {
   SimTime hold_deadline;
   SimTime hold_check_at;
   bool hold_scheduled = false;
+};
+
+/// An update group: sessions whose export fingerprints match share one
+/// delta log, one policy/hook evaluation per advert, and one encoded
+/// template per (advert, codec options). Members diff and transmit
+/// individually from per-member cursors into the shared log.
+struct BgpSpeaker::ExportGroup {
+  std::uint64_t id = 0;
+  /// Fingerprint key this group is indexed under in group_by_key_.
+  std::uint64_t key = 0;
+  /// Members, ascending. The front member is the representative whose
+  /// config drives group-level evaluation; join-time content verification
+  /// guarantees every member's export identity equals the representative's.
+  std::vector<PeerId> members;
+
+  /// Bounded delta log plus the sequence number of its front entry. A
+  /// member whose cursor precedes log_base missed trimmed entries and
+  /// falls back to a full-table resync.
+  std::deque<GroupLogEntry> log;
+  std::uint64_t log_base = 0;
+
+  std::uint64_t log_end() const { return log_base + log.size(); }
+
+  /// Per-(source attrs, origin) transform memo: the group-level export
+  /// chain is a pure function of those once the policy is
+  /// prefix-independent and no export hook is installed. A null result
+  /// records suppression. Values pin pool entries, so the speaker clears
+  /// every memo before sweeping the pool.
+  struct MemoKey {
+    const PathAttributes* attrs = nullptr;
+    PeerId origin = 0;
+    bool operator==(const MemoKey&) const = default;
+  };
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const {
+      return std::hash<const void*>()(k.attrs) ^
+             (static_cast<std::size_t>(k.origin) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  struct MemoValue {
+    AttrsPtr source;  // pins the key pointer
+    AttrsPtr result;  // null = suppressed
+    bool splice = false;
+    std::optional<Ipv4Address> splice_nh;
+  };
+  std::unordered_map<MemoKey, MemoValue, MemoKeyHash> memo;
+  bool memo_enabled = false;
+  /// Whether eBGP templates may carry the next-hop placeholder. False only
+  /// for singleton groups pinned by an opaque (unregistered) export hook,
+  /// which must keep seeing the real per-peer next-hop.
+  bool spliceable = true;
+  /// Source-driven class (set_source_export_hook): the source attribute
+  /// set is the template and `source_hook` picks the spliced next-hop;
+  /// transform/policy/general-hook are bypassed.
+  bool source_driven = false;
+  SourceExportHook source_hook;
 };
 
 BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
@@ -98,6 +187,14 @@ BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
   obs_updates_in_ = metrics_->counter("bgp_updates_in_total", labels);
   obs_updates_out_ = metrics_->counter("bgp_updates_out_total", labels);
   obs_pipeline_runs_ = metrics_->counter("bgp_pipeline_runs_total", labels);
+  obs_group_evals_ =
+      metrics_->counter("bgp_export_group_evals_total", labels);
+  obs_group_memo_hits_ =
+      metrics_->counter("bgp_export_group_memo_hits_total", labels);
+  obs_group_splices_ =
+      metrics_->counter("bgp_export_group_splices_total", labels);
+  obs_group_members_ =
+      metrics_->histogram("bgp_export_group_members", labels);
   for (int i = 0; i < 4; ++i) {
     obs::Labels tl = labels;
     tl.emplace_back("state",
@@ -117,7 +214,6 @@ PeerId BgpSpeaker::add_peer(PeerConfig config) {
   auto session = std::make_unique<Session>();
   session->config = std::move(config);
   session->adj_in = AdjRibIn(pmap_);
-  session->pending_export.set_capacity(pipeline_.peer_queue_capacity);
   obs::Labels labels{{"speaker", name_}, {"peer", session->config.name}};
   session->obs_updates_in =
       metrics_->counter("bgp_peer_updates_in_total", labels);
@@ -165,7 +261,23 @@ std::vector<AttrsPtr> BgpSpeaker::adj_rib_out_attrs(
   const Session& s = *sessions_.at(peer);
   auto it = s.adj_out.find(prefix);
   if (it == s.adj_out.end()) return out;
-  for (const auto& [id, route] : it->second) out.push_back(route.attrs);
+  for (const auto& path : it->second.paths) {
+    if (!path.active) continue;
+    const OutRoute& route = path.route;
+    if (!route.attrs || route.attrs->next_hop == route.next_hop) {
+      // Template next-hop is what went on the wire (iBGP, transparent, or
+      // splice-disabled): the shared pointer is the advertised set.
+      out.push_back(route.attrs);
+    } else {
+      // Spliced: reconstruct the advertised set from the template plus the
+      // member's next-hop. Interned so peers advertising the same set get
+      // the same pointer, matching what a full per-peer encode would pool.
+      PathAttributes advertised = *route.attrs;
+      advertised.next_hop = route.next_hop;
+      out.push_back(const_cast<BgpSpeaker*>(this)->attr_pool_.intern(
+          std::move(advertised)));
+    }
+  }
   return out;
 }
 
@@ -262,8 +374,8 @@ void BgpSpeaker::handle_message(PeerId peer, BgpMessage message) {
     // peer re-applies policy to routes that are unchanged on our side.
     Session& s = *sessions_.at(peer);
     if (s.state == SessionState::kEstablished) {
-      for (auto& [prefix, by_id] : s.adj_out)
-        for (auto& [id, out] : by_id) out.attrs.reset();
+      for (auto& [prefix, po] : s.adj_out)
+        for (auto& path : po.paths) path.route.attrs.reset();
       reevaluate_exports(peer);
     }
   } else {
@@ -281,11 +393,12 @@ void BgpSpeaker::reevaluate_exports(PeerId peer) {
   drain_pipeline();
   Session& s = *sessions_.at(peer);
   if (s.state != SessionState::kEstablished) return;
-  // Re-run export computation for every prefix we know about; the encode
-  // stage diffs against the Adj-RIB-Out, so only real changes hit the wire.
-  loc_rib_.visit_all(
-      [&](const RibRoute& route) { s.pending_export.push(route.prefix); });
-  for (const auto& [prefix, out] : s.adj_out) s.pending_export.push(prefix);
+  // The peer's export identity may have changed out from under us (policy
+  // edited in place, refresh received): recompute its fingerprint so it
+  // migrates to the right group, then force a full-table reevaluation. The
+  // encode stage diffs against the Adj-RIB-Out, so only real changes hit
+  // the wire.
+  refingerprint_peer(peer);
   schedule_flush(peer, /*immediate=*/true);
 }
 
@@ -356,6 +469,9 @@ void BgpSpeaker::session_established(PeerId peer) {
   metrics_->trace().emit(loop_->now(), "bgp", "session_up",
                          {{"speaker", name_}, {"peer", s.config.name}});
   note_transition(peer, s.state);
+  // Group membership is (re)computed per establishment: capabilities were
+  // just negotiated and may differ from the previous incarnation.
+  join_group(peer);
   send_initial_table(peer);
 }
 
@@ -444,10 +560,7 @@ void BgpSpeaker::drain_pipeline() {
       ++sessions_.at(rejected)->stats.routes_rejected_import;
     for (RouteEffect& effect : out.effects) {
       if (route_event_) route_event_(effect.route, effect.withdrawn);
-      for (auto& [to, session] : sessions_) {
-        if (to == effect.route.peer) continue;
-        schedule_export(to, effect.route.prefix);
-      }
+      fan_out_export(effect.route.prefix, effect.route.peer);
     }
     out.effects.clear();
     out.rejects.clear();
@@ -536,7 +649,7 @@ void BgpSpeaker::originate(const Ipv4Prefix& prefix, PathAttributes attrs) {
   originated_[prefix] = route.attrs;
   loc_rib_.update(route);
   if (route_event_) route_event_(route, /*withdrawn=*/false);
-  for (auto& [to, session] : sessions_) schedule_export(to, prefix);
+  fan_out_export(prefix, kLocalRoutes);
 }
 
 void BgpSpeaker::withdraw_originated(const Ipv4Prefix& prefix) {
@@ -551,11 +664,10 @@ void BgpSpeaker::withdraw_originated(const Ipv4Prefix& prefix) {
   originated_.erase(it);
   loc_rib_.withdraw(prefix, kLocalRoutes, 0);
   if (route_event_) route_event_(route, /*withdrawn=*/true);
-  for (auto& [to, session] : sessions_) schedule_export(to, prefix);
+  fan_out_export(prefix, kLocalRoutes);
 }
 
-bool BgpSpeaker::standard_export_transform(PeerId to, const RibRoute& route,
-                                           AttrBuilder& attrs) const {
+bool BgpSpeaker::export_eligible(PeerId to, const RibRoute& route) const {
   const Session& s = *sessions_.at(to);
   const bool to_ibgp = s.config.peer_asn == asn_;
   const bool from_ibgp =
@@ -566,11 +678,23 @@ bool BgpSpeaker::standard_export_transform(PeerId to, const RibRoute& route,
   // re-advertised to iBGP peers.
   if (to_ibgp && from_ibgp) return false;
 
-  const PathAttributes& view = attrs.view();
-
   // RFC 1997 well-known communities.
-  if (view.has_community(kNoAdvertise)) return false;
-  if (!to_ibgp && view.has_community(kNoExport)) return false;
+  if (route.attrs->has_community(kNoAdvertise)) return false;
+  if (!to_ibgp && route.attrs->has_community(kNoExport)) return false;
+  return true;
+}
+
+bool BgpSpeaker::standard_export_transform(PeerId to, const RibRoute& route,
+                                           AttrBuilder& attrs,
+                                           bool use_placeholder,
+                                           bool* splice) const {
+  if (!export_eligible(to, route)) return false;
+  const Session& s = *sessions_.at(to);
+  const bool to_ibgp = s.config.peer_asn == asn_;
+  const bool from_ibgp =
+      route.peer != kLocalRoutes && sessions_.count(route.peer) &&
+      sessions_.at(route.peer)->config.peer_asn == asn_;
+  const PathAttributes& view = attrs.view();
 
   if (to_ibgp) {
     if (!view.local_pref) attrs.mutate().local_pref = 100;
@@ -586,15 +710,265 @@ bool BgpSpeaker::standard_export_transform(PeerId to, const RibRoute& route,
     // MED is non-transitive across ASes: drop it when re-advertising a
     // route learned via eBGP, keep it for routes this AS originates.
     if (route.peer != kLocalRoutes && !from_ibgp) m.med.reset();
-    m.next_hop = s.config.local_address;
+    if (use_placeholder) {
+      // Group template: one attribute set serves every member; each splices
+      // its own local address over the placeholder at send time.
+      m.next_hop = kNhPlaceholder;
+      if (splice) *splice = true;
+    } else {
+      m.next_hop = s.config.local_address;
+    }
   }
   return true;
 }
 
-std::vector<std::pair<std::uint32_t, AttrsPtr>> BgpSpeaker::desired_adverts(
-    PeerId to, const Ipv4Prefix& prefix) {
-  Session& s = *sessions_.at(to);
-  // ADD-PATH sessions export every candidate: borrow the Loc-RIB's own
+std::uint64_t BgpSpeaker::export_fingerprint(PeerId peer) const {
+  const Session& s = *sessions_.at(peer);
+  std::uint64_t h = 0x5ee71a6e0bull;
+  auto mix = [&](std::uint64_t v) { h = exec::mix64(h ^ v); };
+  // Grouping off: every session fingerprints to itself (singleton groups
+  // running the identical machinery — the differential's escape hatch).
+  if (!pipeline_.group_exports) mix(peer);
+  // Export-hook class. An installed hook with no registered class is
+  // opaque: its results may depend on the member, so the peer never shares.
+  // A source-driven class keys the group even without a general hook.
+  if (s.export_class != 0 && source_export_hooks_.count(s.export_class)) {
+    mix(s.export_class);
+  } else if (export_hook_) {
+    mix(s.export_class != 0 ? s.export_class
+                            : (0x8000000000000000ull | peer));
+  } else {
+    mix(0);
+  }
+  mix(s.config.peer_asn == asn_ ? 1 : 0);          // iBGP vs eBGP transform
+  mix(s.config.transparent ? 1 : 0);               // RFC 7947 transparency
+  mix(s.config.export_all_paths ? 1 : 0);
+  mix(s.addpath_tx ? 1 : 0);                       // negotiated ADD-PATH tx
+  mix(s.tx_options.attrs.four_byte_asn ? 1 : 0);   // negotiated codec slot
+  mix(static_cast<std::uint64_t>(s.config.mrai.ns()));  // MRAI class
+  mix(s.config.export_policy.fingerprint());
+  return h;
+}
+
+bool BgpSpeaker::fingerprint_matches(PeerId peer,
+                                     const ExportGroup& group) const {
+  if (group.members.empty()) return true;
+  PeerId rep = group.members.front();
+  if (rep == peer) return true;
+  const Session& a = *sessions_.at(peer);
+  const Session& b = *sessions_.at(rep);
+  return (a.config.peer_asn == asn_) == (b.config.peer_asn == asn_) &&
+         a.config.transparent == b.config.transparent &&
+         a.config.export_all_paths == b.config.export_all_paths &&
+         a.addpath_tx == b.addpath_tx &&
+         a.tx_options.attrs.four_byte_asn ==
+             b.tx_options.attrs.four_byte_asn &&
+         a.config.mrai == b.config.mrai &&
+         a.export_class == b.export_class &&
+         a.config.export_policy == b.config.export_policy;
+}
+
+void BgpSpeaker::join_group(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  if (s.group != 0) return;
+  std::uint64_t key = export_fingerprint(peer);
+  ExportGroup* group = nullptr;
+  // The fingerprint is a hash: verify content against the candidate group's
+  // representative and perturb the key on a genuine collision.
+  while (true) {
+    auto it = group_by_key_.find(key);
+    if (it == group_by_key_.end()) break;
+    ExportGroup& candidate = *groups_.at(it->second);
+    if (fingerprint_matches(peer, candidate)) {
+      group = &candidate;
+      break;
+    }
+    key = exec::mix64(key + 1);
+  }
+  if (group == nullptr) {
+    auto owned = std::make_unique<ExportGroup>();
+    group = owned.get();
+    group->id = next_group_id_++;
+    group->key = key;
+    groups_.emplace(group->id, std::move(owned));
+    group_by_key_.emplace(key, group->id);
+  }
+  group->members.insert(
+      std::lower_bound(group->members.begin(), group->members.end(), peer),
+      peer);
+  // The memo caches group-level evaluation results keyed only on (source
+  // attrs, origin): valid when nothing else feeds the evaluation — a
+  // prefix-independent policy and either no hook or one that declared
+  // itself memo-safe (and invalidates on external-state changes). Grouping
+  // itself (hook/policy once per group) does not require the memo.
+  auto shit = s.export_class != 0 ? source_export_hooks_.find(s.export_class)
+                                  : source_export_hooks_.end();
+  group->source_driven = shit != source_export_hooks_.end();
+  group->source_hook = group->source_driven ? shit->second : nullptr;
+  // A source-driven hook is memo-safe by contract (and bypasses the
+  // policy, so prefix independence is moot for it).
+  group->memo_enabled =
+      group->source_driven ||
+      ((!export_hook_ || export_hook_memo_safe_) &&
+       s.config.export_policy.prefix_independent());
+  group->spliceable = !export_hook_ || s.export_class != 0;
+  s.group = group->id;
+  s.group_cursor = group->log_end();
+  s.needs_full = true;
+  obs_group_members_->record(group->members.size());
+}
+
+void BgpSpeaker::leave_group(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  if (s.group == 0) return;
+  auto it = groups_.find(s.group);
+  s.group = 0;
+  s.group_cursor = 0;
+  s.needs_full = false;
+  if (it == groups_.end()) return;
+  ExportGroup& group = *it->second;
+  auto m = std::find(group.members.begin(), group.members.end(), peer);
+  if (m != group.members.end()) group.members.erase(m);
+  if (group.members.empty()) {
+    group_by_key_.erase(group.key);
+    groups_.erase(it);
+  } else {
+    trim_group_log(group);
+  }
+}
+
+void BgpSpeaker::refingerprint_peer(PeerId peer) {
+  Session& s = *sessions_.at(peer);
+  std::uint64_t old_group = s.group;
+  if (old_group != 0) {
+    // The peer's policy may have been edited in place before this call;
+    // results memoized under the old content are no longer trustworthy.
+    auto it = groups_.find(old_group);
+    if (it != groups_.end()) it->second->memo.clear();
+  }
+  leave_group(peer);
+  if (s.state != SessionState::kEstablished) return;
+  join_group(peer);
+  auto it = groups_.find(s.group);
+  if (it != groups_.end()) it->second->memo.clear();
+}
+
+void BgpSpeaker::refingerprint_established() {
+  for (auto& [id, session] : sessions_) {
+    if (session->state == SessionState::kEstablished) refingerprint_peer(id);
+  }
+}
+
+void BgpSpeaker::clear_group_memos() {
+  for (auto& [id, group] : groups_) group->memo.clear();
+}
+
+void BgpSpeaker::trim_group_log(ExportGroup& group) {
+  std::uint64_t min_cursor = group.log_end();
+  for (PeerId member : group.members) {
+    const Session& s = *sessions_.at(member);
+    if (s.needs_full) continue;  // resyncs from the table, not the log
+    min_cursor = std::min(min_cursor, s.group_cursor);
+  }
+  while (group.log_base < min_cursor && !group.log.empty()) {
+    group.log.pop_front();
+    ++group.log_base;
+  }
+}
+
+void BgpSpeaker::set_export_hook(ExportHook hook, bool thread_safe,
+                                 bool memo_safe) {
+  export_hook_ = std::move(hook);
+  export_hook_thread_safe_ = thread_safe;
+  export_hook_memo_safe_ = memo_safe;
+  // Hook presence changes fingerprints (opaque peers become singletons)
+  // and memo eligibility; memoized results may embed old hook output.
+  clear_group_memos();
+  refingerprint_established();
+}
+
+void BgpSpeaker::set_source_export_hook(std::uint64_t export_class,
+                                        SourceExportHook hook) {
+  if (export_class == 0) return;  // class 0 = opaque, never source-driven
+  if (hook) {
+    source_export_hooks_[export_class] = std::move(hook);
+  } else {
+    source_export_hooks_.erase(export_class);
+  }
+  // Registration flips the class's evaluation mode: stale memos and stale
+  // group flags both need rebuilding.
+  clear_group_memos();
+  refingerprint_established();
+}
+
+void BgpSpeaker::invalidate_export_memos() { clear_group_memos(); }
+
+void BgpSpeaker::set_export_filter(ExportFilterHook hook, bool thread_safe) {
+  export_filter_ = std::move(hook);
+  export_filter_thread_safe_ = thread_safe;
+}
+
+void BgpSpeaker::set_peer_export_class(PeerId peer,
+                                       std::uint64_t export_class) {
+  Session& s = *sessions_.at(peer);
+  if (s.export_class == export_class) return;
+  s.export_class = export_class;
+  if (s.state == SessionState::kEstablished) {
+    clear_group_memos();
+    refingerprint_peer(peer);
+  }
+}
+
+std::uint64_t BgpSpeaker::export_group_of(PeerId peer) const {
+  auto it = sessions_.find(peer);
+  return it == sessions_.end() ? 0 : it->second->group;
+}
+
+void BgpSpeaker::fan_out_export(const Ipv4Prefix& prefix, PeerId origin) {
+  for (auto& [id, group] : groups_) {
+    // A singleton group whose sole member originated the change would log
+    // an entry nobody ever consumes (split horizon skips it at drain, and
+    // a later joiner resyncs from the table, not the log): the source
+    // session of a busy feed would otherwise grow a dead log forever.
+    if (group->members.size() == 1 && group->members.front() == origin)
+      continue;
+    group->log.push_back(GroupLogEntry{prefix, origin});
+    if (group->log.size() > pipeline_.peer_queue_capacity) {
+      // Bounded log: members whose cursor falls off the front detect it at
+      // drain time and fall back to a full-table reevaluation.
+      group->log.pop_front();
+      ++group->log_base;
+    }
+    for (PeerId member : group->members) {
+      if (member == origin) continue;
+      schedule_flush(member);
+    }
+  }
+}
+
+bool BgpSpeaker::member_has_pending(PeerId peer) const {
+  const Session& s = *sessions_.at(peer);
+  if (s.group == 0) return false;
+  auto it = groups_.find(s.group);
+  if (it == groups_.end()) return false;
+  const ExportGroup& group = *it->second;
+  if (s.needs_full || s.group_cursor < group.log_base) {
+    // A full resync with nothing to sync (empty table, nothing advertised)
+    // is not pending work — scheduling it would only rearm MRAI.
+    return loc_rib_.prefix_count() > 0 || !s.adj_out.empty();
+  }
+  for (std::uint64_t seq = s.group_cursor; seq < group.log_end(); ++seq) {
+    if (group.log[seq - group.log_base].origin != peer) return true;
+  }
+  return false;
+}
+
+void BgpSpeaker::evaluate_group(ExportGroup& group, const Ipv4Prefix& prefix,
+                                std::vector<GroupAdvert>& out) {
+  PeerId rep = group.members.front();
+  const Session& s = *sessions_.at(rep);
+  obs_group_evals_->inc();
+  // ADD-PATH groups export every candidate: borrow the Loc-RIB's own
   // vector instead of copying it (nothing below mutates the RIB — hooks
   // and policies only transform attribute sets).
   const std::vector<RibRoute>* sources = nullptr;
@@ -606,56 +980,78 @@ std::vector<std::pair<std::uint32_t, AttrsPtr>> BgpSpeaker::desired_adverts(
     if (best) best_only.push_back(*best);
     sources = &best_only;
   }
-
-  std::vector<std::pair<std::uint32_t, AttrsPtr>> out;
-  if (!sources || sources->empty()) {
-    s.out_ids.erase(prefix);
-    return out;
-  }
-  auto& ids = s.out_ids[prefix];
+  if (!sources) return;
   for (const RibRoute& route : *sources) {
-    if (route.peer == to) continue;  // split horizon
-    AttrBuilder builder(route.attrs);
-    if (!standard_export_transform(to, route, builder)) continue;
-    if (!s.config.export_policy.apply(prefix, builder)) continue;
-    // As on import: intern only the post-hook set, so a hook that replaces
-    // the candidate (vBGP's experiment fan-out) never inserts the discarded
-    // intermediate into the pool.
+    // No split horizon here: the source route rides along in the advert and
+    // each member skips its own at encode time.
+    if (group.memo_enabled) {
+      auto mit = group.memo.find(
+          ExportGroup::MemoKey{route.attrs.get(), route.peer});
+      if (mit != group.memo.end()) {
+        obs_group_memo_hits_->inc();
+        if (mit->second.result) {
+          out.push_back(GroupAdvert{route.peer, route.path_id, route.attrs,
+                                    mit->second.result, mit->second.splice,
+                                    mit->second.splice_nh});
+        }
+        continue;
+      }
+    }
+    bool splice = false;
+    std::optional<Ipv4Address> splice_nh;
     AttrsPtr result;
-    if (export_hook_) {
-      auto hooked = export_hook_(to, route, builder.release());
-      if (!hooked) continue;
-      result = attr_pool_.adopt(*hooked);
+    if (group.source_driven) {
+      // Source-driven class: the source set is the template — no clone, no
+      // re-intern — and the hook only picks the next-hop, spliced over the
+      // cached wire bytes at send time.
+      if (export_eligible(rep, route)) {
+        if (auto nh = group.source_hook(route)) {
+          result = route.attrs;
+          if (*nh != route.attrs->next_hop) {
+            splice = true;
+            splice_nh = *nh;
+          }
+        }
+      }
     } else {
-      result = builder.commit(attr_pool_);
+      AttrBuilder builder(route.attrs);
+      if (standard_export_transform(rep, route, builder,
+                                    /*use_placeholder=*/group.spliceable,
+                                    &splice) &&
+          s.config.export_policy.apply(prefix, builder)) {
+        // As on import: intern only the post-hook set, so a hook that
+        // replaces the candidate (vBGP's experiment fan-out) never inserts
+        // the discarded intermediate into the pool.
+        if (export_hook_) {
+          auto hooked = export_hook_(rep, route, builder.release());
+          if (hooked) result = attr_pool_.adopt(*hooked);
+        } else {
+          result = builder.commit(attr_pool_);
+        }
+      }
+      // A policy action or hook that pinned a concrete next-hop overrides
+      // the placeholder: the template's next-hop is final, nothing to
+      // splice.
+      if (result && splice && result->next_hop != kNhPlaceholder)
+        splice = false;
     }
-    std::uint32_t local_id = 0;
-    if (s.addpath_tx) {
-      auto key = std::make_pair(route.peer, route.path_id);
-      auto it = ids.find(key);
-      if (it == ids.end()) it = ids.emplace(key, s.next_out_id++).first;
-      local_id = it->second;
+    if (group.memo_enabled && group.memo.size() < 65536) {
+      group.memo.emplace(
+          ExportGroup::MemoKey{route.attrs.get(), route.peer},
+          ExportGroup::MemoValue{route.attrs, result, splice, splice_nh});
     }
-    out.emplace_back(local_id, std::move(result));
+    if (result) {
+      out.push_back(GroupAdvert{route.peer, route.path_id, route.attrs,
+                                std::move(result), splice, splice_nh});
+    }
   }
-  if (out.empty()) s.out_ids.erase(prefix);
-
-  if (!s.addpath_tx && out.size() > 1) out.resize(1);
-  return out;
-}
-
-void BgpSpeaker::schedule_export(PeerId to, const Ipv4Prefix& prefix) {
-  Session& s = *sessions_.at(to);
-  if (s.state != SessionState::kEstablished) return;
-  s.pending_export.push(prefix);
-  schedule_flush(to);
 }
 
 void BgpSpeaker::schedule_flush(PeerId to, bool immediate) {
   Session& s = *sessions_.at(to);
   if (s.state != SessionState::kEstablished) return;
-  if (s.pending_export.empty()) return;
   if (s.flush_scheduled) return;
+  if (!member_has_pending(to)) return;
   s.flush_scheduled = true;
 
   SimTime now = loop_->now();
@@ -679,7 +1075,17 @@ void BgpSpeaker::drain_flush_batch(SimTime at) {
   std::sort(peers.begin(), peers.end());
   peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
 
+  // Serial plan: decide which members are due and which prefixes each must
+  // diff, consuming cursors and needs_full flags now so the parallel
+  // phases below only read group state.
   std::vector<PeerId> due;
+  std::vector<std::vector<Ipv4Prefix>> member_prefixes;
+  std::map<std::uint64_t, std::vector<Ipv4Prefix>> group_prefixes;
+  // Full-resync lists are identical for every fresh member of one group
+  // (the whole Loc-RIB, sorted): compute once per group per batch. A mass
+  // join — hundreds of sessions syncing the initial table in one batch —
+  // would otherwise walk and sort the full table once per member.
+  std::map<std::uint64_t, std::vector<Ipv4Prefix>> full_resync_cache;
   due.reserve(peers.size());
   for (PeerId peer : peers) {
     auto it = sessions_.find(peer);
@@ -689,28 +1095,140 @@ void BgpSpeaker::drain_flush_batch(SimTime at) {
     // session bounce; stale memberships are simply skipped.
     if (!s.flush_scheduled || s.flush_at != at) continue;
     s.flush_scheduled = false;
-    if (s.state != SessionState::kEstablished) continue;
+    if (s.state != SessionState::kEstablished || s.group == 0) continue;
+    ExportGroup& group = *groups_.at(s.group);
+
+    std::vector<Ipv4Prefix> prefixes;
+    if (s.needs_full || s.group_cursor < group.log_base) {
+      // Full resync: every Loc-RIB prefix plus everything currently
+      // advertised, so stale adverts are withdrawn too. Members with an
+      // empty Adj-RIB-Out (fresh sessions) all need exactly the sorted
+      // Loc-RIB, so that list is shared via full_resync_cache.
+      auto cached = full_resync_cache.find(s.group);
+      if (s.adj_out.empty() && cached != full_resync_cache.end()) {
+        prefixes = cached->second;
+      } else {
+        loc_rib_.visit_all(
+            [&](const RibRoute& route) { prefixes.push_back(route.prefix); });
+        for (const auto& [prefix, out] : s.adj_out) prefixes.push_back(prefix);
+        std::sort(prefixes.begin(), prefixes.end());
+        prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                       prefixes.end());
+        if (s.adj_out.empty()) full_resync_cache.emplace(s.group, prefixes);
+      }
+    } else {
+      for (std::uint64_t seq = s.group_cursor; seq < group.log_end(); ++seq) {
+        const GroupLogEntry& entry = group.log[seq - group.log_base];
+        if (entry.origin != peer) prefixes.push_back(entry.prefix);
+      }
+      std::sort(prefixes.begin(), prefixes.end());
+      prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                     prefixes.end());
+    }
+    s.needs_full = false;
+    s.group_cursor = group.log_end();
+
+    // Union of the group's member lists. The overwhelmingly common case is
+    // every member consuming the same log window (or the same full
+    // resync), yielding identical sorted lists — detected by equality so a
+    // thousand-member group costs one comparison per member, not a
+    // re-sort of a growing concatenation.
+    auto& merged = group_prefixes[s.group];
+    if (merged.empty()) {
+      merged = prefixes;
+    } else if (merged != prefixes) {
+      merged.insert(merged.end(), prefixes.begin(), prefixes.end());
+    }
     due.push_back(peer);
+    member_prefixes.push_back(std::move(prefixes));
+  }
+  for (auto& [gid, prefixes] : group_prefixes) {
+    std::sort(prefixes.begin(), prefixes.end());
+    prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                   prefixes.end());
+    trim_group_log(*groups_.at(gid));
   }
   if (due.empty()) return;
 
-  // Encode stage: per-peer Adj-RIB-Out diff + serialization. Sessions are
-  // disjoint and the attr pool is concurrent-safe, so peers fan out across
-  // the worker pool (unless a non-thread-safe export hook is installed).
-  std::vector<EncodeResult> results(due.size());
-  const bool parallel = scheduler_ != nullptr && due.size() > 1 &&
-                        (!export_hook_ || export_hook_thread_safe_);
-  auto encode_one = [&](std::size_t i) {
-    results[i] = encode_exports(due[i]);
+  // Phase A — group evaluation: transform + policy + export hook run once
+  // per (group, prefix), producing the shared advert templates. Groups
+  // touch disjoint state (their own memo) and the attr pool is
+  // concurrent-safe, so groups fan out across the worker pool (unless a
+  // non-thread-safe export hook is installed). Ascending group id is the
+  // deterministic serial order.
+  std::vector<std::uint64_t> gids;
+  std::vector<GroupEval> gevals(group_prefixes.size());
+  std::unordered_map<std::uint64_t, std::size_t> gindex;
+  gids.reserve(group_prefixes.size());
+  for (const auto& [gid, prefixes] : group_prefixes) {
+    gindex.emplace(gid, gids.size());
+    gids.push_back(gid);
+  }
+  auto eval_one = [&](std::size_t i) {
+    ExportGroup& group = *groups_.at(gids[i]);
+    GroupEval& eval = gevals[i];
+    const std::vector<Ipv4Prefix>& order = group_prefixes.at(gids[i]);
+    eval.spans.reserve(order.size());
+    for (const Ipv4Prefix& prefix : order) {
+      auto before = static_cast<std::uint32_t>(eval.adverts.size());
+      evaluate_group(group, prefix, eval.adverts);
+      eval.spans.emplace_back(
+          before, static_cast<std::uint32_t>(eval.adverts.size()) - before);
+    }
   };
-  if (parallel) {
+  const bool eval_parallel = scheduler_ != nullptr && gids.size() > 1 &&
+                             (!export_hook_ || export_hook_thread_safe_);
+  if (eval_parallel) {
+    scheduler_->parallel_for(gids.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < gids.size(); ++i) eval_one(i);
+  }
+
+  // Serial pre-encode: resolve each advert's wire template once per group
+  // through the encode cache, ascending group id — the deterministic order
+  // the pool's hit/miss counters accrue in. Phase B then splices from the
+  // resolved cache storage (stable: entries are node-based and never swept
+  // mid-drain) without touching the pool, so per-member cache crediting is
+  // deterministic under the parallel encode fan-out: a member's send is a
+  // cache hit by construction once its template is warm. Adverts always
+  // carry pool-interned sets (adopt/commit guarantee it), so encoded()
+  // never falls back to its scratch buffer here.
+  if (attr_pool_.encode_cache_enabled()) {
+    for (std::size_t i = 0; i < gids.size(); ++i) {
+      ExportGroup& group = *groups_.at(gids[i]);
+      const Session& rep = *sessions_.at(group.members.front());
+      for (GroupAdvert& advert : gevals[i].adverts) {
+        advert.wire = &attr_pool_.encoded(advert.attrs, rep.tx_options.attrs,
+                                          nullptr, &advert.nh_offset);
+      }
+    }
+  }
+
+  // Phase B — member encode: per-member Adj-RIB-Out diff against the group
+  // evaluation, wire assembly from the pre-encoded templates, next-hop
+  // splice. Sessions are disjoint, so members fan out across the worker
+  // pool — unless a non-thread-safe export filter is installed, or the
+  // encode cache is off (members then serialize through the pool's shared
+  // scratch buffer). Serial order is ascending peer id — `due` is sorted.
+  std::vector<EncodeResult> results(due.size());
+  auto encode_one = [&](std::size_t i) {
+    const Session& s = *sessions_.at(due[i]);
+    results[i] =
+        encode_member(due[i], member_prefixes[i], group_prefixes.at(s.group),
+                      gevals[gindex.at(s.group)]);
+  };
+  const bool encode_parallel =
+      scheduler_ != nullptr && due.size() > 1 &&
+      attr_pool_.encode_cache_enabled() &&
+      (!export_filter_ || export_filter_thread_safe_);
+  if (encode_parallel) {
     scheduler_->parallel_for(due.size(), encode_one);
   } else {
     for (std::size_t i = 0; i < due.size(); ++i) encode_one(i);
   }
 
-  // Serial transmit + stats, ascending peer order: one coalesced stream
-  // send per peer (the decoder reassembles message-by-message).
+  // Phase C — serial transmit + stats, ascending peer order: one coalesced
+  // stream send per peer (the decoder reassembles message-by-message).
   for (std::size_t i = 0; i < due.size(); ++i) {
     Session& s = *sessions_.at(due[i]);
     EncodeResult& r = results[i];
@@ -729,72 +1247,149 @@ void BgpSpeaker::drain_flush_batch(SimTime at) {
   }
 }
 
-BgpSpeaker::EncodeResult BgpSpeaker::encode_exports(PeerId to) {
+BgpSpeaker::EncodeResult BgpSpeaker::encode_member(
+    PeerId to, const std::vector<Ipv4Prefix>& prefixes,
+    const std::vector<Ipv4Prefix>& group_order, const GroupEval& eval) {
   Session& s = *sessions_.at(to);
   EncodeResult r;
-
-  std::vector<Ipv4Prefix> prefixes;
-  if (s.pending_export.overflowed()) {
-    // The bounded delta log gave up: reevaluate the full table (every
-    // Loc-RIB prefix plus everything currently advertised, so stale
-    // adverts are withdrawn too).
-    loc_rib_.visit_all(
-        [&](const RibRoute& route) { prefixes.push_back(route.prefix); });
-    for (const auto& [prefix, out] : s.adj_out) prefixes.push_back(prefix);
-    s.pending_export.clear();
-  } else {
-    prefixes = s.pending_export.take();
-  }
-  std::sort(prefixes.begin(), prefixes.end());
-  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
-                 prefixes.end());
-
   const bool stream_open = s.stream && s.stream->open();
   std::vector<NlriEntry> withdrawals;
+  // A full-table sync lands here with one prefix per Loc-RIB entry;
+  // reserving up front avoids incremental rehashes of a large Adj-RIB-Out.
+  if (s.adj_out.size() + prefixes.size() > s.adj_out.bucket_count())
+    s.adj_out.reserve(s.adj_out.size() + prefixes.size());
 
+  std::vector<std::pair<std::uint32_t, const GroupAdvert*>> desired;
+  std::vector<NlriEntry> nlri;
+  // Merge-walk: the member's prefix list is a sorted subset of the group's
+  // sorted prefix list, so each prefix's advert span is found by advancing
+  // a single index — no per-prefix hashing.
+  std::size_t gi = 0;
   for (const Ipv4Prefix& prefix : prefixes) {
-    auto desired = desired_adverts(to, prefix);
-    auto& current = s.adj_out[prefix];
+    const GroupAdvert* abegin = nullptr;
+    const GroupAdvert* aend = nullptr;
+    while (gi < group_order.size() && group_order[gi] < prefix) ++gi;
+    if (gi < group_order.size() && group_order[gi] == prefix) {
+      auto [off, count] = eval.spans[gi];
+      abegin = eval.adverts.data() + off;
+      aend = abegin + count;
+    }
 
-    // Withdraw adverts that are no longer desired.
-    for (auto it = current.begin(); it != current.end();) {
+    auto poit = s.adj_out.find(prefix);
+    if (abegin == aend && poit == s.adj_out.end()) continue;
+
+    // Member-level selection over the group templates: split horizon,
+    // export filter, local path-id allocation.
+    desired.clear();
+    for (const GroupAdvert* ap = abegin; ap != aend; ++ap) {
+      const GroupAdvert& advert = *ap;
+      if (advert.origin == to) continue;  // split horizon
+      if (export_filter_ &&
+          !export_filter_(to, advert.origin, *advert.source_attrs))
+        continue;
+      std::uint32_t local_id = 0;
+      if (s.addpath_tx) {
+        if (poit == s.adj_out.end())
+          poit = s.adj_out.emplace(prefix, Session::PrefixOut{}).first;
+        auto& paths = poit->second.paths;
+        auto idit =
+            std::find_if(paths.begin(), paths.end(), [&](const auto& p) {
+              return p.origin == advert.origin &&
+                     p.origin_path_id == advert.origin_path_id;
+            });
+        if (idit == paths.end()) {
+          paths.push_back({advert.origin, advert.origin_path_id,
+                           s.next_out_id++, false, OutRoute{}});
+          idit = std::prev(paths.end());
+        }
+        local_id = idit->local_id;
+      }
+      desired.emplace_back(local_id, &advert);
+    }
+    if (!s.addpath_tx && desired.size() > 1) desired.resize(1);
+    if (poit == s.adj_out.end()) {
+      if (desired.empty()) continue;
+      poit = s.adj_out.emplace(prefix, Session::PrefixOut{}).first;
+    }
+
+    auto& paths = poit->second.paths;
+
+    // Withdraw adverts that are no longer desired. `paths` is sorted by
+    // ascending local id (ids are allocated monotonically), matching the
+    // withdrawal emission order of the old ordered-map representation.
+    // Withdrawn entries stay (inactive) so a re-advertisement of the same
+    // origin path reuses its local id while the prefix remains advertised.
+    for (auto& p : paths) {
+      if (!p.active) continue;
       bool still = false;
-      for (const auto& [id, attrs] : desired) {
-        if (id == it->first) {
+      for (const auto& [id, advert] : desired) {
+        if (id == p.local_id) {
           still = true;
           break;
         }
       }
       if (!still) {
-        withdrawals.push_back({it->first, prefix});
-        it = current.erase(it);
-      } else {
-        ++it;
+        withdrawals.push_back({p.local_id, prefix});
+        p.active = false;
+        p.route = OutRoute{};
       }
     }
 
     // Advertise new/changed paths (one UPDATE per path; production
     // implementations batch by shared attributes). Unchanged adverts are
-    // detected by pointer identity — interned sets compare in O(1).
-    for (const auto& [id, attrs] : desired) {
-      auto it = current.find(id);
-      if (it != current.end() && it->second.attrs == attrs) continue;
-      current[id] = OutRoute{0, 0, attrs};
+    // detected by pointer identity on the shared template — interned sets
+    // compare in O(1) — plus the spliced next-hop.
+    for (const auto& [id, advert] : desired) {
+      const Ipv4Address final_nh =
+          advert->splice ? (advert->splice_nh ? *advert->splice_nh
+                                              : s.config.local_address)
+                         : advert->attrs->next_hop;
+      auto it = std::lower_bound(
+          paths.begin(), paths.end(), id,
+          [](const auto& p, std::uint32_t v) { return p.local_id < v; });
+      if (it == paths.end() || it->local_id != id)
+        it = paths.insert(
+            it, {advert->origin, advert->origin_path_id, id, false, OutRoute{}});
+      if (it->active && it->route.attrs == advert->attrs &&
+          it->route.next_hop == final_nh)
+        continue;
+      it->active = true;
+      it->origin = advert->origin;
+      it->origin_path_id = advert->origin_path_id;
+      it->route = OutRoute{advert->origin, advert->origin_path_id,
+                           advert->attrs, final_nh};
       if (stream_open) {
-        bool hit = false;
-        const Bytes& attr_bytes =
-            attr_pool_.encoded(attrs, s.tx_options.attrs, &hit);
-        if (hit)
+        nlri.assign(1, {id, prefix});
+        if (advert->wire != nullptr) {
+          // Pre-encoded by the serial warm-up pass: this member's send is
+          // a cache hit by construction.
           ++r.cache_hits;
-        else
-          ++r.cache_misses;
-        std::vector<NlriEntry> nlri{{id, prefix}};
-        Bytes msg = encode_update_from_cached(attr_bytes, nlri, s.tx_options);
-        r.wire.insert(r.wire.end(), msg.begin(), msg.end());
+          encode_update_spliced_into(
+              r.wire, *advert->wire,
+              advert->splice ? advert->nh_offset : kNoNextHopOffset,
+              final_nh, nlri, s.tx_options);
+        } else {
+          bool hit = false;
+          std::size_t nh_offset = kNoNextHopOffset;
+          const Bytes& attr_bytes = attr_pool_.encoded(
+              advert->attrs, s.tx_options.attrs, &hit, &nh_offset);
+          if (hit)
+            ++r.cache_hits;
+          else
+            ++r.cache_misses;
+          encode_update_spliced_into(
+              r.wire, attr_bytes,
+              advert->splice ? nh_offset : kNoNextHopOffset, final_nh, nlri,
+              s.tx_options);
+        }
+        if (advert->splice) obs_group_splices_->inc();
       }
       ++r.updates;
     }
-    if (current.empty()) s.adj_out.erase(prefix);
+    // No desired paths means everything was withdrawn: drop the entry (and
+    // with it the id mapping — matching the previous representation, which
+    // erased once no route remained).
+    if (desired.empty()) s.adj_out.erase(poit);
   }
 
   if (!withdrawals.empty()) {
@@ -811,8 +1406,7 @@ BgpSpeaker::EncodeResult BgpSpeaker::encode_exports(PeerId to) {
 
 void BgpSpeaker::send_initial_table(PeerId to) {
   Session& s = *sessions_.at(to);
-  loc_rib_.visit_all(
-      [&](const RibRoute& route) { s.pending_export.push(route.prefix); });
+  s.needs_full = true;
   schedule_flush(to, /*immediate=*/true);
 }
 
@@ -905,9 +1499,8 @@ void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
     s.stream.reset();
   }
   s.adj_out.clear();
-  s.out_ids.clear();
-  s.pending_export.clear();
   s.flush_scheduled = false;
+  leave_group(peer);
 
   // Withdraw everything learned from this peer.
   auto removed = s.adj_in.clear();
@@ -917,16 +1510,13 @@ void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
     affected.insert(route.prefix);
     if (route_event_) route_event_(route, /*withdrawn=*/true);
   }
-  for (const auto& prefix : affected) {
-    for (auto& [to, session] : sessions_) {
-      if (to == peer) continue;
-      schedule_export(to, prefix);
-    }
-  }
+  for (const auto& prefix : affected) fan_out_export(prefix, peer);
   // The churned-out table may have been the last reference to many pooled
   // attribute sets (and their cached encodings); release them now so a
   // flapping session does not leave the pool inflated. `removed` still
-  // pins them, so drop it first or the sweep frees nothing.
+  // pins them, and so do group memos keyed on routes this peer sourced —
+  // drop both first or the sweep frees nothing.
+  clear_group_memos();
   removed.clear();
   attr_pool_.sweep();
   metrics_->trace().emit(
@@ -967,6 +1557,8 @@ void BgpSpeaker::publish_metrics(obs::Registry& registry) const {
       ->set(static_cast<std::int64_t>(pmap_.partitions()));
   registry.gauge("bgp_pipeline_workers", labels)
       ->set(static_cast<std::int64_t>(pipeline_.workers));
+  registry.gauge("bgp_export_group_count", labels)
+      ->set(static_cast<std::int64_t>(groups_.size()));
 
   for (const auto& [id, session] : sessions_) {
     (void)id;

@@ -46,7 +46,6 @@
 #include "bgp/rib.h"
 #include "exec/partition.h"
 #include "exec/scheduler.h"
-#include "exec/work_queue.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/event_loop.h"
@@ -80,9 +79,18 @@ struct PipelineConfig {
   std::uint32_t workers = 0;
   /// Seed for the deterministic-mode partition visit order.
   std::uint64_t seed = 0x9ee71a6ull;
-  /// Bound on each peer's pending-export delta log; overflow falls back to
-  /// a full-table reevaluation at the next flush.
+  /// Bound on each export group's pending-export delta log; a member whose
+  /// cursor falls off the trimmed end falls back to a full-table
+  /// reevaluation at its next flush.
   std::size_t peer_queue_capacity = 1 << 16;
+  /// Cluster sessions with identical export fingerprints into shared
+  /// update groups: policy + hooks + the standard export transform run once
+  /// per group, each UPDATE is encoded once per (group, attrset), and
+  /// per-neighbor next-hops are spliced into the cached template at send
+  /// time. With false every session gets a singleton group — the escape
+  /// hatch the grouped-vs-ungrouped differential drives. Both settings run
+  /// the same machinery and must stay byte-identical on the wire.
+  bool group_exports = true;
 
   bool deterministic() const { return workers == 0; }
 };
@@ -142,9 +150,36 @@ class BgpSpeaker {
   /// Export hook: runs after the peer's export policy, before transmission.
   /// Return nullopt to suppress, the input pointer to pass through
   /// untouched, or a transformed AttrsPtr. vBGP enforces announcement
-  /// controls here.
+  /// controls here. Under export grouping the hook runs once per group with
+  /// `to` = the group's representative member; a hook registered via
+  /// set_peer_export_class promises its result depends only on
+  /// (route.attrs, route.peer, class) — an unregistered hook keeps its peer
+  /// in a singleton group and old per-peer semantics.
   using ExportHook = std::function<std::optional<AttrsPtr>(
       PeerId to, const RibRoute& route, const AttrsPtr& attrs)>;
+
+  /// Source-driven export hook, registered per export class: the class
+  /// exports each route's *source* attribute set verbatim — no transform
+  /// clone, no re-intern, no pool growth — and the hook only decides
+  /// suppression and the next-hop, which is spliced over the template's
+  /// cached wire bytes at send time (the full-fidelity fan-out pattern:
+  /// vBGP's experiment exports). Eligibility gates still apply (iBGP
+  /// split, NO_ADVERTISE/NO_EXPORT); the standard attribute transform and
+  /// the per-peer export policy are bypassed by definition of the class.
+  /// Same purity contract as a memo-safe ExportHook: a function of
+  /// (route.attrs, route.peer) given external state, with
+  /// invalidate_export_memos() on changes to that state.
+  using SourceExportHook =
+      std::function<std::optional<Ipv4Address>(const RibRoute& route)>;
+
+  /// Per-member export filter: runs for every group member at send time,
+  /// after the group-level policy/hook evaluation, with the advert's
+  /// originating peer and its *pre-transform* source attribute set. Return
+  /// false to suppress this member's copy of the advertisement.
+  /// Member-dependent export decisions live here under grouping (vBGP's
+  /// per-neighbor community gate).
+  using ExportFilterHook = std::function<bool(
+      PeerId to, PeerId origin, const PathAttributes& source_attrs)>;
 
   /// Route event: fired when the post-import route set changes (install or
   /// withdraw). vBGP synchronizes per-neighbor FIBs from this. Always
@@ -224,10 +259,36 @@ class BgpSpeaker {
     import_hook_ = std::move(hook);
     import_hook_thread_safe_ = thread_safe;
   }
-  void set_export_hook(ExportHook hook, bool thread_safe = false) {
-    export_hook_ = std::move(hook);
-    export_hook_thread_safe_ = thread_safe;
-  }
+  /// `memo_safe` declares the hook a pure function of (route.attrs,
+  /// route.peer, export class) *given* the external state it reads — the
+  /// owner must call invalidate_export_memos() whenever that state changes
+  /// (vBGP does on neighbor-registry mutations). Memo-safe hooks keep the
+  /// per-group evaluation memo enabled; opaque hooks disable it.
+  void set_export_hook(ExportHook hook, bool thread_safe = false,
+                       bool memo_safe = false);
+  /// Installs a source-driven hook for one export class (must be nonzero);
+  /// groups of that class use it instead of the general export hook. Pass
+  /// an empty function to unregister.
+  void set_source_export_hook(std::uint64_t export_class,
+                              SourceExportHook hook);
+  void set_export_filter(ExportFilterHook hook, bool thread_safe = false);
+  /// Drops every group's export-evaluation memo. Required from owners of
+  /// memo-safe export hooks when hook-visible external state changes.
+  void invalidate_export_memos();
+  /// Declares that the installed export hook behaves as a pure function of
+  /// (route.attrs, route.peer, export_class) for this peer, so peers
+  /// sharing a class can share one hook invocation per advert. The hook
+  /// must not read attrs.next_hop on non-transparent eBGP sessions (it may
+  /// carry the splice placeholder); overriding it disables the splice.
+  /// 0 (the default) = unregistered: the hook is treated as opaque and the
+  /// peer never shares a group while a hook is installed.
+  void set_peer_export_class(PeerId peer, std::uint64_t export_class);
+
+  /// Export-group id the peer currently belongs to (0 when none — e.g.
+  /// session not established). Test introspection.
+  std::uint64_t export_group_of(PeerId peer) const;
+  /// Number of live export groups.
+  std::size_t export_group_count() const { return groups_.size(); }
   void on_route_event(RouteEventHandler handler) {
     route_event_ = std::move(handler);
   }
@@ -261,6 +322,36 @@ class BgpSpeaker {
 
  private:
   struct Session;
+  struct ExportGroup;
+
+  /// One group-level advertisement for a prefix: where the route came from
+  /// (origin peer and path id, for split horizon and member filters), the
+  /// post-transform/policy/hook attribute template, whether the template
+  /// carries the next-hop placeholder a member splices over, and the
+  /// template's cached wire image — resolved once per group by the serial
+  /// pre-encode pass; null when the encode cache is disabled.
+  struct GroupAdvert {
+    PeerId origin = 0;
+    std::uint32_t origin_path_id = 0;
+    AttrsPtr source_attrs;
+    AttrsPtr attrs;
+    bool splice = false;
+    /// Engaged for source-driven groups: the next-hop the hook chose for
+    /// this advert, spliced in place of the member's own address.
+    std::optional<Ipv4Address> splice_nh;
+    const Bytes* wire = nullptr;
+    std::size_t nh_offset = kNoNextHopOffset;
+  };
+  /// Phase-A output for one group, parallel to the drain plan's sorted
+  /// unique prefix list: spans[i] delimits the adverts evaluated for the
+  /// i-th prefix inside the flat `adverts` array. Contiguous storage: two
+  /// amortized allocations per drain instead of a hashtable node plus a
+  /// vector per prefix, and members locate a prefix's span by merge-walk
+  /// (their prefix list is a sorted subset of the group's) with no hashing.
+  struct GroupEval {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+    std::vector<GroupAdvert> adverts;
+  };
 
   /// Stage-1 output: one staged route change. Null attrs = withdraw.
   struct RouteWork {
@@ -318,34 +409,67 @@ class BgpSpeaker {
   void decide_import(std::uint32_t part, RouteWork& work, PartitionOut& out);
   void decide_withdraw(PeerId from, const NlriEntry& entry, PartitionOut& out);
 
-  /// Queues `prefix` into the peer's pending-export batch and ensures a
-  /// flush is scheduled.
-  void schedule_export(PeerId to, const Ipv4Prefix& prefix);
+  /// Appends (prefix, origin) to every group's delta log and schedules a
+  /// flush for members other than `origin` (split horizon records the
+  /// origin per entry; members skip their own entries at drain time).
+  void fan_out_export(const Ipv4Prefix& prefix, PeerId origin);
   /// Ensures the peer is in a flush batch ('immediate' bypasses MRAI, the
   /// historical behavior of refresh/initial-table flushes).
   void schedule_flush(PeerId to, bool immediate = false);
+  /// True when the member has undrained export work (a full resync due, or
+  /// group delta-log entries past its cursor from another origin).
+  bool member_has_pending(PeerId peer) const;
   /// Stage-3 event: drains every peer whose flush came due at `at` —
-  /// encode in parallel, transmit serially in ascending peer order.
+  /// group evaluation fans out over groups, member encode over members,
+  /// transmit stays serial in ascending peer order.
   void drain_flush_batch(SimTime at);
-  /// Diffs desired vs. advertised state for one peer and encodes the delta.
-  /// Mutates only session-local state (adj_out/out_ids); safe to run
-  /// concurrently for distinct peers.
-  EncodeResult encode_exports(PeerId to);
   /// Sends the full table to a newly established peer.
   void send_initial_table(PeerId to);
 
-  /// Computes the desired advertisement set for (to, prefix): zero, one
-  /// (best path), or many (export_all_paths) routes after policy/hooks.
-  /// Each entry is an interned pointer; an export chain that transforms
-  /// nothing returns the Loc-RIB pointer itself.
-  std::vector<std::pair<std::uint32_t, AttrsPtr>> desired_adverts(
-      PeerId to, const Ipv4Prefix& prefix);
+  /// Phase A: runs transform + policy + export hook once for the group
+  /// (against its representative member) and records one template advert
+  /// per surviving Loc-RIB candidate. No split horizon, no encode — both
+  /// are per-member concerns.
+  void evaluate_group(ExportGroup& group, const Ipv4Prefix& prefix,
+                      std::vector<GroupAdvert>& out);
+  /// Phase B: diffs one member's Adj-RIB-Out against the group evaluation
+  /// and encodes the delta through the AttrPool encode cache, splicing the
+  /// member's next-hop into the cached template. Mutates only
+  /// session-local state; safe to run concurrently for distinct members.
+  EncodeResult encode_member(PeerId to, const std::vector<Ipv4Prefix>& prefixes,
+                             const std::vector<Ipv4Prefix>& group_order,
+                             const GroupEval& eval);
+
+  /// Canonical export fingerprint: peers with equal fingerprints share a
+  /// group. Covers negotiated capabilities (ADD-PATH, 4-byte ASN), export
+  /// policy identity, transparency/iBGP mode, MRAI class, and the export
+  /// hook class; group_exports=false additionally mixes in the peer id.
+  std::uint64_t export_fingerprint(PeerId peer) const;
+  /// Content check behind the fingerprint: guards against hash collisions.
+  bool fingerprint_matches(PeerId peer, const ExportGroup& group) const;
+  void join_group(PeerId peer);
+  void leave_group(PeerId peer);
+  /// Recomputes the peer's fingerprint and migrates it between groups when
+  /// it changed (policy change, capability renegotiation, class change).
+  void refingerprint_peer(PeerId peer);
+  void refingerprint_established();
+  void clear_group_memos();
+  /// Drops delta-log entries every member has consumed.
+  void trim_group_log(ExportGroup& group);
 
   /// Default per-session transforms applied on export before policy: AS
   /// prepend + next-hop handling for eBGP, LOCAL_PREF for iBGP. Mutates the
   /// builder copy-on-write; returns false to suppress the advertisement.
+  /// With `use_placeholder` the eBGP next-hop rewrite installs the splice
+  /// placeholder (sets *splice) instead of the representative's address,
+  /// so one template serves every member.
   bool standard_export_transform(PeerId to, const RibRoute& route,
-                                 AttrBuilder& attrs) const;
+                                 AttrBuilder& attrs, bool use_placeholder,
+                                 bool* splice) const;
+  /// The transform's pure reject gates (iBGP split, NO_ADVERTISE /
+  /// NO_EXPORT) without any attribute mutation — the eligibility check
+  /// source-driven groups run before handing the route to their hook.
+  bool export_eligible(PeerId to, const RibRoute& route) const;
 
   PeerDecisionInfo peer_decision_info(PeerId peer) const;
 
@@ -376,10 +500,20 @@ class BgpSpeaker {
   /// instant share one drain event (and one parallel encode fan-out).
   std::map<SimTime, std::vector<PeerId>> flush_batches_;
 
+  /// Export groups by id (ascending — the deterministic Phase-A order) and
+  /// the fingerprint-key index into them.
+  std::map<std::uint64_t, std::unique_ptr<ExportGroup>> groups_;
+  std::unordered_map<std::uint64_t, std::uint64_t> group_by_key_;
+  std::uint64_t next_group_id_ = 1;
+
   ImportHook import_hook_;
   ExportHook export_hook_;
+  std::unordered_map<std::uint64_t, SourceExportHook> source_export_hooks_;
+  ExportFilterHook export_filter_;
   bool import_hook_thread_safe_ = false;
   bool export_hook_thread_safe_ = false;
+  bool export_hook_memo_safe_ = false;
+  bool export_filter_thread_safe_ = false;
   RouteEventHandler route_event_;
   SessionEventHandler session_event_;
 
@@ -393,6 +527,10 @@ class BgpSpeaker {
   obs::Counter* obs_updates_in_;
   obs::Counter* obs_updates_out_;
   obs::Counter* obs_pipeline_runs_;
+  obs::Counter* obs_group_evals_;
+  obs::Counter* obs_group_memo_hits_;
+  obs::Counter* obs_group_splices_;
+  obs::Histogram* obs_group_members_;
   obs::Counter* obs_transitions_[4];  // indexed by SessionState
   obs::SpanMeter update_span_;
   std::uint64_t collector_token_ = 0;

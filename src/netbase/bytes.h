@@ -22,6 +22,9 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts an existing buffer and appends to it; take() hands it back.
+  /// Lets encoders build directly into a caller's accumulation buffer.
+  explicit ByteWriter(Bytes&& adopt) : buf_(std::move(adopt)) {}
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {

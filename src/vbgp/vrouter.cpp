@@ -84,10 +84,69 @@ void VRouter::install_hooks() {
     }
     return std::optional<bgp::AttrsPtr>(attrs);
   });
-  speaker_.set_export_hook([this](bgp::PeerId to, const bgp::RibRoute& route,
-                                  const bgp::AttrsPtr& attrs) {
-    return export_route(to, route, attrs);
-  });
+  // The export hook is class-pure: each branch of export_route depends only
+  // on the route and the peer's kind, so the speaker runs it once per update
+  // group (peers of one kind cluster together via the registered classes
+  // below). It is also memo-safe — a pure function of (source attrs, origin)
+  // given the neighbor registry and peer kinds, and every mutation of those
+  // calls invalidate_export_memos(). Member-dependent decisions live in the
+  // export filter.
+  speaker_.set_export_hook(
+      [this](bgp::PeerId to, const bgp::RibRoute& route,
+             const bgp::AttrsPtr& attrs) {
+        return export_route(to, route, attrs);
+      },
+      /*thread_safe=*/false, /*memo_safe=*/true);
+  // The experiment fan-out is the textbook source-driven export: every
+  // experiment sees the route's original attributes with only the next-hop
+  // re-mapped to the local virtual identity of the advertising neighbor.
+  // Registering it as a source hook lets the speaker export the interned
+  // source set verbatim (no clone, no second pool entry per route) and
+  // splice the virtual next-hop into the cached wire template at send
+  // time. Same purity contract as the general hook: reads the neighbor
+  // registry, whose mutations call invalidate_export_memos().
+  speaker_.set_source_export_hook(
+      static_cast<std::uint64_t>(PeerKind::kExperiment) + 1,
+      [this](const bgp::RibRoute& route) -> std::optional<Ipv4Address> {
+        // Experiments never see each other's routes (isolation).
+        const bool experiment_route =
+            has_experiment_marker(*route.attrs, config_.asn) ||
+            (route.peer != bgp::kLocalRoutes &&
+             peer_kind(route.peer) == PeerKind::kExperiment);
+        if (experiment_route) return std::nullopt;
+        Ipv4Address nh = route.attrs->next_hop;
+        if (VirtualNeighbor* nb = registry_.local_by_global_ip(nh)) {
+          nh = nb->virtual_ip;
+        } else if (VirtualNeighbor* rnb = registry_.remote_by_global_ip(nh)) {
+          nh = rnb->virtual_ip;
+        }
+        // else: already a virtual IP (off-backbone PoP) or locally
+        // originated.
+        return nh;
+      });
+  speaker_.set_export_filter(
+      [this](bgp::PeerId to, bgp::PeerId origin,
+             const bgp::PathAttributes& source_attrs) {
+        (void)origin;
+        switch (peer_kind(to)) {
+          case PeerKind::kExperiment:
+            // Figure-6b quantity: one counted export per experiment session
+            // actually receiving the advert.
+            obs_fanout_exports_->inc();
+            return true;
+          case PeerKind::kNeighbor: {
+            // Per-neighbor announcement controls (§5): the experiment's
+            // control communities select which neighbors hear the route.
+            VirtualNeighbor* nb = registry_.by_peer(to);
+            if (!nb) return false;
+            return export_allowed_by_communities(source_attrs.communities,
+                                                 nb->local_id);
+          }
+          case PeerKind::kBackbone:
+            return true;
+        }
+        return true;
+      });
   speaker_.on_route_event([this](const bgp::RibRoute& route, bool withdrawn) {
     sync_fib(route, withdrawn);
   });
@@ -107,8 +166,13 @@ bgp::PeerId VRouter::add_neighbor(const NeighborSpec& spec) {
   config.hold_time = spec.hold_time;
   bgp::PeerId peer = speaker_.add_peer(config);
   peer_kinds_[peer] = PeerKind::kNeighbor;
+  speaker_.set_peer_export_class(
+      peer, static_cast<std::uint64_t>(PeerKind::kNeighbor) + 1);
   registry_.add_local(spec.name, peer, spec.remote_address, spec.interface,
                       spec.global_id);
+  // The export hook's next-hop mapping reads the registry; memoized
+  // results predating this neighbor are stale.
+  speaker_.invalidate_export_memos();
   return peer;
 }
 
@@ -127,6 +191,8 @@ bgp::PeerId VRouter::add_experiment(const ExperimentSpec& spec) {
   config.transparent = true;
   bgp::PeerId peer = speaker_.add_peer(config);
   peer_kinds_[peer] = PeerKind::kExperiment;
+  speaker_.set_peer_export_class(
+      peer, static_cast<std::uint64_t>(PeerKind::kExperiment) + 1);
   experiments_by_peer_[peer] = spec.experiment_id;
   experiments_by_interface_[spec.interface] = spec.experiment_id;
   return peer;
@@ -143,6 +209,8 @@ bgp::PeerId VRouter::add_backbone_peer(const BackboneSpec& spec) {
   config.export_all_paths = true;
   bgp::PeerId peer = speaker_.add_peer(config);
   peer_kinds_[peer] = PeerKind::kBackbone;
+  speaker_.set_peer_export_class(
+      peer, static_cast<std::uint64_t>(PeerKind::kBackbone) + 1);
   backbone_interfaces_[peer] = spec.interface;
   return peer;
 }
@@ -218,7 +286,11 @@ std::optional<bgp::AttrsPtr> VRouter::import_from_backbone(
   if (it != backbone_interfaces_.end() &&
       Ipv4Prefix(kGlobalPoolBase, 16).contains(attrs->next_hop)) {
     std::uint32_t global_id = attrs->next_hop.value() - kGlobalPoolBase.value();
+    // Invalidate export memos only on a genuinely new registration: the
+    // steady state re-observes known neighbors on every route.
+    const bool known = registry_.remote_by_global_ip(attrs->next_hop) != nullptr;
     registry_.add_remote(global_id, from, it->second);
+    if (!known) speaker_.invalidate_export_memos();
   }
   return attrs;
 }
@@ -307,18 +379,13 @@ std::optional<bgp::AttrsPtr> VRouter::export_route(bgp::PeerId to,
         nh = rnb->virtual_ip;
       }
       // else: already a virtual IP (off-backbone PoP) or locally originated.
-      obs_fanout_exports_->inc();
       return remap_next_hop(route.attrs, nh);
     }
     case PeerKind::kNeighbor: {
       // Only experiment-originated (or platform-originated) announcements
-      // reach the Internet; PEERING never transits third-party routes.
+      // reach the Internet; PEERING never transits third-party routes. The
+      // per-neighbor community gate runs in the export filter.
       if (!experiment_route && route.peer != bgp::kLocalRoutes)
-        return std::nullopt;
-      VirtualNeighbor* nb = registry_.by_peer(to);
-      if (!nb) return std::nullopt;
-      if (!export_allowed_by_communities(route.attrs->communities,
-                                         nb->local_id))
         return std::nullopt;
       // Keep the standard eBGP transform; strip control communities only
       // when there is something to strip.

@@ -1,0 +1,464 @@
+// Update-group export path: fingerprint-based clustering, splice-at-send,
+// per-member encode-cache crediting, flap/rejoin resync from the group
+// delta log, and the grouped-vs-ungrouped wire-byte differential that
+// pins the whole refactor to the per-peer reference semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/message.h"
+#include "bgp/speaker.h"
+#include "sim/event_loop.h"
+#include "sim/stream.h"
+
+namespace peering::bgp {
+namespace {
+
+Ipv4Prefix pfx(const std::string& s) { return *Ipv4Prefix::parse(s); }
+
+/// Speaks just enough BGP to bring the hub's session to Established and
+/// records every byte the hub sends, so two runs can be compared at the
+/// wire level.
+class RecordingPeer {
+ public:
+  RecordingPeer(std::shared_ptr<sim::StreamEndpoint> stream, Asn asn,
+                Ipv4Address router_id, bool addpath)
+      : stream_(std::move(stream)) {
+    stream_->on_data([this, asn, router_id, addpath](const Bytes& data) {
+      wire_.insert(wire_.end(), data.begin(), data.end());
+      decoder_.feed(data);
+      while (true) {
+        auto result = decoder_.poll();
+        if (!result.ok() || !result->has_value()) return;
+        if (std::holds_alternative<OpenMessage>(**result)) {
+          OpenMessage open;
+          open.asn = asn;
+          open.router_id = router_id;
+          open.add_four_byte_asn(asn);
+          if (addpath) open.add_addpath_ipv4(AddPathMode::kBoth);
+          UpdateCodecOptions options;
+          stream_->send(encode_message(open, options));
+          stream_->send(encode_message(KeepaliveMessage{}, options));
+        }
+      }
+    });
+  }
+
+  /// Everything received from the hub, in order, since session start.
+  const Bytes& wire() const { return wire_; }
+
+ private:
+  std::shared_ptr<sim::StreamEndpoint> stream_;
+  MessageDecoder decoder_;
+  Bytes wire_;
+};
+
+struct Hub {
+  sim::EventLoop loop;
+  BgpSpeaker speaker;
+  std::vector<std::unique_ptr<RecordingPeer>> recorders;
+  std::vector<PeerId> peers;
+
+  explicit Hub(bool group_exports = true)
+      : speaker(&loop, "hub", 65000, Ipv4Address(1, 1, 1, 1),
+                PipelineConfig{.group_exports = group_exports}) {}
+
+  /// Adds one recorded session; `config.peer_asn` names the recorder ASN.
+  PeerId attach(PeerConfig config, bool peer_addpath = false) {
+    const Asn asn = config.peer_asn;
+    PeerId peer = speaker.add_peer(std::move(config));
+    auto streams = sim::StreamChannel::make(&loop, Duration::millis(1));
+    speaker.connect_peer(peer, streams.a);
+    recorders.push_back(std::make_unique<RecordingPeer>(
+        streams.b, asn, Ipv4Address(9, 9, 0, static_cast<std::uint8_t>(asn)),
+        peer_addpath));
+    peers.push_back(peer);
+    return peer;
+  }
+
+  void settle(Duration d = Duration::seconds(5)) { loop.run_for(d); }
+};
+
+PathAttributes attrs_with(std::uint32_t community_value) {
+  PathAttributes attrs;
+  attrs.origin = Origin::kIgp;
+  attrs.next_hop = Ipv4Address(10, 0, 0, 1);
+  attrs.communities.push_back(Community(65000, community_value));
+  return attrs;
+}
+
+TEST(UpdateGroup, AddPathAndPlainNeverShareGroup) {
+  Hub hub;
+  PeerId plain_a = hub.attach({.name = "pa", .peer_asn = 64011,
+                               .local_address = Ipv4Address(10, 1, 0, 1)});
+  PeerId plain_b = hub.attach({.name = "pb", .peer_asn = 64012,
+                               .local_address = Ipv4Address(10, 2, 0, 1)});
+  PeerId ap_a = hub.attach({.name = "aa", .peer_asn = 64013,
+                            .local_address = Ipv4Address(10, 3, 0, 1),
+                            .addpath = AddPathMode::kBoth},
+                           /*peer_addpath=*/true);
+  PeerId ap_b = hub.attach({.name = "ab", .peer_asn = 64014,
+                            .local_address = Ipv4Address(10, 4, 0, 1),
+                            .addpath = AddPathMode::kBoth},
+                           /*peer_addpath=*/true);
+  hub.settle();
+
+  ASSERT_NE(hub.speaker.export_group_of(plain_a), 0u);
+  ASSERT_NE(hub.speaker.export_group_of(ap_a), 0u);
+  // Same policy, same MRAI class: the plain pair shares and the ADD-PATH
+  // pair shares, but negotiated capabilities keep the two apart.
+  EXPECT_EQ(hub.speaker.export_group_of(plain_a),
+            hub.speaker.export_group_of(plain_b));
+  EXPECT_EQ(hub.speaker.export_group_of(ap_a),
+            hub.speaker.export_group_of(ap_b));
+  EXPECT_NE(hub.speaker.export_group_of(plain_a),
+            hub.speaker.export_group_of(ap_a));
+}
+
+TEST(UpdateGroup, MraiClassBoundsGroupMembership) {
+  Hub hub;
+  PeerId fast_a = hub.attach({.name = "fa", .peer_asn = 64021,
+                              .local_address = Ipv4Address(10, 1, 0, 1)});
+  PeerId slow_a = hub.attach({.name = "sa", .peer_asn = 64022,
+                              .local_address = Ipv4Address(10, 2, 0, 1),
+                              .mrai = Duration::seconds(30)});
+  PeerId slow_b = hub.attach({.name = "sb", .peer_asn = 64023,
+                              .local_address = Ipv4Address(10, 3, 0, 1),
+                              .mrai = Duration::seconds(30)});
+  hub.settle();
+
+  ASSERT_NE(hub.speaker.export_group_of(fast_a), 0u);
+  // Different MRAI classes flush on different cadences: a shared group
+  // would force one member's batching onto the other.
+  EXPECT_NE(hub.speaker.export_group_of(fast_a),
+            hub.speaker.export_group_of(slow_a));
+  EXPECT_EQ(hub.speaker.export_group_of(slow_a),
+            hub.speaker.export_group_of(slow_b));
+}
+
+TEST(UpdateGroup, ReevaluateExportsRefingerprintsAfterPolicyChange) {
+  Hub hub;
+  PeerId a = hub.attach({.name = "a", .peer_asn = 64031,
+                         .local_address = Ipv4Address(10, 1, 0, 1)});
+  PeerId b = hub.attach({.name = "b", .peer_asn = 64032,
+                         .local_address = Ipv4Address(10, 2, 0, 1)});
+  hub.settle();
+  ASSERT_EQ(hub.speaker.export_group_of(a), hub.speaker.export_group_of(b));
+
+  hub.speaker.originate(pfx("203.0.113.0/24"), attrs_with(1));
+  hub.speaker.originate(pfx("198.51.100.0/24"), attrs_with(2));
+  hub.settle();
+
+  // Tighten b's export policy in place. Regression: reevaluate_exports
+  // must re-fingerprint — keeping b in the old group would keep serving it
+  // adverts evaluated under a's policy.
+  hub.speaker.peer_config(b).export_policy = RoutePolicy::deny_all().add_term(
+      {.name = "only-203",
+       .match = {.prefix = pfx("203.0.113.0/24")},
+       .actions = {},
+       .final_term = true});
+  hub.speaker.reevaluate_exports(b);
+  hub.settle();
+
+  EXPECT_NE(hub.speaker.export_group_of(a), hub.speaker.export_group_of(b));
+  EXPECT_EQ(hub.speaker.adj_rib_out_attrs(a, pfx("198.51.100.0/24")).size(),
+            1u);
+  // The policy change takes effect: the denied prefix is withdrawn.
+  EXPECT_TRUE(hub.speaker.adj_rib_out_attrs(b, pfx("198.51.100.0/24")).empty());
+  EXPECT_EQ(hub.speaker.adj_rib_out_attrs(b, pfx("203.0.113.0/24")).size(), 1u);
+
+  // And the move is reversible: restoring the policy rejoins a's group.
+  hub.speaker.peer_config(b).export_policy = RoutePolicy::accept_all();
+  hub.speaker.reevaluate_exports(b);
+  hub.settle();
+  EXPECT_EQ(hub.speaker.export_group_of(a), hub.speaker.export_group_of(b));
+  EXPECT_EQ(hub.speaker.adj_rib_out_attrs(b, pfx("198.51.100.0/24")).size(),
+            1u);
+}
+
+/// Order-independent digest of a speaker's Loc-RIB. Excludes the next-hop:
+/// two sessions of the same hub legitimately see different ones (each
+/// session's local address).
+std::vector<std::string> rib_digest(const LocRib& rib) {
+  std::vector<std::string> out;
+  rib.visit_all([&](const RibRoute& route) {
+    std::ostringstream line;
+    line << route.prefix.str() << " peer=" << route.peer
+         << " comms=" << route.attrs->communities.size();
+    out.push_back(line.str());
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(UpdateGroup, FlapRejoinResyncsFromGroupLog) {
+  sim::EventLoop loop;
+  BgpSpeaker hub(&loop, "hub", 65000, Ipv4Address(1, 1, 1, 1));
+  BgpSpeaker b(&loop, "b", 64041, Ipv4Address(2, 2, 2, 2));
+  BgpSpeaker c(&loop, "c", 64042, Ipv4Address(3, 3, 3, 3));
+
+  auto connect = [&](BgpSpeaker& other, PeerId hub_peer, PeerId other_peer) {
+    auto streams = sim::StreamChannel::make(&loop, Duration::millis(1));
+    hub.connect_peer(hub_peer, streams.a);
+    other.connect_peer(other_peer, streams.b);
+  };
+  PeerId hb = hub.add_peer({.name = "b", .peer_asn = 64041,
+                            .local_address = Ipv4Address(10, 1, 0, 1)});
+  PeerId bh = b.add_peer({.name = "hub", .peer_asn = 65000,
+                          .local_address = Ipv4Address(10, 1, 0, 2)});
+  PeerId hc = hub.add_peer({.name = "c", .peer_asn = 64042,
+                            .local_address = Ipv4Address(10, 2, 0, 1)});
+  PeerId ch = c.add_peer({.name = "hub", .peer_asn = 65000,
+                          .local_address = Ipv4Address(10, 2, 0, 2)});
+  connect(b, hb, bh);
+  connect(c, hc, ch);
+  loop.run_for(Duration::seconds(5));
+  ASSERT_EQ(hub.session_state(hb), SessionState::kEstablished);
+  ASSERT_EQ(hub.session_state(hc), SessionState::kEstablished);
+  ASSERT_EQ(hub.export_group_of(hb), hub.export_group_of(hc));
+
+  for (int i = 0; i < 5; ++i)
+    hub.originate(pfx("10." + std::to_string(100 + i) + ".0.0/16"),
+                  attrs_with(static_cast<std::uint32_t>(i)));
+  loop.run_for(Duration::seconds(5));
+  ASSERT_EQ(rib_digest(c.loc_rib()), rib_digest(b.loc_rib()));
+
+  // c flaps: its membership is dropped and the group's delta log keeps
+  // moving without it.
+  hub.disconnect_peer(hc);
+  loop.run_for(Duration::seconds(2));
+  EXPECT_EQ(hub.export_group_of(hc), 0u);
+  hub.withdraw_originated(pfx("10.100.0.0/16"));
+  hub.originate(pfx("10.200.0.0/16"), attrs_with(99));
+  loop.run_for(Duration::seconds(5));
+
+  // Rejoin on a fresh transport: the stale cursor forces a full resync,
+  // after which c converges to exactly b's view.
+  auto streams = sim::StreamChannel::make(&loop, Duration::millis(1));
+  hub.connect_peer(hc, streams.a);
+  c.connect_peer(ch, streams.b);
+  loop.run_for(Duration::seconds(5));
+  ASSERT_EQ(hub.session_state(hc), SessionState::kEstablished);
+  EXPECT_EQ(hub.export_group_of(hc), hub.export_group_of(hb));
+  EXPECT_EQ(rib_digest(c.loc_rib()), rib_digest(b.loc_rib()));
+
+  // Post-rejoin deltas flow through the shared log again.
+  hub.originate(pfx("10.201.0.0/16"), attrs_with(100));
+  loop.run_for(Duration::seconds(5));
+  EXPECT_EQ(rib_digest(c.loc_rib()), rib_digest(b.loc_rib()));
+  EXPECT_EQ(c.loc_rib().prefix_count(), 6u);
+}
+
+TEST(UpdateGroup, EncodeCacheCreditingConsistentWithPool) {
+  Hub hub;
+  std::vector<PeerId> members;
+  for (int i = 0; i < 3; ++i)
+    members.push_back(hub.attach(
+        {.name = "m" + std::to_string(i),
+         .peer_asn = static_cast<Asn>(64051 + i),
+         .local_address = Ipv4Address(10, static_cast<std::uint8_t>(i + 1), 0,
+                                      1)}));
+  hub.settle();
+  ASSERT_EQ(hub.speaker.export_group_of(members[0]),
+            hub.speaker.export_group_of(members[2]));
+
+  const AttrPool::Stats before = hub.speaker.attr_pool().stats();
+  // Five routes over two distinct attribute sets: two shared templates.
+  for (int i = 0; i < 5; ++i)
+    hub.speaker.originate(pfx("10." + std::to_string(50 + i) + ".0.0/16"),
+                          attrs_with(static_cast<std::uint32_t>(i % 2)));
+  hub.settle();
+  const AttrPool::Stats after = hub.speaker.attr_pool().stats();
+
+  // The serial warm-up encodes each distinct (template, options) once; the
+  // members' sends then splice the cached bytes, so every member send is
+  // credited as a hit and the pool's miss count stays at the template
+  // count — not the send count.
+  EXPECT_EQ(after.encode_misses - before.encode_misses, 2u);
+  for (PeerId m : members) {
+    const PeerStats& stats = hub.speaker.peer_stats(m);
+    EXPECT_EQ(stats.attr_encode_cache_hits, 5u) << "member " << m;
+    EXPECT_EQ(stats.attr_encode_cache_misses, 0u) << "member " << m;
+  }
+  // Per-member crediting and the pool's own counters describe the same
+  // traffic: hub-side hits are member sends plus warm-up re-encounters.
+  const std::uint64_t member_hits = 3u * 5u;
+  EXPECT_GE(member_hits + (after.encode_misses - before.encode_misses),
+            15u);
+}
+
+/// One scripted scenario: a hub with a heterogeneous set of recorded
+/// sessions and a seeded random feed of announcements and withdrawals.
+/// Returns per-recorder wire bytes plus hub-side observables.
+struct ScenarioResult {
+  std::vector<Bytes> wires;
+  std::vector<PeerStats> stats;
+  std::vector<std::string> rib;
+  std::uint64_t updates_sent = 0;
+  std::size_t groups = 0;
+};
+
+ScenarioResult run_scenario(bool group_exports, std::uint64_t seed) {
+  Hub hub(group_exports);
+  hub.attach({.name = "plain1", .peer_asn = 64061,
+              .local_address = Ipv4Address(10, 1, 0, 1)});
+  hub.attach({.name = "plain2", .peer_asn = 64062,
+              .local_address = Ipv4Address(10, 2, 0, 1)});
+  hub.attach({.name = "ap1", .peer_asn = 64063,
+              .local_address = Ipv4Address(10, 3, 0, 1),
+              .addpath = AddPathMode::kBoth},
+             /*peer_addpath=*/true);
+  hub.attach({.name = "ap2", .peer_asn = 64064,
+              .local_address = Ipv4Address(10, 4, 0, 1),
+              .addpath = AddPathMode::kBoth},
+             /*peer_addpath=*/true);
+  hub.attach({.name = "slow", .peer_asn = 64065,
+              .local_address = Ipv4Address(10, 5, 0, 1),
+              .mrai = Duration::seconds(20)});
+  hub.attach({.name = "transp", .peer_asn = 64066,
+              .local_address = Ipv4Address(10, 6, 0, 1),
+              .transparent = true});
+  hub.attach(
+      {.name = "filtered", .peer_asn = 64067,
+       .local_address = Ipv4Address(10, 7, 0, 1),
+       .export_policy = RoutePolicy::accept_all().add_term(
+           {.name = "no-odd",
+            .match = {.any_community = {Community(65000, 1)}},
+            .actions = {.deny = true},
+            .final_term = true})});
+  hub.settle();
+
+  // Seeded churn: announce/withdraw random prefixes drawn from a small
+  // space so re-announcements, implicit replaces, and withdrawals all
+  // occur, with attribute sets drawn from a handful of shared shapes.
+  std::mt19937_64 rng(seed);
+  std::vector<Ipv4Prefix> space;
+  for (int i = 0; i < 32; ++i)
+    space.push_back(pfx("10." + std::to_string(16 + i) + ".0.0/16"));
+  std::vector<bool> live(space.size(), false);
+  for (int round = 0; round < 6; ++round) {
+    for (int step = 0; step < 12; ++step) {
+      const std::size_t slot = rng() % space.size();
+      if (live[slot] && rng() % 4 == 0) {
+        hub.speaker.withdraw_originated(space[slot]);
+        live[slot] = false;
+      } else {
+        hub.speaker.originate(space[slot],
+                              attrs_with(static_cast<std::uint32_t>(rng() % 3)));
+        live[slot] = true;
+      }
+    }
+    hub.settle(Duration::seconds(7));
+  }
+  hub.settle(Duration::seconds(30));
+
+  ScenarioResult result;
+  for (const auto& recorder : hub.recorders)
+    result.wires.push_back(recorder->wire());
+  for (PeerId peer : hub.peers)
+    result.stats.push_back(hub.speaker.peer_stats(peer));
+  result.rib = rib_digest(hub.speaker.loc_rib());
+  result.updates_sent = hub.speaker.total_updates_sent();
+  result.groups = hub.speaker.export_group_count();
+  return result;
+}
+
+TEST(UpdateGroup, GroupedAndUngroupedAreWireIdentical) {
+  for (std::uint64_t seed : {41ull, 97ull, 1234ull}) {
+    ScenarioResult grouped = run_scenario(/*group_exports=*/true, seed);
+    ScenarioResult ungrouped = run_scenario(/*group_exports=*/false, seed);
+
+    ASSERT_EQ(grouped.wires.size(), ungrouped.wires.size());
+    for (std::size_t i = 0; i < grouped.wires.size(); ++i)
+      EXPECT_EQ(grouped.wires[i], ungrouped.wires[i])
+          << "seed " << seed << ": session " << i
+          << " received different bytes";
+    EXPECT_EQ(grouped.rib, ungrouped.rib) << "seed " << seed;
+    EXPECT_EQ(grouped.updates_sent, ungrouped.updates_sent) << "seed " << seed;
+    for (std::size_t i = 0; i < grouped.stats.size(); ++i) {
+      EXPECT_EQ(grouped.stats[i].updates_sent, ungrouped.stats[i].updates_sent)
+          << "seed " << seed << ": session " << i;
+      EXPECT_EQ(grouped.stats[i].attr_encode_cache_hits,
+                ungrouped.stats[i].attr_encode_cache_hits)
+          << "seed " << seed << ": session " << i;
+      EXPECT_EQ(grouped.stats[i].attr_encode_cache_misses,
+                ungrouped.stats[i].attr_encode_cache_misses)
+          << "seed " << seed << ": session " << i;
+    }
+    // Sharing actually happened in the grouped run: fewer groups than
+    // sessions (plain pair + ADD-PATH pair each collapse).
+    EXPECT_LT(grouped.groups, ungrouped.groups) << "seed " << seed;
+  }
+}
+
+/// The source-driven hook must be wire-equivalent to a general export hook
+/// that only rewrites the next-hop, on transparent sessions (where the
+/// standard transform leaves the template untouched — vBGP's experiment
+/// fan-out shape).
+ScenarioResult run_hook_scenario(bool source_driven) {
+  Hub hub;
+  constexpr std::uint64_t kClass = 7;
+  const Ipv4Address vnh(100, 65, 0, 1);
+  if (source_driven) {
+    hub.speaker.set_source_export_hook(
+        kClass, [vnh](const RibRoute&) { return vnh; });
+  } else {
+    hub.speaker.set_export_hook(
+        [&hub, vnh](PeerId, const RibRoute&,
+                    const AttrsPtr& attrs) -> std::optional<AttrsPtr> {
+          PathAttributes rewritten = *attrs;
+          rewritten.next_hop = vnh;
+          return hub.speaker.attr_pool().intern(std::move(rewritten));
+        },
+        /*thread_safe=*/false, /*memo_safe=*/true);
+  }
+  for (int i = 0; i < 2; ++i) {
+    PeerId peer = hub.attach(
+        {.name = "x" + std::to_string(i),
+         .peer_asn = static_cast<Asn>(64071 + i),
+         .local_address = Ipv4Address(10, static_cast<std::uint8_t>(i + 1), 0,
+                                      1),
+         .addpath = AddPathMode::kBoth,
+         .export_all_paths = true,
+         .transparent = true},
+        /*peer_addpath=*/true);
+    hub.speaker.set_peer_export_class(peer, kClass);
+  }
+  hub.settle();
+
+  for (int i = 0; i < 4; ++i)
+    hub.speaker.originate(pfx("10." + std::to_string(80 + i) + ".0.0/16"),
+                          attrs_with(static_cast<std::uint32_t>(i)));
+  hub.settle();
+  hub.speaker.withdraw_originated(pfx("10.81.0.0/16"));
+  hub.settle();
+
+  ScenarioResult result;
+  for (const auto& recorder : hub.recorders)
+    result.wires.push_back(recorder->wire());
+  for (PeerId peer : hub.peers)
+    result.stats.push_back(hub.speaker.peer_stats(peer));
+  result.groups = hub.speaker.export_group_count();
+  return result;
+}
+
+TEST(UpdateGroup, SourceDrivenHookMatchesGeneralHookOnWire) {
+  ScenarioResult with_source = run_hook_scenario(/*source_driven=*/true);
+  ScenarioResult with_general = run_hook_scenario(/*source_driven=*/false);
+
+  ASSERT_EQ(with_source.wires.size(), with_general.wires.size());
+  for (std::size_t i = 0; i < with_source.wires.size(); ++i)
+    EXPECT_EQ(with_source.wires[i], with_general.wires[i])
+        << "session " << i << " received different bytes";
+  // The source-driven class shares one group across both sessions.
+  EXPECT_EQ(with_source.groups, 1u);
+}
+
+}  // namespace
+}  // namespace peering::bgp
