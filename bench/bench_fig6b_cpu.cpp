@@ -17,6 +17,7 @@
 // exactly the quantity the paper plots. The paper's reference point: at
 // AMS-IX vBGP processed 21.8 updates/s on average (p99 ~400/s) with CPU to
 // spare at 4000 updates/s.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -25,6 +26,7 @@
 #include "enforce/control_policy.h"
 #include "enforce/data_enforcer.h"
 #include "ip/fib_set.h"
+#include "mon/monitor.h"
 #include "netbase/rand.h"
 #include "obs/metrics.h"
 #include "vbgp/vrouter.h"
@@ -41,7 +43,8 @@ constexpr std::size_t kUpdates = 50'000;
 /// and `out_snap` receives a deterministic snapshot taken before teardown.
 double measure_per_update_seconds(bool vbgp_mode, bool multi_router,
                                   obs::Registry* registry = nullptr,
-                                  obs::Snapshot* out_snap = nullptr) {
+                                  obs::Snapshot* out_snap = nullptr,
+                                  std::size_t* out_mon_records = nullptr) {
   std::optional<obs::Scope> scope;
   if (registry) scope.emplace(registry);
   sim::EventLoop loop;
@@ -53,6 +56,15 @@ double measure_per_update_seconds(bool vbgp_mode, bool multi_router,
   config.router_id = Ipv4Address(10, 255, 0, 1);
   config.router_seed = 1;
   vbgp::VRouter router(&loop, config);
+
+  // Telemetry-on runs also carry a live BMP monitor: the <3% obs-overhead
+  // gate covers the monitoring plane, not just the counters.
+  std::optional<mon::MonitorSession> monitor;
+  if (registry) {
+    mon::MonitorSession::Options mon_options;
+    mon_options.capacity = std::size_t{1} << 17;
+    monitor.emplace(&loop, &router.speaker(), mon_options);
+  }
 
   enforce::ControlPlaneEnforcer control;
   control.install_default_rules({47065, 47064});
@@ -134,6 +146,7 @@ double measure_per_update_seconds(bool vbgp_mode, bool multi_router,
                      std::chrono::steady_clock::now() - start)
                      .count();
   if (registry && out_snap) *out_snap = registry->snapshot(loop.now());
+  if (monitor && out_mon_records) *out_mon_records = monitor->records().size();
   return elapsed / static_cast<double>(kUpdates);
 }
 
@@ -218,14 +231,34 @@ int main() {
   // Telemetry cost: the same single-router run with an enabled registry
   // installed. The snapshot's counters are deterministic (pure functions of
   // the feed and the sim), so they double as a regression gate that the
-  // instrumented pipeline still processes every update.
-  obs::Registry telemetry_registry;
+  // instrumented pipeline still processes every update. Wall-clock noise on
+  // shared hosts dwarfs the true delta, so the off/on runs interleave
+  // (load bursts land on both sides) and each side takes its best of five;
+  // each telemetry run gets a fresh registry so the counters stay
+  // single-run values.
+  constexpr int kOverheadRuns = 5;
+  double single_off = single;
   obs::Snapshot snap;
-  double single_obs =
-      measure_per_update_seconds(true, false, &telemetry_registry, &snap);
-  double overhead_pct = (single_obs - single) / single * 100.0;
-  std::printf("telemetry on: %.1f us/update (%+.1f%% vs off)\n",
-              single_obs * 1e6, overhead_pct);
+  std::size_t mon_records = 0;
+  double single_obs = 1e9;
+  for (int i = 0; i < kOverheadRuns; ++i) {
+    if (i > 0)
+      single_off =
+          std::min(single_off, measure_per_update_seconds(true, false));
+    obs::Registry telemetry_registry;
+    obs::Snapshot run_snap;
+    std::size_t run_records = 0;
+    single_obs = std::min(
+        single_obs, measure_per_update_seconds(true, false,
+                                               &telemetry_registry, &run_snap,
+                                               &run_records));
+    snap = std::move(run_snap);
+    mon_records = run_records;
+  }
+  double overhead_pct = (single_obs - single_off) / single_off * 100.0;
+  std::printf("telemetry on (incl. BMP monitor, %zu records): %.1f us/update "
+              "(%+.1f%% vs off)\n",
+              mon_records, single_obs * 1e6, overhead_pct);
   obs::Labels speaker{{"speaker", "bench"}};
   obs::Labels router{{"pop", "bench01"}, {"router", "bench"}};
   std::int64_t obs_in = snap.value("bgp_updates_in_total", speaker);
@@ -271,6 +304,7 @@ int main() {
   report.metric("obs_updates_out", static_cast<double>(obs_out));
   report.metric("obs_fanout_exports", static_cast<double>(obs_fanout));
   report.metric("obs_nh_rewrites", static_cast<double>(obs_rewrites));
+  report.metric("mon_records", static_cast<double>(mon_records));
   std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -39,17 +39,27 @@ class JsonReport {
     entries_.push_back("  \"" + key + "\": \"" + escaped + "\"");
   }
 
-  /// Writes BENCH_<name>.json into the working directory; returns the path.
+  /// Writes BENCH_<name>.json into the working directory — and, when the
+  /// build exported the source tree location, a second copy at the repo
+  /// root so `tools/bench_check.py` always finds every baselined bench's
+  /// JSON regardless of the working directory the bench ran from.
   std::string write() const {
     std::string path = "BENCH_" + name_ + ".json";
-    std::ofstream out(path);
-    out << "{\n  \"bench\": \"" << name_ << "\"";
-    for (const auto& entry : entries_) out << ",\n" << entry;
-    out << "\n}\n";
+    write_to(path);
+#ifdef PEERING_REPO_ROOT
+    write_to(std::string(PEERING_REPO_ROOT) + "/" + path);
+#endif
     return path;
   }
 
  private:
+  void write_to(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\"";
+    for (const auto& entry : entries_) out << ",\n" << entry;
+    out << "\n}\n";
+  }
+
   std::string name_;
   std::vector<std::string> entries_;
 };

@@ -18,7 +18,8 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 echo "=== configure + build: tsan preset (concurrency suite only) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
-  --target exec_test concurrency_test pipeline_test update_group_test
+  --target exec_test concurrency_test pipeline_test update_group_test \
+           mon_test
 
 echo "=== ctest: default preset ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
@@ -36,6 +37,9 @@ echo "=== tsan: concurrency suite (races fail even on one core) ==="
 # The update-group suite drives the parallel encode path (Phase B fans
 # members across the scheduler), so it runs under tsan as well.
 ./build-tsan/tests/update_group_test
+# The monitor taps the speaker across the pipeline's serial/parallel
+# boundary; its byte-identity tests run the partitioned shapes under tsan.
+./build-tsan/tests/mon_test
 
 echo "=== faults-soak: chaos scenarios under 3 fixed seeds, both presets ==="
 # The chaos soak re-runs every fault scenario (and the flap-storm
@@ -70,6 +74,7 @@ python3 tools/bench_check.py --fresh-dir build/bench \
   --metric fig6b_cpu:obs_updates_out:exact \
   --metric fig6b_cpu:obs_fanout_exports:exact \
   --metric fig6b_cpu:obs_nh_rewrites:exact \
+  --metric fig6b_cpu:mon_records:exact \
   --metric attr_flow:pool_size:exact \
   --metric attr_flow:intern_hit_rate:exact \
   --metric attr_flow:encode_hit_rate:exact
@@ -85,6 +90,28 @@ python3 tools/bench_check.py --fresh-dir build/bench \
   --metric fanout:groups_ungrouped_1000:exact \
   --metric fanout:updates_sent_grouped_1000:exact \
   --metric fanout:updates_sent_ungrouped_1000:exact
+
+echo "=== bench regression gate: monitoring plane ==="
+# The binary exits non-zero if same-seed monitoring streams or
+# looking-glass dumps differ between N=1 and N=4 pipeline workers, so
+# running it is the byte-identity check. Record/byte counts and the
+# propagation-latency percentiles are sim-time quantities — deterministic,
+# gated exactly. It also snapshots the monitored run's Prometheus text,
+# which the linter below validates.
+(cd build/bench && ./bench_monitoring)
+python3 tools/bench_check.py --fresh-dir build/bench \
+  --metric monitoring:routes_injected:exact \
+  --metric monitoring:station_records:exact \
+  --metric monitoring:stream_bytes:exact \
+  --metric monitoring:records_dropped:exact \
+  --metric monitoring:locrib_samples:exact \
+  --metric monitoring:e2e_locrib_p50_ns:exact \
+  --metric monitoring:e2e_locrib_p90_ns:exact \
+  --metric monitoring:e2e_locrib_p99_ns:exact \
+  --metric monitoring:stream_identical_across_pipelines:exact
+
+echo "=== prometheus exposition lint: monitored-run snapshot ==="
+python3 tools/prom_lint.py build/bench/mon_metrics.prom
 
 echo "=== bench regression gate: parallel convergence ==="
 # The binary self-checks that every parallel run converges to exactly the
@@ -104,5 +131,10 @@ if [ "$(nproc)" -ge 4 ]; then
 else
   echo "  (skipping speedup floors: only $(nproc) core(s) on this host)"
 fi
+
+echo "=== bench coverage: every baselined bench emitted fresh JSON ==="
+# A bench that silently stops writing its report would otherwise pass all
+# the per-metric gates above by vacuous success.
+python3 tools/bench_check.py --fresh-dir build/bench --require-all-baselines
 
 echo "=== CI: all green ==="

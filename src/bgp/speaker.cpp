@@ -195,6 +195,23 @@ BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
       metrics_->counter("bgp_export_group_splices_total", labels);
   obs_group_members_ =
       metrics_->histogram("bgp_export_group_members", labels);
+  // Pipeline-interior instruments carry the bgp_pipeline_ prefix: they are
+  // partition-configuration-dependent and determinism fingerprints exclude
+  // that prefix. Export-group instruments are partition-independent.
+  obs_stage_depth_ =
+      metrics_->histogram("bgp_pipeline_stage_depth", labels);
+  obs_flush_batch_ = metrics_->histogram("bgp_mrai_flush_batch", labels);
+  obs_group_log_depth_ =
+      metrics_->histogram("bgp_export_group_log_depth", labels);
+  {
+    obs::Labels rl = labels;
+    rl.emplace_back("reason", "initial");
+    obs_resync_initial_ =
+        metrics_->counter("bgp_export_full_resyncs_total", rl);
+    rl.back().second = "log_trim";
+    obs_resync_log_trim_ =
+        metrics_->counter("bgp_export_full_resyncs_total", rl);
+  }
   for (int i = 0; i < 4; ++i) {
     obs::Labels tl = labels;
     tl.emplace_back("state",
@@ -203,6 +220,8 @@ BgpSpeaker::BgpSpeaker(sim::EventLoop* loop, std::string name, Asn asn,
         metrics_->counter("bgp_session_transitions_total", tl);
   }
   update_span_ = obs::SpanMeter(metrics_, "bgp_update_processing", labels);
+  decision_span_ = obs::SpanMeter(metrics_, "bgp_pipeline_decision", labels);
+  encode_span_ = obs::SpanMeter(metrics_, "bgp_pipeline_encode", labels);
   collector_token_ = metrics_->add_collector(
       [this](obs::Registry& registry) { publish_metrics(registry); });
 }
@@ -226,6 +245,7 @@ PeerId BgpSpeaker::add_peer(PeerConfig config) {
 void BgpSpeaker::note_transition(PeerId peer, SessionState state) {
   obs_transitions_[static_cast<int>(state)]->inc();
   if (session_event_) session_event_(peer, state);
+  if (monitor_) monitor_->on_peer_state(peer, state);
 }
 
 PeerConfig& BgpSpeaker::peer_config(PeerId peer) {
@@ -278,6 +298,26 @@ std::vector<AttrsPtr> BgpSpeaker::adj_rib_out_attrs(
           std::move(advertised)));
     }
   }
+  return out;
+}
+
+std::vector<BgpSpeaker::AdjOutEntry> BgpSpeaker::adj_rib_out(
+    PeerId peer) const {
+  std::vector<AdjOutEntry> out;
+  const Session& s = *sessions_.at(peer);
+  for (const auto& [prefix, po] : s.adj_out) {
+    for (const auto& path : po.paths) {
+      if (!path.active) continue;
+      out.push_back(AdjOutEntry{prefix, path.local_id, path.route.origin_peer,
+                                path.route.attrs, path.route.next_hop});
+    }
+  }
+  // adj_out is hashed; (prefix, local id) is the canonical dump order.
+  std::sort(out.begin(), out.end(),
+            [](const AdjOutEntry& a, const AdjOutEntry& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              return a.local_id < b.local_id;
+            });
   return out;
 }
 
@@ -523,6 +563,9 @@ void BgpSpeaker::stage_update(PeerId peer, const UpdateMessage& update) {
 
 void BgpSpeaker::stage_route(PeerId from, const NlriEntry& entry,
                              AttrsPtr attrs) {
+  // Pre-policy route monitoring: stage 1 is serial and runs in arrival
+  // order, so this mirror is canonical at any partition count.
+  if (monitor_) monitor_->on_route_pre_policy(from, entry, attrs);
   stage_in_[pmap_.of(entry.prefix)].push_back(
       RouteWork{from, entry, std::move(attrs)});
   ++stage_pending_;
@@ -531,23 +574,27 @@ void BgpSpeaker::stage_route(PeerId from, const NlriEntry& entry,
 void BgpSpeaker::drain_pipeline() {
   if (stage_pending_ == 0 || in_pipeline_) return;
   in_pipeline_ = true;
+  obs_stage_depth_->record(stage_pending_);
   const std::uint32_t n = pmap_.partitions();
   // Seeded visit order: deterministic per (seed, epoch), and deliberately
   // not ascending so nothing comes to depend on partition index order.
   auto order =
       exec::seeded_order(n, exec::mix64(pipeline_.seed ^ ++pipeline_epoch_));
 
-  // Decision stage. Parallel only when a worker pool exists and any
-  // installed import hook is declared thread-safe.
-  const bool parallel = scheduler_ != nullptr &&
-                        (!import_hook_ || import_hook_thread_safe_) && n > 1;
-  if (parallel) {
-    scheduler_->parallel_for(
-        n, [this](std::size_t p) {
-          process_partition(static_cast<std::uint32_t>(p));
-        });
-  } else {
-    for (std::uint32_t p : order) process_partition(p);
+  {
+    obs::Span span(decision_span_, nullptr);  // wall-clock decision latency
+    // Decision stage. Parallel only when a worker pool exists and any
+    // installed import hook is declared thread-safe.
+    const bool parallel = scheduler_ != nullptr &&
+                          (!import_hook_ || import_hook_thread_safe_) && n > 1;
+    if (parallel) {
+      scheduler_->parallel_for(
+          n, [this](std::size_t p) {
+            process_partition(static_cast<std::uint32_t>(p));
+          });
+    } else {
+      for (std::uint32_t p : order) process_partition(p);
+    }
   }
   stage_pending_ = 0;
 
@@ -561,9 +608,30 @@ void BgpSpeaker::drain_pipeline() {
     for (RouteEffect& effect : out.effects) {
       if (route_event_) route_event_(effect.route, effect.withdrawn);
       fan_out_export(effect.route.prefix, effect.route.peer);
+      if (monitor_) monitor_batch_.push_back(&effect);
     }
-    out.effects.clear();
     out.rejects.clear();
+    // With a monitor attached the effects stay put until the tap pass
+    // below has walked them; the batch holds bare pointers so attaching a
+    // monitor costs pointer sorting, not RouteEffect (attrs refcount)
+    // copies, in the hot path.
+    if (!monitor_) out.effects.clear();
+  }
+  // Post-policy route monitoring: the seeded visit order above depends on
+  // the partition count, so the tap sees the batch stable-sorted by prefix
+  // instead — all effects for one prefix live in one partition FIFO, which
+  // makes (prefix, then arrival) a canonical order at any partition count.
+  if (monitor_) {
+    if (!monitor_batch_.empty()) {
+      std::stable_sort(monitor_batch_.begin(), monitor_batch_.end(),
+                       [](const RouteEffect* a, const RouteEffect* b) {
+                         return a->route.prefix < b->route.prefix;
+                       });
+      for (const RouteEffect* effect : monitor_batch_)
+        monitor_->on_route_post_policy(effect->route, effect->withdrawn);
+      monitor_batch_.clear();
+    }
+    for (std::uint32_t p : order) stage_out_[p].effects.clear();
   }
   obs_pipeline_runs_->inc();
   in_pipeline_ = false;
@@ -650,6 +718,7 @@ void BgpSpeaker::originate(const Ipv4Prefix& prefix, PathAttributes attrs) {
   loc_rib_.update(route);
   if (route_event_) route_event_(route, /*withdrawn=*/false);
   fan_out_export(prefix, kLocalRoutes);
+  if (monitor_) monitor_->on_route_post_policy(route, /*withdrawn=*/false);
 }
 
 void BgpSpeaker::withdraw_originated(const Ipv4Prefix& prefix) {
@@ -665,6 +734,7 @@ void BgpSpeaker::withdraw_originated(const Ipv4Prefix& prefix) {
   loc_rib_.withdraw(prefix, kLocalRoutes, 0);
   if (route_event_) route_event_(route, /*withdrawn=*/true);
   fan_out_export(prefix, kLocalRoutes);
+  if (monitor_) monitor_->on_route_post_policy(route, /*withdrawn=*/true);
 }
 
 bool BgpSpeaker::export_eligible(PeerId to, const RibRoute& route) const {
@@ -1100,6 +1170,10 @@ void BgpSpeaker::drain_flush_batch(SimTime at) {
 
     std::vector<Ipv4Prefix> prefixes;
     if (s.needs_full || s.group_cursor < group.log_base) {
+      // Why this member resyncs: a deliberate full sync (initial table,
+      // refresh, group rejoin) vs. a cursor lost to delta-log trimming —
+      // the latter signals an undersized peer_queue_capacity.
+      (s.needs_full ? obs_resync_initial_ : obs_resync_log_trim_)->inc();
       // Full resync: every Loc-RIB prefix plus everything currently
       // advertised, so stale adverts are withdrawn too. Members with an
       // empty Adj-RIB-Out (fresh sessions) all need exactly the sorted
@@ -1146,9 +1220,12 @@ void BgpSpeaker::drain_flush_batch(SimTime at) {
     std::sort(prefixes.begin(), prefixes.end());
     prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
                    prefixes.end());
+    // Pre-trim depth: how far behind the slowest member let the log grow.
+    obs_group_log_depth_->record(groups_.at(gid)->log.size());
     trim_group_log(*groups_.at(gid));
   }
   if (due.empty()) return;
+  obs_flush_batch_->record(due.size());
 
   // Phase A — group evaluation: transform + policy + export hook run once
   // per (group, prefix), producing the shared advert templates. Groups
@@ -1221,10 +1298,13 @@ void BgpSpeaker::drain_flush_batch(SimTime at) {
       scheduler_ != nullptr && due.size() > 1 &&
       attr_pool_.encode_cache_enabled() &&
       (!export_filter_ || export_filter_thread_safe_);
-  if (encode_parallel) {
-    scheduler_->parallel_for(due.size(), encode_one);
-  } else {
-    for (std::size_t i = 0; i < due.size(); ++i) encode_one(i);
+  {
+    obs::Span span(encode_span_, nullptr);  // wall-clock encode latency
+    if (encode_parallel) {
+      scheduler_->parallel_for(due.size(), encode_one);
+    } else {
+      for (std::size_t i = 0; i < due.size(); ++i) encode_one(i);
+    }
   }
 
   // Phase C — serial transmit + stats, ascending peer order: one coalesced
@@ -1509,6 +1589,9 @@ void BgpSpeaker::session_down(PeerId peer, const std::string& reason) {
     loc_rib_.withdraw(route.prefix, peer, route.path_id);
     affected.insert(route.prefix);
     if (route_event_) route_event_(route, /*withdrawn=*/true);
+    // adj_in.clear() returns routes merged back into global prefix order,
+    // so this direct emission is canonical at any partition count.
+    if (monitor_) monitor_->on_route_post_policy(route, /*withdrawn=*/true);
   }
   for (const auto& prefix : affected) fan_out_export(prefix, peer);
   // The churned-out table may have been the last reference to many pooled

@@ -95,6 +95,30 @@ struct PipelineConfig {
   bool deterministic() const { return workers == 0; }
 };
 
+/// Passive monitoring tap, BMP-flavored (RFC 7854): the monitoring plane
+/// (src/mon) implements this and attaches with BgpSpeaker::set_monitor.
+/// Declared here so bgp does not depend on mon. The speaker guarantees a
+/// canonical callback order independent of the pipeline's partition count:
+///  * on_route_pre_policy fires in arrival order (stage 1 is serial);
+///  * on_route_post_policy fires once per drain, stable-sorted by prefix —
+///    all effects for one prefix live in one partition FIFO, so the
+///    within-prefix order is arrival order at any partition count;
+///  * on_peer_state fires at every FSM transition, serially.
+/// A tap must not mutate the speaker from inside a callback.
+class MonitorTap {
+ public:
+  virtual ~MonitorTap() = default;
+  /// Session FSM transition (kEstablished = BMP peer-up, kIdle = peer-down).
+  virtual void on_peer_state(PeerId peer, SessionState state) = 0;
+  /// Route-monitoring, pre-policy: mirrors the Adj-RIB-In feed as it
+  /// arrived on the wire, before import policy. Null attrs = withdraw.
+  virtual void on_route_pre_policy(PeerId from, const NlriEntry& entry,
+                                   const AttrsPtr& attrs) = 0;
+  /// Route-monitoring, post-policy: a post-import route-set change (the
+  /// Loc-RIB candidate view), after policy and import hooks.
+  virtual void on_route_post_policy(const RibRoute& route, bool withdrawn) = 0;
+};
+
 struct PeerConfig {
   std::string name;
   Asn peer_asn = 0;
@@ -296,6 +320,12 @@ class BgpSpeaker {
     session_event_ = std::move(handler);
   }
 
+  /// Attaches a passive monitoring tap (one per speaker; null detaches).
+  /// Separate from on_route_event/on_session_event, which the platform
+  /// consumes — monitoring must not clobber the vrouter's FIB sync.
+  void set_monitor(MonitorTap* tap) { monitor_ = tap; }
+  MonitorTap* monitor() const { return monitor_; }
+
   const LocRib& loc_rib() const { return loc_rib_; }
   const AdjRibIn& adj_rib_in(PeerId peer) const;
   AttrPool& attr_pool() { return attr_pool_; }
@@ -306,6 +336,24 @@ class BgpSpeaker {
   /// tests can assert pointer-level sharing across fan-out sessions.
   std::vector<AttrsPtr> adj_rib_out_attrs(PeerId peer,
                                           const Ipv4Prefix& prefix) const;
+
+  /// One advertised path in a peer's Adj-RIB-Out, with the next-hop the
+  /// peer actually sees (the splice placeholder resolved). Ordered by
+  /// (prefix, local path id) — deterministic at any partition count.
+  struct AdjOutEntry {
+    Ipv4Prefix prefix;
+    std::uint32_t local_id = 0;
+    PeerId origin = 0;
+    AttrsPtr attrs;
+    Ipv4Address next_hop;
+  };
+  /// Full Adj-RIB-Out toward `peer` (active paths only). The looking
+  /// glass renders per-peer dumps from this.
+  std::vector<AdjOutEntry> adj_rib_out(PeerId peer) const;
+
+  /// Decision-process inputs for `peer` (iBGP flag, ASN, address,
+  /// router id) — the looking glass narrates best-path selection with it.
+  PeerDecisionInfo peer_decision_info(PeerId peer) const;
 
   /// Total bytes across RIBs and the attribute pool (Figure 6a's
   /// "control plane" quantity).
@@ -471,8 +519,6 @@ class BgpSpeaker {
   /// source-driven groups run before handing the route to their hook.
   bool export_eligible(PeerId to, const RibRoute& route) const;
 
-  PeerDecisionInfo peer_decision_info(PeerId peer) const;
-
   sim::EventLoop* loop_;
   std::string name_;
   Asn asn_;
@@ -516,6 +562,12 @@ class BgpSpeaker {
   bool export_filter_thread_safe_ = false;
   RouteEventHandler route_event_;
   SessionEventHandler session_event_;
+  MonitorTap* monitor_ = nullptr;
+  /// Post-policy effects buffered during a drain, stable-sorted by prefix
+  /// before the tap sees them (the canonical, partition-count-independent
+  /// stream order). Pointers into stage_out_ effect vectors, which are
+  /// kept alive through the tap pass.
+  std::vector<const RouteEffect*> monitor_batch_;
 
   std::uint64_t total_updates_rx_ = 0;
   std::uint64_t total_updates_tx_ = 0;
@@ -532,7 +584,19 @@ class BgpSpeaker {
   obs::Counter* obs_group_splices_;
   obs::Histogram* obs_group_members_;
   obs::Counter* obs_transitions_[4];  // indexed by SessionState
+  /// Pipeline interior (names carry the bgp_pipeline_ prefix: they depend
+  /// on the partition configuration, and determinism fingerprints exclude
+  /// that prefix). Depth is sampled at drain entry; stage latencies are
+  /// wall-only spans.
+  obs::Histogram* obs_stage_depth_;
+  /// Export-group interior (partition-independent: plain names).
+  obs::Histogram* obs_flush_batch_;
+  obs::Histogram* obs_group_log_depth_;
+  obs::Counter* obs_resync_initial_;
+  obs::Counter* obs_resync_log_trim_;
   obs::SpanMeter update_span_;
+  obs::SpanMeter decision_span_;
+  obs::SpanMeter encode_span_;
   std::uint64_t collector_token_ = 0;
 };
 

@@ -1,0 +1,65 @@
+#include "mon/propagation.h"
+
+namespace peering::mon {
+
+PropagationTracer::PropagationTracer() : registry_(obs::Registry::global()) {}
+
+void PropagationTracer::stamp_origin(const Ipv4Prefix& prefix, SimTime at) {
+  origins_[prefix] = at;
+  // A fresh stamp starts a new measurement wave for this prefix.
+  auto purge = [&](std::set<std::pair<std::string, Ipv4Prefix>>& seen) {
+    for (auto it = seen.begin(); it != seen.end();) {
+      if (it->second == prefix) {
+        it = seen.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  purge(seen_locrib_);
+  purge(seen_fib_);
+}
+
+obs::Histogram* PropagationTracer::time_to_locrib(const std::string& speaker) {
+  auto it = locrib_hist_.find(speaker);
+  if (it != locrib_hist_.end()) return it->second;
+  obs::Histogram* h = registry_->histogram("mon_time_to_locrib_ns",
+                                           {{"speaker", speaker}});
+  locrib_hist_.emplace(speaker, h);
+  return h;
+}
+
+obs::Histogram* PropagationTracer::time_to_fib(const std::string& router) {
+  auto it = fib_hist_.find(router);
+  if (it != fib_hist_.end()) return it->second;
+  obs::Histogram* h =
+      registry_->histogram("mon_time_to_fib_ns", {{"router", router}});
+  fib_hist_.emplace(router, h);
+  return h;
+}
+
+void PropagationTracer::note_locrib(const std::string& speaker,
+                                    const Ipv4Prefix& prefix, SimTime at) {
+  auto oit = origins_.find(prefix);
+  if (oit == origins_.end()) return;
+  if (!seen_locrib_.emplace(speaker, prefix).second) return;
+  auto ns = (at - oit->second).ns();
+  std::uint64_t v = ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+  time_to_locrib(speaker)->record(v);
+  locrib_aggregate()->record(v);
+  ++locrib_samples_;
+}
+
+void PropagationTracer::note_fib(const std::string& router,
+                                 const Ipv4Prefix& prefix, SimTime at) {
+  auto oit = origins_.find(prefix);
+  if (oit == origins_.end()) return;
+  if (!seen_fib_.emplace(router, prefix).second) return;
+  auto ns = (at - oit->second).ns();
+  std::uint64_t v = ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+  time_to_fib(router)->record(v);
+  fib_aggregate()->record(v);
+  ++fib_samples_;
+}
+
+}  // namespace peering::mon

@@ -1,0 +1,74 @@
+// Propagation-latency tracing: stamp an origin SimTime on injected
+// announcements and measure, per prefix, the time until each speaker
+// installs it in its Loc-RIB and each router programs it into a neighbor
+// FIB. The origin stamp lives in a side table keyed by prefix — it rides
+// NEXT TO the interned attribute flow, never inside it, so the PR-1
+// encode cache and the PR-6 splice path see byte-identical attribute sets
+// with tracing on or off.
+//
+// Latencies are sim-time integers recorded into regular (non-timing)
+// histograms, so every derived metric is deterministic across same-seed
+// runs: per-speaker `mon_time_to_locrib_ns{speaker=...}`, per-router
+// `mon_time_to_fib_ns{router=...}`, and all-hop aggregates under the
+// label value "_all" — the convergence-time series the internet-scale
+// soak gates on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "netbase/prefix.h"
+#include "netbase/time.h"
+#include "obs/metrics.h"
+
+namespace peering::mon {
+
+class PropagationTracer {
+ public:
+  PropagationTracer();
+
+  /// Stamps the origin time of `prefix` (when its announcement entered the
+  /// system). Re-stamping moves the origin — announce/withdraw/re-announce
+  /// waves measure each wave from its own injection.
+  void stamp_origin(const Ipv4Prefix& prefix, SimTime at);
+
+  /// Records time-to-Loc-RIB for `speaker` the FIRST time it installs a
+  /// stamped prefix after the stamp (later best-path churn for the same
+  /// prefix does not re-measure). Unstamped prefixes are ignored.
+  void note_locrib(const std::string& speaker, const Ipv4Prefix& prefix,
+                   SimTime at);
+
+  /// Same, for a router programming the prefix into a neighbor FIB. Wire
+  /// it into vbgp::VRouter::set_fib_observer.
+  void note_fib(const std::string& router, const Ipv4Prefix& prefix,
+                SimTime at);
+
+  /// Deterministic per-hop histogram handles (created on first use) and
+  /// the all-hop aggregates — benches extract percentiles from these.
+  obs::Histogram* time_to_locrib(const std::string& speaker);
+  obs::Histogram* time_to_fib(const std::string& router);
+  obs::Histogram* locrib_aggregate() { return time_to_locrib(kAll); }
+  obs::Histogram* fib_aggregate() { return time_to_fib(kAll); }
+
+  std::size_t stamped_count() const { return origins_.size(); }
+  std::uint64_t locrib_samples() const { return locrib_samples_; }
+  std::uint64_t fib_samples() const { return fib_samples_; }
+
+ private:
+  static constexpr const char* kAll = "_all";
+
+  obs::Registry* registry_;
+  std::map<Ipv4Prefix, SimTime> origins_;
+  /// First-arrival dedup: one measurement per (observer, prefix) per stamp.
+  std::set<std::pair<std::string, Ipv4Prefix>> seen_locrib_;
+  std::set<std::pair<std::string, Ipv4Prefix>> seen_fib_;
+  std::map<std::string, obs::Histogram*> locrib_hist_;
+  std::map<std::string, obs::Histogram*> fib_hist_;
+  std::uint64_t locrib_samples_ = 0;
+  std::uint64_t fib_samples_ = 0;
+};
+
+}  // namespace peering::mon

@@ -126,6 +126,36 @@ void append_labels_prometheus(std::string& out, const Labels& labels,
   out += "}";
 }
 
+// Shared by Histogram::quantile and SeriesData::quantile: walk the sparse
+// (inclusive upper bound, count) list until the target rank's bucket, then
+// interpolate linearly inside it. The lower bound of a log2 bucket is
+// recoverable from its upper bound alone: [0,0], or [(b>>1)+1, b].
+std::uint64_t quantile_from_buckets(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& buckets,
+    std::uint64_t total, double q) {
+  if (total == 0 || buckets.empty()) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (const auto& [bound, count] : buckets) {
+    if (cumulative + count < rank) {
+      cumulative += count;
+      continue;
+    }
+    if (bound == 0) return 0;
+    std::uint64_t lower = (bound >> 1) + 1;
+    double frac = static_cast<double>(rank - cumulative) /
+                  static_cast<double>(count);
+    return lower + static_cast<std::uint64_t>(
+                       static_cast<double>(bound - lower) * frac);
+  }
+  return buckets.back().first;
+}
+
 const char* kind_name(SeriesData::Kind kind) {
   switch (kind) {
     case SeriesData::Kind::kCounter:
@@ -139,6 +169,26 @@ const char* kind_name(SeriesData::Kind kind) {
 }
 
 }  // namespace
+
+// --------------------------------------------------------------- Histogram
+
+std::uint64_t Histogram::quantile(double q) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> nonempty;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    std::uint64_t c = bucket(i);
+    if (c != 0) {
+      nonempty.emplace_back(bucket_upper_bound(i), c);
+      total += c;
+    }
+  }
+  return quantile_from_buckets(nonempty, total, q);
+}
+
+std::uint64_t SeriesData::quantile(double q) const {
+  if (kind != Kind::kHistogram) return 0;
+  return quantile_from_buckets(buckets, count, q);
+}
 
 // ---------------------------------------------------------------- Registry
 
@@ -375,6 +425,11 @@ std::string Snapshot::to_prometheus() const {
     // One TYPE line per family; series of one family are adjacent because
     // the registry orders by (kind, name, labels).
     if (s.name != last_family) {
+      out += "# HELP ";
+      out += s.name;
+      out += " ";
+      out += kind_name(s.kind);
+      out += " series exported by the peering simulator\n";
       out += "# TYPE ";
       out += s.name;
       out += " ";

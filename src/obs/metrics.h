@@ -147,6 +147,9 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// q-quantile (q in [0,1]) estimated by linear interpolation inside the
+  /// log2 bucket holding the target rank. 0 when empty.
+  std::uint64_t quantile(double q) const;
   std::uint64_t bucket(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
@@ -177,6 +180,10 @@ struct SeriesData {
   std::uint64_t sum = 0;     // histogram
   /// Non-empty buckets as (inclusive upper bound, count), ascending.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  /// q-quantile of a histogram series (see Histogram::quantile). 0 for
+  /// counters/gauges and empty histograms.
+  std::uint64_t quantile(double q) const;
 };
 
 struct SnapshotOptions {

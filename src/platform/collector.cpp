@@ -3,11 +3,25 @@
 namespace peering::platform {
 
 RouteCollector::RouteCollector(sim::EventLoop* loop, std::string name,
-                               bgp::Asn asn, Ipv4Address router_id)
+                               bgp::Asn asn, Ipv4Address router_id,
+                               std::size_t archive_capacity)
     : loop_(loop),
-      speaker_(std::make_unique<bgp::BgpSpeaker>(loop, std::move(name), asn,
-                                                 router_id)) {
+      speaker_(std::make_unique<bgp::BgpSpeaker>(loop, name, asn, router_id)),
+      archive_capacity_(archive_capacity),
+      metrics_(obs::Registry::global()),
+      obs_dropped_(metrics_->counter("collector_records_dropped_total",
+                                     {{"collector", name}})) {
   speaker_->on_route_event([this](const bgp::RibRoute& route, bool withdrawn) {
+    if (archive_.size() >= archive_capacity_) {
+      // Drop-newest: RIB state stays authoritative, only the historical
+      // dump truncates — and loudly, so an experiment can tell.
+      ++records_dropped_;
+      obs_dropped_->inc();
+      metrics_->trace().emit(loop_->now(), "platform", "collector_drop",
+                             {{"collector", speaker_->name()},
+                              {"prefix", route.prefix.str()}});
+      return;
+    }
     ArchiveRecord record;
     record.at = loop_->now();
     auto it = feed_names_.find(route.peer);

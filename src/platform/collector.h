@@ -4,6 +4,11 @@
 // exactly how studies on the real platform validate visibility. The
 // collector accepts every route, never exports anything, and archives a
 // timestamped record of every update and withdrawal.
+//
+// The archive is bounded: a long soak feeding a collector must not grow
+// memory without limit. Past `archive_capacity` records the collector
+// drops new records (the in-RIB state stays correct; only the historical
+// dump truncates), counts the drops, and emits one trace event per drop.
 #pragma once
 
 #include <memory>
@@ -25,8 +30,10 @@ struct ArchiveRecord {
 
 class RouteCollector {
  public:
+  /// `archive_capacity` bounds the in-memory archive (drop-newest).
   RouteCollector(sim::EventLoop* loop, std::string name, bgp::Asn asn,
-                 Ipv4Address router_id);
+                 Ipv4Address router_id,
+                 std::size_t archive_capacity = 1 << 16);
 
   bgp::BgpSpeaker& speaker() { return *speaker_; }
 
@@ -37,8 +44,12 @@ class RouteCollector {
     speaker_->connect_peer(feed, stream);
   }
 
-  /// The full archive, in arrival order (an MRT dump, morally).
+  /// The archive, in arrival order (an MRT dump, morally), truncated at
+  /// `archive_capacity` records.
   const std::vector<ArchiveRecord>& archive() const { return archive_; }
+
+  /// Records rejected because the archive was full.
+  std::uint64_t records_dropped() const { return records_dropped_; }
 
   /// Current visibility of a prefix: the AS paths present across feeds.
   std::vector<bgp::AsPath> visible_paths(const Ipv4Prefix& prefix) const;
@@ -52,6 +63,10 @@ class RouteCollector {
   std::unique_ptr<bgp::BgpSpeaker> speaker_;
   std::map<bgp::PeerId, std::string> feed_names_;
   std::vector<ArchiveRecord> archive_;
+  std::size_t archive_capacity_;
+  std::uint64_t records_dropped_ = 0;
+  obs::Registry* metrics_;
+  obs::Counter* obs_dropped_;
 };
 
 }  // namespace peering::platform

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "mon/looking_glass.h"
 #include "netbase/log.h"
 
 namespace peering::toolkit {
@@ -307,6 +308,21 @@ Status ExperimentClient::select_egress(const Ipv4Prefix& dest,
   host_.routes().insert(
       ip::Route{dest, virtual_next_hop, it->second.host_interface, 0});
   return Status::Ok();
+}
+
+std::string ExperimentClient::looking_glass(const std::string& pop_id,
+                                            const std::string& query) const {
+  // Any attached platform can resolve any of its PoPs — a looking glass is
+  // a public query surface, not bound to this client's tunnels.
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    if (session.platform == nullptr) continue;
+    platform::PopRuntime* pop = session.platform->pop(pop_id);
+    if (pop == nullptr || pop->router == nullptr) continue;
+    mon::LookingGlass glass(&pop->router->speaker());
+    return pop_id + "> " + query + "\n" + glass.query(query);
+  }
+  return "unknown pop: " + pop_id + "\n";
 }
 
 }  // namespace peering::toolkit

@@ -129,6 +129,17 @@ class ExperimentClient {
   Status select_egress(const Ipv4Prefix& dest, const std::string& pop_id,
                        Ipv4Address virtual_next_hop);
 
+  // ---------------------------- Looking glass --------------------------
+
+  /// Runs one looking-glass query against the named PoP's vBGP router —
+  /// the public-looking-glass view of the monitoring plane. Queries:
+  /// "lpm <a.b.c.d>", "adj-in <peer>", "adj-out <peer>",
+  /// "explain <a.b.c.d/len>". The PoP is resolved through any platform
+  /// this client has an attachment on; no tunnel to that specific PoP is
+  /// required.
+  std::string looking_glass(const std::string& pop_id,
+                            const std::string& query) const;
+
  private:
   friend class AnnouncementBuilder;
   Status send_announcement(const Ipv4Prefix& prefix,

@@ -430,6 +430,7 @@ void VRouter::sync_fib(const bgp::RibRoute& route, bool withdrawn) {
       if (real != real_next_hops_.end()) gateway = real->second;
       nb->fib.insert(ip::Route{route.prefix, gateway, nb->interface, 0});
     }
+    if (fib_observer_) fib_observer_(route.prefix, withdrawn);
   }
 
   if (default_table_enabled_) {
@@ -570,6 +571,14 @@ std::string VRouter::show_summary() const {
       << " demuxed, " << snap.value("vbgp_frames_to_experiments", vr)
       << " to experiments, " << snap.value("vbgp_enforcement_drops", vr)
       << " enforcement drops\n";
+  const obs::SeriesData* flush = snap.find("bgp_mrai_flush_batch", bgp);
+  out << "  mrai flush batch: ";
+  if (flush != nullptr && flush->count > 0) {
+    out << "p50=" << flush->quantile(0.50) << " p90=" << flush->quantile(0.90)
+        << " p99=" << flush->quantile(0.99) << " (n=" << flush->count << ")\n";
+  } else {
+    out << "(no flushes)\n";
+  }
   return out.str();
 }
 

@@ -21,6 +21,7 @@
 //     neighbor's virtual MAC (ingress attribution).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -182,6 +183,15 @@ class VRouter : public ip::Host {
   /// recorded for offline analysis (nullptr disables).
   void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Called after every per-neighbor FIB insert/remove with the affected
+  /// prefix. Generic hook (vbgp stays independent of the monitoring
+  /// plane): mon::PropagationTracer wires `note_fib` through it to measure
+  /// time-to-FIB.
+  using FibObserver = std::function<void(const Ipv4Prefix&, bool withdrawn)>;
+  void set_fib_observer(FibObserver observer) {
+    fib_observer_ = std::move(observer);
+  }
+
   /// Enables maintenance of a best-path "default" routing table synced from
   /// the Loc-RIB (the per-interconnection-with-default configuration of
   /// Figure 6a; unnecessary for pure vBGP operation).
@@ -276,6 +286,7 @@ class VRouter : public ip::Host {
 
   ip::FibView default_table_;
   bool default_table_enabled_ = false;
+  FibObserver fib_observer_;
   std::map<std::string, TrafficAccount> accounting_;
   sim::TraceRecorder* trace_ = nullptr;
 

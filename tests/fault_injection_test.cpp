@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "faults/injector.h"
 #include "faults/invariants.h"
 #include "ip/host.h"
+#include "mon/monitor.h"
 #include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
@@ -86,6 +88,11 @@ struct Harness {
   enforce::ControlPlaneEnforcer control;
   FaultInjector injector;
   InvariantChecker checker;
+  /// Passive BMP monitors on both edge routers: the chaos scenarios must
+  /// pass unchanged with monitoring on, and the merged station feed joins
+  /// the byte-identity artifacts in the determinism tests.
+  mon::MonitoringStation station;
+  std::optional<mon::MonitorSession> mon_e1, mon_e2;
   const backbone::Circuit* circuit = nullptr;
   int if_n1a = -1, if_n1b = -1, if_n2 = -1, if_x1 = -1;
   bgp::PeerId peer_n1a = 0, peer_n1b = 0, peer_n2 = 0, peer_x1 = 0;
@@ -224,6 +231,13 @@ struct Harness {
     checker.add_router(&e2);
     checker.add_experiment("x1", &x1.speaker, x1_side, &e1);
     checker.set_enforcer(&control);
+
+    // Attach the monitors before any session comes up so the streams
+    // start from the first peer-up edge.
+    mon_e1.emplace(&loop, &e1.speaker());
+    mon_e1->set_station(&station);
+    mon_e2.emplace(&loop, &e2.speaker());
+    mon_e2->set_station(&station);
 
     // Announcements: the shared destination from all three neighbors plus
     // one unique prefix each, and the experiment's allocation.
@@ -658,6 +672,7 @@ TEST(FaultScenarios, QueueShrinkAndJitterSurviveInvariants) {
 struct RunArtifacts {
   std::string schedule;
   std::string trace;
+  std::string monitoring;
   std::uint64_t updates = 0;
   std::uint64_t faults = 0;
 };
@@ -673,6 +688,7 @@ RunArtifacts run_storm(std::uint64_t seed) {
   RunArtifacts artifacts;
   artifacts.schedule = h.injector.schedule_log();
   artifacts.trace = h.registry.trace().to_jsonl();
+  artifacts.monitoring = h.station.to_jsonl();
   artifacts.updates = h.total_updates();
   artifacts.faults = static_cast<std::uint64_t>(
       h.registry.snapshot(h.loop.now()).total("faults_injected_total"));
@@ -684,9 +700,11 @@ TEST(FaultDeterminism, SameSeedRunsAreByteIdentical) {
   RunArtifacts b = run_storm(42);
   EXPECT_EQ(a.schedule, b.schedule);
   EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.monitoring, b.monitoring);
   EXPECT_EQ(a.updates, b.updates);
   EXPECT_EQ(a.faults, b.faults);
   EXPECT_GT(a.faults, 0u);
+  EXPECT_FALSE(a.monitoring.empty());
 
   RunArtifacts c = run_storm(43);
   EXPECT_NE(a.schedule, c.schedule);

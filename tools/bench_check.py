@@ -105,13 +105,37 @@ def main():
         help="absolute floor for a fresh metric (no baseline involved); "
         "repeatable",
     )
+    parser.add_argument(
+        "--require-all-baselines",
+        action="store_true",
+        help="fail when any committed baseline BENCH_<name>.json has no "
+        "freshly produced counterpart in --fresh-dir (a baselined bench "
+        "that silently emits no JSON is a gate that silently stopped "
+        "gating)",
+    )
     args = parser.parse_args()
 
-    if not args.metric and not args.minimums:
+    if not args.metric and not args.minimums and not args.require_all_baselines:
         sys.exit("bench_check: no --metric or --min specs given")
 
     failures = []
     checked = 0
+
+    if args.require_all_baselines:
+        if not os.path.isdir(args.baselines):
+            sys.exit(f"bench_check: baseline dir {args.baselines} not found")
+        for name in sorted(os.listdir(args.baselines)):
+            if not (name.startswith("BENCH_") and name.endswith(".json")):
+                continue
+            fresh_path = os.path.join(args.fresh_dir, name)
+            if load_report(fresh_path) is None:
+                failures.append(
+                    f"{name[len('BENCH_'):-len('.json')]}: baselined bench "
+                    f"emitted no fresh {name} in {args.fresh_dir}"
+                )
+            else:
+                checked += 1
+                print(f"  ok   {name} present in {args.fresh_dir}")
 
     for spec in args.minimums:
         parts = spec.split(":")

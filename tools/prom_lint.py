@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition snapshot.
+
+CI snapshots the metrics of a monitored soak/bench run to a .prom file and
+runs this linter over it, so a malformed exposition (bad label escaping, a
+family without metadata, a histogram whose cumulative buckets go backwards)
+fails the pipeline instead of silently confusing a scraper.
+
+Checks:
+  * every sample belongs to a family announced by BOTH a # HELP and a
+    # TYPE line, and metadata lines come before the family's samples;
+  * metric and label names are legal; label values contain no unescaped
+    double quote, backslash, or raw newline;
+  * sample values parse as numbers;
+  * for each histogram series: the `le` buckets are sorted and their
+    cumulative counts are monotone non-decreasing, a +Inf bucket exists,
+    and `_count` equals the +Inf bucket; `_sum` and `_count` are present.
+
+Usage:
+    tools/prom_lint.py build/bench/mon_metrics.prom [more.prom ...]
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+# One label pair: name="value" where value only holds non-special chars or
+# the three legal escapes (\\, \", \n).
+LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\\\|\\"|\\n)*)"'
+)
+
+
+def base_family(name, types):
+    """Family a sample belongs to. The _bucket/_sum/_count suffixes only
+    denote histogram/summary samples when the stripped name is actually
+    declared as one — a gauge legitimately named *_count stays its own
+    family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base, (None, 0))[0] in ("histogram", "summary"):
+                return base
+    return name
+
+
+def parse_labels(raw, where, errors):
+    """Returns {name: value}, appending malformed-pair errors."""
+    labels = {}
+    rest = raw
+    while rest:
+        match = LABEL_PAIR_RE.match(rest)
+        if not match:
+            errors.append(f"{where}: malformed label segment '{rest}'")
+            return labels
+        if match.group("name") in labels:
+            errors.append(f"{where}: duplicate label '{match.group('name')}'")
+        labels[match.group("name")] = match.group("value")
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"{where}: expected ',' before '{rest}'")
+            return labels
+    return labels
+
+
+def le_key(value):
+    return float("inf") if value == "+Inf" else float(value)
+
+
+def lint(path):
+    errors = []
+    helps = {}  # family -> line no
+    types = {}  # family -> (kind, line no)
+    samples = []  # (line no, family, name, labels dict, float value)
+    seen_sample_families = set()
+
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            where = f"{path}:{lineno}"
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or not METRIC_RE.match(parts[2]):
+                    errors.append(f"{where}: malformed HELP line")
+                    continue
+                if parts[2] in helps:
+                    errors.append(f"{where}: duplicate HELP for {parts[2]}")
+                if parts[2] in seen_sample_families:
+                    errors.append(
+                        f"{where}: HELP for {parts[2]} after its samples"
+                    )
+                helps[parts[2]] = lineno
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or not METRIC_RE.match(parts[2]):
+                    errors.append(f"{where}: malformed TYPE line")
+                    continue
+                if parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    errors.append(f"{where}: unknown type '{parts[3]}'")
+                if parts[2] in types:
+                    errors.append(f"{where}: duplicate TYPE for {parts[2]}")
+                if parts[2] in seen_sample_families:
+                    errors.append(
+                        f"{where}: TYPE for {parts[2]} after its samples"
+                    )
+                types[parts[2]] = (parts[3], lineno)
+                continue
+            if line.startswith("#"):
+                continue  # free comment
+            match = SAMPLE_RE.match(line)
+            if not match:
+                errors.append(f"{where}: unparseable sample line '{line}'")
+                continue
+            name = match.group("name")
+            labels = parse_labels(match.group("labels") or "", where, errors)
+            try:
+                value = float(match.group("value"))
+            except ValueError:
+                errors.append(
+                    f"{where}: non-numeric value '{match.group('value')}'"
+                )
+                continue
+            family = base_family(name, types)
+            seen_sample_families.add(family)
+            samples.append((lineno, family, name, labels, value))
+
+    for family in sorted(seen_sample_families):
+        if family not in helps and family not in types:
+            errors.append(f"{path}: family {family} has no HELP or TYPE")
+            continue
+        if family not in helps:
+            errors.append(f"{path}: family {family} has TYPE but no HELP")
+        if family not in types:
+            errors.append(f"{path}: family {family} has HELP but no TYPE")
+
+    # Histogram structure: group bucket samples per (family, labels-sans-le).
+    histograms = {f for f, (kind, _) in types.items() if kind == "histogram"}
+    series = {}
+    for lineno, family, name, labels, value in samples:
+        if family not in histograms:
+            continue
+        key = (family, tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le")))
+        entry = series.setdefault(
+            key, {"buckets": [], "sum": None, "count": None})
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"{path}:{lineno}: bucket sample without le")
+                continue
+            try:
+                entry["buckets"].append((le_key(labels["le"]), value, lineno))
+            except ValueError:
+                errors.append(
+                    f"{path}:{lineno}: bad le value '{labels['le']}'"
+                )
+        elif name.endswith("_sum"):
+            entry["sum"] = value
+        elif name.endswith("_count"):
+            entry["count"] = value
+
+    for (family, labels), entry in sorted(series.items()):
+        tag = f"{family}{{{', '.join('='.join(p) for p in labels)}}}"
+        buckets = entry["buckets"]
+        if not buckets:
+            errors.append(f"{path}: histogram {tag} has no buckets")
+            continue
+        if entry["sum"] is None:
+            errors.append(f"{path}: histogram {tag} missing _sum")
+        if entry["count"] is None:
+            errors.append(f"{path}: histogram {tag} missing _count")
+        bounds = [b for b, _, _ in buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"{path}: histogram {tag} le bounds out of order")
+        counts = [c for _, c, _ in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            errors.append(
+                f"{path}: histogram {tag} cumulative buckets not monotone"
+            )
+        if bounds and bounds[-1] != float("inf"):
+            errors.append(f"{path}: histogram {tag} missing +Inf bucket")
+        elif entry["count"] is not None and counts[-1] != entry["count"]:
+            errors.append(
+                f"{path}: histogram {tag} _count {entry['count']:g} != "
+                f"+Inf bucket {counts[-1]:g}"
+            )
+
+    return errors, len(samples), len(seen_sample_families)
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__.strip())
+    failed = False
+    for path in sys.argv[1:]:
+        errors, nsamples, nfamilies = lint(path)
+        if errors:
+            failed = True
+            print(f"{path}: FAIL ({len(errors)} problem(s))", file=sys.stderr)
+            for err in errors:
+                print(f"  {err}", file=sys.stderr)
+        else:
+            print(f"{path}: ok ({nsamples} samples, {nfamilies} families)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
