@@ -84,8 +84,10 @@ double per_update_cost_with_experiments(int experiment_count,
 
   std::vector<std::unique_ptr<benchutil::WirePeer>> experiments;
   for (int i = 0; i < experiment_count; ++i) {
+    std::string exp_id = "x";
+    exp_id += std::to_string(i);
     auto peer = router.add_experiment(
-        {.experiment_id = "x" + std::to_string(i),
+        {.experiment_id = exp_id,
          .asn = 61574u + static_cast<bgp::Asn>(i),
          .local_address = Ipv4Address(100, 70, static_cast<std::uint8_t>(i), 1),
          .remote_address = Ipv4Address(100, 70, static_cast<std::uint8_t>(i), 2),

@@ -100,7 +100,8 @@ void BM_DataPlaneEnforcerLookup(benchmark::State& state) {
   enforce::DataPlaneEnforcer enforcer;
   for (int i = 0; i < 6; ++i) {
     enforce::ExperimentGrant grant = bench_grant();
-    grant.experiment_id = "exp" + std::to_string(i);
+    grant.experiment_id = "exp";
+    grant.experiment_id += std::to_string(i);
     if (!enforcer.install(grant).ok()) std::abort();
   }
   ip::Ipv4Packet packet;

@@ -98,8 +98,10 @@ FanoutResult measure(std::size_t session_count, bool group_exports) {
   std::vector<std::unique_ptr<SinkPeer>> sinks;
   sinks.reserve(session_count);
   for (std::size_t i = 0; i < session_count; ++i) {
+    std::string sink_name = "s";
+    sink_name += std::to_string(i);
     bgp::PeerId peer = hub.add_peer(
-        {.name = "s" + std::to_string(i),
+        {.name = sink_name,
          .peer_asn = static_cast<bgp::Asn>(64512 + i),
          .local_address = Ipv4Address(10, static_cast<std::uint8_t>(i >> 8),
                                       static_cast<std::uint8_t>(i & 255), 1)});

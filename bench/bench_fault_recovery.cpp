@@ -49,15 +49,16 @@ struct Mesh {
                                          .addpath = bgp::AddPathMode::kBoth});
     injector.connect_session("collector", &hub, hc, &collector, ch);
     for (int i = 0; i < kNeighbors; ++i) {
+      std::string nb_name = "n";
+      nb_name += std::to_string(i);
       auto nb = std::make_unique<bgp::BgpSpeaker>(
-          &loop, "n" + std::to_string(i), bgp::Asn(65001 + i),
+          &loop, nb_name, bgp::Asn(65001 + i),
           Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(1 + i)));
-      bgp::PeerId hn = hub.add_peer({.name = "n" + std::to_string(i),
+      bgp::PeerId hn = hub.add_peer({.name = nb_name,
                                      .peer_asn = bgp::Asn(65001 + i)});
       bgp::PeerId nh =
           nb->add_peer({.name = "hub", .peer_asn = 65000});
-      injector.connect_session("n" + std::to_string(i), &hub, hn, nb.get(),
-                               nh);
+      injector.connect_session(nb_name, &hub, hn, nb.get(), nh);
       for (int j = 0; j < kPrefixesPerNeighbor; ++j) {
         bgp::PathAttributes attrs;
         attrs.origin = bgp::Origin::kIgp;

@@ -98,8 +98,10 @@ double measure_per_update_seconds(bool vbgp_mode, bool multi_router,
   std::vector<std::unique_ptr<benchutil::WirePeer>> experiment_peers;
   if (vbgp_mode) {
     for (int i = 0; i < 2; ++i) {
+      std::string exp_id = "x";
+      exp_id += std::to_string(i);
       auto exp_peer = router.add_experiment(
-          {.experiment_id = "x" + std::to_string(i), .asn = 61574u + i,
+          {.experiment_id = exp_id, .asn = 61574u + i,
            .local_address = Ipv4Address(100, 64, static_cast<std::uint8_t>(i), 1),
            .remote_address =
                Ipv4Address(100, 64, static_cast<std::uint8_t>(i), 2),

@@ -67,8 +67,10 @@ RunResult run(std::uint64_t seed, bgp::PipelineConfig pipeline) {
   // MRAI on the middle hops so flush batching shapes the latency tail.
   std::vector<std::unique_ptr<bgp::BgpSpeaker>> pops;
   for (int i = 0; i < kHops; ++i) {
+    std::string pop_name = "pop0";
+    pop_name += std::to_string(i + 1);
     pops.push_back(std::make_unique<bgp::BgpSpeaker>(
-        &loop, "pop0" + std::to_string(i + 1),
+        &loop, pop_name,
         static_cast<bgp::Asn>(65001 + i),
         Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)), pipeline));
   }
@@ -78,14 +80,18 @@ RunResult run(std::uint64_t seed, bgp::PipelineConfig pipeline) {
                            Duration::millis(500)};
   for (int i = 0; i + 1 < kHops; ++i) {
     auto a = static_cast<std::uint8_t>(i);
+    std::string down_name = "to-pop0";
+    down_name += std::to_string(i + 2);
+    std::string up_name = "to-pop0";
+    up_name += std::to_string(i + 1);
     bgp::PeerId down = pops[static_cast<std::size_t>(i)]->add_peer(
-        {.name = "to-pop0" + std::to_string(i + 2),
+        {.name = down_name,
          .peer_asn = static_cast<bgp::Asn>(65002 + i),
          .local_address = Ipv4Address(10, 1, a, 1),
          .peer_address = Ipv4Address(10, 1, a, 2),
          .mrai = mrai[i]});
     bgp::PeerId up = pops[static_cast<std::size_t>(i + 1)]->add_peer(
-        {.name = "to-pop0" + std::to_string(i + 1),
+        {.name = up_name,
          .peer_asn = static_cast<bgp::Asn>(65001 + i),
          .local_address = Ipv4Address(10, 1, a, 2),
          .peer_address = Ipv4Address(10, 1, a, 1)});

@@ -19,7 +19,7 @@ echo "=== configure + build: tsan preset (concurrency suite only) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
   --target exec_test concurrency_test pipeline_test update_group_test \
-           mon_test
+           mon_test fault_injection_test
 
 echo "=== ctest: default preset ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
@@ -40,6 +40,9 @@ echo "=== tsan: concurrency suite (races fail even on one core) ==="
 # The monitor taps the speaker across the pipeline's serial/parallel
 # boundary; its byte-identity tests run the partitioned shapes under tsan.
 ./build-tsan/tests/mon_test
+# The tenant-churn chaos case interleaves orchestrator transactions with the
+# fault storm; under tsan it guards the control-plane/data-plane boundary.
+./build-tsan/tests/fault_injection_test --gtest_filter='*TenantChurn*'
 
 echo "=== faults-soak: chaos scenarios under 3 fixed seeds, both presets ==="
 # The chaos soak re-runs every fault scenario (and the flap-storm
@@ -131,6 +134,29 @@ if [ "$(nproc)" -ge 4 ]; then
 else
   echo "  (skipping speedup floors: only $(nproc) core(s) on this host)"
 fi
+
+echo "=== bench regression gate: tenant lifecycle ==="
+# The binary self-checks 1000 clean onboards, byte-identical mid-fleet
+# rollback, byte-identical remove, and the <=1.10 steady-state per-update
+# overhead bound (exits non-zero on any of them). The fleet totals are pure
+# functions of the seeded intent stream, so they gate exactly; the
+# onboarding wall-clock percentiles are recorded in the JSON but not gated.
+(cd build/bench && ./bench_tenant_lifecycle)
+python3 tools/bench_check.py --fresh-dir build/bench \
+  --metric tenant_lifecycle:tenants_onboarded:exact \
+  --metric tenant_lifecycle:onboard_failures:exact \
+  --metric tenant_lifecycle:fleet_pops:exact \
+  --metric tenant_lifecycle:total_netlink_mutations:exact \
+  --metric tenant_lifecycle:grants_installed:exact \
+  --metric tenant_lifecycle:fleet_fingerprint_bytes:exact \
+  --metric tenant_lifecycle:rollback_restores_state:exact \
+  --metric tenant_lifecycle:remove_restores_state:exact \
+  --metric tenant_lifecycle:overhead_within_bound:exact
+
+echo "=== prometheus exposition lint: tenant-instrumented snapshot ==="
+# 1000 per-tenant label values overflow the 256-series cardinality cap; the
+# collapsed exposition must still lint clean.
+python3 tools/prom_lint.py build/bench/tenant_metrics.prom
 
 echo "=== bench coverage: every baselined bench emitted fresh JSON ==="
 # A bench that silently stops writing its report would otherwise pass all

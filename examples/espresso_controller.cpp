@@ -66,7 +66,9 @@ DestinationSite attach_destination(sim::EventLoop* loop,
       ip::Route{pfx("203.0.113.0/24"), dest_side,
                 nb.host->interface_count() - 1, 0});
 
-  site.host = std::make_unique<ip::Host>(loop, "dest" + std::to_string(index));
+  std::string host_name = "dest";
+  host_name += std::to_string(index);
+  site.host = std::make_unique<ip::Host>(loop, host_name);
   auto& nif = site.host->add_interface(
       "eth0", MacAddress::from_id(0x820000u + index));
   nif.add_address({Ipv4Address(203, 0, 113, 1), 24});

@@ -156,6 +156,25 @@ void ControlPlaneEnforcer::install_default_rules(
   add_rule(std::make_unique<TransitiveAttrRule>());
 }
 
+void ControlPlaneEnforcer::set_grant(const ExperimentGrant& grant) {
+  grants_[grant.experiment_id] = grant;
+  if (tenant_counters_.count(grant.experiment_id)) return;
+  // The registry's label-cardinality cap bounds these families when
+  // thousands of tenants register: past the cap, new tenants collapse into
+  // the shared {"overflow"="true"} series instead of growing the registry.
+  TenantCounters counters;
+  counters.accepted = metrics_->counter("tenant_announcements_accepted_total",
+                                        {{"tenant", grant.experiment_id}});
+  counters.dropped = metrics_->counter("tenant_enforcement_drops_total",
+                                       {{"tenant", grant.experiment_id}});
+  tenant_counters_[grant.experiment_id] = counters;
+}
+
+void ControlPlaneEnforcer::remove_grant(const std::string& experiment_id) {
+  grants_.erase(experiment_id);
+  tenant_counters_.erase(experiment_id);
+}
+
 const ExperimentGrant* ControlPlaneEnforcer::grant(
     const std::string& experiment_id) const {
   auto it = grants_.find(experiment_id);
@@ -166,14 +185,17 @@ Verdict ControlPlaneEnforcer::check(const AnnouncementContext& ctx) {
   auto log_verdict = [&](const Verdict& v) {
     log_.push_back({ctx.now, ctx.experiment_id, ctx.pop_id, ctx.prefix.str(),
                     v.rule, v.reason, v.action});
+    auto tenant = tenant_counters_.find(ctx.experiment_id);
     switch (v.action) {
       case Verdict::Action::kAccept:
         ++accepted_;
         obs_accepted_->inc();
+        if (tenant != tenant_counters_.end()) tenant->second.accepted->inc();
         break;
       case Verdict::Action::kReject:
         ++rejected_;
         obs_rejected_->inc();
+        if (tenant != tenant_counters_.end()) tenant->second.dropped->inc();
         metrics_->counter("enforce_rejects_total", {{"rule", v.rule}})->inc();
         metrics_->trace().emit(ctx.now, "enforce", "reject",
                                {{"experiment", ctx.experiment_id},
@@ -188,6 +210,7 @@ Verdict ControlPlaneEnforcer::check(const AnnouncementContext& ctx) {
       case Verdict::Action::kTransform:
         ++transformed_;
         obs_transformed_->inc();
+        if (tenant != tenant_counters_.end()) tenant->second.accepted->inc();
         metrics_->counter("enforce_transforms_total", {{"rule", v.rule}})
             ->inc();
         metrics_->trace().emit(ctx.now, "enforce", "transform",

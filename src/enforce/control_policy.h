@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -166,10 +167,17 @@ class ControlPlaneEnforcer {
     rules_.push_back(std::move(rule));
   }
 
-  void set_grant(const ExperimentGrant& grant) {
-    grants_[grant.experiment_id] = grant;
-  }
+  /// Installs (or replaces) an experiment's grant. Also resolves the
+  /// per-tenant verdict counters once, here on the cold path, so check()
+  /// stays a cached-pointer bump per announcement.
+  void set_grant(const ExperimentGrant& grant);
+  /// Drops an experiment's grant (tenant removal). Later announcements from
+  /// that experiment fail closed as unknown-experiment.
+  void remove_grant(const std::string& experiment_id);
   const ExperimentGrant* grant(const std::string& experiment_id) const;
+  const std::map<std::string, ExperimentGrant>& grants() const {
+    return grants_;
+  }
 
   /// Evaluates one announcement through the chain. Unknown experiments and
   /// overload both fail closed (kReject).
@@ -187,8 +195,14 @@ class ControlPlaneEnforcer {
   std::uint64_t transformed() const { return transformed_; }
 
  private:
+  struct TenantCounters {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* dropped = nullptr;
+  };
+
   std::vector<std::unique_ptr<Rule>> rules_;
   std::map<std::string, ExperimentGrant> grants_;
+  std::map<std::string, TenantCounters> tenant_counters_;
   StateStore state_;
   std::vector<EnforcementLogEntry> log_;
   bool overloaded_ = false;

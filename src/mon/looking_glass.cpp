@@ -168,7 +168,13 @@ std::string LookingGlass::query(const std::string& line) const {
   is >> verb >> arg;
   const std::string usage =
       "usage: lpm <a.b.c.d> | adj-in <peer> | adj-out <peer> | "
-      "explain <a.b.c.d/len>\n";
+      "explain <a.b.c.d/len> | tenant <id>\n";
+  if (verb == "tenant") {
+    if (arg.empty()) return usage;
+    if (!tenant_resolver_)
+      return "tenant queries unavailable: no tenant control plane attached\n";
+    return tenant_resolver_(arg);
+  }
   if (verb == "lpm") {
     auto addr = Ipv4Address::parse(arg);
     if (!addr) return "bad address: " + arg + "\n";

@@ -7,7 +7,9 @@
 // glasses experimenters point at the real platform's muxes.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "bgp/speaker.h"
 
@@ -34,9 +36,17 @@ class LookingGlass {
   /// path.
   std::string explain_best(const Ipv4Prefix& prefix) const;
 
+  /// Tenant queries delegate to the control plane: the resolver maps a
+  /// tenant id to its rendered state (compiled policy, active PoPs,
+  /// announced prefixes). Unset = the `tenant` verb reports unavailable.
+  using TenantResolver = std::function<std::string(const std::string&)>;
+  void set_tenant_resolver(TenantResolver resolver) {
+    tenant_resolver_ = std::move(resolver);
+  }
+
   /// Dispatches a one-line query:
   ///   "lpm <a.b.c.d>" | "adj-in <peer>" | "adj-out <peer>" |
-  ///   "explain <a.b.c.d/len>"
+  ///   "explain <a.b.c.d/len>" | "tenant <id>"
   /// where <peer> is a session name or numeric id. Unknown queries return
   /// a usage line (never throw).
   std::string query(const std::string& line) const;
@@ -47,6 +57,7 @@ class LookingGlass {
   std::string render_route(const bgp::RibRoute& route) const;
 
   bgp::BgpSpeaker* speaker_;
+  TenantResolver tenant_resolver_;
 };
 
 }  // namespace peering::mon

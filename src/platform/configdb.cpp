@@ -16,8 +16,18 @@ void ConfigDatabase::record(const std::string& summary) {
 
 Status ConfigDatabase::propose_experiment(const ExperimentProposal& proposal) {
   if (proposal.id.empty()) return Error("configdb: empty experiment id");
-  if (model_.experiments.count(proposal.id))
-    return Error("configdb: experiment exists: " + proposal.id);
+  if (auto it = model_.experiments.find(proposal.id);
+      it != model_.experiments.end()) {
+    // Retired and rejected records stay in the database for history, but
+    // they hold no resources (free_prefixes skips them), so the id may be
+    // proposed again: a rejected proposal can be revised and resubmitted,
+    // and a removed experiment can come back.
+    if (it->second.status != ExperimentStatus::kRetired &&
+        it->second.status != ExperimentStatus::kRejected)
+      return Error("configdb: experiment exists: " + proposal.id);
+    model_.experiments.erase(it);
+    rejection_reasons_.erase(proposal.id);
+  }
   if (proposal.requested_prefixes < 1)
     return Error("configdb: must request at least one prefix");
 

@@ -16,6 +16,13 @@ bool addresses_equal_in_order(const std::vector<NlAddress>& a,
 
 }  // namespace
 
+NetworkController::NetworkController(NetlinkSim* netlink)
+    : netlink_(netlink), metrics_(obs::Registry::global()) {
+  obs_rollbacks_ = metrics_->counter("controller_rollbacks_total");
+  obs_rollback_failures_ =
+      metrics_->counter("controller_rollback_failures_total");
+}
+
 bool NetworkController::in_sync(const DesiredNetworkState& desired) const {
   // Interfaces: same set, same up state, same ordered addresses.
   auto live = netlink_->interfaces();
@@ -92,12 +99,21 @@ std::vector<NetworkController::Op> NetworkController::plan(
       ops.push_back({[nl, target]() {
                        if (auto st = nl->create_interface(target.name); !st)
                          return st;
-                       if (auto st = nl->set_link_up(target.name, target.up);
-                           !st)
+                       Status st = nl->set_link_up(target.name, target.up);
+                       if (st) {
+                         for (const auto& addr : target.addresses) {
+                           st = nl->add_address(target.name, addr);
+                           if (!st) break;
+                         }
+                       }
+                       if (!st) {
+                         // Ops must be atomic: apply() only unwinds ops that
+                         // completed, so a half-configured interface would
+                         // leak out of the transaction. Deleting it also
+                         // flushes any addresses already added.
+                         (void)nl->delete_interface(target.name);
                          return st;
-                       for (const auto& addr : target.addresses)
-                         if (auto st = nl->add_address(target.name, addr); !st)
-                           return st;
+                       }
                        return Status::Ok();
                      },
                      [nl, target]() { return nl->delete_interface(target.name); },
@@ -210,9 +226,17 @@ ApplyResult NetworkController::apply(const DesiredNetworkState& desired) {
       // Transactional semantics: unwind everything applied so far, in
       // reverse order.
       result.error = op.description + ": " + st.error().message;
+      obs_rollbacks_->inc();
       for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
         Status undo = (*it)->undo();
         if (!undo) {
+          // The server may now be inconsistent: surface it as telemetry, not
+          // just a log line, so fleet-level rollback can see it.
+          ++result.rollback_failures;
+          obs_rollback_failures_->inc();
+          metrics_->trace().emit(SimTime{}, "controller", "rollback-failure",
+                                 {{"op", (*it)->description},
+                                  {"error", undo.error().message}});
           LOG_ERROR("controller",
                     "rollback failed for '" << (*it)->description
                                             << "': " << undo.error().message);

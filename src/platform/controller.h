@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "platform/netlink.h"
 
 namespace peering::platform {
@@ -36,12 +37,17 @@ struct ApplyResult {
   /// Mutations issued (excluding rollback operations).
   int changes_applied = 0;
   bool rolled_back = false;
+  /// Undo operations that themselves failed during rollback. Non-zero means
+  /// the server may be inconsistent; each failure also bumps the
+  /// `controller_rollback_failures_total` counter and emits a trace event,
+  /// so fleet-level orchestration can observe it instead of trusting logs.
+  int rollback_failures = 0;
   std::string error;
 };
 
 class NetworkController {
  public:
-  explicit NetworkController(NetlinkSim* netlink) : netlink_(netlink) {}
+  explicit NetworkController(NetlinkSim* netlink);
 
   /// Reconciles live state with `desired` transactionally.
   ApplyResult apply(const DesiredNetworkState& desired);
@@ -61,6 +67,9 @@ class NetworkController {
   std::vector<Op> plan(const DesiredNetworkState& desired) const;
 
   NetlinkSim* netlink_;
+  obs::Registry* metrics_;
+  obs::Counter* obs_rollbacks_;
+  obs::Counter* obs_rollback_failures_;
 };
 
 }  // namespace peering::platform

@@ -6,7 +6,8 @@ namespace peering::platform {
 
 Status NetlinkSim::count_mutation() {
   ++mutations_;
-  if (fail_at_ != 0 && mutations_ == fail_at_) {
+  if (auto it = fail_at_.find(mutations_); it != fail_at_.end()) {
+    fail_at_.erase(it);
     return Error("netlink: injected failure at mutation " +
                  std::to_string(mutations_));
   }

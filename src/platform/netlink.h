@@ -72,7 +72,13 @@ class NetlinkSim {
 
   /// Failure injection: the `n`-th subsequent mutation fails (1-based);
   /// later mutations succeed again.
-  void fail_nth_mutation(int n) { fail_at_ = mutations_ + n; }
+  void fail_nth_mutation(int n) { fail_at_.insert(mutations_ + n); }
+  /// Arms several failures at once (offsets relative to the current
+  /// mutation count, 1-based). Lets tests make a rollback's own undo
+  /// mutations fail — fail_nth_mutation cannot be re-armed mid-apply.
+  void fail_mutations_at(const std::set<int>& offsets) {
+    for (int n : offsets) fail_at_.insert(mutations_ + n);
+  }
   std::uint64_t mutation_count() const { return mutations_; }
 
  private:
@@ -82,7 +88,7 @@ class NetlinkSim {
   std::set<NlRoute> routes_;
   std::set<NlRule> rules_;
   std::uint64_t mutations_ = 0;
-  std::uint64_t fail_at_ = 0;
+  std::set<std::uint64_t> fail_at_;
 };
 
 }  // namespace peering::platform

@@ -6,6 +6,7 @@
 // routes at every PoP).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -172,6 +173,15 @@ class Peering {
   /// (per-view-equivalent) FIB bytes summed over every PoP router.
   vbgp::FibAccounting fib_accounting() const;
 
+  /// Looking-glass hook: renders a tenant's compiled state by id. Wired by
+  /// the tenant orchestrator (the platform layer cannot depend on tenant/);
+  /// null when no orchestrator is attached.
+  using TenantReporter = std::function<std::string(const std::string&)>;
+  void set_tenant_reporter(TenantReporter reporter) {
+    tenant_reporter_ = std::move(reporter);
+  }
+  const TenantReporter& tenant_reporter() const { return tenant_reporter_; }
+
  private:
   void build_pop(const PopModel& model, std::uint8_t pop_index);
   void build_ixp_fabric(PopRuntime& pop, std::uint8_t pop_index);
@@ -184,6 +194,7 @@ class Peering {
   std::map<std::string, std::unique_ptr<PopRuntime>> pops_;
   std::map<std::string, std::uint8_t> pop_indexes_;
   std::vector<std::unique_ptr<sim::Link>> tunnels_;
+  TenantReporter tenant_reporter_;
 };
 
 }  // namespace peering::platform

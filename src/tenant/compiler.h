@@ -1,0 +1,77 @@
+// The intent compiler (ISSUE 9): lowers one TenantIntent plus the tenant's
+// approved allocation (from the config database) into every concrete
+// artifact a PoP needs — the BIRD-style session stanza and import/export
+// policy, the enforcement grant, and the per-mux DesiredNetworkState delta
+// (tap device + allocation routes) that the TenantOrchestrator splices into
+// each server's fleet-level desired state. Compilation is deterministic:
+// equal (intent, allocation, model) inputs yield byte-identical artifacts
+// and an equal fingerprint, which is what makes amends minimal-diff and
+// remove+rollback byte-identity checkable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "enforce/capabilities.h"
+#include "netbase/result.h"
+#include "platform/controller.h"
+#include "platform/model.h"
+#include "tenant/intent.h"
+
+namespace peering::tenant {
+
+/// Everything one PoP runs for one tenant.
+struct CompiledPopArtifacts {
+  std::string pop_id;
+  /// BIRD-style protocol stanza for the tenant's ADD-PATH session.
+  std::string session_config;
+  /// BIRD-style import filter (ownership, origin, capability gates).
+  std::string import_policy;
+  /// BIRD-style export filter (scope classes, prepend, communities).
+  std::string export_policy;
+  /// The netlink delta this tenant adds to the PoP's desired state: one
+  /// stably named tap interface plus one route per allocated prefix.
+  platform::DesiredNetworkState network_delta;
+  /// Interconnects at this PoP the scope exports to (0 at an unscoped PoP).
+  std::size_t exportable_interconnects = 0;
+};
+
+/// A fully lowered tenant, ready for transactional apply.
+struct CompiledTenant {
+  TenantIntent intent;
+  bgp::Asn asn = 0;
+  std::vector<Ipv4Prefix> prefixes;
+  enforce::ExperimentGrant grant;
+  /// Fleet-stable tunnel slot: names the tap device subnet at every PoP.
+  int tunnel_index = -1;
+  /// Artifacts per provisioned PoP, ascending pop_id.
+  std::vector<CompiledPopArtifacts> pops;
+  /// FNV-1a over every rendered artifact (includes the intent fingerprint).
+  std::string fingerprint;
+
+  const CompiledPopArtifacts* at_pop(const std::string& pop_id) const;
+};
+
+/// Tap addressing helpers shared with tests: slot `index` owns the /24
+/// 100.64.0.0/10 + index*256; the router side is .1, the tenant side .2.
+Ipv4Address tunnel_router_address(int index);
+Ipv4Address tunnel_client_address(int index);
+
+class IntentCompiler {
+ public:
+  /// Non-owning; the model must outlive the compiler (the orchestrator
+  /// passes its config database's live model).
+  explicit IntentCompiler(const platform::PlatformModel* model)
+      : model_(model) {}
+
+  /// Lowers `intent` for an approved/active experiment record carrying its
+  /// allocation. `tunnel_index` is the orchestrator-assigned stable slot.
+  Result<CompiledTenant> compile(const TenantIntent& intent,
+                                 const platform::ExperimentModel& exp,
+                                 int tunnel_index) const;
+
+ private:
+  const platform::PlatformModel* model_;
+};
+
+}  // namespace peering::tenant

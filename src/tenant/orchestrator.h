@@ -1,0 +1,166 @@
+// The tenant orchestrator (ISSUE 9): the fleet-level transactional
+// controller. Where platform::NetworkController reconciles ONE server, the
+// orchestrator applies a compiled tenant across EVERY PoP it scopes with
+// two-phase semantics — plan the per-PoP desired states first, then commit
+// PoP by PoP; any per-server failure rolls the already-committed PoPs back
+// to their previous applied state, so the fleet is never left split-brained
+// between two tenant generations. Onboard/amend/remove are minimal-diff at
+// the fleet level: a tenant's artifacts are stably keyed by tenant id (not
+// position), so churning one tenant never touches another tenant's taps,
+// routes, sessions, or grants. Lifecycle transitions flow through
+// ConfigDatabase (propose → approve → activate → retire), and everything is
+// observable: onboard latency, active-tenant gauge, rollback counters, and
+// per-tenant announced-route gauges.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "enforce/control_policy.h"
+#include "netbase/result.h"
+#include "obs/metrics.h"
+#include "platform/configdb.h"
+#include "platform/controller.h"
+#include "platform/netlink.h"
+#include "tenant/compiler.h"
+#include "tenant/intent.h"
+
+namespace peering::platform {
+class Peering;
+}
+
+namespace peering::tenant {
+
+/// Outcome of one fleet-wide transaction.
+struct FleetApplyReport {
+  bool success = false;
+  /// PoPs whose controller committed before the transaction resolved.
+  int pops_committed = 0;
+  /// Netlink mutations issued by the commits (excluding rollback work).
+  int changes_applied = 0;
+  /// True when a mid-fleet failure forced committed PoPs back.
+  bool rolled_back = false;
+  /// Undo failures during fleet rollback (each also bumps the obs counter).
+  int rollback_failures = 0;
+  std::string error;
+};
+
+/// What onboard/amend hand back on success.
+struct TenantApplyResult {
+  std::string tenant_id;
+  std::string fingerprint;
+  std::vector<std::string> pops;
+  FleetApplyReport fleet;
+};
+
+class TenantOrchestrator {
+ public:
+  /// The database drives lifecycle and carries the platform model; it must
+  /// outlive the orchestrator.
+  explicit TenantOrchestrator(platform::ConfigDatabase* db);
+
+  /// Brings one PoP under management: builds its netlink/controller pair
+  /// and applies the tenantless baseline (lo, eth0, one policy rule per
+  /// interconnect — mirroring templating's desired state). Pass an
+  /// external enforcer to share a live platform's engine; otherwise the
+  /// orchestrator owns one with the default rule chain.
+  Status register_pop(const std::string& pop_id,
+                      enforce::ControlPlaneEnforcer* external = nullptr);
+
+  /// register_pop for every PoP in the model.
+  Status register_all_pops();
+
+  /// Binds a live platform: registers its PoPs against their real
+  /// enforcement engines and wires the looking-glass tenant reporter.
+  Status attach_platform(platform::Peering* platform);
+
+  // --------------------------- tenant lifecycle ---------------------------
+
+  /// Files, approves, activates, compiles, and transactionally applies a
+  /// new tenant. On any failure the database record is retired, netlink
+  /// state is rolled back fleet-wide, and no grant is installed.
+  Result<TenantApplyResult> onboard(const TenantIntent& intent);
+
+  /// Recompiles a live tenant under a changed intent and applies the diff
+  /// across the union of old and new PoPs. On failure the previous intent,
+  /// grants, and database record are restored.
+  Result<TenantApplyResult> amend(const TenantIntent& intent);
+
+  /// Removes a live tenant: fleet state is reconciled without it first;
+  /// only then are its grants dropped and its record retired. A failed
+  /// removal leaves the tenant fully intact.
+  Status remove(const std::string& tenant_id);
+
+  // ------------------------------ inspection ------------------------------
+
+  const CompiledTenant* tenant(const std::string& id) const;
+  std::vector<std::string> tenant_ids() const;
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// Looking-glass rendering of one tenant: compiled policy, active PoPs,
+  /// announced prefixes. Empty-ish message for unknown tenants.
+  std::string show_tenant(const std::string& id) const;
+
+  /// One-line-per-tenant fleet summary plus lifecycle totals.
+  std::string show_summary() const;
+
+  /// Canonical digest of every PoP's full netlink state plus every
+  /// enforcer's grants. Two fleets with identical state share the digest —
+  /// the property the remove+rollback byte-identity self-checks gate on.
+  std::string fleet_state_fingerprint() const;
+
+  /// Test/bench access to a managed PoP's substrate.
+  platform::NetlinkSim* netlink(const std::string& pop_id);
+  enforce::ControlPlaneEnforcer* enforcer(const std::string& pop_id);
+
+ private:
+  struct PopState {
+    std::string pop_id;
+    std::unique_ptr<platform::NetlinkSim> netlink;
+    std::unique_ptr<platform::NetworkController> controller;
+    std::unique_ptr<enforce::ControlPlaneEnforcer> owned_enforcer;
+    enforce::ControlPlaneEnforcer* enforcer = nullptr;
+    platform::DesiredNetworkState baseline;
+    /// Last state successfully committed — the fleet rollback target.
+    platform::DesiredNetworkState applied;
+  };
+
+  /// Baseline + the deltas of every tenant in `tenants` scoped to `pop`,
+  /// ascending tenant id (stable artifact order).
+  platform::DesiredNetworkState desired_for(
+      const PopState& pop,
+      const std::map<std::string, CompiledTenant>& tenants) const;
+
+  /// The two-phase fleet transaction: commits `tenants`' desired states to
+  /// every managed PoP in ascending pop order; rolls committed PoPs back on
+  /// failure.
+  FleetApplyReport apply_fleet(
+      const std::map<std::string, CompiledTenant>& tenants);
+
+  void install_grants(const CompiledTenant& tenant);
+  void drop_grants(const CompiledTenant& tenant);
+  int allocate_tunnel_slot();
+
+  platform::ConfigDatabase* db_;
+  platform::Peering* platform_ = nullptr;
+  std::map<std::string, PopState> pops_;
+  std::map<std::string, CompiledTenant> tenants_;
+  std::set<int> free_tunnel_slots_;
+  int next_tunnel_slot_ = 0;
+
+  obs::Registry* metrics_;
+  obs::Counter* obs_onboards_;
+  obs::Counter* obs_onboard_failures_;
+  obs::Counter* obs_amends_;
+  obs::Counter* obs_removes_;
+  obs::Counter* obs_fleet_rollbacks_;
+  obs::Counter* obs_fleet_rollback_failures_;
+  obs::Gauge* obs_active_;
+  obs::Histogram* obs_onboard_ops_;
+  obs::Histogram* obs_onboard_wall_ns_;
+};
+
+}  // namespace peering::tenant

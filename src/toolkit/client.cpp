@@ -320,6 +320,8 @@ std::string ExperimentClient::looking_glass(const std::string& pop_id,
     platform::PopRuntime* pop = session.platform->pop(pop_id);
     if (pop == nullptr || pop->router == nullptr) continue;
     mon::LookingGlass glass(&pop->router->speaker());
+    if (session.platform->tenant_reporter())
+      glass.set_tenant_resolver(session.platform->tenant_reporter());
     return pop_id + "> " + query + "\n" + glass.query(query);
   }
   return "unknown pop: " + pop_id + "\n";

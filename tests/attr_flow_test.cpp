@@ -237,15 +237,17 @@ TEST(AttrFlow, ExperimentFanOutSharesOneAttrsPtr) {
   std::vector<PeerId> exp_peers;
   std::vector<std::unique_ptr<BgpSpeaker>> experiments;
   for (int i = 0; i < kExperiments; ++i) {
+    std::string exp_id = "x";
+    exp_id += std::to_string(i);
     PeerId peer = router.add_experiment(
-        {.experiment_id = "x" + std::to_string(i),
+        {.experiment_id = exp_id,
          .asn = 61574u + static_cast<Asn>(i),
          .local_address = Ipv4Address(100, 64, static_cast<std::uint8_t>(i), 1),
          .remote_address = Ipv4Address(100, 64, static_cast<std::uint8_t>(i), 2),
          .interface = 10 + i});
     exp_peers.push_back(peer);
     experiments.push_back(std::make_unique<BgpSpeaker>(
-        &loop, "x" + std::to_string(i), 61574u + static_cast<Asn>(i),
+        &loop, exp_id, 61574u + static_cast<Asn>(i),
         Ipv4Address(9, 9, 9, static_cast<std::uint8_t>(i))));
     PeerId xp = experiments.back()->add_peer(
         {.name = "e1", .peer_asn = 47065,

@@ -235,11 +235,13 @@ struct PipelineNet {
         sink(&loop, "sink", 65099, Ipv4Address(9, 9, 9, 9)) {
     for (int i = 0; i < 3; ++i) {
       Asn asn = static_cast<Asn>(65001 + i);
+      std::string feeder_name = "feeder";
+      feeder_name += std::to_string(i);
       auto feeder = std::make_unique<BgpSpeaker>(
-          &loop, "feeder" + std::to_string(i), asn,
+          &loop, feeder_name, asn,
           Ipv4Address(2, 2, 2, static_cast<std::uint8_t>(1 + i)));
       PeerId dut_side = speaker.add_peer(
-          {.name = "feeder" + std::to_string(i), .peer_asn = asn,
+          {.name = feeder_name, .peer_asn = asn,
            .local_address = Ipv4Address(10, 0, static_cast<std::uint8_t>(i), 1),
            .peer_address = Ipv4Address(10, 0, static_cast<std::uint8_t>(i), 2)});
       PeerId feeder_side = feeder->add_peer(

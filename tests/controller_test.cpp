@@ -3,6 +3,7 @@
 // remove/re-add dance.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "platform/controller.h"
 
 namespace peering::platform {
@@ -168,6 +169,43 @@ TEST(Controller, RollbackCoversRemovalsToo) {
   EXPECT_TRUE(result.rolled_back);
   EXPECT_EQ(nl.routes(), before_routes);
   EXPECT_TRUE(controller.in_sync(basic_state()));
+}
+
+TEST(Controller, UndoFailureDuringRollbackIsObservable) {
+  obs::Registry registry(true);
+  obs::Scope scope(&registry);
+  NetlinkSim nl;
+  NetworkController controller(&nl);
+
+  // From scratch, basic_state() plans: create eth0 (3 mutations), create
+  // tap0 (3), add rule (1), add route (1). Fail mutation 4 (tap0's create)
+  // to trigger rollback, AND mutation 5 — which is then the rollback's own
+  // delete of eth0 — so an undo op itself fails.
+  nl.fail_mutations_at({4, 5});
+  auto result = controller.apply(basic_state());
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(result.rollback_failures, 1);
+
+  obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value("controller_rollbacks_total"), 1);
+  EXPECT_EQ(snap.value("controller_rollback_failures_total"), 1);
+  bool traced = false;
+  registry.trace().for_each([&](const obs::TraceEvent& event) {
+    if (event.category == "controller" && event.name == "rollback-failure")
+      traced = true;
+  });
+  EXPECT_TRUE(traced);
+
+  // A clean rollback reports zero undo failures.
+  NetlinkSim nl2;
+  NetworkController controller2(&nl2);
+  nl2.fail_nth_mutation(4);
+  auto clean = controller2.apply(basic_state());
+  EXPECT_FALSE(clean.success);
+  EXPECT_TRUE(clean.rolled_back);
+  EXPECT_EQ(clean.rollback_failures, 0);
+  EXPECT_TRUE(nl2.interfaces().empty());
 }
 
 TEST(Netlink, FailureInjectionFiresOnce) {

@@ -24,9 +24,14 @@
 #include "faults/invariants.h"
 #include "ip/host.h"
 #include "mon/monitor.h"
+#include "netbase/rand.h"
 #include "obs/metrics.h"
+#include "platform/configdb.h"
+#include "platform/footprint.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
+#include "tenant/intent.h"
+#include "tenant/orchestrator.h"
 #include "vbgp/communities.h"
 #include "vbgp/vrouter.h"
 
@@ -663,6 +668,100 @@ TEST(FaultScenarios, QueueShrinkAndJitterSurviveInvariants) {
 
   InvariantReport report = h.checker.check_all();
   EXPECT_TRUE(report.ok()) << report.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 8 (ISSUE 9): tenant-churn chaos. While a randomized storm flaps
+// sessions and restarts a router on the data-plane harness, the tenant
+// control plane onboards and removes tenants with netlink failures armed
+// mid-onboarding. Every fleet transaction must be atomic — commit fully
+// (fingerprint gains the tenant's artifacts) or roll back to a
+// byte-identical fleet fingerprint — and draining all survivors must return
+// the fleet to its tenantless baseline while the storm settles cleanly.
+
+TEST(FaultScenarios, TenantChurnDuringChaosCommitsOrRollsBackCleanly) {
+  Harness h(29);
+  ASSERT_TRUE(h.converge());
+  ASSERT_TRUE(h.checker.check_all().ok());
+
+  platform::ConfigDatabase db(platform::build_footprint(1));
+  tenant::TenantOrchestrator orchestrator(&db);
+  ASSERT_TRUE(orchestrator.register_all_pops().ok());
+  const std::string empty_fleet = orchestrator.fleet_state_fingerprint();
+
+  // The storm: two session flaps plus a router restart spanning the churn.
+  h.injector.inject_session_flap("n1a", h.loop.now() + Duration::seconds(2),
+                                 Duration::seconds(8), FlapKind::kGraceful);
+  h.injector.inject_session_flap("bb", h.loop.now() + Duration::seconds(6),
+                                 Duration::seconds(10), FlapKind::kGraceful);
+  h.injector.inject_router_restart("e2", h.loop.now() + Duration::seconds(12),
+                                   Duration::seconds(15));
+
+  const std::vector<std::string> pop_pool = {"amsterdam01", "gatech01",
+                                             "seattle01", "ufmg01", "wisc01"};
+  Rng rng(29);
+  std::set<std::string> live;
+  int committed = 0, rolled_back = 0;
+  for (int round = 0; round < 12; ++round) {
+    h.loop.run_for(Duration::seconds(3));
+    InvariantReport mid = h.checker.check_fib_liveness();
+    ASSERT_TRUE(mid.ok()) << "round " << round << ": " << mid.str();
+
+    std::string id = "chaos-";
+    id += std::to_string(round);
+    tenant::TenantIntent intent;
+    intent.id = id;
+    intent.description = "tenant churn under chaos";
+    intent.contact = id + "@example.edu";
+    intent.scopes.push_back({pop_pool[rng.below(pop_pool.size())], {}});
+    const std::string other = pop_pool[rng.below(pop_pool.size())];
+    if (other != intent.scopes[0].pop_id) intent.scopes.push_back({other, {}});
+
+    // Half the time, arm a netlink failure on one scoped PoP so the fleet
+    // transaction dies mid-commit and must roll back.
+    const bool sabotage = rng.chance(0.5);
+    if (sabotage) {
+      orchestrator.netlink(intent.scopes[0].pop_id)
+          ->fail_nth_mutation(static_cast<int>(rng.range(1, 4)));
+    }
+
+    const std::string before = orchestrator.fleet_state_fingerprint();
+    auto result = orchestrator.onboard(intent);
+    if (result.ok()) {
+      ++committed;
+      live.insert(id);
+      EXPECT_NE(orchestrator.fleet_state_fingerprint().find("tap-" + id),
+                std::string::npos);
+    } else {
+      ++rolled_back;
+      EXPECT_TRUE(sabotage) << result.error().message;
+      // Atomicity: the failed transaction left no trace anywhere.
+      EXPECT_EQ(orchestrator.fleet_state_fingerprint(), before);
+      EXPECT_EQ(orchestrator.tenant(id), nullptr);
+    }
+
+    // Occasionally retire a survivor mid-storm; removal is also a fleet
+    // transaction and must succeed outright with no armed faults left.
+    if (!live.empty() && rng.chance(0.3)) {
+      const std::string victim = *live.begin();
+      ASSERT_TRUE(orchestrator.remove(victim).ok());
+      live.erase(victim);
+    }
+  }
+  EXPECT_GT(committed, 0);
+  EXPECT_GT(rolled_back, 0);
+  EXPECT_EQ(orchestrator.tenant_count(), live.size());
+
+  // Drain the survivors: byte-identical return to the tenantless baseline.
+  for (const std::string& id : std::set<std::string>(live))
+    ASSERT_TRUE(orchestrator.remove(id).ok());
+  EXPECT_EQ(orchestrator.fleet_state_fingerprint(), empty_fleet);
+
+  // The data-plane storm settled cleanly alongside the control-plane churn.
+  h.loop.run_for(Duration::seconds(60));
+  ASSERT_TRUE(h.converge());
+  InvariantReport post = h.checker.check_all();
+  EXPECT_TRUE(post.ok()) << post.str();
 }
 
 // ---------------------------------------------------------------------------

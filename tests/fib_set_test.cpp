@@ -163,14 +163,22 @@ TEST(FibSet, IdenticalPayloadsAreInterned) {
   FibView a = set.make_view();
   std::size_t before = set.memory_bytes();
   // 64 routes through the same gateway/interface: one pooled payload.
-  for (std::uint32_t i = 0; i < 64; ++i)
-    a.insert(route("10." + std::to_string(i) + ".0.0/16", 7, 3));
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(i);
+    cidr += ".0.0/16";
+    a.insert(route(cidr, 7, 3));
+  }
   std::size_t with_same_payload = set.memory_bytes();
   FibSet set2;
   FibView b = set2.make_view();
   // Same shape, but every route gets a distinct payload.
-  for (std::uint32_t i = 0; i < 64; ++i)
-    b.insert(route("10." + std::to_string(i) + ".0.0/16", 100 + i, 3));
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(i);
+    cidr += ".0.0/16";
+    b.insert(route(cidr, 100 + i, 3));
+  }
   std::size_t with_distinct_payloads = set2.memory_bytes();
   EXPECT_LT(with_same_payload - before, with_distinct_payloads - before);
 }
@@ -340,15 +348,23 @@ TEST(FibSetAccounting, MostlyOverlappingViewsDedupAtLeast4x) {
 TEST(FibSetAccounting, SharedBytesShrinkWhenViewReleases) {
   FibSet set;
   FibView keeper = set.make_view();
-  for (std::uint32_t i = 0; i < 64; ++i)
-    keeper.insert(route("10." + std::to_string(i) + ".0.0/16", 1));
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(i);
+    cidr += ".0.0/16";
+    keeper.insert(route(cidr, 1));
+  }
   std::size_t with_one = set.memory_bytes();
   {
     FibView temp = set.make_view();
-    for (std::uint32_t i = 0; i < 64; ++i)
-      temp.insert(route("172." + std::to_string(16 + i % 16) + "." +
-                            std::to_string(i / 16) + ".0/24",
-                        2));
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      std::string cidr = "172.";
+      cidr += std::to_string(16 + i % 16);
+      cidr += '.';
+      cidr += std::to_string(i / 16);
+      cidr += ".0/24";
+      temp.insert(route(cidr, 2));
+    }
     EXPECT_GT(set.memory_bytes(), with_one);
   }
   // Trie nodes for the released view's private prefixes are pruned. (Leaf

@@ -267,6 +267,28 @@ TEST(LookingGlassTest, QueriesRenderRoutesAndDecisions) {
             std::string::npos);
 }
 
+TEST(LookingGlassTest, TenantVerbRoutesToResolver) {
+  sim::EventLoop loop;
+  bgp::BgpSpeaker dut(&loop, "dut", 47065, Ipv4Address(1, 1, 1, 1));
+  LookingGlass glass(&dut);
+
+  // Without a control plane attached the verb degrades gracefully.
+  EXPECT_NE(glass.query("tenant exp-a").find("tenant queries unavailable"),
+            std::string::npos);
+  EXPECT_NE(glass.query("tenant").find("usage:"), std::string::npos);
+
+  std::string asked;
+  glass.set_tenant_resolver([&](const std::string& id) {
+    asked = id;
+    return "tenant " + id + ": origin AS 61574\n";
+  });
+  std::string out = glass.query("tenant exp-a");
+  EXPECT_EQ(asked, "exp-a");
+  EXPECT_NE(out.find("origin AS 61574"), std::string::npos);
+  // The verb is advertised in the usage line.
+  EXPECT_NE(glass.query("bogus").find("tenant <id>"), std::string::npos);
+}
+
 TEST(LookingGlassTest, ExplainNarratesDecisionRules) {
   obs::Registry registry(true);
   obs::Scope scope(&registry);
@@ -275,8 +297,10 @@ TEST(LookingGlassTest, ExplainNarratesDecisionRules) {
   bgp::BgpSpeaker f1(&loop, "f1", 65001, Ipv4Address(2, 2, 2, 1));
   bgp::BgpSpeaker f2(&loop, "f2", 65002, Ipv4Address(2, 2, 2, 2));
   auto connect = [&](bgp::BgpSpeaker& feeder, bgp::Asn asn, std::uint8_t n) {
+    std::string feeder_name = "f";
+    feeder_name += std::to_string(n);
     bgp::PeerId dp = dut.add_peer(
-        {.name = "f" + std::to_string(n), .peer_asn = asn,
+        {.name = feeder_name, .peer_asn = asn,
          .local_address = Ipv4Address(10, 0, n, 1),
          .peer_address = Ipv4Address(10, 0, n, 2)});
     bgp::PeerId fp = feeder.add_peer(
@@ -338,9 +362,12 @@ TEST(ObsUnderMonitoring, LabelCardinalityOverflowCollapses) {
   // A monitoring feed with more distinct speaker names than the label cap:
   // the registry must collapse the excess into one overflow series rather
   // than grow without bound.
-  for (int i = 0; i < 64; ++i)
-    tracer.note_locrib("speaker" + std::to_string(i), pfx("10.1.0.0/24"),
+  for (int i = 0; i < 64; ++i) {
+    std::string speaker_name = "speaker";
+    speaker_name += std::to_string(i);
+    tracer.note_locrib(speaker_name, pfx("10.1.0.0/24"),
                        SimTime{} + Duration::millis(i + 1));
+  }
   obs::Snapshot snap = registry.snapshot(SimTime{});
   std::size_t series = 0;
   std::uint64_t total = 0;

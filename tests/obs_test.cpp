@@ -78,8 +78,9 @@ TEST(Registry, LabelCardinalityCapCollapsesToOverflow) {
   Registry registry;
   registry.set_label_cap(4);
   for (int i = 0; i < 100; ++i) {
-    registry.counter("caps_total", {{"peer", "n" + std::to_string(i)}})
-        ->inc();
+    std::string peer = "n";
+    peer += std::to_string(i);
+    registry.counter("caps_total", {{"peer", peer}})->inc();
   }
   // 4 real series plus the single overflow series soak up all 100 incs.
   Snapshot snap = registry.snapshot();
@@ -182,8 +183,10 @@ std::pair<std::string, std::string> run_mini_replay() {
   Counter* per_neighbor[3];
   for (std::size_t f = 0; f < 3; ++f) {
     fibs.push_back(fib_set.make_view());
-    per_neighbor[f] = registry.counter(
-        "replay_updates_total", {{"neighbor", "n" + std::to_string(f)}});
+    std::string neighbor = "n";
+    neighbor += std::to_string(f);
+    per_neighbor[f] =
+        registry.counter("replay_updates_total", {{"neighbor", neighbor}});
   }
 
   auto apply = [&](const inet::FeedRoute& r, std::size_t f) {

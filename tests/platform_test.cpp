@@ -113,6 +113,12 @@ TEST_F(LifecycleTest, RejectedProposalConsumesNoAddressSpace) {
             db_.model().resources.prefix_pool.size());
   // Cannot activate a rejected experiment.
   EXPECT_FALSE(db_.activate_experiment("risky", "amsterdam01").ok());
+
+  // A revised proposal under the same id may be resubmitted; a live one
+  // may not be double-proposed.
+  ASSERT_TRUE(db_.propose_experiment(proposal("risky")).ok());
+  EXPECT_EQ(db_.experiment("risky")->status, ExperimentStatus::kProposed);
+  EXPECT_FALSE(db_.propose_experiment(proposal("risky")).ok());
 }
 
 TEST_F(LifecycleTest, ApprovalCanTrimCapabilities) {
@@ -142,6 +148,69 @@ TEST_F(LifecycleTest, AllocationExhaustionIsReported) {
   // Proposal still pending: can be approved after big1 retires.
   ASSERT_TRUE(db_.retire_experiment("big1").ok());
   EXPECT_TRUE(db_.approve_experiment("big2").ok());
+}
+
+TEST_F(LifecycleTest, AssignPrefixesNegativePaths) {
+  ASSERT_TRUE(db_.propose_experiment(proposal("hijack")).ok());
+
+  // Not yet approved: no assignment target exists.
+  Ipv4Prefix peering = *Ipv4Prefix::parse("184.164.231.0/24");
+  EXPECT_FALSE(db_.assign_prefixes("hijack", {peering}).ok());
+  ASSERT_TRUE(db_.approve_experiment("hijack").ok());
+
+  // Unknown experiment.
+  EXPECT_FALSE(db_.assign_prefixes("nope", {peering}).ok());
+
+  // Space outside PEERING's pool is never assignable — controlled hijacks
+  // only ever target the platform's own allocations.
+  Ipv4Prefix foreign = *Ipv4Prefix::parse("8.8.8.0/24");
+  EXPECT_FALSE(db_.assign_prefixes("hijack", {foreign}).ok());
+  EXPECT_FALSE(db_.assign_prefixes("hijack", {peering, foreign}).ok());
+  // The failed calls must not have partially applied.
+  EXPECT_EQ(db_.experiment("hijack")->allocated_prefixes.size(), 2u);
+
+  // Overlap with another live experiment's allocation IS allowed: that is
+  // the controlled-hijack study the override exists for (§7.1).
+  ASSERT_TRUE(db_.propose_experiment(proposal("victim")).ok());
+  ASSERT_TRUE(db_.approve_experiment("victim").ok());
+  std::vector<Ipv4Prefix> victim_alloc =
+      db_.experiment("victim")->allocated_prefixes;
+  ASSERT_FALSE(victim_alloc.empty());
+  EXPECT_TRUE(db_.assign_prefixes("hijack", {victim_alloc[0]}).ok());
+  EXPECT_EQ(db_.experiment("hijack")->allocated_prefixes[0], victim_alloc[0]);
+
+  // Retired experiments are immutable.
+  ASSERT_TRUE(db_.retire_experiment("hijack").ok());
+  EXPECT_FALSE(db_.assign_prefixes("hijack", {peering}).ok());
+}
+
+TEST_F(LifecycleTest, UpdateCapabilitiesNegativePaths) {
+  ASSERT_TRUE(db_.propose_experiment(proposal("exp1")).ok());
+
+  // Amending a still-proposed experiment is rejected: grants only exist
+  // after review.
+  EXPECT_FALSE(db_.update_capabilities(
+                      "exp1", {enforce::Capability::kCommunities}, 0, 4)
+                   .ok());
+  EXPECT_FALSE(db_.update_capabilities(
+                      "ghost", {enforce::Capability::kCommunities}, 0, 4)
+                   .ok());
+
+  ASSERT_TRUE(db_.approve_experiment("exp1").ok());
+  EXPECT_TRUE(db_.update_capabilities(
+                     "exp1", {enforce::Capability::kCommunities}, 0, 4)
+                  .ok());
+
+  // Amend on a retired experiment fails and leaves the record untouched.
+  ASSERT_TRUE(db_.retire_experiment("exp1").ok());
+  std::uint64_t version = db_.version();
+  EXPECT_FALSE(db_.update_capabilities(
+                      "exp1", {enforce::Capability::kAsPathPoisoning}, 3, 0)
+                   .ok());
+  EXPECT_EQ(db_.version(), version);
+  EXPECT_TRUE(db_.experiment("exp1")->capabilities.count(
+      enforce::Capability::kCommunities));
+  EXPECT_EQ(db_.experiment("exp1")->max_poisoned_asns, 0);
 }
 
 TEST_F(LifecycleTest, EveryChangeIsVersioned) {

@@ -223,9 +223,12 @@ TEST(UpdateGroup, FlapRejoinResyncsFromGroupLog) {
   ASSERT_EQ(hub.session_state(hc), SessionState::kEstablished);
   ASSERT_EQ(hub.export_group_of(hb), hub.export_group_of(hc));
 
-  for (int i = 0; i < 5; ++i)
-    hub.originate(pfx("10." + std::to_string(100 + i) + ".0.0/16"),
-                  attrs_with(static_cast<std::uint32_t>(i)));
+  for (int i = 0; i < 5; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(100 + i);
+    cidr += ".0.0/16";
+    hub.originate(pfx(cidr), attrs_with(static_cast<std::uint32_t>(i)));
+  }
   loop.run_for(Duration::seconds(5));
   ASSERT_EQ(rib_digest(c.loc_rib()), rib_digest(b.loc_rib()));
 
@@ -258,21 +261,28 @@ TEST(UpdateGroup, FlapRejoinResyncsFromGroupLog) {
 TEST(UpdateGroup, EncodeCacheCreditingConsistentWithPool) {
   Hub hub;
   std::vector<PeerId> members;
-  for (int i = 0; i < 3; ++i)
+  for (int i = 0; i < 3; ++i) {
+    std::string member_name = "m";
+    member_name += std::to_string(i);
     members.push_back(hub.attach(
-        {.name = "m" + std::to_string(i),
+        {.name = member_name,
          .peer_asn = static_cast<Asn>(64051 + i),
          .local_address = Ipv4Address(10, static_cast<std::uint8_t>(i + 1), 0,
                                       1)}));
+  }
   hub.settle();
   ASSERT_EQ(hub.speaker.export_group_of(members[0]),
             hub.speaker.export_group_of(members[2]));
 
   const AttrPool::Stats before = hub.speaker.attr_pool().stats();
   // Five routes over two distinct attribute sets: two shared templates.
-  for (int i = 0; i < 5; ++i)
-    hub.speaker.originate(pfx("10." + std::to_string(50 + i) + ".0.0/16"),
+  for (int i = 0; i < 5; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(50 + i);
+    cidr += ".0.0/16";
+    hub.speaker.originate(pfx(cidr),
                           attrs_with(static_cast<std::uint32_t>(i % 2)));
+  }
   hub.settle();
   const AttrPool::Stats after = hub.speaker.attr_pool().stats();
 
@@ -339,8 +349,12 @@ ScenarioResult run_scenario(bool group_exports, std::uint64_t seed) {
   // occur, with attribute sets drawn from a handful of shared shapes.
   std::mt19937_64 rng(seed);
   std::vector<Ipv4Prefix> space;
-  for (int i = 0; i < 32; ++i)
-    space.push_back(pfx("10." + std::to_string(16 + i) + ".0.0/16"));
+  for (int i = 0; i < 32; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(16 + i);
+    cidr += ".0.0/16";
+    space.push_back(pfx(cidr));
+  }
   std::vector<bool> live(space.size(), false);
   for (int round = 0; round < 6; ++round) {
     for (int step = 0; step < 12; ++step) {
@@ -419,8 +433,10 @@ ScenarioResult run_hook_scenario(bool source_driven) {
         /*thread_safe=*/false, /*memo_safe=*/true);
   }
   for (int i = 0; i < 2; ++i) {
+    std::string peer_name = "x";
+    peer_name += std::to_string(i);
     PeerId peer = hub.attach(
-        {.name = "x" + std::to_string(i),
+        {.name = peer_name,
          .peer_asn = static_cast<Asn>(64071 + i),
          .local_address = Ipv4Address(10, static_cast<std::uint8_t>(i + 1), 0,
                                       1),
@@ -432,9 +448,12 @@ ScenarioResult run_hook_scenario(bool source_driven) {
   }
   hub.settle();
 
-  for (int i = 0; i < 4; ++i)
-    hub.speaker.originate(pfx("10." + std::to_string(80 + i) + ".0.0/16"),
-                          attrs_with(static_cast<std::uint32_t>(i)));
+  for (int i = 0; i < 4; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(80 + i);
+    cidr += ".0.0/16";
+    hub.speaker.originate(pfx(cidr), attrs_with(static_cast<std::uint32_t>(i)));
+  }
   hub.settle();
   hub.speaker.withdraw_originated(pfx("10.81.0.0/16"));
   hub.settle();
