@@ -153,14 +153,20 @@ int main() {
   for (std::size_t i = 0; i < churn.size(); ++i) {
     std::size_t f = i % kFeeds;
     bgp::PeerId peer = static_cast<bgp::PeerId>(1 + f);
-    bgp::RibRoute route;
-    route.prefix = churn[i].prefix;
-    route.peer = peer;
-    route.attrs = pool.intern(churn[i].attrs);
-    adj_in[f].update(route);
-    loc_rib.update(route);
-    fibs[f].insert(ip::Route{churn[i].prefix, churn[i].attrs.next_hop,
-                             static_cast<int>(peer), 0});
+    if (churn[i].withdraw) {
+      adj_in[f].withdraw(churn[i].prefix, 0);
+      loc_rib.withdraw(churn[i].prefix, peer, 0);
+      fibs[f].remove(churn[i].prefix);
+    } else {
+      bgp::RibRoute route;
+      route.prefix = churn[i].prefix;
+      route.peer = peer;
+      route.attrs = pool.intern(churn[i].attrs);
+      adj_in[f].update(route);
+      loc_rib.update(route);
+      fibs[f].insert(ip::Route{churn[i].prefix, churn[i].attrs.next_hop,
+                               static_cast<int>(peer), 0});
+    }
     updates_by_neighbor[f]->inc();
     loop.run_until(churn_begin + Duration::nanos(
                                      kChurnStepNs * static_cast<std::int64_t>(i + 1)));

@@ -105,8 +105,12 @@ struct Fixture {
           const auto& feed = per_feeder[static_cast<std::size_t>(f)];
           if (i >= feed.size()) continue;
           UpdateMessage update;
-          update.attributes = feed[i].attrs;
-          update.nlri.push_back({0, feed[i].prefix});
+          if (feed[i].withdraw) {
+            update.withdrawn.push_back({0, feed[i].prefix});
+          } else {
+            update.attributes = feed[i].attrs;
+            update.nlri.push_back({0, feed[i].prefix});
+          }
           dut.inject_update(feeder_peers[static_cast<std::size_t>(f)], update);
           ++staged;
         }

@@ -111,7 +111,8 @@ class WirePeer {
 };
 
 /// Pre-encodes one UPDATE per feed route (so encoding cost is excluded
-/// from the measurement window).
+/// from the measurement window). Withdraw entries (churn streams) become
+/// withdrawn-only UPDATEs.
 inline std::vector<Bytes> encode_feed(const std::vector<inet::FeedRoute>& feed,
                                       const bgp::UpdateCodecOptions& options) {
   std::vector<Bytes> wires;
@@ -119,11 +120,29 @@ inline std::vector<Bytes> encode_feed(const std::vector<inet::FeedRoute>& feed,
   std::uint32_t path_id = 1;
   for (const auto& route : feed) {
     bgp::UpdateMessage update;
-    update.attributes = route.attrs;
-    update.nlri.push_back({options.add_path ? path_id++ : 0, route.prefix});
+    if (route.withdraw) {
+      update.withdrawn.push_back({0, route.prefix});
+    } else {
+      update.attributes = route.attrs;
+      update.nlri.push_back({options.add_path ? path_id++ : 0, route.prefix});
+    }
     wires.push_back(bgp::encode_message(update, options));
   }
   return wires;
+}
+
+/// Peak resident set size of this process in bytes (Linux VmHWM), 0 where
+/// unavailable. The soak gates this as a ceiling: a memory regression at
+/// internet scale fails CI even when every latency metric still passes.
+inline std::size_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::size_t kb = 0;
+    if (std::sscanf(line.c_str() + 6, "%zu", &kb) == 1) return kb * 1024;
+  }
+  return 0;
 }
 
 }  // namespace peering::benchutil

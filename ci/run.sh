@@ -19,7 +19,7 @@ echo "=== configure + build: tsan preset (concurrency suite only) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
   --target exec_test concurrency_test pipeline_test update_group_test \
-           mon_test fault_injection_test
+           mon_test fault_injection_test internet_soak_test
 
 echo "=== ctest: default preset ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
@@ -43,6 +43,10 @@ echo "=== tsan: concurrency suite (races fail even on one core) ==="
 # The tenant-churn chaos case interleaves orchestrator transactions with the
 # fault storm; under tsan it guards the control-plane/data-plane boundary.
 ./build-tsan/tests/fault_injection_test --gtest_filter='*TenantChurn*'
+# The soak determinism test replays full-table churn through the {4,4}
+# partitioned pipeline — the widest parallel surface in the repo — so its
+# byte-identity comparison runs under tsan too.
+./build-tsan/tests/internet_soak_test --gtest_filter='*PipelineShapes*'
 
 echo "=== faults-soak: chaos scenarios under 3 fixed seeds, both presets ==="
 # The chaos soak re-runs every fault scenario (and the flap-storm
@@ -134,6 +138,48 @@ if [ "$(nproc)" -ge 4 ]; then
 else
   echo "  (skipping speedup floors: only $(nproc) core(s) on this host)"
 fi
+
+echo "=== bench regression gate: internet soak (scaled) ==="
+# A scaled-down run of the internet-scale soak (full run: 1M routes x 13
+# PoPs, see EXPERIMENTS.md). The binary self-checks quiescence and that the
+# churned world's Loc-RIB at every PoP equals a fresh-converged reference
+# (exits non-zero otherwise). Everything on the sim clock is deterministic
+# and gates exactly — including the time-to-Loc-RIB percentiles. The MRAI
+# batching efficiency gates as a floor, the memory accounting with the
+# usual tolerance, and peak RSS against a hard ceiling (the committed
+# number is a budget, not a measurement): a memory regression at soak scale
+# fails CI even when every latency metric still passes.
+# NOTE: the committed baseline corresponds to THIS invocation; regenerate
+# it with the same flags after intentional changes.
+(cd build/bench && ./bench_internet_soak --routes 50000 --pops 3 \
+  --duration-s 120 --flaps 2)
+python3 tools/bench_check.py --fresh-dir build/bench \
+  --metric internet_soak:routes:exact \
+  --metric internet_soak:pops:exact \
+  --metric internet_soak:origins:exact \
+  --metric internet_soak:distinct_attr_sets:exact \
+  --metric internet_soak:churn_events:exact \
+  --metric internet_soak:churn_announces:exact \
+  --metric internet_soak:churn_withdraws:exact \
+  --metric internet_soak:faults_scheduled:exact \
+  --metric internet_soak:converged:exact \
+  --metric internet_soak:post_churn_matches_reference:exact \
+  --metric internet_soak:locrib_samples:exact \
+  --metric internet_soak:fib_samples:exact \
+  --metric internet_soak:ttl_p50_ns:exact \
+  --metric internet_soak:ttl_p99_ns:exact \
+  --metric internet_soak:ttf_p99_ns:exact \
+  --metric internet_soak:mrai_flushes:exact \
+  --metric internet_soak:mrai_peer_flushes:exact \
+  --metric internet_soak:mrai_batch_mean:higher \
+  --metric internet_soak:updates_out:exact \
+  --metric internet_soak:full_resyncs:exact \
+  --metric internet_soak:export_log_depth_p99:exact \
+  --metric internet_soak:monitor_records:exact \
+  --metric internet_soak:monitor_dropped:exact \
+  --metric internet_soak:rib_memory_mb:lower \
+  --metric internet_soak:fib_memory_mb:lower \
+  --metric internet_soak:peak_rss_mb:max
 
 echo "=== bench regression gate: tenant lifecycle ==="
 # The binary self-checks 1000 clean onboards, byte-identical mid-fleet

@@ -989,6 +989,16 @@ void BgpSpeaker::set_peer_export_class(PeerId peer,
   }
 }
 
+void BgpSpeaker::set_peer_mrai(PeerId peer, Duration mrai) {
+  Session& s = *sessions_.at(peer);
+  if (s.config.mrai == mrai) return;
+  s.config.mrai = mrai;
+  if (s.state == SessionState::kEstablished) {
+    clear_group_memos();
+    refingerprint_peer(peer);
+  }
+}
+
 std::uint64_t BgpSpeaker::export_group_of(PeerId peer) const {
   auto it = sessions_.find(peer);
   return it == sessions_.end() ? 0 : it->second->group;

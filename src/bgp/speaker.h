@@ -308,6 +308,13 @@ class BgpSpeaker {
   /// peer never shares a group while a hook is installed.
   void set_peer_export_class(PeerId peer, std::uint64_t export_class);
 
+  /// Adjusts the peer's MRAI after registration (the backbone fabric
+  /// registers iBGP peers itself; the internet-scale soak then arms MRAI
+  /// batching on them). MRAI is part of the export-group fingerprint, so
+  /// call before the session establishes — on an established session the
+  /// peer is re-fingerprinted into a matching group.
+  void set_peer_mrai(PeerId peer, Duration mrai);
+
   /// Export-group id the peer currently belongs to (0 when none — e.g.
   /// session not established). Test introspection.
   std::uint64_t export_group_of(PeerId peer) const;

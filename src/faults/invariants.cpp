@@ -261,4 +261,92 @@ void InvariantChecker::diff_lpm(const ip::FibView& got,
   }
 }
 
+namespace {
+
+/// Canonical one-line rendering of a Loc-RIB entry: everything best-path
+/// selection and export can see, so two tables with equal line sets are
+/// operationally identical.
+// Renders everything that constitutes routing state. Deliberately excludes
+// `path_id`: RFC 7911 path identifiers only discriminate concurrent paths
+// on one session and are reallocated on re-announce, so two worlds with
+// identical routing state legitimately disagree on them after churn.
+std::string rib_line(const bgp::RibRoute& route) {
+  std::string line = route.prefix.str();
+  line += '|';
+  line += std::to_string(route.peer);
+  line += '|';
+  for (bgp::Asn asn : route.attrs->as_path.flatten()) {
+    line += std::to_string(asn);
+    line += ' ';
+  }
+  line += '|';
+  line += route.attrs->next_hop.str();
+  line += '|';
+  line += route.attrs->med ? std::to_string(*route.attrs->med) : "-";
+  line += '|';
+  line += route.attrs->local_pref ? std::to_string(*route.attrs->local_pref)
+                                  : "-";
+  line += '|';
+  for (bgp::Community c : route.attrs->communities) {
+    line += c.str();
+    line += ' ';
+  }
+  return line;
+}
+
+}  // namespace
+
+void InvariantChecker::diff_locrib(const bgp::BgpSpeaker& got,
+                                   const bgp::BgpSpeaker& want,
+                                   const std::string& label,
+                                   InvariantReport& report) {
+  constexpr std::size_t kMaxReported = 8;
+  std::vector<std::string> got_lines, want_lines;
+  const auto collect = [](std::vector<std::string>& lines,
+                          const std::string& section) {
+    return [&lines, &section](const bgp::RibRoute& route) {
+      lines.push_back(section + rib_line(route));
+    };
+  };
+  // rib_line omits path ids, so candidates under one prefix may be visited
+  // in a different order on each side; prefixing the section tag and
+  // sorting compares each section as a multiset while keeping all-paths
+  // and best-paths entries from alibiing each other.
+  const std::string all_tag = "all|", best_tag = "best|";
+  got.loc_rib().visit_all(collect(got_lines, all_tag));
+  want.loc_rib().visit_all(collect(want_lines, all_tag));
+  got.loc_rib().visit_best(collect(got_lines, best_tag));
+  want.loc_rib().visit_best(collect(want_lines, best_tag));
+
+  report.checks += std::max(got_lines.size(), want_lines.size());
+  if (got_lines == want_lines) return;
+
+  std::sort(got_lines.begin(), got_lines.end());
+  std::sort(want_lines.begin(), want_lines.end());
+  if (got_lines == want_lines) return;
+
+  std::size_t reported = 0;
+  std::size_t i = 0, j = 0;
+  while ((i < got_lines.size() || j < want_lines.size()) &&
+         reported < kMaxReported) {
+    const std::string* g = i < got_lines.size() ? &got_lines[i] : nullptr;
+    const std::string* w = j < want_lines.size() ? &want_lines[j] : nullptr;
+    if (g != nullptr && w != nullptr && *g == *w) {
+      ++i;
+      ++j;
+      continue;
+    }
+    if (w == nullptr || (g != nullptr && *g < *w)) {
+      report.violations.push_back(label + ": unexpected route " + *g);
+      ++i;
+    } else {
+      report.violations.push_back(label + ": missing route " + *w);
+      ++j;
+    }
+    ++reported;
+  }
+  if (reported == kMaxReported)
+    report.violations.push_back(label + ": further Loc-RIB differences elided");
+}
+
 }  // namespace peering::faults

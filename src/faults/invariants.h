@@ -79,6 +79,15 @@ class InvariantChecker {
                        std::uint64_t seed, int random_probes,
                        const std::string& label, InvariantReport& report);
 
+  /// Differential Loc-RIB check: every candidate (and every best path) of
+  /// `got`'s Loc-RIB must match `want`'s, attribute content included. Both
+  /// visits emit in ascending prefix order regardless of shard count, so
+  /// this also holds across pipeline shapes. The internet-scale soak uses
+  /// it to prove the post-churn table equals a fresh-converged reference.
+  static void diff_locrib(const bgp::BgpSpeaker& got,
+                          const bgp::BgpSpeaker& want,
+                          const std::string& label, InvariantReport& report);
+
  private:
   struct Experiment {
     std::string name;

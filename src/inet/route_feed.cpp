@@ -1,6 +1,11 @@
 #include "inet/route_feed.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace peering::inet {
 
@@ -73,19 +78,383 @@ std::vector<FeedRoute> generate_churn(const std::vector<FeedRoute>& feed,
   Rng rng(seed);
   std::vector<FeedRoute> updates;
   updates.reserve(update_count);
+  // Routes the stream has withdrawn and not yet re-announced. A drawn index
+  // that is currently withdrawn always re-announces its ORIGINAL attributes
+  // next, so a withdraw round-trips to byte-identical state.
+  std::unordered_set<std::size_t> withdrawn;
   for (std::size_t i = 0; i < update_count; ++i) {
-    FeedRoute update = feed[rng.below(feed.size())];
-    // Churn flips a route between a small number of alternative attribute
-    // versions (MED steps), preserving attribute sharing.
-    update.attrs.med = static_cast<std::uint32_t>(rng.below(4) * 10);
-    if (rng.chance(0.2)) {
-      // Path change: re-prepend the first AS once.
-      update.attrs.as_path =
-          update.attrs.as_path.prepended(update.attrs.as_path.first());
+    std::size_t idx = rng.below(feed.size());
+    if (withdrawn.count(idx) != 0) {
+      withdrawn.erase(idx);
+      updates.push_back(feed[idx]);
+    } else if (rng.chance(0.15)) {
+      FeedRoute update;
+      update.prefix = feed[idx].prefix;
+      update.withdraw = true;
+      withdrawn.insert(idx);
+      updates.push_back(std::move(update));
+    } else {
+      FeedRoute update = feed[idx];
+      // Churn flips a route between a small number of alternative attribute
+      // versions (MED steps), preserving attribute sharing.
+      update.attrs.med = static_cast<std::uint32_t>(rng.below(4) * 10);
+      if (rng.chance(0.2)) {
+        // Path change: re-prepend the first AS once.
+        update.attrs.as_path =
+            update.attrs.as_path.prepended(update.attrs.as_path.first());
+      }
+      updates.push_back(std::move(update));
     }
-    updates.push_back(std::move(update));
   }
   return updates;
+}
+
+// ---------------------------------------------------------------------------
+// Internet-scale full table.
+
+const std::vector<LengthShare>& full_table_length_model() {
+  // RouteViews-shaped specifics mix: the /24 majority, the /23 step, the
+  // /22 PA-allocation bump, thinning toward /18. Aggregates are emitted at
+  // <= /17 so this table fully describes the >= /18 population.
+  static const std::vector<LengthShare> model = {
+      {24, 0.625}, {23, 0.090}, {22, 0.120}, {21, 0.050},
+      {20, 0.060}, {19, 0.035}, {18, 0.020},
+  };
+  return model;
+}
+
+namespace {
+
+std::uint8_t draw_specific_length(Rng& rng) {
+  const auto& model = full_table_length_model();
+  double r = rng.uniform();
+  double acc = 0;
+  for (const auto& row : model) {
+    acc += row.share;
+    if (r < acc) return row.length;
+  }
+  return model.back().length;
+}
+
+}  // namespace
+
+std::vector<FeedRoute> generate_full_table(const FullTableConfig& config,
+                                           FullTableStats* stats) {
+  Rng rng(config.seed);
+  std::vector<FeedRoute> feed;
+  feed.reserve(config.route_count);
+
+  // Zipf-like prefixes-per-origin: counts proportional to 1/rank, capped,
+  // then padded/trimmed to sum to exactly route_count.
+  std::size_t origin_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(config.route_count) /
+                                  config.mean_prefixes_per_origin));
+  constexpr std::size_t kMaxPerOrigin = 3000;
+  double harmonic = 0;
+  for (std::size_t r = 1; r <= origin_count; ++r)
+    harmonic += 1.0 / static_cast<double>(r);
+  std::vector<std::size_t> counts(origin_count);
+  std::size_t total = 0;
+  for (std::size_t r = 1; r <= origin_count; ++r) {
+    auto n = static_cast<std::size_t>(static_cast<double>(config.route_count) /
+                                      (harmonic * static_cast<double>(r)));
+    n = std::clamp<std::size_t>(n, 1, kMaxPerOrigin);
+    counts[r - 1] = n;
+    total += n;
+  }
+  for (std::size_t i = 0; total < config.route_count; i = (i + 1) % origin_count) {
+    if (counts[i] >= kMaxPerOrigin) continue;
+    ++counts[i];
+    ++total;
+  }
+  for (std::size_t i = origin_count; total > config.route_count;) {
+    i = (i == 0 ? origin_count : i) - 1;
+    if (counts[i] > 1) {
+      --counts[i];
+      --total;
+    }
+  }
+
+  // The popular-community pool: the measurement studies find a small set of
+  // values (blackhole, no-export relatives, big-transit informational tags)
+  // dominating carriage; draws below are biased toward low pool ranks.
+  std::vector<bgp::Community> popular;
+  for (int i = 0; i < 24; ++i)
+    popular.push_back(
+        bgp::Community(static_cast<std::uint16_t>(rng.range(1000, 65000)),
+                       static_cast<std::uint16_t>(rng.below(100))));
+
+  const double tail_mean = std::max(0.0, config.mean_path_length - 2.0);
+  const double tail_continue = tail_mean / (tail_mean + 1.0);
+  const double comm_continue = config.mean_communities <= 1.0
+                                   ? 0.0
+                                   : (config.mean_communities - 1.0) /
+                                         config.mean_communities;
+
+  FullTableStats local;
+  local.origin_count = origin_count;
+
+  std::uint64_t base = 1ull << 24;  // start at 1.0.0.0
+  std::vector<std::uint8_t> lengths;
+  std::vector<bgp::PathAttributes> templates;
+  for (std::size_t o = 0; o < origin_count; ++o) {
+    std::size_t n = counts[o];
+    auto origin_asn = static_cast<bgp::Asn>(3000 + o * 5);
+    bool aggregate = n >= 4 && rng.chance(config.aggregate_prob);
+    std::size_t n_spec = n - (aggregate ? 1 : 0);
+
+    // Per-origin attribute templates: one AS path serves every prefix the
+    // origin announces; large origins may split across a few upstream
+    // paths. This is where the table's heavy attribute sharing comes from.
+    std::size_t template_count = n >= 4 ? 1 + rng.below(3) : 1;
+    templates.clear();
+    for (std::size_t t = 0; t < template_count; ++t) {
+      bgp::PathAttributes attrs;
+      std::vector<bgp::Asn> path{config.neighbor_asn};
+      std::size_t tail = 0;
+      while (rng.chance(tail_continue) && tail < 10) ++tail;
+      for (std::size_t h = 0; h < tail; ++h)
+        path.push_back(static_cast<bgp::Asn>(rng.range(1000, 400000)));
+      path.push_back(origin_asn);
+      if (rng.chance(0.15)) {
+        // Origin prepending (traffic engineering), 1-2 extra copies.
+        std::size_t prepends = 1 + rng.below(2);
+        for (std::size_t p = 0; p < prepends; ++p) path.push_back(origin_asn);
+      }
+      attrs.as_path = bgp::AsPath(std::move(path));
+      attrs.origin =
+          rng.chance(0.95) ? bgp::Origin::kIgp : bgp::Origin::kIncomplete;
+      attrs.next_hop = config.next_hop;
+      if (rng.chance(0.25))
+        attrs.med = static_cast<std::uint32_t>(rng.below(100));
+      if (rng.chance(config.community_carriage)) {
+        std::size_t c = 1;
+        while (rng.chance(comm_continue) && c < 16) ++c;
+        for (std::size_t i = 0; i < c; ++i) {
+          if (rng.chance(0.7)) {
+            std::size_t a = rng.below(popular.size());
+            std::size_t b = rng.below(popular.size());
+            attrs.communities.push_back(popular[std::min(a, b)]);
+          } else {
+            attrs.communities.push_back(bgp::Community(
+                static_cast<std::uint16_t>(rng.range(1000, 65000)),
+                static_cast<std::uint16_t>(rng.below(1000))));
+          }
+        }
+      }
+      templates.push_back(std::move(attrs));
+    }
+    local.distinct_attr_sets += template_count + (aggregate ? 1 : 0);
+
+    // Specific lengths, largest block first: carving in descending block
+    // size inside an aligned region packs with no internal gaps.
+    lengths.clear();
+    for (std::size_t i = 0; i < n_spec; ++i)
+      lengths.push_back(draw_specific_length(rng));
+    std::sort(lengths.begin(), lengths.end());
+    std::uint64_t space = 0;
+    for (std::uint8_t l : lengths) space += 1ull << (32 - l);
+
+    std::uint64_t block;
+    if (aggregate) {
+      // The origin's covering aggregate: the whole (power-of-two) block,
+      // at most a /17 so specifics (>= /18) stay a separable population.
+      block = std::max<std::uint64_t>(std::bit_ceil(space), 1ull << 15);
+    } else {
+      block = 1ull << (32 - lengths.front());  // alignment for the largest
+    }
+    base = (base + block - 1) & ~(block - 1);
+    if (base + std::max(space, block) > 0xF0000000ull) {
+      std::fprintf(stderr,
+                   "generate_full_table: route_count %zu exhausts the "
+                   "unicast space\n",
+                   config.route_count);
+      std::abort();
+    }
+    if (aggregate) {
+      auto agg_len =
+          static_cast<std::uint8_t>(32 - std::countr_zero(block));
+      FeedRoute route;
+      route.prefix =
+          Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(base)), agg_len);
+      route.attrs = templates.front();
+      route.attrs.atomic_aggregate = true;
+      feed.push_back(std::move(route));
+      ++local.aggregate_routes;
+    }
+    std::uint64_t cursor = base;
+    for (std::uint8_t l : lengths) {
+      std::uint64_t b = 1ull << (32 - l);
+      cursor = (cursor + b - 1) & ~(b - 1);
+      FeedRoute route;
+      route.prefix =
+          Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(cursor)), l);
+      route.attrs = templates[rng.below(template_count)];
+      feed.push_back(std::move(route));
+      cursor += b;
+      ++local.specific_routes;
+    }
+    base = aggregate ? base + block : cursor;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return feed;
+}
+
+// ---------------------------------------------------------------------------
+// Timed churn schedule.
+
+namespace {
+
+/// Draws up to `want` distinct feed indexes (best effort on tiny feeds).
+std::vector<std::uint32_t> draw_route_set(Rng& rng, std::size_t feed_size,
+                                          std::size_t want) {
+  std::vector<std::uint32_t> routes;
+  std::unordered_set<std::uint32_t> seen;
+  std::size_t attempts = 0;
+  while (routes.size() < std::min(want, feed_size) && attempts < want * 8) {
+    ++attempts;
+    auto idx = static_cast<std::uint32_t>(rng.below(feed_size));
+    if (seen.insert(idx).second) routes.push_back(idx);
+  }
+  return routes;
+}
+
+}  // namespace
+
+std::string ChurnSchedule::log() const {
+  std::string out;
+  out.reserve(events.size() * 24);
+  char line[64];
+  for (const auto& e : events) {
+    std::snprintf(line, sizeof line, "%lld %c %u v%u\n",
+                  static_cast<long long>(e.at.ns()),
+                  e.kind == ChurnKind::kWithdraw ? 'W' : 'A', e.route,
+                  static_cast<unsigned>(e.variant));
+    out += line;
+  }
+  return out;
+}
+
+ChurnSchedule generate_churn_schedule(std::size_t feed_size,
+                                      const ChurnScheduleConfig& config) {
+  Rng rng(config.seed);
+  std::uint64_t seq = 0;
+  std::vector<std::pair<ChurnEvent, std::uint64_t>> staged;
+  auto push = [&](Duration at, std::uint32_t route, ChurnKind kind,
+                  std::uint8_t variant) {
+    staged.push_back({ChurnEvent{at, route, kind, variant}, seq++});
+  };
+
+  // BGP-beacon waves: a fixed route set withdraws at every interval and
+  // re-announces (original attributes) half an interval later.
+  std::vector<std::uint32_t> beacons =
+      draw_route_set(rng, feed_size, config.beacon_set);
+  for (Duration t = config.beacon_interval;
+       t + config.beacon_interval / 2 <= config.duration;
+       t = t + config.beacon_interval) {
+    for (std::uint32_t b : beacons) push(t, b, ChurnKind::kWithdraw, 0);
+    Duration re = t + config.beacon_interval / 2;
+    for (std::uint32_t b : beacons) push(re, b, ChurnKind::kAnnounce, 0);
+  }
+
+  // Flap storms: bursts of rapid withdraw/re-announce over a random route
+  // set at seeded instants. The soak harness aligns session-flap faults
+  // with these windows to compose prefix and session churn.
+  std::int64_t storm_window =
+      config.storm_flap_gap.ns() * static_cast<std::int64_t>(config.storm_flaps);
+  for (std::size_t s = 0; s < config.storm_count; ++s) {
+    std::int64_t span = std::max<std::int64_t>(1, config.duration.ns() -
+                                                      storm_window);
+    auto t0 = Duration::nanos(static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(span))));
+    std::vector<std::uint32_t> routes =
+        draw_route_set(rng, feed_size, config.storm_set);
+    for (std::size_t j = 0; j < config.storm_flaps; ++j) {
+      Duration tw = t0 + config.storm_flap_gap * static_cast<std::int64_t>(j);
+      Duration ta = tw + config.storm_flap_gap / 2;
+      for (std::uint32_t r : routes) {
+        push(tw, r, ChurnKind::kWithdraw, 0);
+        push(ta, r, ChurnKind::kAnnounce, 0);
+      }
+    }
+  }
+
+  // Background noise: uniform-jittered arrivals (integer math — no libm,
+  // so the schedule is bit-stable across toolchains), mostly MED steps
+  // with an occasional quick flap.
+  if (config.background_rate_hz > 0) {
+    auto period =
+        static_cast<std::uint64_t>(1e9 / config.background_rate_hz);
+    std::uint64_t t = 0;
+    while (true) {
+      t += period / 2 + rng.below(period + 1);
+      if (t >= static_cast<std::uint64_t>(config.duration.ns())) break;
+      auto route = static_cast<std::uint32_t>(rng.below(feed_size));
+      auto at = Duration::nanos(static_cast<std::int64_t>(t));
+      if (rng.chance(0.1)) {
+        push(at, route, ChurnKind::kWithdraw, 0);
+        Duration re = at + Duration::nanos(static_cast<std::int64_t>(period));
+        if (re > config.duration) re = config.duration;
+        push(re, route, ChurnKind::kAnnounce, 0);
+      } else {
+        push(at, route, ChurnKind::kAnnounce,
+             static_cast<std::uint8_t>(1 + rng.below(3)));
+      }
+    }
+  }
+
+  std::stable_sort(staged.begin(), staged.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first.at != b.first.at)
+                       return a.first.at < b.first.at;
+                     return a.second < b.second;
+                   });
+
+  // Closure pass: every touched route's LAST event must re-announce the
+  // original feed attributes, so the fully settled post-churn table equals
+  // the pre-churn one — the soak self-checks against a fresh-converged
+  // reference on exactly this property.
+  std::unordered_map<std::uint32_t, const ChurnEvent*> last;
+  for (const auto& [event, _] : staged) last[event.route] = &event;
+  std::vector<std::uint32_t> restore;
+  for (const auto& [route, event] : last) {
+    if (event->kind == ChurnKind::kWithdraw || event->variant != 0)
+      restore.push_back(route);
+  }
+  std::sort(restore.begin(), restore.end());
+
+  ChurnSchedule schedule;
+  schedule.events.reserve(staged.size() + restore.size());
+  for (auto& [event, _] : staged) schedule.events.push_back(event);
+  Duration t = config.duration;
+  for (std::uint32_t route : restore) {
+    t = t + Duration::micros(100);
+    schedule.events.push_back(ChurnEvent{t, route, ChurnKind::kAnnounce, 0});
+  }
+  schedule.end = schedule.events.empty() ? config.duration
+                                         : schedule.events.back().at;
+  for (const auto& e : schedule.events) {
+    if (e.kind == ChurnKind::kWithdraw)
+      ++schedule.withdraws;
+    else
+      ++schedule.announces;
+  }
+  return schedule;
+}
+
+FeedRoute churn_event_route(const std::vector<FeedRoute>& feed,
+                            const ChurnEvent& event) {
+  FeedRoute route;
+  route.prefix = feed[event.route].prefix;
+  if (event.kind == ChurnKind::kWithdraw) {
+    route.withdraw = true;
+    return route;
+  }
+  route.attrs = feed[event.route].attrs;
+  if (event.variant != 0)
+    route.attrs.med = static_cast<std::uint32_t>(event.variant) * 10;
+  return route;
 }
 
 }  // namespace peering::inet

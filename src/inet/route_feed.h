@@ -3,20 +3,37 @@
 // attribute shapes (path lengths, communities, churn); building a
 // million-AS graph is unnecessary — this generator produces statistically
 // plausible feeds deterministically.
+//
+// Two generators live here:
+//  * generate_feed — the original flat template-pool feed (kept byte-stable:
+//    several benches gate exact metrics derived from its RNG stream);
+//  * generate_full_table — the internet-scale model (ISSUE 10): realistic
+//    prefix-length mix, Zipf-like prefixes-per-origin, path-length and
+//    community-carriage distributions grounded in the PAPERS.md community
+//    usage measurements, and heavy per-origin attribute sharing.
+// Plus two churn engines: generate_churn (a flat update stream with MED
+// re-announces, withdrawals, and matching re-announces) and
+// generate_churn_schedule (a timed schedule of beacon waves, flap storms
+// and background noise for the internet-scale soak).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bgp/attributes.h"
 #include "netbase/prefix.h"
 #include "netbase/rand.h"
+#include "netbase/time.h"
 
 namespace peering::inet {
 
 struct FeedRoute {
   Ipv4Prefix prefix;
   bgp::PathAttributes attrs;
+  /// Set only in churn streams: this event removes the prefix instead of
+  /// (re-)announcing it. `attrs` are meaningless for withdrawals.
+  bool withdraw = false;
 };
 
 struct RouteFeedConfig {
@@ -38,11 +55,135 @@ struct RouteFeedConfig {
 /// Generates `route_count` distinct prefixes with plausible attributes.
 std::vector<FeedRoute> generate_feed(const RouteFeedConfig& config);
 
-/// Generates an update stream over an existing feed: each event re-announces
-/// a random route with perturbed attributes (MED churn), modelling the
-/// "background noise" of interdomain routing.
+/// Generates an update stream over an existing feed. Three event kinds,
+/// chosen per event from the seeded stream: a withdrawal of a currently
+/// announced route, a re-announcement of a previously withdrawn route with
+/// its ORIGINAL attributes (so withdraw -> re-announce round-trips to
+/// byte-identical state), or an attribute perturbation (MED step, sometimes
+/// a path prepend) — the "background noise" of interdomain routing.
 std::vector<FeedRoute> generate_churn(const std::vector<FeedRoute>& feed,
                                       std::size_t update_count,
                                       std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Internet-scale full-table model (ISSUE 10 tentpole).
+
+/// One row of the specific-prefix length model: P(prefix length == length).
+struct LengthShare {
+  std::uint8_t length;
+  double share;
+};
+
+/// The generator's specific-prefix (length >= 18) model, RouteViews-shaped:
+/// ~62% /24 with the familiar /22 and /20 bumps. Exposed so distribution
+/// tests chi-square the generated histogram against the same table the
+/// generator draws from. Aggregates (see FullTableConfig::aggregate_prob)
+/// are strictly shorter than /18, so the two populations are separable by
+/// length alone.
+const std::vector<LengthShare>& full_table_length_model();
+
+struct FullTableConfig {
+  std::size_t route_count = 1'000'000;
+  /// Simulated advertising neighbor's ASN (first hop of every path).
+  bgp::Asn neighbor_asn = 65001;
+  /// Next hop of every route (a single-neighbor full feed shares one).
+  Ipv4Address next_hop = Ipv4Address(10, 0, 0, 1);
+  /// Mean prefixes per origin AS; per-origin counts are Zipf-like (1/rank),
+  /// capped at 3000, so a heavy head of large origins carries a large share
+  /// of the table, like the real one.
+  double mean_prefixes_per_origin = 13.0;
+  /// Mean AS-path length in hops, neighbor and origin included. Grounded in
+  /// the ~4.2 mean the measurement studies report.
+  double mean_path_length = 4.2;
+  /// Fraction of routes carrying >= 1 community. The community-usage
+  /// studies (Krenc et al., Streibelt et al.) put carriage at ~75% of
+  /// announcements, with a small set of popular values dominating.
+  double community_carriage = 0.75;
+  /// Mean communities per carrying route (geometric, capped at 16).
+  double mean_communities = 3.2;
+  /// Probability an origin with >= 4 prefixes also announces the covering
+  /// aggregate (atomic-aggregate flagged, length <= /17).
+  double aggregate_prob = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct FullTableStats {
+  std::size_t origin_count = 0;
+  std::size_t specific_routes = 0;
+  std::size_t aggregate_routes = 0;
+  /// Distinct attribute sets created (the attr-pool dedup ceiling).
+  std::size_t distinct_attr_sets = 0;
+};
+
+/// Generates a full-table feed per FullTableConfig. Prefixes are unique;
+/// each origin's specifics are carved from one contiguous block which the
+/// origin's optional aggregate covers, so more-specifics nest inside
+/// aggregates the way real tables do. Byte-identical per seed.
+std::vector<FeedRoute> generate_full_table(const FullTableConfig& config,
+                                           FullTableStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Timed churn schedule (ISSUE 10 tentpole): BGP-beacon announce/withdraw
+// waves, prefix flap storms, and steady background noise over a simulated
+// interval. The schedule is "closed": the final event for every touched
+// route re-announces its original feed attributes, so a fully replayed +
+// settled schedule converges back to exactly the original table — the
+// property the soak's fresh-converged-reference self-check relies on.
+
+enum class ChurnKind : std::uint8_t { kAnnounce = 0, kWithdraw = 1 };
+
+struct ChurnEvent {
+  /// Offset from schedule start.
+  Duration at;
+  /// Index into the feed the schedule was generated for.
+  std::uint32_t route = 0;
+  ChurnKind kind = ChurnKind::kAnnounce;
+  /// Attribute variant for announces: 0 replays the original feed
+  /// attributes byte-identically; 1..3 are MED steps (variant * 10).
+  std::uint8_t variant = 0;
+};
+
+struct ChurnScheduleConfig {
+  Duration duration = Duration::hours(1);
+  /// BGP-beacon cadence: every interval, `beacon_set` fixed routes withdraw,
+  /// re-announcing half an interval later (RIS-beacon style, scaled down).
+  Duration beacon_interval = Duration::minutes(10);
+  std::size_t beacon_set = 64;
+  /// Flap storms: bursts in which `storm_set` routes withdraw/re-announce
+  /// `storm_flaps` times in quick succession. The soak composes these with
+  /// src/faults session flaps at the same seeded instants.
+  std::size_t storm_count = 4;
+  std::size_t storm_set = 256;
+  std::size_t storm_flaps = 3;
+  Duration storm_flap_gap = Duration::seconds(2);
+  /// Background noise: mean perturbation events per simulated second
+  /// (uniform-jittered arrivals; mostly MED steps, some flaps).
+  double background_rate_hz = 20.0;
+  std::uint64_t seed = 1;
+};
+
+struct ChurnSchedule {
+  /// Ascending by `at`; ties keep generation order. Byte-identical per
+  /// (feed size, config).
+  std::vector<ChurnEvent> events;
+  std::size_t announces = 0;
+  std::size_t withdraws = 0;
+  /// When the closure pass re-announces routes left perturbed (all restore
+  /// events sit after `duration`).
+  Duration end = Duration();
+
+  /// One line per event ("<ns> A|W <route> v<variant>"): the byte-identity
+  /// artifact determinism tests compare.
+  std::string log() const;
+};
+
+ChurnSchedule generate_churn_schedule(std::size_t feed_size,
+                                      const ChurnScheduleConfig& config);
+
+/// Materializes one schedule event against its feed: a withdrawal, the
+/// original route (variant 0), or a MED-stepped copy. Pure, so every
+/// harness replaying the same schedule injects byte-identical updates.
+FeedRoute churn_event_route(const std::vector<FeedRoute>& feed,
+                            const ChurnEvent& event);
 
 }  // namespace peering::inet

@@ -1,51 +1,70 @@
 #include "mon/propagation.h"
 
+#include <algorithm>
+
 namespace peering::mon {
 
 PropagationTracer::PropagationTracer() : registry_(obs::Registry::global()) {}
 
 void PropagationTracer::stamp_origin(const Ipv4Prefix& prefix, SimTime at) {
-  origins_[prefix] = at;
-  // A fresh stamp starts a new measurement wave for this prefix.
-  auto purge = [&](std::set<std::pair<std::string, Ipv4Prefix>>& seen) {
-    for (auto it = seen.begin(); it != seen.end();) {
-      if (it->second == prefix) {
-        it = seen.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  purge(seen_locrib_);
-  purge(seen_fib_);
+  // A fresh stamp starts a new measurement wave for this prefix: resetting
+  // the observer masks is the O(1) equivalent of purging every
+  // (observer, prefix) pair.
+  Origin& origin = origins_[prefix];
+  origin.at = at;
+  origin.locrib_seen = 0;
+  origin.fib_seen = 0;
+}
+
+PropagationTracer::Observer& PropagationTracer::observer(
+    std::map<std::string, Observer>& index, const std::string& name,
+    const char* metric, const char* label) {
+  auto it = index.find(name);
+  if (it != index.end()) return it->second;
+  Observer entry;
+  entry.bit = 1ull << std::min(index.size(), kMaxObservers - 1);
+  entry.hist = registry_->histogram(metric, {{label, name}});
+  return index.emplace(name, entry).first->second;
 }
 
 obs::Histogram* PropagationTracer::time_to_locrib(const std::string& speaker) {
-  auto it = locrib_hist_.find(speaker);
-  if (it != locrib_hist_.end()) return it->second;
-  obs::Histogram* h = registry_->histogram("mon_time_to_locrib_ns",
-                                           {{"speaker", speaker}});
-  locrib_hist_.emplace(speaker, h);
-  return h;
+  if (speaker == kAll) return locrib_aggregate();
+  return observer(locrib_observers_, speaker, "mon_time_to_locrib_ns",
+                  "speaker")
+      .hist;
+}
+
+obs::Histogram* PropagationTracer::locrib_aggregate() {
+  if (locrib_all_ == nullptr) {
+    locrib_all_ =
+        registry_->histogram("mon_time_to_locrib_ns", {{"speaker", kAll}});
+  }
+  return locrib_all_;
+}
+
+obs::Histogram* PropagationTracer::fib_aggregate() {
+  if (fib_all_ == nullptr) {
+    fib_all_ = registry_->histogram("mon_time_to_fib_ns", {{"router", kAll}});
+  }
+  return fib_all_;
 }
 
 obs::Histogram* PropagationTracer::time_to_fib(const std::string& router) {
-  auto it = fib_hist_.find(router);
-  if (it != fib_hist_.end()) return it->second;
-  obs::Histogram* h =
-      registry_->histogram("mon_time_to_fib_ns", {{"router", router}});
-  fib_hist_.emplace(router, h);
-  return h;
+  if (router == kAll) return fib_aggregate();
+  return observer(fib_observers_, router, "mon_time_to_fib_ns", "router").hist;
 }
 
 void PropagationTracer::note_locrib(const std::string& speaker,
                                     const Ipv4Prefix& prefix, SimTime at) {
   auto oit = origins_.find(prefix);
   if (oit == origins_.end()) return;
-  if (!seen_locrib_.emplace(speaker, prefix).second) return;
-  auto ns = (at - oit->second).ns();
+  Observer& seen = observer(locrib_observers_, speaker, "mon_time_to_locrib_ns",
+                           "speaker");
+  if (oit->second.locrib_seen & seen.bit) return;
+  oit->second.locrib_seen |= seen.bit;
+  auto ns = (at - oit->second.at).ns();
   std::uint64_t v = ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
-  time_to_locrib(speaker)->record(v);
+  seen.hist->record(v);
   locrib_aggregate()->record(v);
   ++locrib_samples_;
 }
@@ -54,10 +73,13 @@ void PropagationTracer::note_fib(const std::string& router,
                                  const Ipv4Prefix& prefix, SimTime at) {
   auto oit = origins_.find(prefix);
   if (oit == origins_.end()) return;
-  if (!seen_fib_.emplace(router, prefix).second) return;
-  auto ns = (at - oit->second).ns();
+  Observer& seen = observer(fib_observers_, router, "mon_time_to_fib_ns",
+                           "router");
+  if (oit->second.fib_seen & seen.bit) return;
+  oit->second.fib_seen |= seen.bit;
+  auto ns = (at - oit->second.at).ns();
   std::uint64_t v = ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
-  time_to_fib(router)->record(v);
+  seen.hist->record(v);
   fib_aggregate()->record(v);
   ++fib_samples_;
 }

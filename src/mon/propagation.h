@@ -12,13 +12,17 @@
 // `mon_time_to_fib_ns{router=...}`, and all-hop aggregates under the
 // label value "_all" — the convergence-time series the internet-scale
 // soak gates on.
+//
+// Scale: the soak stamps ~1M prefixes observed by 13 PoPs, so first-arrival
+// dedup is a per-prefix observer bitmask (observers are interned to bit
+// indexes once per name) and re-stamping a prefix is O(1) — no linear
+// sweeps, no per-(observer, prefix) node allocations.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
-#include <utility>
+#include <unordered_map>
 
 #include "netbase/prefix.h"
 #include "netbase/time.h"
@@ -50,8 +54,10 @@ class PropagationTracer {
   /// the all-hop aggregates — benches extract percentiles from these.
   obs::Histogram* time_to_locrib(const std::string& speaker);
   obs::Histogram* time_to_fib(const std::string& router);
-  obs::Histogram* locrib_aggregate() { return time_to_locrib(kAll); }
-  obs::Histogram* fib_aggregate() { return time_to_fib(kAll); }
+  // The aggregates never go through the observer intern: "_all" must not
+  // consume one of the kMaxObservers dedup bits.
+  obs::Histogram* locrib_aggregate();
+  obs::Histogram* fib_aggregate();
 
   std::size_t stamped_count() const { return origins_.size(); }
   std::uint64_t locrib_samples() const { return locrib_samples_; }
@@ -59,14 +65,31 @@ class PropagationTracer {
 
  private:
   static constexpr const char* kAll = "_all";
+  /// Distinct observer names per plane. Observer 64+ shares the last bit
+  /// (dedup degrades, correctness doesn't); the 13-PoP footprint uses 26.
+  static constexpr std::size_t kMaxObservers = 64;
+
+  struct Observer {
+    std::uint64_t bit = 0;
+    obs::Histogram* hist = nullptr;
+  };
+  struct Origin {
+    SimTime at;
+    std::uint64_t locrib_seen = 0;  // observer bitmask, cleared on re-stamp
+    std::uint64_t fib_seen = 0;
+  };
+
+  /// Interns `name` into `index` (bit + histogram handle, created once).
+  Observer& observer(std::map<std::string, Observer>& index,
+                     const std::string& name, const char* metric,
+                     const char* label);
 
   obs::Registry* registry_;
-  std::map<Ipv4Prefix, SimTime> origins_;
-  /// First-arrival dedup: one measurement per (observer, prefix) per stamp.
-  std::set<std::pair<std::string, Ipv4Prefix>> seen_locrib_;
-  std::set<std::pair<std::string, Ipv4Prefix>> seen_fib_;
-  std::map<std::string, obs::Histogram*> locrib_hist_;
-  std::map<std::string, obs::Histogram*> fib_hist_;
+  std::unordered_map<Ipv4Prefix, Origin> origins_;
+  std::map<std::string, Observer> locrib_observers_;
+  std::map<std::string, Observer> fib_observers_;
+  obs::Histogram* locrib_all_ = nullptr;
+  obs::Histogram* fib_all_ = nullptr;
   std::uint64_t locrib_samples_ = 0;
   std::uint64_t fib_samples_ = 0;
 };

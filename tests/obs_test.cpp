@@ -190,6 +190,12 @@ std::pair<std::string, std::string> run_mini_replay() {
   }
 
   auto apply = [&](const inet::FeedRoute& r, std::size_t f) {
+    if (r.withdraw) {
+      loc_rib.withdraw(r.prefix, static_cast<bgp::PeerId>(1 + f), 0);
+      fibs[f].remove(r.prefix);
+      per_neighbor[f]->inc();
+      return;
+    }
     bgp::RibRoute route;
     route.prefix = r.prefix;
     route.peer = static_cast<bgp::PeerId>(1 + f);

@@ -14,6 +14,7 @@
 
 #include "bgp/message.h"
 #include "bgp/speaker.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/stream.h"
 
@@ -301,6 +302,153 @@ TEST(UpdateGroup, EncodeCacheCreditingConsistentWithPool) {
   const std::uint64_t member_hits = 3u * 5u;
   EXPECT_GE(member_hits + (after.encode_misses - before.encode_misses),
             15u);
+}
+
+/// Counts UPDATE-bearing stream deliveries (ISSUE 10: MRAI withdrawal
+/// coalescing). Every flush is one stream send per peer, so a delivery that
+/// decodes to >= 1 UPDATE is one flush as seen from the wire; the recorder
+/// tallies the announced and withdrawn NLRI it carried.
+class FlushRecorder {
+ public:
+  FlushRecorder(std::shared_ptr<sim::StreamEndpoint> stream, Asn asn)
+      : stream_(std::move(stream)) {
+    stream_->on_data([this, asn](const Bytes& data) {
+      decoder_.feed(data);
+      std::size_t updates = 0, announced = 0, withdrawn = 0;
+      while (true) {
+        auto result = decoder_.poll();
+        if (!result.ok() || !result->has_value()) break;
+        if (std::holds_alternative<OpenMessage>(**result)) {
+          OpenMessage open;
+          open.asn = asn;
+          open.router_id = Ipv4Address(9, 9, 0, 9);
+          open.add_four_byte_asn(asn);
+          UpdateCodecOptions options;
+          stream_->send(encode_message(open, options));
+          stream_->send(encode_message(KeepaliveMessage{}, options));
+        } else if (std::holds_alternative<UpdateMessage>(**result)) {
+          const auto& update = std::get<UpdateMessage>(**result);
+          ++updates;
+          announced += update.nlri.size();
+          withdrawn += update.withdrawn.size();
+        }
+      }
+      if (updates > 0)
+        deliveries_.push_back({updates, announced, withdrawn});
+    });
+  }
+
+  struct Delivery {
+    std::size_t updates, announced, withdrawn;
+  };
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+
+ private:
+  std::shared_ptr<sim::StreamEndpoint> stream_;
+  MessageDecoder decoder_;
+  std::vector<Delivery> deliveries_;
+};
+
+TEST(UpdateGroup, MraiCoalescesMixedBurstIntoOneSendPerPeer) {
+  // The registry must exist before the speaker so the flush histogram is
+  // captured.
+  obs::Registry registry;
+  obs::Scope scope(&registry);
+  sim::EventLoop loop;
+  BgpSpeaker hub(&loop, "hub", 65000, Ipv4Address(1, 1, 1, 1));
+
+  constexpr int kPeers = 3;
+  const Duration mrai = Duration::seconds(10);
+  std::vector<std::unique_ptr<FlushRecorder>> recorders;
+  for (int i = 0; i < kPeers; ++i) {
+    std::string peer_name = "w";
+    peer_name += std::to_string(i);
+    PeerId peer = hub.add_peer(
+        {.name = peer_name,
+         .peer_asn = static_cast<Asn>(64081 + i),
+         .local_address =
+             Ipv4Address(10, static_cast<std::uint8_t>(i + 1), 0, 1),
+         .mrai = mrai});
+    auto streams = sim::StreamChannel::make(&loop, Duration::millis(1));
+    hub.connect_peer(peer, streams.a);
+    recorders.push_back(std::make_unique<FlushRecorder>(
+        streams.b, static_cast<Asn>(64081 + i)));
+  }
+  loop.run_for(Duration::seconds(5));
+
+  // Steps sim time until every recorder has seen `n` UPDATE-bearing
+  // deliveries; the step is small, so once this returns the last flush just
+  // fired and a fresh MRAI window is known to be (almost) fully open.
+  auto wait_for_deliveries = [&](std::size_t n) {
+    for (int step = 0; step < 120; ++step) {
+      bool done = true;
+      for (const auto& recorder : recorders)
+        done = done && recorder->deliveries().size() >= n;
+      if (done) return true;
+      loop.run_for(Duration::millis(500));
+    }
+    return false;
+  };
+
+  // Seed the table.
+  for (int i = 0; i < 6; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(120 + i);
+    cidr += ".0.0/16";
+    hub.originate(pfx(cidr), attrs_with(0));
+  }
+  ASSERT_TRUE(wait_for_deliveries(1));
+  for (const auto& recorder : recorders) {
+    ASSERT_EQ(recorder->deliveries().size(), 1u);
+    EXPECT_EQ(recorder->deliveries()[0].announced, 6u);
+  }
+
+  // A window opener: one change, wait for its flush — from here the MRAI
+  // hold-down is freshly armed.
+  hub.originate(pfx("10.130.0.0/16"), attrs_with(3));
+  ASSERT_TRUE(wait_for_deliveries(2));
+  const obs::Snapshot before = registry.snapshot(loop.now());
+  const obs::SeriesData* batch_before =
+      before.find("bgp_mrai_flush_batch", {{"speaker", "hub"}});
+  ASSERT_NE(batch_before, nullptr);
+
+  // A mixed burst inside the hold-down: new announcements, withdrawals of
+  // live prefixes, and a replace of a survivor. Everything must wait for
+  // the window and leave in ONE coalesced send per peer, withdrawals
+  // included — not an UPDATE trickle per change.
+  for (int i = 0; i < 4; ++i) {
+    std::string cidr = "10.";
+    cidr += std::to_string(140 + i);
+    cidr += ".0.0/16";
+    hub.originate(pfx(cidr), attrs_with(1));
+  }
+  hub.withdraw_originated(pfx("10.120.0.0/16"));
+  hub.withdraw_originated(pfx("10.121.0.0/16"));
+  hub.withdraw_originated(pfx("10.122.0.0/16"));
+  hub.originate(pfx("10.125.0.0/16"), attrs_with(2));
+  loop.run_for(Duration::seconds(1));
+  // Still inside the window: nothing new on any wire.
+  for (const auto& recorder : recorders)
+    EXPECT_EQ(recorder->deliveries().size(), 2u);
+
+  loop.run_for(Duration::seconds(30));
+  for (std::size_t i = 0; i < recorders.size(); ++i) {
+    const auto& deliveries = recorders[i]->deliveries();
+    ASSERT_EQ(deliveries.size(), 3u)
+        << "peer " << i << ": burst was not coalesced into one send";
+    EXPECT_EQ(deliveries[2].announced, 5u) << "peer " << i;
+    EXPECT_EQ(deliveries[2].withdrawn, 3u) << "peer " << i;
+  }
+
+  // The flush-batch histogram agrees with the wire: the burst was one
+  // drain event (count +1) flushing all three same-class members (sum +3).
+  obs::Snapshot after = registry.snapshot(loop.now());
+  const obs::SeriesData* batch_after =
+      after.find("bgp_mrai_flush_batch", {{"speaker", "hub"}});
+  ASSERT_NE(batch_after, nullptr);
+  EXPECT_EQ(batch_after->count - batch_before->count, 1u);
+  EXPECT_EQ(batch_after->sum - batch_before->sum,
+            static_cast<double>(kPeers));
 }
 
 /// One scripted scenario: a hub with a heterogeneous set of recorded

@@ -15,7 +15,11 @@ Metric specs say which direction is "worse":
 "higher" means larger values are better (a drop beyond tolerance fails);
 "lower" means smaller values are better (a rise beyond tolerance fails);
 "exact" is for deterministic metrics (counts, not timings): any difference
-from the baseline fails regardless of tolerance.
+from the baseline fails regardless of tolerance;
+"max" treats the baseline as a hard ceiling: the fresh value may sit
+anywhere at or below it, but exceeding it fails regardless of tolerance —
+for peak-RSS and p99-convergence budgets, where the committed number is a
+promise ("never more than this"), not a measurement to drift around.
 
 --min gates a fresh metric against an absolute floor instead of the
 committed baseline — used for hardware-conditional thresholds (e.g. the
@@ -63,10 +67,10 @@ def describe_available(kind, report):
 
 def parse_spec(spec):
     parts = spec.split(":")
-    if len(parts) != 3 or parts[2] not in ("higher", "lower", "exact"):
+    if len(parts) != 3 or parts[2] not in ("higher", "lower", "exact", "max"):
         sys.exit(
             f"bench_check: bad --metric spec '{spec}' "
-            "(want <bench>:<metric>:higher|lower|exact)"
+            "(want <bench>:<metric>:higher|lower|exact|max)"
         )
     return parts[0], parts[1], parts[2]
 
@@ -227,6 +231,20 @@ def main():
                 failures.append(
                     f"{bench}:{metric} deterministic metric drifted: "
                     f"baseline={base_val:g} fresh={fresh_val:g}"
+                )
+            continue
+        if direction == "max":
+            # Ceiling gate: the committed baseline is a budget, not a
+            # measurement — exceeding it fails with no tolerance grace.
+            status = "ok" if fresh_val <= base_val else "FAIL"
+            print(
+                f"  {status:4s} {bench}:{metric} ceiling={base_val:g} "
+                f"fresh={fresh_val:g} (must not exceed)"
+            )
+            if status == "FAIL":
+                failures.append(
+                    f"{bench}:{metric} exceeded ceiling: "
+                    f"fresh={fresh_val:g} > {base_val:g}"
                 )
             continue
         if base_val == 0:
